@@ -1,0 +1,74 @@
+// Command sbgen generates a synthetic Microsoft-Teams-like call trace and
+// streams it as JSON Lines (one call record per line) to stdout or a file.
+// The trace is deterministic for a given seed, so downstream experiments are
+// reproducible. The output feeds cmd/sbplan and any tool speaking the
+// internal/tracefile format.
+//
+// Usage:
+//
+//	sbgen -days 7 -calls 20000 -seed 1 > trace.jsonl
+//	sbgen -days 1 -out day.jsonl -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"switchboard"
+	"switchboard/internal/tracefile"
+)
+
+func main() {
+	days := flag.Int("days", 1, "trace length in days")
+	calls := flag.Int("calls", 5000, "approximate calls per day")
+	seed := flag.Int64("seed", 1, "generator seed")
+	out := flag.String("out", "", "output path (default stdout)")
+	stats := flag.Bool("stats", false, "print summary statistics to stderr")
+	flag.Parse()
+
+	cfg := switchboard.DefaultTraceConfig()
+	cfg.Days = *days
+	cfg.CallsPerDay = *calls
+	cfg.Seed = *seed
+	gen, err := switchboard.NewGenerator(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var dst io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		dst = f
+	}
+	w := tracefile.NewWriter(dst)
+
+	var legs int
+	perMedia := map[string]int{}
+	gen.EachCall(func(r *switchboard.CallRecord) bool {
+		if err := w.Write(r); err != nil {
+			log.Fatal(err)
+		}
+		legs += len(r.Legs)
+		perMedia[r.Config().Media.String()]++
+		return true
+	})
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	if *stats {
+		n := w.Count()
+		fmt.Fprintf(os.Stderr, "calls:        %d\n", n)
+		fmt.Fprintf(os.Stderr, "participants: %d (%.1f per call)\n", legs, float64(legs)/float64(n))
+		for _, m := range []string{"audio", "screenshare", "video"} {
+			fmt.Fprintf(os.Stderr, "%-13s %d (%.0f%%)\n", m+":", perMedia[m], 100*float64(perMedia[m])/float64(n))
+		}
+	}
+}

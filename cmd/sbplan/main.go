@@ -1,0 +1,163 @@
+// Command sbplan reads a call trace in JSON Lines form (as produced by
+// cmd/sbgen, or any trace in the same shape) and computes a capacity
+// provisioning plan for it, emitting the plan as JSON: cores per DC, Gbps
+// per WAN link, total cost, and the latency-optimized allocation summary.
+//
+// Usage:
+//
+//	sbgen -days 7 -calls 20000 | sbplan -scheme sb -backup > plan.json
+//	sbplan -in trace.jsonl -scheme lf
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"switchboard"
+	"switchboard/internal/tracefile"
+)
+
+type planDTO struct {
+	Scheme     string        `json:"scheme"`
+	WithBackup bool          `json:"with_backup"`
+	Calls      int64         `json:"calls"`
+	Configs    int           `json:"configs_total"`
+	TopConfigs int           `json:"configs_planned"`
+	Cores      []dcCoresDTO  `json:"cores"`
+	Links      []linkGbpsDTO `json:"links"`
+	TotalCores float64       `json:"total_cores"`
+	TotalGbps  float64       `json:"total_gbps"`
+	Cost       float64       `json:"cost"`
+	MeanACLMs  float64       `json:"mean_acl_ms"`
+	Overflow   float64       `json:"allocation_overflow"`
+}
+
+type dcCoresDTO struct {
+	DC    string  `json:"dc"`
+	Cores float64 `json:"cores"`
+}
+
+type linkGbpsDTO struct {
+	Link string  `json:"link"`
+	Gbps float64 `json:"gbps"`
+}
+
+func main() {
+	in := flag.String("in", "", "input trace path (default stdin)")
+	scheme := flag.String("scheme", "sb", "provisioning scheme: rr, lf, or sb")
+	backup := flag.Bool("backup", false, "provision backup for single DC/link failures")
+	topConfigs := flag.Int("top", 50, "number of call configs to provision individually")
+	threshold := flag.Float64("latency-ms", 120, "one-way ACL threshold in ms")
+	stride := flag.Int("stride", 4, "slot coarsening stride for the LP")
+	worldPath := flag.String("world", "", "JSON world definition (default: the built-in world)")
+	flag.Parse()
+
+	var src io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+
+	world := switchboard.DefaultWorld()
+	if *worldPath != "" {
+		f, err := os.Open(*worldPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		world, err = switchboard.ReadWorld(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	var db *switchboard.RecordsDB
+	reader := tracefile.NewReader(src)
+	err := reader.Each(func(r *switchboard.CallRecord) bool {
+		if db == nil {
+			// Anchor slot 0 at the first record's UTC midnight.
+			origin := r.Start.UTC().Truncate(24 * time.Hour)
+			db = switchboard.NewRecordsDB(origin, world)
+		}
+		db.Add(r)
+		return true
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if db == nil || db.TotalCalls() == 0 {
+		log.Fatal("sbplan: no records in input")
+	}
+	fmt.Fprintf(os.Stderr, "sbplan: %d calls, %d distinct configs\n", db.TotalCalls(), db.NumConfigs())
+
+	inputs := &switchboard.ProvisionInputs{
+		World:              world,
+		Latency:            db.Estimator(20),
+		Demand:             db.PeakEnvelope(*topConfigs),
+		LatencyThresholdMs: *threshold,
+		WithBackup:         *backup,
+		SlotStride:         *stride,
+	}
+	lm, err := switchboard.NewLoadModel(inputs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var plan *switchboard.Plan
+	switch *scheme {
+	case "rr":
+		plan, err = switchboard.ProvisionRoundRobin(inputs)
+	case "lf":
+		plan, err = switchboard.ProvisionLocalityFirst(inputs)
+	case "sb":
+		plan, err = switchboard.Provision(inputs)
+	default:
+		log.Fatalf("sbplan: unknown scheme %q (want rr, lf, or sb)", *scheme)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	alloc, err := switchboard.BuildAllocationPlan(lm, plan.Cores, plan.LinkGbps)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	dto := planDTO{
+		Scheme:     plan.Scheme,
+		WithBackup: *backup,
+		Calls:      db.TotalCalls(),
+		Configs:    db.NumConfigs(),
+		TopConfigs: *topConfigs,
+		TotalCores: plan.TotalCores(),
+		TotalGbps:  plan.TotalGbps(),
+		Cost:       plan.Cost(world),
+		MeanACLMs:  alloc.MeanACL,
+		Overflow:   alloc.Overflow,
+	}
+	for _, dc := range world.DCs() {
+		if plan.Cores[dc.ID] > 1e-9 {
+			dto.Cores = append(dto.Cores, dcCoresDTO{DC: dc.Name, Cores: plan.Cores[dc.ID]})
+		}
+	}
+	for _, l := range world.Links() {
+		if plan.LinkGbps[l.ID] > 1e-9 {
+			dto.Links = append(dto.Links, linkGbpsDTO{
+				Link: fmt.Sprintf("%s-%s", l.A, l.B),
+				Gbps: plan.LinkGbps[l.ID],
+			})
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(dto); err != nil {
+		log.Fatal(err)
+	}
+}

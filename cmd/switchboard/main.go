@@ -1,0 +1,131 @@
+// Command switchboard runs the realtime MP-selection controller as an HTTP
+// service. On startup it bootstraps itself the way the paper's daily offline
+// stage does: it builds (or replays) a demand history, runs the provisioning
+// LP with failure scenarios, computes the daily allocation plan, and starts
+// serving placement decisions backed by a RESP kvstore (in-process by
+// default, or an external Redis-compatible store via -kv).
+//
+// API (see internal/httpapi):
+//
+//	POST /v1/call/start  {"id": 1, "country": "JP"}
+//	  -> {"dc": 8, "dc_name": "tokyo"}
+//	POST /v1/call/config {"id": 1, "config": "video|ID:5,JP:3"}
+//	  -> {"dc": 9, "dc_name": "singapore", "migrated": true}
+//	POST /v1/call/end    {"id": 1}
+//	GET  /v1/stats
+//	GET  /v1/world
+//	GET  /healthz
+//
+// Try it:
+//
+//	switchboard -addr 127.0.0.1:8077 &
+//	curl -s -d '{"id":1,"country":"JP"}' localhost:8077/v1/call/start
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"switchboard"
+	"switchboard/internal/httpapi"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8077", "HTTP listen address")
+	kvAddr := flag.String("kv", "", "external RESP store address (empty starts an in-process kvstore)")
+	warmupDays := flag.Int("warmup-days", 2, "days of synthetic history for the bootstrap plan")
+	callsPerDay := flag.Int("calls", 4000, "synthetic history calls per day")
+	seed := flag.Int64("seed", 1, "synthetic history seed")
+	worldPath := flag.String("world", "", "JSON world definition (default: the built-in world)")
+	flag.Parse()
+
+	world := switchboard.DefaultWorld()
+	if *worldPath != "" {
+		f, err := os.Open(*worldPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		world, err = switchboard.ReadWorld(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Offline stage: history -> demand -> provisioning LP -> daily plan.
+	log.Printf("bootstrapping: %d days of history at %d calls/day", *warmupDays, *callsPerDay)
+	tc := switchboard.DefaultTraceConfig()
+	tc.Days = *warmupDays
+	tc.CallsPerDay = *callsPerDay
+	tc.Seed = *seed
+	tc.World = world
+	gen, err := switchboard.NewGenerator(tc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := switchboard.NewRecordsDB(tc.Start, world)
+	gen.EachCall(func(r *switchboard.CallRecord) bool { db.Add(r); return true })
+	est := db.Estimator(20)
+	in := &switchboard.ProvisionInputs{
+		World:              world,
+		Latency:            est,
+		Demand:             db.PeakEnvelope(25),
+		LatencyThresholdMs: 120,
+		WithBackup:         true,
+		SlotStride:         8,
+	}
+	lm, err := switchboard.NewLoadModel(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := switchboard.Provision(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	alloc, err := switchboard.BuildAllocationPlan(lm, plan.Cores, plan.LinkGbps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("plan: %.0f cores, %.2f Gbps, mean ACL %.1f ms", plan.TotalCores(), plan.TotalGbps(), alloc.MeanACL)
+
+	// State store.
+	if *kvAddr == "" {
+		srv := switchboard.NewKVServer()
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		go srv.Serve(l)
+		*kvAddr = l.Addr().String()
+		log.Printf("in-process kvstore on %s", *kvAddr)
+	}
+	kv, err := switchboard.DialKV(*kvAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer kv.Close()
+
+	aclOf := func(cfg switchboard.CallConfig, dc int) float64 { return est.ACL(cfg, dc) }
+	placer := switchboard.NewPlanPlacer(lm.Demand().Configs, alloc.Alloc, aclOf, len(world.DCs()))
+	ctrl, err := switchboard.NewController(switchboard.ControllerConfig{
+		World:  world,
+		Placer: placer,
+		Store:  kv,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	api := httpapi.New(world, ctrl)
+	server := &http.Server{
+		Addr:              *addr,
+		Handler:           api.Mux(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("controller serving on http://%s", *addr)
+	log.Fatal(server.ListenAndServe())
+}

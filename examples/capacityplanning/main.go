@@ -1,0 +1,105 @@
+// Capacity planning deep-dive: run the Switchboard provisioning LP with
+// failure scenarios, inspect the per-DC and per-link capacities it chose,
+// verify single-DC-failure survivability, and build the daily allocation
+// plan (Eq 10) within those capacities.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"switchboard"
+)
+
+func main() {
+	world := switchboard.DefaultWorld()
+
+	tc := switchboard.DefaultTraceConfig()
+	tc.Days = 3
+	tc.CallsPerDay = 4000
+	gen, err := switchboard.NewGenerator(tc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := switchboard.NewRecordsDB(tc.Start, world)
+	gen.EachCall(func(r *switchboard.CallRecord) bool { db.Add(r); return true })
+
+	in := &switchboard.ProvisionInputs{
+		World:              world,
+		Latency:            db.Estimator(20),
+		Demand:             db.PeakEnvelope(30),
+		LatencyThresholdMs: 120,
+		WithBackup:         true,
+		SlotStride:         6,
+	}
+	lm, err := switchboard.NewLoadModel(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := switchboard.Provision(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("per-DC provisioned cores (serving + failure backup):")
+	for _, dc := range world.DCs() {
+		fmt.Printf("  %-14s %-5s %8.1f cores (unit cost %.2f)\n",
+			dc.Name, dc.Region, plan.Cores[dc.ID], dc.CoreCost)
+	}
+
+	// The busiest WAN links.
+	type linkCap struct {
+		name string
+		gbps float64
+		cost float64
+	}
+	var caps []linkCap
+	for _, l := range world.Links() {
+		if plan.LinkGbps[l.ID] > 1e-6 {
+			caps = append(caps, linkCap{
+				name: fmt.Sprintf("%s-%s", l.A, l.B),
+				gbps: plan.LinkGbps[l.ID],
+				cost: plan.LinkGbps[l.ID] * l.CostPerGbps,
+			})
+		}
+	}
+	sort.Slice(caps, func(i, j int) bool { return caps[i].gbps > caps[j].gbps })
+	fmt.Printf("\ntop WAN links (%d provisioned in total):\n", len(caps))
+	for i, c := range caps {
+		if i == 8 {
+			break
+		}
+		fmt.Printf("  %-8s %8.4f Gbps (cost %.1f)\n", c.name, c.gbps, c.cost)
+	}
+
+	// Survivability: losing any single DC leaves enough total compute for
+	// the peak demand.
+	var peak float64
+	d := lm.Demand()
+	for t := range d.Counts {
+		var load float64
+		for c, dem := range d.Counts[t] {
+			load += dem * lm.ComputeLoad(c)
+		}
+		if load > peak {
+			peak = load
+		}
+	}
+	fmt.Printf("\npeak simultaneous compute demand: %.1f cores\n", peak)
+	for _, dc := range world.DCs() {
+		surviving := plan.TotalCores() - plan.Cores[dc.ID]
+		status := "ok"
+		if surviving < peak {
+			status = "INSUFFICIENT"
+		}
+		fmt.Printf("  lose %-14s -> %8.1f cores remain: %s\n", dc.Name, surviving, status)
+	}
+
+	// Daily allocation plan within the provisioned capacities.
+	alloc, err := switchboard.BuildAllocationPlan(lm, plan.Cores, plan.LinkGbps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nallocation plan: mean ACL %.1f ms, overflow %.1f calls\n", alloc.MeanACL, alloc.Overflow)
+}

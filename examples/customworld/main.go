@@ -1,0 +1,108 @@
+// Custom world: define your own countries, datacenters, and WAN topology,
+// generate a workload over it, and provision. Shows the JSON world-spec
+// round trip that cmd/sbplan consumes via -world.
+//
+// The toy world is the paper's running example: Japan, Hong Kong, India, and
+// Singapore in APAC (plus Indonesia as a user-only country), with compute
+// cheap in India and expensive in Singapore, and network priced so the §4.3
+// joint trade-off is visible.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"switchboard"
+)
+
+func main() {
+	countries := []switchboard.Country{
+		{Code: "JP", Name: "Japan", Region: switchboard.APAC, Lat: 35.7, Lon: 139.7, UTCOffsetMin: 540, Weight: 30},
+		{Code: "HK", Name: "Hong Kong", Region: switchboard.APAC, Lat: 22.3, Lon: 114.2, UTCOffsetMin: 480, Weight: 12},
+		{Code: "IN", Name: "India", Region: switchboard.APAC, Lat: 18.9, Lon: 72.8, UTCOffsetMin: 330, Weight: 45},
+		{Code: "SG", Name: "Singapore", Region: switchboard.APAC, Lat: 1.35, Lon: 103.8, UTCOffsetMin: 480, Weight: 8},
+		{Code: "ID", Name: "Indonesia", Region: switchboard.APAC, Lat: -6.2, Lon: 106.8, UTCOffsetMin: 420, Weight: 15},
+	}
+	dcs := []switchboard.DC{
+		{Name: "tokyo", Country: "JP", Region: switchboard.APAC, CoreCost: 1.3},
+		{Name: "hong-kong", Country: "HK", Region: switchboard.APAC, CoreCost: 1.4},
+		{Name: "pune", Country: "IN", Region: switchboard.APAC, CoreCost: 0.9},
+		{Name: "singapore", Country: "SG", Region: switchboard.APAC, CoreCost: 1.5},
+	}
+	links := []switchboard.LinkSpec{
+		{A: "JP", B: "HK"}, {A: "HK", B: "SG"}, {A: "SG", B: "IN"},
+		{A: "IN", B: "HK", CostFactor: 1.4}, {A: "SG", B: "ID", CostFactor: 0.8},
+		{A: "ID", B: "JP", CostFactor: 1.6}, {A: "SG", B: "JP", CostFactor: 1.1},
+	}
+	world, err := switchboard.NewWorld(countries, dcs, links)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Export the definition (feed this to `sbplan -world apac.json`).
+	fmt.Println("world spec (JSON):")
+	if err := switchboard.WriteWorld(os.Stdout, world); err != nil {
+		log.Fatal(err)
+	}
+
+	// Generate a workload over the custom world.
+	tc := switchboard.DefaultTraceConfig()
+	tc.Days = 2
+	tc.CallsPerDay = 2500
+	tc.World = world
+	gen, err := switchboard.NewGenerator(tc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := switchboard.NewRecordsDB(tc.Start, world)
+	gen.EachCall(func(r *switchboard.CallRecord) bool { db.Add(r); return true })
+
+	in := &switchboard.ProvisionInputs{
+		World:              world,
+		Latency:            db.Estimator(20),
+		Demand:             db.PeakEnvelope(20),
+		LatencyThresholdMs: 120,
+		WithBackup:         true,
+		SlotStride:         4,
+	}
+	lm, err := switchboard.NewLoadModel(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := switchboard.Provision(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nswitchboard plan over the custom world (ACL %.1f ms):\n", plan.MeanACL(lm))
+	for _, dc := range world.DCs() {
+		fmt.Printf("  %-10s %7.2f cores\n", dc.Name, plan.Cores[dc.ID])
+	}
+	for _, l := range world.Links() {
+		if plan.LinkGbps[l.ID] > 1e-6 {
+			fmt.Printf("  %s-%s %9.4f Gbps\n", l.A, l.B, plan.LinkGbps[l.ID])
+		}
+	}
+
+	// Where do Indonesian calls land? (The §4.3 joint-provisioning toy:
+	// Singapore compute is pricier than Japan's, but the ID-SG link is
+	// much cheaper than ID-JP, so Singapore should host them.)
+	idCfg := switchboard.CallConfig{
+		Spread: switchboard.NewSpread(map[switchboard.CountryCode]int{"ID": 4}),
+		Media:  switchboard.Video,
+	}
+	demand := lm.Demand()
+	for c, cfg := range demand.Configs {
+		if cfg.Key() != idCfg.Key() {
+			continue
+		}
+		fmt.Printf("\nplacement of %q by slot:\n", cfg.Key())
+		for t := range plan.Alloc {
+			for x, share := range plan.Alloc[t][c] {
+				if share > 1e-9 {
+					fmt.Printf("  slot %2d: %5.1f calls -> %s\n", t, share, world.DCs()[x].Name)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,87 @@
+// Forecasting demo: build per-call-config demand timeseries from the records
+// database, fit Holt-Winters models (§5.2), evaluate the 2-day-ahead
+// forecasts, and run the §8 recurring-meeting config predictor against its
+// previous-instance baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"switchboard"
+)
+
+func main() {
+	world := switchboard.DefaultWorld()
+
+	// 16 days of history + 2 days to forecast.
+	const trainDays, holdDays = 16, 2
+	tc := switchboard.DefaultTraceConfig()
+	tc.Days = trainDays + holdDays
+	tc.CallsPerDay = 3000
+	gen, err := switchboard.NewGenerator(tc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainDB := switchboard.NewRecordsDB(tc.Start, world)
+	holdStart := tc.Start.AddDate(0, 0, trainDays)
+	holdDB := switchboard.NewRecordsDB(holdStart, world)
+	series := map[uint64][]*switchboard.CallRecord{}
+	gen.EachCall(func(r *switchboard.CallRecord) bool {
+		if r.Start.Before(holdStart) {
+			trainDB.Add(r)
+		} else {
+			holdDB.Add(r)
+		}
+		if r.SeriesID != 0 {
+			series[r.SeriesID] = append(series[r.SeriesID], r)
+		}
+		return true
+	})
+
+	// Per-config Holt-Winters forecasts with a weekly season.
+	const weekSlots = 7 * 48
+	horizon := holdDays * 48
+	holdTruth := map[string][]float64{}
+	for _, cs := range holdDB.TopConfigs(holdDB.NumConfigs()) {
+		holdTruth[cs.Config.Key()] = cs.Counts
+	}
+	fmt.Printf("%-28s %12s %12s\n", "config", "norm RMSE", "norm MAE")
+	for _, cs := range trainDB.TopConfigs(8) {
+		m, err := switchboard.FitForecastAuto(cs.Counts, weekSlots)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f := m.Forecast(horizon)
+		truth := make([]float64, horizon)
+		copy(truth, holdTruth[cs.Config.Key()])
+		acc, err := switchboard.EvaluateForecast(f, truth)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s %11.1f%% %11.1f%%\n", cs.Config.Key(), 100*acc.NormRMSE, 100*acc.NormMAE)
+	}
+
+	// Recurring-meeting config prediction (§8).
+	ds := switchboard.BuildPredictDataset(series, 6)
+	if len(ds.Series) == 0 {
+		log.Fatal("no recurring series generated")
+	}
+	model, err := switchboard.TrainPredictor(ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := ds.Series[0]
+	last := len(s.Attendance) - 1
+	fmt.Printf("\nseries %d (%d members, %d instances): predicted next config spread:\n",
+		s.ID, len(s.Members), len(s.Attendance))
+	for country, n := range model.PredictCounts(s, last) {
+		fmt.Printf("  %s: %d participants\n", country, n)
+	}
+	fmt.Printf("actual:\n")
+	for i, attended := range s.Attendance[last] {
+		if attended {
+			fmt.Printf("  member %d from %s\n", s.Members[i].ID, s.Members[i].Country)
+		}
+	}
+}

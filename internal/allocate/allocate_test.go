@@ -1,0 +1,185 @@
+package allocate
+
+import (
+	"math"
+	"testing"
+
+	"switchboard/internal/geo"
+	"switchboard/internal/model"
+	"switchboard/internal/provision"
+	"switchboard/internal/records"
+	"switchboard/internal/trace"
+)
+
+func buildModel(t *testing.T) *provision.LoadModel {
+	t.Helper()
+	cfg := trace.DefaultConfig()
+	cfg.Days = 2
+	cfg.CallsPerDay = 1200
+	g, err := trace.NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := geo.DefaultWorld()
+	db := records.New(cfg.Start, w)
+	g.EachCall(func(r *model.CallRecord) bool { db.Add(r); return true })
+	in := &provision.Inputs{
+		World:              w,
+		Latency:            db.Estimator(20),
+		Demand:             db.PeakEnvelope(10),
+		LatencyThresholdMs: 120,
+		SlotStride:         8,
+	}
+	lm, err := provision.NewLoadModel(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lm
+}
+
+func TestBuildValidation(t *testing.T) {
+	lm := buildModel(t)
+	if _, err := Build(lm, []float64{1}, make([]float64, len(lm.World().Links()))); err == nil {
+		t.Error("wrong cores length should error")
+	}
+	if _, err := Build(lm, make([]float64, len(lm.World().DCs())), []float64{1}); err == nil {
+		t.Error("wrong links length should error")
+	}
+}
+
+func TestPlanWithinCapacityMatchesLF(t *testing.T) {
+	// With abundant capacity the plan should place every call at its
+	// min-ACL DC — matching locality-first, as §6.3 observes for SB with
+	// backup headroom.
+	lm := buildModel(t)
+	w := lm.World()
+	cores := make([]float64, len(w.DCs()))
+	links := make([]float64, len(w.Links()))
+	for i := range cores {
+		cores[i] = 1e9
+	}
+	for i := range links {
+		links[i] = 1e9
+	}
+	res, err := Build(lm, cores, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Overflow > 1e-9 {
+		t.Errorf("overflow %g with infinite capacity", res.Overflow)
+	}
+	d := lm.Demand()
+	for t2 := range res.Alloc {
+		for c := range res.Alloc[t2] {
+			dem := d.Counts[t2][c]
+			var got float64
+			best := lm.MinACLDC(c)
+			for x, s := range res.Alloc[t2][c] {
+				got += s
+				if s > 1e-9 && math.Abs(lm.ACL(c, x)-lm.ACL(c, best)) > 1e-9 {
+					t.Fatalf("slot %d config %d placed at DC %d (ACL %g) despite free capacity at %d (ACL %g)",
+						t2, c, x, lm.ACL(c, x), best, lm.ACL(c, best))
+				}
+			}
+			if math.Abs(got-dem) > 1e-6*(1+dem) {
+				t.Fatalf("slot %d config %d allocated %g, want %g", t2, c, got, dem)
+			}
+		}
+	}
+}
+
+func TestPlanRespectsCapacity(t *testing.T) {
+	lm := buildModel(t)
+	w := lm.World()
+
+	// Provision with Switchboard, then allocate within those capacities.
+	sb, err := provision.Switchboard(&provision.Inputs{
+		World:              w,
+		Latency:            estimatorFor(t, w),
+		Demand:             lm.Demand(),
+		LatencyThresholdMs: 120,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Build(lm, sb.Cores, sb.LinkGbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	usage := provision.PeakPerDC(lm.ComputeUsage(res.Alloc))
+	for x, u := range usage {
+		if u > sb.Cores[x]+1e-5 {
+			t.Errorf("DC %d usage %g exceeds capacity %g", x, u, sb.Cores[x])
+		}
+	}
+	linkUse := provision.PeakPerDC(lm.LinkUsage(res.Alloc, -1))
+	for l, u := range linkUse {
+		if u > sb.LinkGbps[l]+1e-5 {
+			t.Errorf("link %d usage %g exceeds capacity %g", l, u, sb.LinkGbps[l])
+		}
+	}
+	if res.Overflow > 1e-6 {
+		t.Errorf("overflow %g within SB-provisioned capacity", res.Overflow)
+	}
+	if res.MeanACL <= 0 {
+		t.Errorf("mean ACL = %g", res.MeanACL)
+	}
+}
+
+func estimatorFor(t *testing.T, w *geo.World) *records.LatencyEstimator {
+	t.Helper()
+	db := records.New(trace.DefaultConfig().Start, w)
+	return db.Estimator(1)
+}
+
+func TestScarcityForcesOverflow(t *testing.T) {
+	lm := buildModel(t)
+	w := lm.World()
+	cores := make([]float64, len(w.DCs())) // zero compute anywhere
+	links := make([]float64, len(w.Links()))
+	res, err := Build(lm, cores, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.0
+	d := lm.Demand()
+	for t2 := range d.Counts {
+		for _, v := range d.Counts[t2] {
+			want += v
+		}
+	}
+	if math.Abs(res.Overflow-want) > 1e-6*(1+want) {
+		t.Errorf("overflow %g, want all demand %g", res.Overflow, want)
+	}
+}
+
+func TestTightComputeShiftsCalls(t *testing.T) {
+	// Give the min-ACL DC of the heaviest config almost no capacity and
+	// everyone else plenty: the plan must shift calls off it.
+	lm := buildModel(t)
+	w := lm.World()
+	cores := make([]float64, len(w.DCs()))
+	links := make([]float64, len(w.Links()))
+	for i := range cores {
+		cores[i] = 1e9
+	}
+	for i := range links {
+		links[i] = 1e9
+	}
+	starved := lm.MinACLDC(0)
+	cores[starved] = 0
+	res, err := Build(lm, cores, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for t2 := range res.Alloc {
+		for c := range res.Alloc[t2] {
+			if s := res.Alloc[t2][c][starved]; s > 1e-9 {
+				t.Fatalf("slot %d config %d still uses starved DC (%g)", t2, c, s)
+			}
+		}
+	}
+	if res.Overflow > 1e-6 {
+		t.Errorf("unexpected overflow %g; other DCs had capacity", res.Overflow)
+	}
+}

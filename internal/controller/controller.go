@@ -1,0 +1,433 @@
+// Package controller implements Switchboard's real-time MP assignment
+// (§5.4): when a call's first participant joins, the call is assigned to the
+// DC closest to them (the first joiner predicts the majority location);
+// A minutes in, the call config is frozen and checked against the
+// precomputed allocation plan — the usage is tallied against the plan's
+// slots, and the call is migrated when the initial choice disagrees with the
+// plan. Call state transitions are persisted to a kvstore so the assignment
+// survives controller restarts, which is also the write path benchmarked in
+// Fig 10.
+package controller
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"switchboard/internal/geo"
+	"switchboard/internal/kvstore"
+	"switchboard/internal/model"
+)
+
+// DefaultFreeze is A, the time into a call when its config is considered
+// known (§6.4 picks 300 s, where ~80% of participants have joined).
+const DefaultFreeze = 300 * time.Second
+
+// Placer decides the planned DC for a call once its config is known.
+// Implementations must be safe under the controller's lock (they are only
+// called while it is held).
+type Placer interface {
+	// Place returns the DC the plan wants for this config in this slot
+	// of day, given the call's current DC. planned is false when the
+	// config is not covered by the plan (the unanticipated-config case).
+	Place(cfg model.CallConfig, slotOfDay, current int) (dc int, planned bool)
+	// Release returns a previously placed call's slot to the plan.
+	Release(cfg model.CallConfig, slotOfDay, dc int)
+}
+
+// Predictor forecasts a recurring call's configuration before participants
+// join (§8). Implementations are consulted at call start for calls carrying
+// a series ID; a confident prediction lets the controller place the call at
+// its planned DC immediately, avoiding the migration at freeze time.
+type Predictor interface {
+	// PredictConfig returns the expected config of the series' next
+	// instance, and whether a usable prediction exists.
+	PredictConfig(seriesID uint64, at time.Time) (model.CallConfig, bool)
+}
+
+// Stats summarizes controller activity.
+type Stats struct {
+	// Started counts calls assigned on first join.
+	Started int64
+	// Frozen counts calls whose config became known.
+	Frozen int64
+	// Migrated counts calls moved to a different DC at freeze time.
+	Migrated int64
+	// Unplanned counts frozen calls whose config was not in the plan.
+	Unplanned int64
+	// Ended counts completed calls.
+	Ended int64
+	// Predicted counts calls placed from a series-config prediction at
+	// start time (§8 extension).
+	Predicted int64
+	// FrozenRecurring / MigratedRecurring restrict the freeze and
+	// migration counters to recurring (series) calls, where prediction
+	// can help.
+	FrozenRecurring   int64
+	MigratedRecurring int64
+}
+
+// RecurringMigrationRate returns MigratedRecurring/FrozenRecurring.
+func (s Stats) RecurringMigrationRate() float64 {
+	if s.FrozenRecurring == 0 {
+		return 0
+	}
+	return float64(s.MigratedRecurring) / float64(s.FrozenRecurring)
+}
+
+// MigrationRate returns Migrated/Frozen.
+func (s Stats) MigrationRate() float64 {
+	if s.Frozen == 0 {
+		return 0
+	}
+	return float64(s.Migrated) / float64(s.Frozen)
+}
+
+// Config parameterizes a Controller.
+type Config struct {
+	// World supplies DC lookup for the first-joiner heuristic.
+	World *geo.World
+	// Placer supplies the planned placement; nil means "always keep the
+	// initial assignment" (a pure locality controller).
+	Placer Placer
+	// Store, when non-nil, receives call-state writes (one HSET per
+	// transition). Each worker goroutine must use its own Store client;
+	// the controller serializes writes through one.
+	Store *kvstore.Client
+	// Freeze is A; zero means DefaultFreeze.
+	Freeze time.Duration
+	// Predictor, when non-nil, supplies config predictions for recurring
+	// calls at start time (§8 extension).
+	Predictor Predictor
+}
+
+// Controller is the real-time MP selector. Safe for concurrent use.
+type Controller struct {
+	world     *geo.World
+	placer    Placer
+	store     *kvstore.Client
+	freeze    time.Duration
+	predictor Predictor
+
+	mu    sync.Mutex
+	calls map[uint64]*callState
+	stats Stats
+}
+
+type callState struct {
+	dc      int
+	slot    int
+	series  uint64
+	cfg     model.CallConfig
+	planned bool
+	frozen  bool
+}
+
+// New returns a controller.
+func New(cfg Config) (*Controller, error) {
+	if cfg.World == nil {
+		return nil, fmt.Errorf("controller: World is required")
+	}
+	if cfg.Freeze == 0 {
+		cfg.Freeze = DefaultFreeze
+	}
+	return &Controller{
+		world:     cfg.World,
+		placer:    cfg.Placer,
+		store:     cfg.Store,
+		freeze:    cfg.Freeze,
+		predictor: cfg.Predictor,
+		calls:     make(map[uint64]*callState),
+	}, nil
+}
+
+// Freeze returns the configured config-freeze delay A.
+func (c *Controller) Freeze() time.Duration { return c.freeze }
+
+// CallStarted assigns a new call to the DC closest to its first joiner
+// (within the joiner's region, as the service does) and returns the DC ID.
+func (c *Controller) CallStarted(id uint64, firstJoiner geo.CountryCode, at time.Time) (int, error) {
+	return c.CallStartedWithSeries(id, firstJoiner, 0, at)
+}
+
+// CallStartedWithSeries is CallStarted for a call known to belong to a
+// recurring meeting series. When a Predictor is configured and yields a
+// prediction, the call is placed for the predicted config immediately (§8),
+// which avoids a migration at freeze time if the prediction holds.
+func (c *Controller) CallStartedWithSeries(id uint64, firstJoiner geo.CountryCode, seriesID uint64, at time.Time) (int, error) {
+	dc := c.world.NearestDC(firstJoiner, true)
+	if dc < 0 {
+		dc = c.world.NearestDC(firstJoiner, false)
+	}
+	if dc < 0 {
+		return -1, fmt.Errorf("controller: no DC for country %q", firstJoiner)
+	}
+	predicted := false
+	if seriesID != 0 && c.predictor != nil {
+		if cfg, ok := c.predictor.PredictConfig(seriesID, at); ok && len(cfg.Spread) > 0 {
+			if target := c.placeFor(cfg, at, dc); target >= 0 {
+				dc = target
+				predicted = true
+			}
+		}
+	}
+	c.mu.Lock()
+	if _, dup := c.calls[id]; dup {
+		c.mu.Unlock()
+		return -1, fmt.Errorf("controller: call %d already started", id)
+	}
+	c.calls[id] = &callState{dc: dc, slot: model.SlotOfDay(at), series: seriesID}
+	c.stats.Started++
+	if predicted {
+		c.stats.Predicted++
+	}
+	c.mu.Unlock()
+	c.persist(id, "dc", strconv.Itoa(dc))
+	return dc, nil
+}
+
+// placeFor asks where a call of the given (predicted) config would be
+// hosted, without debiting plan slots (the real debit happens at freeze).
+func (c *Controller) placeFor(cfg model.CallConfig, at time.Time, current int) int {
+	if c.placer != nil {
+		if dc, ok := c.placer.Place(cfg, model.SlotOfDay(at), current); ok {
+			// Immediately return the slot: the freeze-time Place
+			// will take it for real.
+			c.placer.Release(cfg, model.SlotOfDay(at), dc)
+			return dc
+		}
+	}
+	if maj, _ := cfg.Spread.Majority(); maj != "" {
+		return c.world.NearestDC(maj, true)
+	}
+	return -1
+}
+
+// ConfigKnown freezes the call's config (A into the call), reconciles the
+// call against the allocation plan, and returns the (possibly new) DC and
+// whether the call migrated.
+func (c *Controller) ConfigKnown(id uint64, cfg model.CallConfig, at time.Time) (dc int, migrated bool, err error) {
+	c.mu.Lock()
+	st, ok := c.calls[id]
+	if !ok {
+		c.mu.Unlock()
+		return -1, false, fmt.Errorf("controller: unknown call %d", id)
+	}
+	if st.frozen {
+		c.mu.Unlock()
+		return st.dc, false, nil
+	}
+	st.frozen = true
+	st.cfg = cfg
+	st.slot = model.SlotOfDay(at)
+	c.stats.Frozen++
+	if st.series != 0 {
+		c.stats.FrozenRecurring++
+	}
+
+	target := st.dc
+	if c.placer != nil {
+		planned, inPlan := c.placer.Place(cfg, st.slot, st.dc)
+		if inPlan {
+			target = planned
+			st.planned = true
+		} else {
+			c.stats.Unplanned++
+			// Unanticipated config: host at the closest DC to the
+			// majority of participants (§5.4(b), last paragraph).
+			if maj, _ := cfg.Spread.Majority(); maj != "" {
+				if closest := c.world.NearestDC(maj, true); closest >= 0 {
+					target = closest
+				}
+			}
+		}
+	}
+	if target != st.dc {
+		st.dc = target
+		c.stats.Migrated++
+		if st.series != 0 {
+			c.stats.MigratedRecurring++
+		}
+		migrated = true
+	}
+	dc = st.dc
+	c.mu.Unlock()
+	c.persist(id, "config", cfg.Key())
+	if migrated {
+		c.persist(id, "dc", strconv.Itoa(dc))
+	}
+	return dc, migrated, nil
+}
+
+// CallEnded releases the call's state and returns its plan slot if any.
+func (c *Controller) CallEnded(id uint64) error {
+	c.mu.Lock()
+	st, ok := c.calls[id]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("controller: unknown call %d", id)
+	}
+	delete(c.calls, id)
+	c.stats.Ended++
+	if st.planned && c.placer != nil {
+		c.placer.Release(st.cfg, st.slot, st.dc)
+	}
+	c.mu.Unlock()
+	c.persist(id, "state", "ended")
+	return nil
+}
+
+// ActiveCalls returns the number of in-flight calls.
+func (c *Controller) ActiveCalls() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.calls)
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+func (c *Controller) persist(id uint64, field, value string) {
+	if c.store == nil {
+		return
+	}
+	// Best effort: the store is an availability optimization, not the
+	// source of truth for in-flight decisions.
+	_ = c.store.HSet("call:"+strconv.FormatUint(id, 10), field, value)
+}
+
+// PlanPlacer tracks remaining per-DC slots of an allocation plan
+// (Alloc[t][c][x]) and serves Place/Release with §5.4's semantics: prefer
+// the current DC when the plan still has room there, otherwise the
+// lowest-ACL DC with room, otherwise the DC with the most headroom.
+type PlanPlacer struct {
+	mu    sync.Mutex
+	slots []map[string][]float64 // [planSlot][configKey] -> remaining per DC
+	nT    int
+	acl   map[string][]float64 // configKey -> per-DC ACL (for preference order)
+}
+
+// NewPlanPlacer indexes an allocation plan. configs must match alloc's
+// second dimension; aclOf returns the per-DC ACL used to order preferences.
+func NewPlanPlacer(configs []model.CallConfig, alloc [][][]float64, aclOf func(cfg model.CallConfig, dc int) float64, nDCs int) *PlanPlacer {
+	p := &PlanPlacer{nT: len(alloc), acl: make(map[string][]float64)}
+	p.slots = make([]map[string][]float64, len(alloc))
+	for t := range alloc {
+		p.slots[t] = make(map[string][]float64)
+		for c, cfg := range configs {
+			row := make([]float64, len(alloc[t][c]))
+			copy(row, alloc[t][c])
+			var any bool
+			for _, v := range row {
+				if v > 0 {
+					any = true
+					break
+				}
+			}
+			if any {
+				p.slots[t][cfg.Key()] = row
+			}
+		}
+	}
+	for _, cfg := range configs {
+		key := cfg.Key()
+		if _, done := p.acl[key]; done {
+			continue
+		}
+		a := make([]float64, nDCs)
+		for x := 0; x < nDCs; x++ {
+			a[x] = aclOf(cfg, x)
+		}
+		p.acl[key] = a
+	}
+	return p
+}
+
+// planSlot maps a slot of day onto the plan's (possibly coarsened) slots.
+func (p *PlanPlacer) planSlot(slotOfDay int) int {
+	if p.nT == 0 {
+		return 0
+	}
+	s := slotOfDay * p.nT / model.SlotsPerDay
+	if s >= p.nT {
+		s = p.nT - 1
+	}
+	return s
+}
+
+// Place implements Placer.
+func (p *PlanPlacer) Place(cfg model.CallConfig, slotOfDay, current int) (int, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	key := cfg.Key()
+	row, ok := p.slots[p.planSlot(slotOfDay)][key]
+	if !ok {
+		return current, false
+	}
+	// Keep the call where it is if the plan has room there.
+	if current >= 0 && current < len(row) && row[current] >= 1 {
+		row[current]--
+		return current, true
+	}
+	// Otherwise the lowest-ACL DC with remaining room.
+	acl := p.acl[key]
+	best := -1
+	for x, rem := range row {
+		if rem >= 1 && (best < 0 || acl[x] < acl[best]) {
+			best = x
+		}
+	}
+	if best >= 0 {
+		row[best]--
+		return best, true
+	}
+	// Plan exhausted for this config in this slot: fall back to the DC
+	// with the largest fractional remainder, keeping the tally honest.
+	bestRem := 0.0
+	for x, rem := range row {
+		if rem > bestRem {
+			best, bestRem = x, rem
+		}
+	}
+	if best >= 0 {
+		row[best] = 0
+		return best, true
+	}
+	return current, false
+}
+
+// Release implements Placer.
+func (p *PlanPlacer) Release(cfg model.CallConfig, slotOfDay, dc int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if row, ok := p.slots[p.planSlot(slotOfDay)][cfg.Key()]; ok && dc >= 0 && dc < len(row) {
+		row[dc]++
+	}
+}
+
+// MinACLPlacer places every config at its minimum-ACL DC — the
+// locality-first policy expressed as a Placer, used for the §6.4 migration
+// comparison.
+type MinACLPlacer struct {
+	ACLOf func(cfg model.CallConfig, dc int) float64
+	NDCs  int
+}
+
+// Place implements Placer.
+func (p *MinACLPlacer) Place(cfg model.CallConfig, _ int, _ int) (int, bool) {
+	best, bestACL := -1, 0.0
+	for x := 0; x < p.NDCs; x++ {
+		if a := p.ACLOf(cfg, x); best < 0 || a < bestACL {
+			best, bestACL = x, a
+		}
+	}
+	return best, best >= 0
+}
+
+// Release implements Placer (no accounting needed).
+func (p *MinACLPlacer) Release(model.CallConfig, int, int) {}

@@ -1,0 +1,418 @@
+package eval
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// sharedEnv is built once; experiments read it without mutating.
+var (
+	envOnce sync.Once
+	envVal  *Env
+	envErr  error
+)
+
+func quickEnv(t *testing.T) *Env {
+	t.Helper()
+	envOnce.Do(func() {
+		envVal, envErr = NewEnv(QuickConfig())
+	})
+	if envErr != nil {
+		t.Fatal(envErr)
+	}
+	return envVal
+}
+
+func TestNewEnvValidation(t *testing.T) {
+	if _, err := NewEnv(Config{}); err == nil {
+		t.Error("zero config should error")
+	}
+}
+
+func TestEnvSplit(t *testing.T) {
+	env := quickEnv(t)
+	if env.TrainDB.TotalCalls() == 0 || env.EvalDB.TotalCalls() == 0 {
+		t.Fatal("empty windows")
+	}
+	// Train window is much longer than eval window.
+	if env.TrainDB.TotalCalls() < env.EvalDB.TotalCalls() {
+		t.Errorf("train %d < eval %d calls", env.TrainDB.TotalCalls(), env.EvalDB.TotalCalls())
+	}
+	for _, r := range env.EvalRecords {
+		if r.Start.Before(env.EvalStart) {
+			t.Fatal("eval record before eval window")
+		}
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	env := quickEnv(t)
+	res, err := Table3(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rows := range [][]Table3Row{res.Without, res.With} {
+		if len(rows) != 3 {
+			t.Fatalf("got %d rows", len(rows))
+		}
+		rr, lf, sb := rows[0], rows[1], rows[2]
+		if rr.Cores != 1 || rr.WAN != 1 || rr.Cost != 1 || rr.MeanACL != 1 {
+			t.Errorf("RR row not normalized: %+v", rr)
+		}
+		// The paper's Table 3 shape:
+		// LF uses more compute than RR; SB never exceeds LF's compute.
+		if lf.Cores < 1 {
+			t.Errorf("LF cores %.3f < RR", lf.Cores)
+		}
+		// WAN: LF and SB far below RR; SB <= LF.
+		if lf.WAN >= 1 || sb.WAN >= 1 {
+			t.Errorf("WAN ratios LF=%.3f SB=%.3f, want < 1", lf.WAN, sb.WAN)
+		}
+		if sb.WAN > lf.WAN*1.05 {
+			t.Errorf("SB WAN %.3f above LF %.3f", sb.WAN, lf.WAN)
+		}
+		// Cost: SB cheapest.
+		if sb.Cost > lf.Cost*1.001 || sb.Cost > 1 {
+			t.Errorf("SB cost %.3f (LF %.3f RR 1) not the cheapest", sb.Cost, lf.Cost)
+		}
+		// ACL: LF well below RR; SB no worse than RR and near LF.
+		if lf.MeanACL >= 0.95 {
+			t.Errorf("LF ACL ratio %.3f, want well below 1", lf.MeanACL)
+		}
+		if sb.MeanACL > 1.001 {
+			t.Errorf("SB ACL ratio %.3f above RR", sb.MeanACL)
+		}
+	}
+	// With backup, every scheme provisions at least as many raw cores.
+	for i := range res.RawWithout {
+		if res.RawWith[i].Cores < res.RawWithout[i].Cores-1e-6 {
+			t.Errorf("%s: backup cores below serving-only", res.RawWith[i].Scheme)
+		}
+	}
+}
+
+func TestTable4Reasonable(t *testing.T) {
+	env := quickEnv(t)
+	res, err := Table4(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rows := range [][]Table4Row{res.Without, res.With} {
+		if len(rows) != 3 {
+			t.Fatalf("got %d rows", len(rows))
+		}
+		for _, r := range rows {
+			// The paper sees deltas within ±13%; synthetic forecasts
+			// should stay within a loose band.
+			if math.Abs(r.CoresDelta) > 60 || math.Abs(r.WANDelta) > 60 {
+				t.Errorf("%s: deltas cores=%.1f%% wan=%.1f%% implausibly large", r.Scheme, r.CoresDelta, r.WANDelta)
+			}
+		}
+	}
+}
+
+func TestFig3PeaksShift(t *testing.T) {
+	env := quickEnv(t)
+	res := Fig3(env)
+	if len(res.Series) != 3 {
+		t.Fatal("want 3 countries")
+	}
+	// All series normalized to [0, 1].
+	var sawOne bool
+	for _, s := range res.Series {
+		for _, v := range s {
+			if v < 0 || v > 1+1e-9 {
+				t.Fatalf("normalized value %g", v)
+			}
+			if v > 0.999 {
+				sawOne = true
+			}
+		}
+	}
+	if !sawOne {
+		t.Error("no series touches the normalization peak")
+	}
+	// Japan (UTC+9) peaks before India (UTC+5.5) in UTC terms.
+	if res.PeakSlot[0] >= res.PeakSlot[2] {
+		t.Errorf("JP peak slot %d not before IN peak slot %d", res.PeakSlot[0], res.PeakSlot[2])
+	}
+}
+
+func TestFig4Numbers(t *testing.T) {
+	res, err := Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.DefaultTotal-480) > 1e-6 {
+		t.Errorf("default total = %g, want 480", res.DefaultTotal)
+	}
+	if math.Abs(res.PeakAwareTotal-320) > 1e-6 {
+		t.Errorf("peak-aware total = %g, want 320", res.PeakAwareTotal)
+	}
+}
+
+func TestFig7a(t *testing.T) {
+	env := quickEnv(t)
+	res, err := Fig7a(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Forecast) != len(res.Truth) || len(res.Forecast) == 0 {
+		t.Fatal("series length mismatch")
+	}
+	// The top config is forecastable: normalized RMSE under 60%.
+	if res.Accuracy.NormRMSE > 0.6 {
+		t.Errorf("top-config normalized RMSE %.2f too high", res.Accuracy.NormRMSE)
+	}
+}
+
+func TestFig7bGrowthNormalized(t *testing.T) {
+	env := quickEnv(t)
+	res, err := Fig7b(env, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Growth) == 0 {
+		t.Fatal("no growth series")
+	}
+	var max float64
+	for _, g := range res.Growth {
+		if g <= 0 || g > 1+1e-9 {
+			t.Fatalf("normalized growth %g outside (0,1]", g)
+		}
+		if g > max {
+			max = g
+		}
+	}
+	if math.Abs(max-1) > 1e-9 {
+		t.Errorf("max normalized growth = %g, want 1", max)
+	}
+}
+
+func TestFig7cCoverage(t *testing.T) {
+	env := quickEnv(t)
+	res := Fig7c(env)
+	if res.Distinct < 100 {
+		t.Fatalf("only %d distinct configs", res.Distinct)
+	}
+	for i := 1; i < len(res.Coverage); i++ {
+		if res.Coverage[i] < res.Coverage[i-1]-1e-12 {
+			t.Fatal("coverage not monotone")
+		}
+	}
+	if last := res.Coverage[len(res.Coverage)-1]; math.Abs(last-1) > 1e-9 {
+		t.Errorf("full coverage = %g", last)
+	}
+	// Concentration: the top 10% of configs cover most calls.
+	var at10 float64
+	for i, f := range res.TopFracs {
+		if f == 0.10 {
+			at10 = res.Coverage[i]
+		}
+	}
+	if at10 < 0.5 {
+		t.Errorf("top-10%% coverage %.2f, want >= 0.5", at10)
+	}
+}
+
+func TestFig8At300s(t *testing.T) {
+	env := quickEnv(t)
+	res := Fig8(env)
+	if res.At300s < 0.7 || res.At300s > 0.95 {
+		t.Errorf("fraction joined at 300s = %.2f, want ~0.8", res.At300s)
+	}
+}
+
+func TestForecastBaselines(t *testing.T) {
+	env := quickEnv(t)
+	res, err := ForecastBaselines(env, env.Cfg.TopConfigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Configs == 0 {
+		t.Fatal("no configs compared")
+	}
+	// Holt-Winters should win on most configs of a trending, seasonal
+	// workload (the reason §5.2 picks it).
+	if res.Wins*2 < res.Configs {
+		t.Errorf("HW wins only %d of %d configs", res.Wins, res.Configs)
+	}
+	if res.MeanHW > res.MeanSeasonalNaive {
+		t.Errorf("mean HW RMSE %.3f above seasonal naive %.3f", res.MeanHW, res.MeanSeasonalNaive)
+	}
+}
+
+func TestFig9Medians(t *testing.T) {
+	env := quickEnv(t)
+	res, err := Fig9(env, env.Cfg.TopConfigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Configs == 0 {
+		t.Fatal("no configs scored")
+	}
+	// §6.5 reports median normalized RMSE 13% and MAE 8%; synthetic data
+	// should land in the same ballpark (well under 1.0, MAE <= RMSE).
+	if res.MedianRMSE > 0.5 {
+		t.Errorf("median normalized RMSE %.3f too high", res.MedianRMSE)
+	}
+	if res.MedianMAE > res.MedianRMSE+1e-9 {
+		t.Errorf("median MAE %.3f above median RMSE %.3f", res.MedianMAE, res.MedianRMSE)
+	}
+}
+
+func TestMigrationRates(t *testing.T) {
+	env := quickEnv(t)
+	res, err := Migration(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §6.4: both SB and LF migrate a small fraction of calls, and the two
+	// are comparable.
+	for name, s := range map[string]Stats{"SB": res.SB, "LF": res.LF} {
+		if s.Calls == 0 {
+			t.Fatalf("%s: no calls", name)
+		}
+		if s.Rate < 0 || s.Rate > 0.25 {
+			t.Errorf("%s migration rate %.3f outside plausible band", name, s.Rate)
+		}
+	}
+}
+
+func TestFig10ThroughputScales(t *testing.T) {
+	env := quickEnv(t)
+	res, err := Fig10(env, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != 2 || res.PeakRate != ProductionPeakRate {
+		t.Fatalf("res = %+v", res)
+	}
+	// Throughput must scale with threads against the simulated
+	// cloud-store latency (the Fig 10 shape).
+	if res.Runs[1].EventsPerSec < 2*res.Runs[0].EventsPerSec {
+		t.Errorf("4 workers %g ev/s not >= 2x 1 worker %g ev/s",
+			res.Runs[1].EventsPerSec, res.Runs[0].EventsPerSec)
+	}
+	// Simulated writes are cloud-store-like: sub-millisecond floor with a
+	// tail (the exact ceiling depends on host timer granularity).
+	for _, r := range res.Runs {
+		if r.MinWrite < 250*time.Microsecond || r.MaxWrite > 100*time.Millisecond {
+			t.Errorf("%d workers: writes %v..%v outside plausible band", r.Workers, r.MinWrite, r.MaxWrite)
+		}
+	}
+}
+
+func TestPredictExperiment(t *testing.T) {
+	env := quickEnv(t)
+	res, err := Predict(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Series == 0 {
+		t.Fatal("no series")
+	}
+	if res.Model.RMSE >= res.Baseline.RMSE {
+		t.Errorf("model RMSE %.3f not better than baseline %.3f", res.Model.RMSE, res.Baseline.RMSE)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	env := quickEnv(t)
+	joint, err := AblationJoint(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compute-only pricing can only cost more at true prices.
+	if joint.CostRatioVariant < 0.999 {
+		t.Errorf("compute-only variant cheaper than joint: %.3f", joint.CostRatioVariant)
+	}
+	backup, err := AblationBackup(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Peak-aware DC-failure provisioning should need no more compute than
+	// default backup bolted on top (Fig 4's 320 vs 480, system-scale).
+	if backup.ComputeRatioVariant < 0.999 {
+		t.Errorf("default-backup variant needs less compute than peak-aware: %.3f", backup.ComputeRatioVariant)
+	}
+}
+
+func TestSimFidelity(t *testing.T) {
+	env := quickEnv(t)
+	res, err := SimFidelity(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overflow comes from tail traffic outside the planned top-N config
+	// universe; at QuickConfig's coverage (~50%) that tail is large, so
+	// the bound is loose. The default scale lands near 5%.
+	for name, r := range map[string]interface {
+		OverflowRate() float64
+	}{"plan": res.Plan, "greedy": res.Greedy} {
+		if rate := r.OverflowRate(); rate > 0.25 {
+			t.Errorf("%s policy overflow rate %.3f for in-sample replay", name, rate)
+		}
+	}
+	if res.Plan.Calls == 0 || res.Greedy.Calls != res.Plan.Calls {
+		t.Fatalf("call counts plan=%d greedy=%d", res.Plan.Calls, res.Greedy.Calls)
+	}
+	// Realized latencies should be in the same regime as the plan's
+	// fractional ACL (both policies follow latency-minimizing choices).
+	if res.Plan.MeanACL > 3*res.PlanACL+10 {
+		t.Errorf("realized plan ACL %.1f far above fractional %.1f", res.Plan.MeanACL, res.PlanACL)
+	}
+}
+
+func TestDrill(t *testing.T) {
+	env := quickEnv(t)
+	res, err := Drill(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WithBackup.Replaced == 0 || res.WithBackup.PostCalls == 0 {
+		t.Fatalf("drill displaced nothing: %+v", res.WithBackup)
+	}
+	// Backup provisioning absorbs the failure better than serving-only.
+	if res.WithBackup.OverflowRateAfter() > res.WithoutBackup.OverflowRateAfter() {
+		t.Errorf("backup plan overflow %.3f above serving-only %.3f",
+			res.WithBackup.OverflowRateAfter(), res.WithoutBackup.OverflowRateAfter())
+	}
+}
+
+func TestPredictiveMigration(t *testing.T) {
+	env := quickEnv(t)
+	res, err := PredictiveMigration(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RecurringCalls == 0 {
+		t.Fatal("no recurring calls in replay")
+	}
+	if res.PredictedCalls == 0 {
+		t.Fatal("predictor never fired")
+	}
+	// §8's motivation: prediction should not worsen migrations on
+	// recurring calls (and typically reduces them).
+	if res.RecurringWith > res.RecurringWithout+0.02 {
+		t.Errorf("recurring migration rate rose: %.3f -> %.3f", res.RecurringWithout, res.RecurringWith)
+	}
+}
+
+func TestScaleCheck(t *testing.T) {
+	// §6.6: around ten threads the controller sustains 1.4x the
+	// production-scale peak. The unit test uses a lower bar (1.15x with
+	// 16 threads) so CPU contention from parallel test/bench runs cannot
+	// flake it; `sbexp -exp scale` performs the paper's exact check on an
+	// idle machine.
+	env := quickEnv(t)
+	ok, run, err := ScaleCheck(env, 16, 1.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("controller did not sustain 1.15x peak with 16 threads: %+v", run)
+	}
+}

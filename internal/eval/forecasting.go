@@ -1,0 +1,306 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"switchboard/internal/forecast"
+	"switchboard/internal/model"
+	"switchboard/internal/records"
+)
+
+// weekSlots is the Holt-Winters season: one week of 30-minute slots,
+// capturing both the diurnal and the weekday/weekend cycle.
+const weekSlots = 7 * model.SlotsPerDay
+
+// peakAllowanceZ converts a forecast mean into a peak estimate. The demand
+// envelope provisions for the per-slot *maximum* across the window's d days;
+// a forecast is a per-slot *mean*. With per-slot call counts around n, the
+// realized max of d days exceeds the mean by about z(d)·√n (Poisson noise),
+// where z(d) is the expected maximum of d standard normals — so
+// forecast-based provisioning adds that allowance. This is the counterpart
+// of the paper's validation-calibrated cushion (§5.2): at Teams scale
+// (n in the many thousands) the allowance is a rounding error, at synthetic
+// scale it is ~25% and dominates Table 4 if omitted.
+func peakAllowanceZ(days int) float64 {
+	// E[max of d N(0,1)] for small d; √(2·ln d) asymptotically.
+	table := []float64{0, 0, 0.56, 0.85, 1.03, 1.16, 1.27, 1.35, 1.42, 1.49, 1.54}
+	if days < len(table) {
+		if days < 1 {
+			return 0
+		}
+		return table[days]
+	}
+	return math.Sqrt(2 * math.Log(float64(days)))
+}
+
+// ForecastDemand fits Holt-Winters per top config on the training window and
+// projects the evaluation window, returning a provisioning demand envelope
+// built from the forecasts (§5.2's pipeline, used by Table 4).
+func ForecastDemand(env *Env) (*records.Demand, error) {
+	top := env.TrainDB.TopConfigs(env.Cfg.TopConfigs)
+	if len(top) == 0 {
+		return nil, fmt.Errorf("eval: no training configs")
+	}
+	horizon := env.Cfg.EvalDays * model.SlotsPerDay
+	series := make([]records.ConfigSeries, 0, len(top))
+	for _, cs := range top {
+		m, err := forecast.FitAuto(cs.Counts, weekSlots)
+		if err != nil {
+			return nil, fmt.Errorf("eval: fit %q: %w", cs.Config.Key(), err)
+		}
+		f := m.Forecast(horizon)
+		z := peakAllowanceZ(env.Cfg.EvalDays)
+		var total float64
+		for i, v := range f {
+			f[i] = v + z*math.Sqrt(v)
+			total += f[i]
+		}
+		series = append(series, records.ConfigSeries{Config: cs.Config, Counts: f, Total: total})
+	}
+	// The cushion for uncovered tail configs comes from the training
+	// window's coverage, as §5.2 prescribes.
+	var covered float64
+	for _, cs := range top {
+		covered += cs.Total
+	}
+	cushion := 1.0
+	if covered > 0 {
+		cushion = float64(env.TrainDB.TotalCalls()) / covered
+	}
+	return records.EnvelopeFromSeries(series, cushion), nil
+}
+
+// Fig7aResult is one config's forecast against ground truth over the
+// evaluation window.
+type Fig7aResult struct {
+	ConfigKey string
+	Truth     []float64
+	Forecast  []float64
+	Accuracy  forecast.Accuracy
+}
+
+// Fig7a forecasts the most popular config's demand and compares it with the
+// evaluation window's ground truth.
+func Fig7a(env *Env) (*Fig7aResult, error) {
+	top := env.TrainDB.TopConfigs(1)
+	if len(top) == 0 {
+		return nil, fmt.Errorf("eval: empty training window")
+	}
+	cs := top[0]
+	m, err := forecast.FitAuto(cs.Counts, weekSlots)
+	if err != nil {
+		return nil, err
+	}
+	horizon := env.Cfg.EvalDays * model.SlotsPerDay
+	f := m.Forecast(horizon)
+	truth := truthSeries(env, cs.Config, horizon)
+	acc, err := forecast.Evaluate(f, truth)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig7aResult{ConfigKey: cs.Config.Key(), Truth: truth, Forecast: f, Accuracy: acc}, nil
+}
+
+// truthSeries reads a config's ground-truth eval-window series (zeros when
+// the config never occurs there).
+func truthSeries(env *Env, cfg model.CallConfig, horizon int) []float64 {
+	out := make([]float64, horizon)
+	for _, cs := range env.EvalDB.TopConfigs(env.EvalDB.NumConfigs()) {
+		if cs.Config.Key() == cfg.Key() {
+			copy(out, cs.Counts)
+			break
+		}
+	}
+	return out
+}
+
+// Fig7bResult reports normalized per-config growth over the training window.
+type Fig7bResult struct {
+	ConfigKeys []string
+	// Growth[i] is config i's (last week mean / first week mean), scaled
+	// by the maximum across configs (the paper normalizes because the
+	// absolute growth is business-sensitive).
+	Growth []float64
+}
+
+// Fig7b measures demand growth for a sample of top configs.
+func Fig7b(env *Env, n int) (*Fig7bResult, error) {
+	top := env.TrainDB.TopConfigs(n)
+	if len(top) == 0 {
+		return nil, fmt.Errorf("eval: empty training window")
+	}
+	res := &Fig7bResult{}
+	var max float64
+	for _, cs := range top {
+		if len(cs.Counts) < 2*weekSlots {
+			continue
+		}
+		first := mean(cs.Counts[:weekSlots])
+		last := mean(cs.Counts[len(cs.Counts)-weekSlots:])
+		if first <= 0 {
+			continue
+		}
+		g := last / first
+		res.ConfigKeys = append(res.ConfigKeys, cs.Config.Key())
+		res.Growth = append(res.Growth, g)
+		if g > max {
+			max = g
+		}
+	}
+	if max > 0 {
+		for i := range res.Growth {
+			res.Growth[i] /= max
+		}
+	}
+	return res, nil
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}
+
+// Fig7cResult reports the fraction of calls covered by the top fraction of
+// configs.
+type Fig7cResult struct {
+	TopFracs []float64
+	Coverage []float64
+	// Distinct is the number of distinct configs observed.
+	Distinct int
+}
+
+// Fig7c measures config concentration on the training window.
+func Fig7c(env *Env) *Fig7cResult {
+	fracs := []float64{0.001, 0.01, 0.05, 0.10, 0.25, 0.50, 1.0}
+	return &Fig7cResult{
+		TopFracs: fracs,
+		Coverage: env.TrainDB.Coverage(fracs),
+		Distinct: env.TrainDB.NumConfigs(),
+	}
+}
+
+// BaselinesResult compares Holt-Winters against the seasonal-naive and
+// drift baselines across top configs (a justification for §5.2's model
+// choice the paper asserts but does not tabulate).
+type BaselinesResult struct {
+	Configs int
+	// Wins counts configs where Holt-Winters has the lowest RMSE.
+	Wins int
+	// MedianSkill is the median relative RMSE improvement of
+	// Holt-Winters over the best baseline (positive = HW better).
+	MedianSkill float64
+	// MeanRMSE per method, averaged over configs.
+	MeanHW, MeanSeasonalNaive, MeanDrift float64
+}
+
+// ForecastBaselines runs the three-way comparison for the top configs.
+func ForecastBaselines(env *Env, topN int) (*BaselinesResult, error) {
+	top := env.TrainDB.TopConfigs(topN)
+	if len(top) == 0 {
+		return nil, fmt.Errorf("eval: empty training window")
+	}
+	horizon := env.Cfg.EvalDays * model.SlotsPerDay
+	truthByKey := make(map[string][]float64)
+	for _, cs := range env.EvalDB.TopConfigs(env.EvalDB.NumConfigs()) {
+		truthByKey[cs.Config.Key()] = cs.Counts
+	}
+	res := &BaselinesResult{}
+	var skills []float64
+	for _, cs := range top {
+		truth := make([]float64, horizon)
+		copy(truth, truthByKey[cs.Config.Key()])
+		if maxOf(truth) == 0 {
+			continue
+		}
+		cmp, err := forecast.Compare(cs.Counts, truth, weekSlots)
+		if err != nil {
+			continue
+		}
+		res.Configs++
+		res.MeanHW += cmp.HoltWinters.RMSE
+		res.MeanSeasonalNaive += cmp.SeasonalNaive.RMSE
+		res.MeanDrift += cmp.Drift.RMSE
+		if cmp.HoltWinters.RMSE <= cmp.SeasonalNaive.RMSE && cmp.HoltWinters.RMSE <= cmp.Drift.RMSE {
+			res.Wins++
+		}
+		skills = append(skills, cmp.Skill())
+	}
+	if res.Configs == 0 {
+		return nil, fmt.Errorf("eval: no comparable configs")
+	}
+	n := float64(res.Configs)
+	res.MeanHW /= n
+	res.MeanSeasonalNaive /= n
+	res.MeanDrift /= n
+	sort.Float64s(skills)
+	res.MedianSkill = skills[len(skills)/2]
+	return res, nil
+}
+
+// Fig9Result is the distribution of per-config normalized forecast errors.
+type Fig9Result struct {
+	// NormRMSE and NormMAE are sorted ascending (CDF x-values).
+	NormRMSE []float64
+	NormMAE  []float64
+	// MedianRMSE and MedianMAE summarize them (§6.5 reports 13% / 8%).
+	MedianRMSE float64
+	MedianMAE  float64
+	Configs    int
+}
+
+// Fig9 forecasts every top config and reports the CDF of normalized RMSE and
+// MAE against the evaluation window's ground truth.
+func Fig9(env *Env, topN int) (*Fig9Result, error) {
+	top := env.TrainDB.TopConfigs(topN)
+	if len(top) == 0 {
+		return nil, fmt.Errorf("eval: empty training window")
+	}
+	horizon := env.Cfg.EvalDays * model.SlotsPerDay
+	truthByKey := make(map[string][]float64)
+	for _, cs := range env.EvalDB.TopConfigs(env.EvalDB.NumConfigs()) {
+		truthByKey[cs.Config.Key()] = cs.Counts
+	}
+	res := &Fig9Result{}
+	for _, cs := range top {
+		m, err := forecast.FitAuto(cs.Counts, weekSlots)
+		if err != nil {
+			continue
+		}
+		f := m.Forecast(horizon)
+		truth := make([]float64, horizon)
+		copy(truth, truthByKey[cs.Config.Key()])
+		acc, err := forecast.Evaluate(f, truth)
+		if err != nil || acc.NormRMSE == 0 && acc.NormMAE == 0 && maxOf(truth) == 0 {
+			continue // config vanished in the eval window
+		}
+		res.NormRMSE = append(res.NormRMSE, acc.NormRMSE)
+		res.NormMAE = append(res.NormMAE, acc.NormMAE)
+	}
+	if len(res.NormRMSE) == 0 {
+		return nil, fmt.Errorf("eval: no forecastable configs")
+	}
+	sort.Float64s(res.NormRMSE)
+	sort.Float64s(res.NormMAE)
+	res.MedianRMSE = res.NormRMSE[len(res.NormRMSE)/2]
+	res.MedianMAE = res.NormMAE[len(res.NormMAE)/2]
+	res.Configs = len(res.NormRMSE)
+	return res, nil
+}
+
+func maxOf(xs []float64) float64 {
+	var m float64
+	for _, v := range xs {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

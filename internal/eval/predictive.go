@@ -1,0 +1,125 @@
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"switchboard/internal/controller"
+
+	"switchboard/internal/model"
+	"switchboard/internal/predict"
+)
+
+// seriesPredictor adapts the §8 MOMC predictor to the controller's Predictor
+// interface: for each known series it predicts the spread of the next
+// instance from training-window attendance history.
+type seriesPredictor struct {
+	model   *predict.Model
+	series  map[uint64]*predict.Series
+	media   map[uint64]model.MediaType
+	minSize int
+}
+
+// PredictConfig implements controller.Predictor.
+func (p *seriesPredictor) PredictConfig(seriesID uint64, _ time.Time) (model.CallConfig, bool) {
+	s, ok := p.series[seriesID]
+	if !ok || len(s.Attendance) < p.minSize {
+		return model.CallConfig{}, false
+	}
+	counts := p.model.PredictCounts(s, len(s.Attendance))
+	if len(counts) == 0 {
+		return model.CallConfig{}, false
+	}
+	return model.CallConfig{Spread: model.NewSpread(counts), Media: p.media[seriesID]}, true
+}
+
+// PredictiveMigrationResult compares migration behaviour of the
+// plan-following controller with and without §8 config prediction at call
+// start. The interesting deltas are on recurring calls — the only ones a
+// series predictor can help.
+type PredictiveMigrationResult struct {
+	// Without / With are overall migration rates.
+	Without, With float64
+	// RecurringWithout / RecurringWith restrict to recurring calls.
+	RecurringWithout, RecurringWith float64
+	// PredictedCalls counts calls placed from a prediction.
+	PredictedCalls int64
+	// RecurringCalls counts frozen recurring calls in the replay.
+	RecurringCalls int64
+}
+
+// PredictiveMigration trains the §8 predictor on the training window, then
+// replays the evaluation window twice through the Switchboard controller —
+// with and without predictive placement — and reports the migration-rate
+// deltas (the paper's §8 motivation: accurate config prediction "can
+// significantly reduce inter-DC migrations").
+func PredictiveMigration(env *Env) (*PredictiveMigrationResult, error) {
+	if env.EvalRecords == nil {
+		return nil, fmt.Errorf("eval: PredictiveMigration needs KeepEvalRecords")
+	}
+
+	// Train the predictor on training-window series history only.
+	trainSeries := env.TrainDB.SeriesRecords()
+	ds := predict.BuildDataset(trainSeries, 6)
+	if len(ds.Series) == 0 {
+		return nil, fmt.Errorf("eval: no recurring series with enough history")
+	}
+	m, err := predict.Train(ds, predict.TrainOptions{})
+	if err != nil {
+		return nil, err
+	}
+	sp := &seriesPredictor{
+		model:   m,
+		series:  make(map[uint64]*predict.Series, len(ds.Series)),
+		media:   make(map[uint64]model.MediaType),
+		minSize: 4,
+	}
+	for _, s := range ds.Series {
+		sp.series[s.ID] = s
+	}
+	for id, recs := range trainSeries {
+		if len(recs) > 0 {
+			sp.media[id] = recs[0].Config().Media
+		}
+	}
+
+	// One provisioning plan shared by both replays (and memoized across
+	// experiments).
+	lm, _, planAlloc, err := env.SBWithBackup()
+	if err != nil {
+		return nil, err
+	}
+	aclOf := func(cfg model.CallConfig, dc int) float64 { return env.Est.ACL(cfg, dc) }
+	events := controller.BuildEvents(env.EvalRecords, controller.DefaultFreeze)
+	scaled := scaleAlloc(planAlloc.Alloc, float64(env.Cfg.EvalDays))
+
+	replay := func(pred controller.Predictor) (controller.Stats, error) {
+		placer := controller.NewPlanPlacer(lm.Demand().Configs, scaled, aclOf, len(env.World.DCs()))
+		ctrl, err := controller.New(controller.Config{
+			World:     env.World,
+			Placer:    placer,
+			Predictor: pred,
+		})
+		if err != nil {
+			return controller.Stats{}, err
+		}
+		return ctrl.Replay(events)
+	}
+
+	base, err := replay(nil)
+	if err != nil {
+		return nil, err
+	}
+	predicted, err := replay(sp)
+	if err != nil {
+		return nil, err
+	}
+	return &PredictiveMigrationResult{
+		Without:          base.MigrationRate(),
+		With:             predicted.MigrationRate(),
+		RecurringWithout: base.RecurringMigrationRate(),
+		RecurringWith:    predicted.RecurringMigrationRate(),
+		PredictedCalls:   predicted.Predicted,
+		RecurringCalls:   predicted.FrozenRecurring,
+	}, nil
+}

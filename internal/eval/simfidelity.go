@@ -1,0 +1,106 @@
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"switchboard/internal/provision"
+	"switchboard/internal/sim"
+)
+
+// SimFidelityResult validates the fractional LP plan against integral,
+// call-level replay: the provisioning LP reasons in per-slot averages, while
+// the simulator admits whole calls with real start times and durations.
+type SimFidelityResult struct {
+	// PlanACL is the allocation plan's (fractional) mean ACL; the two
+	// realized ACLs come from the call-level replay.
+	PlanACL float64
+	Plan    *sim.Result
+	Greedy  *sim.Result
+}
+
+// SimFidelity provisions Switchboard-with-backup from the evaluation
+// window's demand, then replays the window call by call under the
+// plan-following and greedy-local policies.
+func SimFidelity(env *Env) (*SimFidelityResult, error) {
+	if env.EvalRecords == nil {
+		return nil, fmt.Errorf("eval: SimFidelity needs KeepEvalRecords")
+	}
+	lm, plan, alloc, err := env.SBWithBackup()
+	if err != nil {
+		return nil, err
+	}
+	s, err := sim.New(lm, env.Est, plan.Cores, plan.LinkGbps)
+	if err != nil {
+		return nil, err
+	}
+	planRes, err := s.Run(env.EvalRecords, &sim.PlanPolicy{LM: lm, Alloc: alloc.Alloc, Origin: env.EvalStart})
+	if err != nil {
+		return nil, err
+	}
+	greedyRes, err := s.Run(env.EvalRecords, &sim.GreedyLocalPolicy{LM: lm})
+	if err != nil {
+		return nil, err
+	}
+	return &SimFidelityResult{PlanACL: alloc.MeanACL, Plan: planRes, Greedy: greedyRes}, nil
+}
+
+// DrillResult compares a DC-failure drill under the backup-provisioned plan
+// versus a serving-only plan — the system-level payoff of Eq 7-8's failure
+// scenarios.
+type DrillResult struct {
+	FailedDC      string
+	WithBackup    *sim.DrillResult
+	WithoutBackup *sim.DrillResult
+}
+
+// Drill fails the busiest DC at the middle of the evaluation window's first
+// day and replays calls under both plans.
+func Drill(env *Env) (*DrillResult, error) {
+	if env.EvalRecords == nil {
+		return nil, fmt.Errorf("eval: Drill needs KeepEvalRecords")
+	}
+	lm, backupPlan, _, err := env.SBWithBackup()
+	if err != nil {
+		return nil, err
+	}
+	servingIn := &provision.Inputs{
+		World:              env.World,
+		Latency:            env.Est,
+		Demand:             env.EvalDB.PeakEnvelope(env.Cfg.TopConfigs),
+		LatencyThresholdMs: env.Cfg.LatencyThresholdMs,
+		WithBackup:         false,
+		SlotStride:         env.Cfg.SlotStride,
+	}
+	servingPlan, err := provision.Switchboard(servingIn)
+	if err != nil {
+		return nil, err
+	}
+	failed := 0
+	for x, cores := range backupPlan.Cores {
+		if cores > backupPlan.Cores[failed] {
+			failed = x
+		}
+	}
+	failAt := env.EvalStart.Add(9 * time.Hour)
+	run := func(plan *provision.Plan) (*sim.DrillResult, error) {
+		s, err := sim.New(lm, env.Est, plan.Cores, plan.LinkGbps)
+		if err != nil {
+			return nil, err
+		}
+		return s.RunFailureDrill(env.EvalRecords, &sim.GreedyLocalPolicy{LM: lm}, failed, failAt)
+	}
+	withBackup, err := run(backupPlan)
+	if err != nil {
+		return nil, err
+	}
+	withoutBackup, err := run(servingPlan)
+	if err != nil {
+		return nil, err
+	}
+	return &DrillResult{
+		FailedDC:      env.World.DCs()[failed].Name,
+		WithBackup:    withBackup,
+		WithoutBackup: withoutBackup,
+	}, nil
+}

@@ -1,0 +1,197 @@
+package eval
+
+import (
+	"fmt"
+
+	"switchboard/internal/allocate"
+	"switchboard/internal/provision"
+	"switchboard/internal/records"
+)
+
+// Table3Row is one scheme's provisioning outcome, normalized to Round-Robin
+// within the same backup setting (as the paper's Table 3 does).
+type Table3Row struct {
+	Scheme  string
+	Cores   float64
+	WAN     float64
+	Cost    float64
+	MeanACL float64
+}
+
+// Table3Result reproduces Table 3: resources, cost, and mean ACL for RR, LF,
+// and Switchboard, with and without backup provisioning.
+type Table3Result struct {
+	Without []Table3Row
+	With    []Table3Row
+	// RawWithout/RawWith carry the pre-normalization values for
+	// cross-checks (cores, Gbps, cost, ms).
+	RawWithout []Table3Row
+	RawWith    []Table3Row
+}
+
+// Table3 runs the headline provisioning comparison over the evaluation
+// window's ground-truth demand.
+func Table3(env *Env) (*Table3Result, error) {
+	demand := env.EvalDB.PeakEnvelope(env.Cfg.TopConfigs)
+	res := &Table3Result{}
+	for _, withBackup := range []bool{false, true} {
+		rows, err := table3Rows(env, demand, withBackup, withBackup)
+		if err != nil {
+			return nil, err
+		}
+		norm := normalizeRows(rows)
+		if withBackup {
+			res.RawWith, res.With = rows, norm
+		} else {
+			res.RawWithout, res.Without = rows, norm
+		}
+	}
+	return res, nil
+}
+
+// table3Rows provisions all three schemes over demand. memoSB reuses the
+// environment's memoized Switchboard-with-backup plan, valid only when
+// demand is the ground-truth envelope and withBackup is set.
+func table3Rows(env *Env, demand *records.Demand, withBackup, memoSB bool) ([]Table3Row, error) {
+	in := &provision.Inputs{
+		World:              env.World,
+		Latency:            env.Est,
+		Demand:             demand,
+		LatencyThresholdMs: env.Cfg.LatencyThresholdMs,
+		WithBackup:         withBackup,
+		SlotStride:         env.Cfg.SlotStride,
+	}
+	lm, err := provision.NewLoadModel(in)
+	if err != nil {
+		return nil, err
+	}
+
+	rows := make([]Table3Row, 0, 3)
+	for _, scheme := range []struct {
+		name string
+		f    func(*provision.Inputs) (*provision.Plan, error)
+	}{
+		{"RR", provision.RoundRobin},
+		{"LF", provision.LocalityFirst},
+		{"SB", provision.Switchboard},
+	} {
+		var plan *provision.Plan
+		var acl float64
+		if scheme.name == "SB" && memoSB {
+			memoLM, memoPlan, memoAlloc, err := env.SBWithBackup()
+			if err != nil {
+				return nil, err
+			}
+			_ = memoLM
+			plan, acl = memoPlan, memoAlloc.MeanACL
+			rows = append(rows, Table3Row{
+				Scheme:  scheme.name,
+				Cores:   plan.TotalCores(),
+				WAN:     plan.TotalGbps(),
+				Cost:    plan.Cost(env.World),
+				MeanACL: acl,
+			})
+			continue
+		}
+		plan, err = scheme.f(in)
+		if err != nil {
+			return nil, fmt.Errorf("eval: %s (backup=%v): %w", scheme.name, withBackup, err)
+		}
+		acl = plan.MeanACL(lm)
+		if scheme.name == "SB" {
+			// Switchboard's runtime allocation follows the daily plan
+			// (Eq 10) within the provisioned capacities, which is what
+			// users actually experience.
+			planAlloc, err := allocate.Build(lm, plan.Cores, plan.LinkGbps)
+			if err != nil {
+				return nil, fmt.Errorf("eval: SB allocation plan: %w", err)
+			}
+			acl = planAlloc.MeanACL
+		}
+		rows = append(rows, Table3Row{
+			Scheme:  scheme.name,
+			Cores:   plan.TotalCores(),
+			WAN:     plan.TotalGbps(),
+			Cost:    plan.Cost(env.World),
+			MeanACL: acl,
+		})
+	}
+	return rows, nil
+}
+
+// normalizeRows divides every metric by the first (RR) row's value.
+func normalizeRows(rows []Table3Row) []Table3Row {
+	if len(rows) == 0 {
+		return nil
+	}
+	rr := rows[0]
+	out := make([]Table3Row, len(rows))
+	for i, r := range rows {
+		out[i] = Table3Row{
+			Scheme:  r.Scheme,
+			Cores:   ratio(r.Cores, rr.Cores),
+			WAN:     ratio(r.WAN, rr.WAN),
+			Cost:    ratio(r.Cost, rr.Cost),
+			MeanACL: ratio(r.MeanACL, rr.MeanACL),
+		}
+	}
+	return out
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// Table4Row is one scheme's forecast-vs-truth provisioning delta in percent:
+// (truth − forecast) / truth × 100, so negative means the forecast
+// over-provisioned (the paper's sign convention).
+type Table4Row struct {
+	Scheme     string
+	CoresDelta float64
+	WANDelta   float64
+}
+
+// Table4Result reproduces Table 4.
+type Table4Result struct {
+	Without []Table4Row
+	With    []Table4Row
+}
+
+// Table4 provisions once from forecast demand and once from ground truth,
+// reporting the per-scheme resource deltas.
+func Table4(env *Env) (*Table4Result, error) {
+	forecastDemand, err := ForecastDemand(env)
+	if err != nil {
+		return nil, err
+	}
+	truthDemand := env.EvalDB.PeakEnvelope(env.Cfg.TopConfigs)
+
+	res := &Table4Result{}
+	for _, withBackup := range []bool{false, true} {
+		fRows, err := table3Rows(env, forecastDemand, withBackup, false)
+		if err != nil {
+			return nil, err
+		}
+		tRows, err := table3Rows(env, truthDemand, withBackup, withBackup)
+		if err != nil {
+			return nil, err
+		}
+		rows := make([]Table4Row, len(fRows))
+		for i := range fRows {
+			rows[i] = Table4Row{
+				Scheme:     fRows[i].Scheme,
+				CoresDelta: 100 * (tRows[i].Cores - fRows[i].Cores) / tRows[i].Cores,
+				WANDelta:   100 * (tRows[i].WAN - fRows[i].WAN) / tRows[i].WAN,
+			}
+		}
+		if withBackup {
+			res.With = rows
+		} else {
+			res.Without = rows
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,107 @@
+package forecast
+
+import (
+	"fmt"
+	"math"
+)
+
+// SeasonalNaive forecasts each horizon point as the value one season ago
+// (repeating the last observed season). It is the standard baseline a
+// seasonal model must beat.
+func SeasonalNaive(series []float64, season, horizon int) ([]float64, error) {
+	if season <= 0 {
+		return nil, fmt.Errorf("forecast: season must be positive, got %d", season)
+	}
+	if len(series) < season {
+		return nil, fmt.Errorf("forecast: %d samples < one season (%d)", len(series), season)
+	}
+	last := series[len(series)-season:]
+	out := make([]float64, horizon)
+	for h := 0; h < horizon; h++ {
+		out[h] = last[h%season]
+	}
+	return out, nil
+}
+
+// Drift forecasts by extending the straight line through the first and last
+// observations (the classic drift method), clamped at zero.
+func Drift(series []float64, horizon int) ([]float64, error) {
+	n := len(series)
+	if n < 2 {
+		return nil, fmt.Errorf("forecast: need at least 2 samples, got %d", n)
+	}
+	slope := (series[n-1] - series[0]) / float64(n-1)
+	out := make([]float64, horizon)
+	for h := 1; h <= horizon; h++ {
+		v := series[n-1] + slope*float64(h)
+		if v < 0 {
+			v = 0
+		}
+		out[h-1] = v
+	}
+	return out, nil
+}
+
+// Comparison scores Holt-Winters against the naive baselines on a train/test
+// split of one series.
+type Comparison struct {
+	HoltWinters   Accuracy
+	SeasonalNaive Accuracy
+	Drift         Accuracy
+}
+
+// Compare fits all three methods on train and scores them against test.
+// season applies to Holt-Winters and the seasonal-naive baseline.
+func Compare(train, test []float64, season int) (*Comparison, error) {
+	if len(test) == 0 {
+		return nil, fmt.Errorf("forecast: empty test series")
+	}
+	horizon := len(test)
+	cmp := &Comparison{}
+
+	hw, err := FitAuto(train, season)
+	if err != nil {
+		return nil, err
+	}
+	if cmp.HoltWinters, err = Evaluate(hw.Forecast(horizon), test); err != nil {
+		return nil, err
+	}
+
+	effSeason := season
+	if effSeason <= 0 || len(train) < effSeason {
+		effSeason = min(len(train), 1)
+	}
+	sn, err := SeasonalNaive(train, effSeason, horizon)
+	if err != nil {
+		return nil, err
+	}
+	if cmp.SeasonalNaive, err = Evaluate(sn, test); err != nil {
+		return nil, err
+	}
+
+	dr, err := Drift(train, horizon)
+	if err != nil {
+		return nil, err
+	}
+	if cmp.Drift, err = Evaluate(dr, test); err != nil {
+		return nil, err
+	}
+	return cmp, nil
+}
+
+// Skill returns the relative RMSE improvement of Holt-Winters over the best
+// baseline: positive means Holt-Winters wins.
+func (c *Comparison) Skill() float64 {
+	best := math.Min(c.SeasonalNaive.RMSE, c.Drift.RMSE)
+	if best == 0 {
+		return 0
+	}
+	return 1 - c.HoltWinters.RMSE/best
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

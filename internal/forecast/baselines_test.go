@@ -1,0 +1,85 @@
+package forecast
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSeasonalNaive(t *testing.T) {
+	series := []float64{1, 2, 3, 10, 20, 30}
+	f, err := SeasonalNaive(series, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{10, 20, 30, 10, 20}
+	for i := range want {
+		if f[i] != want[i] {
+			t.Fatalf("f = %v, want %v", f, want)
+		}
+	}
+	if _, err := SeasonalNaive(series, 0, 3); err == nil {
+		t.Error("zero season should error")
+	}
+	if _, err := SeasonalNaive([]float64{1}, 3, 3); err == nil {
+		t.Error("short series should error")
+	}
+}
+
+func TestDrift(t *testing.T) {
+	// Line from 0 to 10 over 11 points: slope 1.
+	series := make([]float64, 11)
+	for i := range series {
+		series[i] = float64(i)
+	}
+	f, err := Drift(series, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h, want := range []float64{11, 12, 13} {
+		if math.Abs(f[h]-want) > 1e-12 {
+			t.Fatalf("f = %v", f)
+		}
+	}
+	// Declining series clamps at zero.
+	f, err = Drift([]float64{10, 0}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range f {
+		if v < 0 {
+			t.Fatal("negative drift forecast")
+		}
+	}
+	if _, err := Drift([]float64{1}, 2); err == nil {
+		t.Error("single sample should error")
+	}
+}
+
+func TestCompareHoltWintersWinsOnSeasonalTrend(t *testing.T) {
+	// Trending seasonal series: HW should beat both baselines (the
+	// seasonal-naive misses the trend; drift misses the season).
+	season := 12
+	series := synthSeries(season*10, season, 100, 0.8, 25, 1, 5)
+	train, test := series[:season*8], series[season*8:]
+	cmp, err := Compare(train, test, season)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.HoltWinters.RMSE >= cmp.SeasonalNaive.RMSE {
+		t.Errorf("HW RMSE %.2f not better than seasonal naive %.2f",
+			cmp.HoltWinters.RMSE, cmp.SeasonalNaive.RMSE)
+	}
+	if cmp.HoltWinters.RMSE >= cmp.Drift.RMSE {
+		t.Errorf("HW RMSE %.2f not better than drift %.2f",
+			cmp.HoltWinters.RMSE, cmp.Drift.RMSE)
+	}
+	if cmp.Skill() <= 0 {
+		t.Errorf("skill = %g, want positive", cmp.Skill())
+	}
+}
+
+func TestCompareValidation(t *testing.T) {
+	if _, err := Compare([]float64{1, 2, 3}, nil, 0); err == nil {
+		t.Error("empty test should error")
+	}
+}

@@ -1,0 +1,237 @@
+// Package forecast implements Holt-Winters triple exponential smoothing
+// (additive seasonality), the timeseries model Switchboard uses to project
+// per-call-config demand months ahead (§5.2), plus the normalized RMSE/MAE
+// accuracy metrics of §6.5.
+package forecast
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model is a fitted Holt-Winters state. Create with Fit or FitAuto.
+type Model struct {
+	// Alpha, Beta, Gamma are the level, trend, and seasonal smoothing
+	// factors in [0, 1].
+	Alpha, Beta, Gamma float64
+	// Season is the season length in samples (0 disables seasonality and
+	// reduces the model to double exponential smoothing).
+	Season int
+
+	level    float64
+	trend    float64
+	seasonal []float64 // rolling seasonal components, length Season
+	n        int       // samples consumed
+}
+
+// Fit runs the smoothing recursions over series with fixed parameters.
+// A seasonal fit needs at least two full seasons of data; shorter series can
+// use season = 0.
+func Fit(series []float64, season int, alpha, beta, gamma float64) (*Model, error) {
+	if season < 0 {
+		return nil, fmt.Errorf("forecast: negative season %d", season)
+	}
+	for _, p := range []float64{alpha, beta, gamma} {
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			return nil, fmt.Errorf("forecast: smoothing parameter %g outside [0,1]", p)
+		}
+	}
+	if season > 0 && len(series) < 2*season {
+		return nil, fmt.Errorf("forecast: %d samples < two seasons (%d)", len(series), 2*season)
+	}
+	if season == 0 && len(series) < 2 {
+		return nil, fmt.Errorf("forecast: need at least 2 samples, got %d", len(series))
+	}
+	m := &Model{Alpha: alpha, Beta: beta, Gamma: gamma, Season: season}
+	m.initState(series)
+	start := 1
+	if season > 0 {
+		start = season
+	}
+	for t := start; t < len(series); t++ {
+		m.update(series[t])
+	}
+	return m, nil
+}
+
+// initState seeds level, trend, and seasonal components from the first
+// season(s) of data, using the standard decomposition initialization.
+func (m *Model) initState(series []float64) {
+	if m.Season == 0 {
+		m.level = series[0]
+		m.trend = series[1] - series[0]
+		m.n = 1
+		return
+	}
+	s := m.Season
+	var mean1, mean2 float64
+	for i := 0; i < s; i++ {
+		mean1 += series[i]
+		mean2 += series[s+i]
+	}
+	mean1 /= float64(s)
+	mean2 /= float64(s)
+	m.level = mean1
+	m.trend = (mean2 - mean1) / float64(s)
+	m.seasonal = make([]float64, s)
+	// Average each in-season position's deviation from its season mean
+	// across all complete seasons.
+	nSeasons := len(series) / s
+	for i := 0; i < s; i++ {
+		var dev float64
+		for k := 0; k < nSeasons; k++ {
+			var seasonMean float64
+			for j := 0; j < s; j++ {
+				seasonMean += series[k*s+j]
+			}
+			seasonMean /= float64(s)
+			dev += series[k*s+i] - seasonMean
+		}
+		m.seasonal[i] = dev / float64(nSeasons)
+	}
+	m.n = s
+}
+
+// update consumes one observation, advancing level/trend/seasonal state.
+func (m *Model) update(x float64) {
+	if m.Season == 0 {
+		prevLevel := m.level
+		m.level = m.Alpha*x + (1-m.Alpha)*(m.level+m.trend)
+		m.trend = m.Beta*(m.level-prevLevel) + (1-m.Beta)*m.trend
+		m.n++
+		return
+	}
+	si := m.n % m.Season
+	prevLevel := m.level
+	m.level = m.Alpha*(x-m.seasonal[si]) + (1-m.Alpha)*(m.level+m.trend)
+	m.trend = m.Beta*(m.level-prevLevel) + (1-m.Beta)*m.trend
+	m.seasonal[si] = m.Gamma*(x-m.level) + (1-m.Gamma)*m.seasonal[si]
+	m.n++
+}
+
+// predictAhead returns the h-step-ahead prediction (h >= 1) without
+// consuming data.
+func (m *Model) predictAhead(h int) float64 {
+	v := m.level + float64(h)*m.trend
+	if m.Season > 0 {
+		v += m.seasonal[(m.n+h-1)%m.Season]
+	}
+	return v
+}
+
+// Forecast returns the next horizon predictions, clamped at zero (call
+// counts cannot be negative).
+func (m *Model) Forecast(horizon int) []float64 {
+	out := make([]float64, horizon)
+	for h := 1; h <= horizon; h++ {
+		v := m.predictAhead(h)
+		if v < 0 {
+			v = 0
+		}
+		out[h-1] = v
+	}
+	return out
+}
+
+// FitAuto grid-searches the smoothing parameters, picking the combination
+// with the lowest in-sample one-step-ahead RMSE. It falls back to a
+// non-seasonal fit when the series is too short for the requested season.
+func FitAuto(series []float64, season int) (*Model, error) {
+	if season > 0 && len(series) < 2*season {
+		season = 0
+	}
+	if season == 0 && len(series) < 2 {
+		return nil, fmt.Errorf("forecast: need at least 2 samples, got %d", len(series))
+	}
+	alphas := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	betas := []float64{0.01, 0.05, 0.1, 0.3}
+	gammas := []float64{0.05, 0.1, 0.3, 0.6}
+	if season == 0 {
+		gammas = []float64{0}
+	}
+	var best *Model
+	bestErr := math.Inf(1)
+	for _, a := range alphas {
+		for _, b := range betas {
+			for _, g := range gammas {
+				rmse, err := oneStepRMSE(series, season, a, b, g)
+				if err != nil {
+					return nil, err
+				}
+				if rmse < bestErr {
+					bestErr = rmse
+					m, err := Fit(series, season, a, b, g)
+					if err != nil {
+						return nil, err
+					}
+					best = m
+				}
+			}
+		}
+	}
+	return best, nil
+}
+
+// oneStepRMSE replays the recursions, accumulating one-step-ahead errors.
+func oneStepRMSE(series []float64, season int, alpha, beta, gamma float64) (float64, error) {
+	m := &Model{Alpha: alpha, Beta: beta, Gamma: gamma, Season: season}
+	if season > 0 && len(series) < 2*season {
+		return 0, fmt.Errorf("forecast: series too short")
+	}
+	if season == 0 && len(series) < 2 {
+		return 0, fmt.Errorf("forecast: series too short")
+	}
+	m.initState(series)
+	start := 1
+	if season > 0 {
+		start = season
+	}
+	var sse float64
+	var n int
+	for t := start; t < len(series); t++ {
+		e := series[t] - m.predictAhead(1)
+		sse += e * e
+		n++
+		m.update(series[t])
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	return math.Sqrt(sse / float64(n)), nil
+}
+
+// Accuracy holds forecast error metrics for one series.
+type Accuracy struct {
+	RMSE float64
+	MAE  float64
+	// NormRMSE and NormMAE are RMSE/MAE divided by the peak ground-truth
+	// value (§6.5's normalization, so elephant and mice configs compare).
+	NormRMSE float64
+	NormMAE  float64
+}
+
+// Evaluate compares a forecast against ground truth of equal length.
+func Evaluate(forecast, truth []float64) (Accuracy, error) {
+	if len(forecast) != len(truth) {
+		return Accuracy{}, fmt.Errorf("forecast: length mismatch %d vs %d", len(forecast), len(truth))
+	}
+	if len(truth) == 0 {
+		return Accuracy{}, fmt.Errorf("forecast: empty series")
+	}
+	var sse, sae, peak float64
+	for i := range truth {
+		e := forecast[i] - truth[i]
+		sse += e * e
+		sae += math.Abs(e)
+		if truth[i] > peak {
+			peak = truth[i]
+		}
+	}
+	n := float64(len(truth))
+	acc := Accuracy{RMSE: math.Sqrt(sse / n), MAE: sae / n}
+	if peak > 0 {
+		acc.NormRMSE = acc.RMSE / peak
+		acc.NormMAE = acc.MAE / peak
+	}
+	return acc, nil
+}

@@ -1,0 +1,218 @@
+package forecast
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// synthSeries builds level + slope·t + seasonal + noise.
+func synthSeries(n, season int, level, slope, seasonAmp, noise float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for t := range out {
+		s := seasonAmp * math.Sin(2*math.Pi*float64(t%season)/float64(season))
+		out[t] = level + slope*float64(t) + s + noise*rng.NormFloat64()
+	}
+	return out
+}
+
+func TestFitValidation(t *testing.T) {
+	if _, err := Fit([]float64{1, 2, 3}, -1, 0.5, 0.1, 0.1); err == nil {
+		t.Error("negative season should error")
+	}
+	if _, err := Fit([]float64{1, 2, 3}, 0, 1.5, 0.1, 0.1); err == nil {
+		t.Error("alpha > 1 should error")
+	}
+	if _, err := Fit([]float64{1, 2, 3}, 4, 0.5, 0.1, 0.1); err == nil {
+		t.Error("short seasonal series should error")
+	}
+	if _, err := Fit([]float64{1}, 0, 0.5, 0.1, 0); err == nil {
+		t.Error("single sample should error")
+	}
+}
+
+func TestTrendOnlyForecast(t *testing.T) {
+	// Pure linear series: forecasts must continue the line.
+	series := make([]float64, 50)
+	for i := range series {
+		series[i] = 10 + 2*float64(i)
+	}
+	m, err := Fit(series, 0, 0.5, 0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := m.Forecast(5)
+	for h, v := range f {
+		want := 10 + 2*float64(50+h)
+		if math.Abs(v-want) > 0.5 {
+			t.Errorf("h=%d: forecast %g, want %g", h+1, v, want)
+		}
+	}
+}
+
+func TestSeasonalForecast(t *testing.T) {
+	season := 12
+	series := synthSeries(season*8, season, 100, 0.5, 20, 0, 1)
+	m, err := Fit(series, season, 0.3, 0.05, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := m.Forecast(season)
+	truth := make([]float64, season)
+	n := len(series)
+	for h := 0; h < season; h++ {
+		tIdx := n + h
+		truth[h] = 100 + 0.5*float64(tIdx) + 20*math.Sin(2*math.Pi*float64(tIdx%season)/float64(season))
+	}
+	acc, err := Evaluate(f, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Noise-free seasonal series should forecast tightly.
+	if acc.NormRMSE > 0.05 {
+		t.Errorf("normalized RMSE %g too high for clean seasonal series", acc.NormRMSE)
+	}
+}
+
+func TestFitAutoBeatsWorstFixed(t *testing.T) {
+	season := 12
+	series := synthSeries(season*10, season, 50, 0.3, 10, 2, 7)
+	train, hold := series[:season*8], series[season*8:]
+	auto, err := FitAuto(train, season)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accAuto, _ := Evaluate(auto.Forecast(len(hold)), hold)
+	// A deliberately bad parameterization for a trending series.
+	bad, err := Fit(train, season, 0.99, 0.99, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accBad, _ := Evaluate(bad.Forecast(len(hold)), hold)
+	if accAuto.RMSE > accBad.RMSE*1.05 {
+		t.Errorf("auto RMSE %g worse than bad fixed %g", accAuto.RMSE, accBad.RMSE)
+	}
+}
+
+func TestFitAutoFallsBackWithoutSeasons(t *testing.T) {
+	series := []float64{1, 2, 3, 4, 5, 6}
+	m, err := FitAuto(series, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Season != 0 {
+		t.Errorf("season = %d, want 0 fallback", m.Season)
+	}
+	if _, err := FitAuto([]float64{3}, 0); err == nil {
+		t.Error("single sample should error")
+	}
+}
+
+func TestForecastNonNegative(t *testing.T) {
+	// A steeply declining series would go negative without clamping.
+	series := make([]float64, 30)
+	for i := range series {
+		series[i] = 100 - 10*float64(i)
+		if series[i] < 0 {
+			series[i] = 0
+		}
+	}
+	m, err := Fit(series, 0, 0.8, 0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range m.Forecast(20) {
+		if v < 0 {
+			t.Fatalf("negative forecast %g", v)
+		}
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	acc, err := Evaluate([]float64{1, 2, 3}, []float64{1, 2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(acc.MAE-2.0/3) > 1e-12 {
+		t.Errorf("MAE = %g", acc.MAE)
+	}
+	wantRMSE := math.Sqrt(4.0 / 3)
+	if math.Abs(acc.RMSE-wantRMSE) > 1e-12 {
+		t.Errorf("RMSE = %g, want %g", acc.RMSE, wantRMSE)
+	}
+	if math.Abs(acc.NormRMSE-wantRMSE/5) > 1e-12 || math.Abs(acc.NormMAE-(2.0/3)/5) > 1e-12 {
+		t.Errorf("normalized = %+v", acc)
+	}
+	if _, err := Evaluate([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := Evaluate(nil, nil); err == nil {
+		t.Error("empty should error")
+	}
+}
+
+func TestEvaluateZeroTruthPeak(t *testing.T) {
+	acc, err := Evaluate([]float64{1, 1}, []float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.NormRMSE != 0 || acc.NormMAE != 0 {
+		t.Error("normalization with zero peak should yield zero, not Inf")
+	}
+}
+
+// TestPropertyConstantSeries: for any constant series, the forecast is that
+// constant (within numerical tolerance), for all parameterizations tried.
+func TestPropertyConstantSeries(t *testing.T) {
+	f := func(raw uint8, horizon uint8) bool {
+		c := float64(raw)
+		series := make([]float64, 40)
+		for i := range series {
+			series[i] = c
+		}
+		m, err := Fit(series, 8, 0.4, 0.1, 0.2)
+		if err != nil {
+			return false
+		}
+		h := int(horizon%20) + 1
+		for _, v := range m.Forecast(h) {
+			if math.Abs(v-c) > 1e-6*(1+c) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyScaleEquivariance: scaling the series scales the forecast.
+func TestPropertyScaleEquivariance(t *testing.T) {
+	base := synthSeries(96, 12, 40, 0.2, 8, 0, 3)
+	f := func(scaleRaw uint8) bool {
+		scale := 0.5 + float64(scaleRaw)/64
+		scaled := make([]float64, len(base))
+		for i, v := range base {
+			scaled[i] = v * scale
+		}
+		m1, err1 := Fit(base, 12, 0.3, 0.05, 0.2)
+		m2, err2 := Fit(scaled, 12, 0.3, 0.05, 0.2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		f1 := m1.Forecast(12)
+		f2 := m2.Forecast(12)
+		for i := range f1 {
+			if math.Abs(f2[i]-scale*f1[i]) > 1e-6*(1+math.Abs(f1[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,137 @@
+package geo
+
+// This file defines the built-in world used by the experiments: 44 countries
+// across three regions, 12 datacenters, and a hand-curated WAN backbone that
+// roughly follows real submarine/terrestrial cable geography. Weights are
+// relative conferencing-demand shares (knowledge-worker population scaled);
+// only their ratios matter.
+
+func defaultCountries() []Country {
+	return []Country{
+		// AMER
+		{Code: "US", Name: "United States", Region: AMER, Lat: 39, Lon: -98, UTCOffsetMin: -360, Weight: 100},
+		{Code: "CA", Name: "Canada", Region: AMER, Lat: 45, Lon: -79, UTCOffsetMin: -300, Weight: 14},
+		{Code: "MX", Name: "Mexico", Region: AMER, Lat: 19, Lon: -99, UTCOffsetMin: -360, Weight: 9},
+		{Code: "BR", Name: "Brazil", Region: AMER, Lat: -23, Lon: -46, UTCOffsetMin: -180, Weight: 18},
+		{Code: "AR", Name: "Argentina", Region: AMER, Lat: -34, Lon: -58, UTCOffsetMin: -180, Weight: 5},
+		{Code: "CL", Name: "Chile", Region: AMER, Lat: -33, Lon: -70, UTCOffsetMin: -240, Weight: 3},
+		{Code: "CO", Name: "Colombia", Region: AMER, Lat: 4, Lon: -74, UTCOffsetMin: -300, Weight: 4},
+		{Code: "PE", Name: "Peru", Region: AMER, Lat: -12, Lon: -77, UTCOffsetMin: -300, Weight: 2},
+
+		// EMEA
+		{Code: "GB", Name: "United Kingdom", Region: EMEA, Lat: 51.5, Lon: 0, UTCOffsetMin: 0, Weight: 30},
+		{Code: "IE", Name: "Ireland", Region: EMEA, Lat: 53, Lon: -6, UTCOffsetMin: 0, Weight: 4},
+		{Code: "FR", Name: "France", Region: EMEA, Lat: 48.8, Lon: 2.3, UTCOffsetMin: 60, Weight: 20},
+		{Code: "DE", Name: "Germany", Region: EMEA, Lat: 52.5, Lon: 13.4, UTCOffsetMin: 60, Weight: 26},
+		{Code: "NL", Name: "Netherlands", Region: EMEA, Lat: 52.4, Lon: 4.9, UTCOffsetMin: 60, Weight: 8},
+		{Code: "ES", Name: "Spain", Region: EMEA, Lat: 40.4, Lon: -3.7, UTCOffsetMin: 60, Weight: 12},
+		{Code: "IT", Name: "Italy", Region: EMEA, Lat: 41.9, Lon: 12.5, UTCOffsetMin: 60, Weight: 13},
+		{Code: "SE", Name: "Sweden", Region: EMEA, Lat: 59.3, Lon: 18.1, UTCOffsetMin: 60, Weight: 5},
+		{Code: "NO", Name: "Norway", Region: EMEA, Lat: 59.9, Lon: 10.7, UTCOffsetMin: 60, Weight: 3},
+		{Code: "PL", Name: "Poland", Region: EMEA, Lat: 52.2, Lon: 21, UTCOffsetMin: 60, Weight: 8},
+		{Code: "CH", Name: "Switzerland", Region: EMEA, Lat: 47.4, Lon: 8.5, UTCOffsetMin: 60, Weight: 5},
+		{Code: "TR", Name: "Turkey", Region: EMEA, Lat: 41, Lon: 29, UTCOffsetMin: 180, Weight: 7},
+		{Code: "IL", Name: "Israel", Region: EMEA, Lat: 32.1, Lon: 34.8, UTCOffsetMin: 120, Weight: 4},
+		{Code: "EG", Name: "Egypt", Region: EMEA, Lat: 30, Lon: 31.2, UTCOffsetMin: 120, Weight: 4},
+		{Code: "SA", Name: "Saudi Arabia", Region: EMEA, Lat: 24.7, Lon: 46.7, UTCOffsetMin: 180, Weight: 5},
+		{Code: "AE", Name: "UAE", Region: EMEA, Lat: 25.2, Lon: 55.3, UTCOffsetMin: 240, Weight: 6},
+		{Code: "ZA", Name: "South Africa", Region: EMEA, Lat: -26.2, Lon: 28, UTCOffsetMin: 120, Weight: 6},
+		{Code: "NG", Name: "Nigeria", Region: EMEA, Lat: 6.5, Lon: 3.4, UTCOffsetMin: 60, Weight: 3},
+		{Code: "KE", Name: "Kenya", Region: EMEA, Lat: -1.3, Lon: 36.8, UTCOffsetMin: 180, Weight: 2},
+
+		// APAC
+		{Code: "IN", Name: "India", Region: APAC, Lat: 18.9, Lon: 72.8, UTCOffsetMin: 330, Weight: 60},
+		{Code: "PK", Name: "Pakistan", Region: APAC, Lat: 24.9, Lon: 67, UTCOffsetMin: 300, Weight: 4},
+		{Code: "BD", Name: "Bangladesh", Region: APAC, Lat: 23.8, Lon: 90.4, UTCOffsetMin: 360, Weight: 3},
+		{Code: "JP", Name: "Japan", Region: APAC, Lat: 35.7, Lon: 139.7, UTCOffsetMin: 540, Weight: 26},
+		{Code: "KR", Name: "South Korea", Region: APAC, Lat: 37.6, Lon: 127, UTCOffsetMin: 540, Weight: 11},
+		{Code: "CN", Name: "China", Region: APAC, Lat: 31.2, Lon: 121.5, UTCOffsetMin: 480, Weight: 8},
+		{Code: "TW", Name: "Taiwan", Region: APAC, Lat: 25, Lon: 121.5, UTCOffsetMin: 480, Weight: 5},
+		{Code: "HK", Name: "Hong Kong", Region: APAC, Lat: 22.3, Lon: 114.2, UTCOffsetMin: 480, Weight: 7},
+		{Code: "PH", Name: "Philippines", Region: APAC, Lat: 14.6, Lon: 121, UTCOffsetMin: 480, Weight: 6},
+		{Code: "VN", Name: "Vietnam", Region: APAC, Lat: 21, Lon: 105.8, UTCOffsetMin: 420, Weight: 4},
+		{Code: "TH", Name: "Thailand", Region: APAC, Lat: 13.8, Lon: 100.5, UTCOffsetMin: 420, Weight: 5},
+		{Code: "MY", Name: "Malaysia", Region: APAC, Lat: 3.1, Lon: 101.7, UTCOffsetMin: 480, Weight: 4},
+		{Code: "SG", Name: "Singapore", Region: APAC, Lat: 1.35, Lon: 103.8, UTCOffsetMin: 480, Weight: 6},
+		{Code: "ID", Name: "Indonesia", Region: APAC, Lat: -6.2, Lon: 106.8, UTCOffsetMin: 420, Weight: 9},
+		{Code: "AU", Name: "Australia", Region: APAC, Lat: -33.9, Lon: 151.2, UTCOffsetMin: 600, Weight: 12},
+		{Code: "NZ", Name: "New Zealand", Region: APAC, Lat: -36.8, Lon: 174.8, UTCOffsetMin: 720, Weight: 3},
+	}
+}
+
+func defaultDCs() []DC {
+	// CoreCost values mirror the paper's observation that per-DC compute
+	// prices vary significantly by location; they are chosen so that the
+	// §4.3 joint trade-off (cheap network to an expensive-compute DC can
+	// beat expensive network to a cheap-compute DC) actually arises, e.g.
+	// Indonesia between Singapore and Japan.
+	return []DC{
+		{Name: "us-east", Country: "US", Region: AMER, CoreCost: 0.80},
+		{Name: "sao-paulo", Country: "BR", Region: AMER, CoreCost: 1.60},
+		{Name: "dublin", Country: "IE", Region: EMEA, CoreCost: 1.00},
+		{Name: "amsterdam", Country: "NL", Region: EMEA, CoreCost: 1.10},
+		{Name: "london", Country: "GB", Region: EMEA, CoreCost: 1.20},
+		{Name: "dubai", Country: "AE", Region: EMEA, CoreCost: 1.50},
+		{Name: "johannesburg", Country: "ZA", Region: EMEA, CoreCost: 1.40},
+		{Name: "pune", Country: "IN", Region: APAC, CoreCost: 0.90},
+		{Name: "tokyo", Country: "JP", Region: APAC, CoreCost: 1.30},
+		{Name: "singapore", Country: "SG", Region: APAC, CoreCost: 1.50},
+		{Name: "hong-kong", Country: "HK", Region: APAC, CoreCost: 1.40},
+		{Name: "sydney", Country: "AU", Region: APAC, CoreCost: 1.30},
+	}
+}
+
+func defaultLinks() []LinkSpec {
+	return []LinkSpec{
+		// AMER terrestrial + coastal
+		{A: "US", B: "CA"}, {A: "US", B: "MX"}, {A: "MX", B: "CO"},
+		{A: "US", B: "CO"}, {A: "CO", B: "PE"}, {A: "PE", B: "CL"},
+		{A: "CL", B: "AR"}, {A: "AR", B: "BR"}, {A: "BR", B: "US", CostFactor: 1.2},
+		{A: "BR", B: "CO"},
+		// Transatlantic
+		{A: "US", B: "GB", CostFactor: 1.1}, {A: "US", B: "IE"},
+		{A: "CA", B: "GB"}, {A: "US", B: "FR", CostFactor: 1.2},
+		{A: "BR", B: "ES", CostFactor: 1.3},
+		// Europe
+		{A: "IE", B: "GB"}, {A: "GB", B: "FR"}, {A: "GB", B: "NL"},
+		{A: "FR", B: "DE"}, {A: "NL", B: "DE"}, {A: "FR", B: "ES"},
+		{A: "ES", B: "IT"}, {A: "FR", B: "CH"}, {A: "CH", B: "IT"},
+		{A: "DE", B: "PL"}, {A: "DE", B: "SE"}, {A: "SE", B: "NO"},
+		{A: "GB", B: "NO"}, {A: "IT", B: "TR"}, {A: "GB", B: "SE"},
+		{A: "CH", B: "DE"}, {A: "IT", B: "IL"}, {A: "PL", B: "SE"},
+		// Middle East / Africa
+		{A: "IT", B: "EG"}, {A: "EG", B: "IL"}, {A: "TR", B: "IL"},
+		{A: "EG", B: "SA"}, {A: "SA", B: "AE"}, {A: "EG", B: "KE"},
+		{A: "KE", B: "ZA", CostFactor: 1.3}, {A: "GB", B: "NG", CostFactor: 1.3},
+		{A: "NG", B: "ZA", CostFactor: 1.3}, {A: "KE", B: "AE"},
+		// Middle East <-> South Asia
+		{A: "AE", B: "IN", CostFactor: 1.2}, {A: "AE", B: "PK"},
+		{A: "EG", B: "IN", CostFactor: 1.3},
+		// Asia
+		{A: "PK", B: "IN"}, {A: "IN", B: "BD"}, {A: "BD", B: "TH"},
+		{A: "IN", B: "SG", CostFactor: 1.2},
+		{A: "SG", B: "MY"}, {A: "MY", B: "TH"}, {A: "TH", B: "VN"},
+		{A: "VN", B: "HK"}, {A: "SG", B: "ID", CostFactor: 0.8}, {A: "SG", B: "HK"},
+		{A: "HK", B: "CN"}, {A: "CN", B: "KR"}, {A: "KR", B: "JP"},
+		{A: "HK", B: "TW"}, {A: "TW", B: "JP"}, {A: "HK", B: "JP"},
+		{A: "PH", B: "HK"}, {A: "PH", B: "SG"}, {A: "SG", B: "JP", CostFactor: 1.1},
+		{A: "ID", B: "JP", CostFactor: 1.6}, {A: "IN", B: "HK", CostFactor: 1.4},
+		// Oceania
+		{A: "SG", B: "AU", CostFactor: 1.2}, {A: "AU", B: "NZ"},
+		{A: "JP", B: "AU", CostFactor: 1.3}, {A: "NZ", B: "US", CostFactor: 1.5},
+		// Transpacific
+		{A: "JP", B: "US", CostFactor: 1.3}, {A: "SG", B: "US", CostFactor: 1.5},
+		{A: "AU", B: "US", CostFactor: 1.4},
+	}
+}
+
+// DefaultWorld returns the built-in 44-country, 12-DC world used by the
+// experiments. It panics only if the built-in tables are inconsistent, which
+// is covered by tests.
+func DefaultWorld() *World {
+	w, err := NewWorld(defaultCountries(), defaultDCs(), defaultLinks())
+	if err != nil {
+		panic("geo: built-in world invalid: " + err.Error())
+	}
+	return w
+}

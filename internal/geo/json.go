@@ -1,0 +1,144 @@
+package geo
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WorldSpec is the JSON shape of a world definition, so deployments can
+// describe their own countries, datacenters, and WAN topology instead of the
+// built-in one (cmd tools accept it via -world).
+type WorldSpec struct {
+	Countries []CountrySpec  `json:"countries"`
+	DCs       []DCSpec       `json:"dcs"`
+	Links     []LinkSpecJSON `json:"links"`
+}
+
+// CountrySpec is the JSON shape of one country.
+type CountrySpec struct {
+	Code         string  `json:"code"`
+	Name         string  `json:"name"`
+	Region       string  `json:"region"`
+	Lat          float64 `json:"lat"`
+	Lon          float64 `json:"lon"`
+	UTCOffsetMin int     `json:"utc_offset_min"`
+	Weight       float64 `json:"weight"`
+}
+
+// DCSpec is the JSON shape of one datacenter.
+type DCSpec struct {
+	Name     string  `json:"name"`
+	Country  string  `json:"country"`
+	CoreCost float64 `json:"core_cost"`
+}
+
+// LinkSpecJSON is the JSON shape of one WAN link.
+type LinkSpecJSON struct {
+	A          string  `json:"a"`
+	B          string  `json:"b"`
+	CostFactor float64 `json:"cost_factor,omitempty"`
+}
+
+// ParseRegion maps a region name to its Region value.
+func ParseRegion(s string) (Region, error) {
+	switch s {
+	case "AMER":
+		return AMER, nil
+	case "EMEA":
+		return EMEA, nil
+	case "APAC":
+		return APAC, nil
+	}
+	return 0, fmt.Errorf("geo: unknown region %q (want AMER, EMEA, or APAC)", s)
+}
+
+// FromSpec builds a validated World from a spec. DC regions are inherited
+// from their host country.
+func FromSpec(spec *WorldSpec) (*World, error) {
+	countries := make([]Country, len(spec.Countries))
+	regionOf := make(map[CountryCode]Region, len(spec.Countries))
+	for i, cs := range spec.Countries {
+		region, err := ParseRegion(cs.Region)
+		if err != nil {
+			return nil, fmt.Errorf("geo: country %q: %w", cs.Code, err)
+		}
+		if cs.Weight <= 0 {
+			return nil, fmt.Errorf("geo: country %q: weight must be positive", cs.Code)
+		}
+		countries[i] = Country{
+			Code:         CountryCode(cs.Code),
+			Name:         cs.Name,
+			Region:       region,
+			Lat:          cs.Lat,
+			Lon:          cs.Lon,
+			UTCOffsetMin: cs.UTCOffsetMin,
+			Weight:       cs.Weight,
+		}
+		regionOf[countries[i].Code] = region
+	}
+	dcs := make([]DC, len(spec.DCs))
+	for i, ds := range spec.DCs {
+		region, ok := regionOf[CountryCode(ds.Country)]
+		if !ok {
+			return nil, fmt.Errorf("geo: DC %q: unknown country %q", ds.Name, ds.Country)
+		}
+		if ds.CoreCost <= 0 {
+			return nil, fmt.Errorf("geo: DC %q: core_cost must be positive", ds.Name)
+		}
+		dcs[i] = DC{Name: ds.Name, Country: CountryCode(ds.Country), Region: region, CoreCost: ds.CoreCost}
+	}
+	links := make([]LinkSpec, len(spec.Links))
+	for i, ls := range spec.Links {
+		links[i] = LinkSpec{A: CountryCode(ls.A), B: CountryCode(ls.B), CostFactor: ls.CostFactor}
+	}
+	return NewWorld(countries, dcs, links)
+}
+
+// ReadWorld decodes a JSON WorldSpec and builds the world.
+func ReadWorld(r io.Reader) (*World, error) {
+	var spec WorldSpec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("geo: decoding world spec: %w", err)
+	}
+	return FromSpec(&spec)
+}
+
+// Spec exports the world back to its JSON shape (links keep their derived
+// cost via cost_factor 0, i.e. the distance default; explicit factors are
+// not recoverable and omitted).
+func (w *World) Spec() *WorldSpec {
+	spec := &WorldSpec{}
+	for _, c := range w.countries {
+		spec.Countries = append(spec.Countries, CountrySpec{
+			Code:         string(c.Code),
+			Name:         c.Name,
+			Region:       c.Region.String(),
+			Lat:          c.Lat,
+			Lon:          c.Lon,
+			UTCOffsetMin: c.UTCOffsetMin,
+			Weight:       c.Weight,
+		})
+	}
+	for _, dc := range w.dcs {
+		spec.DCs = append(spec.DCs, DCSpec{Name: dc.Name, Country: string(dc.Country), CoreCost: dc.CoreCost})
+	}
+	for _, l := range w.links {
+		factor := l.CostPerGbps / linkCost(l.DistKm)
+		ls := LinkSpecJSON{A: string(l.A), B: string(l.B)}
+		if factor < 0.999 || factor > 1.001 {
+			ls.CostFactor = factor
+		}
+		spec.Links = append(spec.Links, ls)
+	}
+	return spec
+}
+
+// WriteWorld encodes the world's spec as indented JSON.
+func WriteWorld(w io.Writer, world *World) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(world.Spec())
+}

@@ -1,0 +1,96 @@
+package geo
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWorldSpecRoundTrip(t *testing.T) {
+	w := DefaultWorld()
+	var buf bytes.Buffer
+	if err := WriteWorld(&buf, w); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadWorld(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Countries()) != len(w.Countries()) ||
+		len(back.DCs()) != len(w.DCs()) ||
+		len(back.Links()) != len(w.Links()) {
+		t.Fatalf("shape mismatch: %d/%d/%d vs %d/%d/%d",
+			len(back.Countries()), len(back.DCs()), len(back.Links()),
+			len(w.Countries()), len(w.DCs()), len(w.Links()))
+	}
+	// Link prices survive (cost factors re-derived).
+	for i, l := range w.Links() {
+		if math.Abs(back.Links()[i].CostPerGbps-l.CostPerGbps) > 1e-6*l.CostPerGbps {
+			t.Errorf("link %d cost %g vs %g", i, back.Links()[i].CostPerGbps, l.CostPerGbps)
+		}
+	}
+	// Latencies identical.
+	for _, dc := range w.DCs() {
+		for _, c := range w.Countries() {
+			if math.Abs(back.Latency(dc.ID, c.Code)-w.Latency(dc.ID, c.Code)) > 1e-9 {
+				t.Fatalf("latency mismatch %s->%s", dc.Name, c.Code)
+			}
+		}
+	}
+}
+
+const tinyWorld = `{
+  "countries": [
+    {"code": "AA", "name": "Aland", "region": "EMEA", "lat": 10, "lon": 10, "utc_offset_min": 0, "weight": 5},
+    {"code": "BB", "name": "Beland", "region": "EMEA", "lat": 12, "lon": 14, "utc_offset_min": 60, "weight": 3}
+  ],
+  "dcs": [
+    {"name": "alpha", "country": "AA", "core_cost": 1.0},
+    {"name": "beta", "country": "BB", "core_cost": 1.5}
+  ],
+  "links": [
+    {"a": "AA", "b": "BB"}
+  ]
+}`
+
+func TestReadWorldCustom(t *testing.T) {
+	w, err := ReadWorld(strings.NewReader(tinyWorld))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.DCs()) != 2 || w.DCs()[1].Region != EMEA {
+		t.Fatalf("DCs = %+v", w.DCs())
+	}
+	if w.NearestDC("BB", true) != 1 {
+		t.Error("nearest DC wrong")
+	}
+}
+
+func TestReadWorldValidation(t *testing.T) {
+	cases := map[string]string{
+		"bad region":      strings.Replace(tinyWorld, "EMEA", "MOON", 1),
+		"bad weight":      strings.Replace(tinyWorld, `"weight": 5`, `"weight": 0`, 1),
+		"unknown dc host": strings.Replace(tinyWorld, `"country": "AA", "core_cost": 1.0`, `"country": "ZZ", "core_cost": 1.0`, 1),
+		"bad core cost":   strings.Replace(tinyWorld, `"core_cost": 1.0`, `"core_cost": -1`, 1),
+		"unknown field":   strings.Replace(tinyWorld, `"countries"`, `"countriez"`, 1),
+		"not json":        "][",
+	}
+	for name, text := range cases {
+		if _, err := ReadWorld(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestParseRegion(t *testing.T) {
+	for _, r := range Regions() {
+		got, err := ParseRegion(r.String())
+		if err != nil || got != r {
+			t.Errorf("round trip %v failed", r)
+		}
+	}
+	if _, err := ParseRegion("ATLANTIS"); err == nil {
+		t.Error("unknown region should error")
+	}
+}

@@ -1,0 +1,530 @@
+// Package geo models the physical substrate Switchboard provisions over: a
+// world of countries with time zones and call-demand weights, datacenters
+// (DCs) hosting media-processing capacity, and an inter-country WAN graph
+// with shortest-path routing, a distance-derived latency model, and per-DC /
+// per-link cost tables.
+//
+// The paper runs over the Azure WAN with measured Teams latencies and
+// confidential prices; this package provides the synthetic equivalent
+// (see DESIGN.md for the substitution argument). All outputs are
+// deterministic functions of the world definition, so experiments are
+// reproducible.
+package geo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Region is a coarse service region; calls are normally hosted inside the
+// region they originate from (as in Microsoft Teams).
+type Region int
+
+// Service regions.
+const (
+	AMER Region = iota // North + South America
+	EMEA               // Europe, Middle East, Africa
+	APAC               // Asia-Pacific
+	numRegions
+)
+
+func (r Region) String() string {
+	switch r {
+	case AMER:
+		return "AMER"
+	case EMEA:
+		return "EMEA"
+	case APAC:
+		return "APAC"
+	default:
+		return fmt.Sprintf("Region(%d)", int(r))
+	}
+}
+
+// Regions lists all regions.
+func Regions() []Region { return []Region{AMER, EMEA, APAC} }
+
+// CountryCode is an ISO-3166-like two-letter country identifier.
+type CountryCode string
+
+// Country is one participant location.
+type Country struct {
+	Code   CountryCode
+	Name   string
+	Region Region
+	// Lat and Lon are representative coordinates in degrees.
+	Lat, Lon float64
+	// UTCOffsetMin is the offset of local time from UTC in minutes
+	// (for example India is +330).
+	UTCOffsetMin int
+	// Weight is the relative share of conferencing demand originating in
+	// the country (arbitrary units; only ratios matter).
+	Weight float64
+}
+
+// DC is a datacenter that can host media-processing (MP) servers.
+type DC struct {
+	// ID is the dense index of the DC in World.DCs().
+	ID int
+	// Name is a short human-readable site name, e.g. "tokyo".
+	Name string
+	// Country hosts the DC; WAN paths start at this country's node.
+	Country CountryCode
+	Region  Region
+	// CoreCost is the cost of one provisioned core for the provisioning
+	// horizon (relative units; mirrors the paper's per-DC Azure prices).
+	CoreCost float64
+}
+
+// Link is one undirected inter-country WAN edge.
+type Link struct {
+	// ID is the dense index of the link in World.Links().
+	ID int
+	// A and B are the endpoint countries (A < B lexicographically).
+	A, B CountryCode
+	// DistKm is the great-circle distance between the endpoints.
+	DistKm float64
+	// CostPerGbps is the cost of one provisioned Gbps on the link for the
+	// provisioning horizon (relative units).
+	CostPerGbps float64
+}
+
+// LinkSpec names an undirected edge when constructing a custom world.
+type LinkSpec struct {
+	A, B CountryCode
+	// CostFactor scales the distance-derived link cost; 0 means 1.
+	CostFactor float64
+}
+
+// World is an immutable snapshot of countries, DCs, and the WAN graph, with
+// cached shortest paths. It is safe for concurrent use.
+type World struct {
+	countries []Country
+	countryIx map[CountryCode]int
+	dcs       []DC
+	links     []Link
+	adj       [][]halfEdge // adjacency by country index
+
+	mu      sync.Mutex
+	pathsOK map[pathKey][]int // cached link-ID paths
+}
+
+type halfEdge struct {
+	to   int // country index
+	link int // link ID
+	w    float64
+}
+
+type pathKey struct {
+	fromCountry int
+	toCountry   int
+	banned      string // canonical encoding of the banned link set
+}
+
+// bannedKey canonicalizes a banned-link set for cache keys. Singletons and
+// the empty set are the overwhelmingly common cases.
+func bannedKey(banned []int) string {
+	switch len(banned) {
+	case 0:
+		return ""
+	case 1:
+		return strconv.Itoa(banned[0])
+	}
+	s := append([]int(nil), banned...)
+	sort.Ints(s)
+	var b strings.Builder
+	for i, l := range s {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(l))
+	}
+	return b.String()
+}
+
+// NewWorld builds a world from explicit data. Link distances and costs are
+// derived from country coordinates; a LinkSpec cost factor scales the
+// distance-derived price. It validates that all referenced countries exist
+// and that the WAN graph is connected.
+func NewWorld(countries []Country, dcs []DC, linkSpecs []LinkSpec) (*World, error) {
+	w := &World{
+		countries: append([]Country(nil), countries...),
+		countryIx: make(map[CountryCode]int, len(countries)),
+		pathsOK:   make(map[pathKey][]int),
+	}
+	for i, c := range w.countries {
+		if _, dup := w.countryIx[c.Code]; dup {
+			return nil, fmt.Errorf("geo: duplicate country %q", c.Code)
+		}
+		w.countryIx[c.Code] = i
+	}
+	w.dcs = append([]DC(nil), dcs...)
+	for i := range w.dcs {
+		w.dcs[i].ID = i
+		if _, ok := w.countryIx[w.dcs[i].Country]; !ok {
+			return nil, fmt.Errorf("geo: DC %q in unknown country %q", w.dcs[i].Name, w.dcs[i].Country)
+		}
+	}
+	w.adj = make([][]halfEdge, len(w.countries))
+	for _, spec := range linkSpecs {
+		ai, ok := w.countryIx[spec.A]
+		if !ok {
+			return nil, fmt.Errorf("geo: link endpoint %q unknown", spec.A)
+		}
+		bi, ok := w.countryIx[spec.B]
+		if !ok {
+			return nil, fmt.Errorf("geo: link endpoint %q unknown", spec.B)
+		}
+		if ai == bi {
+			return nil, fmt.Errorf("geo: self-link at %q", spec.A)
+		}
+		a, b := spec.A, spec.B
+		if a > b {
+			a, b = b, a
+		}
+		dist := HaversineKm(w.countries[ai].Lat, w.countries[ai].Lon, w.countries[bi].Lat, w.countries[bi].Lon)
+		factor := spec.CostFactor
+		if factor == 0 {
+			factor = 1
+		}
+		l := Link{
+			ID:          len(w.links),
+			A:           a,
+			B:           b,
+			DistKm:      dist,
+			CostPerGbps: linkCost(dist) * factor,
+		}
+		w.links = append(w.links, l)
+		w.adj[ai] = append(w.adj[ai], halfEdge{to: bi, link: l.ID, w: dist})
+		w.adj[bi] = append(w.adj[bi], halfEdge{to: ai, link: l.ID, w: dist})
+	}
+	if err := w.checkConnected(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *World) checkConnected() error {
+	if len(w.countries) == 0 {
+		return fmt.Errorf("geo: no countries")
+	}
+	seen := make([]bool, len(w.countries))
+	stack := []int{0}
+	seen[0] = true
+	n := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range w.adj[u] {
+			if !seen[e.to] {
+				seen[e.to] = true
+				n++
+				stack = append(stack, e.to)
+			}
+		}
+	}
+	if n != len(w.countries) {
+		for i, s := range seen {
+			if !s {
+				return fmt.Errorf("geo: WAN graph disconnected: country %q unreachable", w.countries[i].Code)
+			}
+		}
+	}
+	return nil
+}
+
+// Countries returns the countries in index order. The slice must not be
+// modified.
+func (w *World) Countries() []Country { return w.countries }
+
+// DCs returns the datacenters in ID order. The slice must not be modified.
+func (w *World) DCs() []DC { return w.dcs }
+
+// Links returns the WAN links in ID order. The slice must not be modified.
+func (w *World) Links() []Link { return w.links }
+
+// Country returns the country with the given code.
+func (w *World) Country(code CountryCode) (Country, bool) {
+	i, ok := w.countryIx[code]
+	if !ok {
+		return Country{}, false
+	}
+	return w.countries[i], true
+}
+
+// DCsInRegion returns the IDs of the DCs in region r.
+func (w *World) DCsInRegion(r Region) []int {
+	var ids []int
+	for _, dc := range w.dcs {
+		if dc.Region == r {
+			ids = append(ids, dc.ID)
+		}
+	}
+	return ids
+}
+
+// NearestDC returns the ID of the DC with the lowest latency to the given
+// country, optionally restricted to the country's region (as Teams does).
+func (w *World) NearestDC(code CountryCode, sameRegionOnly bool) int {
+	c, ok := w.Country(code)
+	if !ok {
+		return -1
+	}
+	best, bestLat := -1, math.Inf(1)
+	for _, dc := range w.dcs {
+		if sameRegionOnly && dc.Region != c.Region {
+			continue
+		}
+		if lat := w.Latency(dc.ID, code); lat < bestLat {
+			best, bestLat = dc.ID, lat
+		}
+	}
+	return best
+}
+
+// DCsByLatency returns all DC IDs sorted by ascending latency to the country.
+func (w *World) DCsByLatency(code CountryCode) []int {
+	ids := make([]int, len(w.dcs))
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		return w.Latency(ids[a], code) < w.Latency(ids[b], code)
+	})
+	return ids
+}
+
+// Latency model parameters. Real WAN paths are far from geodesic, so the
+// effective propagation speed is calibrated to ~100 km/ms one-way, with a
+// per-hop switching penalty and a fixed access (DC/last-mile) term. The
+// result approximates observed one-way conferencing latencies well enough
+// that the paper's 120 ms ACL threshold separates in-region from cross-ocean
+// placements.
+const (
+	kmPerMs     = 100.0
+	perHopMs    = 2.0
+	accessMs    = 6.0
+	sameCityMs  = 2.0 // participant in the DC's own country
+	noPathPenMs = 1e6 // latency reported when routing is impossible
+)
+
+// Latency returns the modeled one-way latency in milliseconds between DC dc
+// and a participant in the given country, following the WAN shortest path.
+func (w *World) Latency(dc int, code CountryCode) float64 {
+	return w.LatencyAvoiding(dc, code, -1)
+}
+
+// LatencyAvoiding is Latency with one WAN link removed (a link-failure
+// scenario). banned is a link ID, or -1 for none.
+func (w *World) LatencyAvoiding(dc int, code CountryCode, banned int) float64 {
+	return w.LatencyAvoidingSet(dc, code, singleBan(banned))
+}
+
+// LatencyAvoidingSet is Latency with a set of WAN links removed.
+func (w *World) LatencyAvoidingSet(dc int, code CountryCode, banned []int) float64 {
+	from := w.countryIx[w.dcs[dc].Country]
+	to, ok := w.countryIx[code]
+	if !ok {
+		return noPathPenMs
+	}
+	if from == to {
+		return accessMs + sameCityMs
+	}
+	path, dist := w.shortestPath(from, to, banned)
+	if path == nil {
+		return noPathPenMs
+	}
+	return accessMs + dist/kmPerMs + float64(len(path))*perHopMs
+}
+
+func singleBan(banned int) []int {
+	if banned < 0 {
+		return nil
+	}
+	return []int{banned}
+}
+
+// Path returns the link IDs on the WAN route between the DC and the country
+// (empty when they share a country). The returned slice must not be modified.
+func (w *World) Path(dc int, code CountryCode) []int {
+	return w.PathAvoiding(dc, code, -1)
+}
+
+// PathAvoiding is Path with one WAN link removed. It returns nil when no
+// route exists.
+func (w *World) PathAvoiding(dc int, code CountryCode, banned int) []int {
+	return w.PathAvoidingSet(dc, code, singleBan(banned))
+}
+
+// PathAvoidingSet is Path with a set of WAN links removed (a compound
+// failure scenario). It returns nil when no route exists.
+func (w *World) PathAvoidingSet(dc int, code CountryCode, banned []int) []int {
+	from := w.countryIx[w.dcs[dc].Country]
+	to, ok := w.countryIx[code]
+	if !ok {
+		return nil
+	}
+	if from == to {
+		return []int{}
+	}
+	path, _ := w.shortestPath(from, to, banned)
+	return path
+}
+
+// shortestPath runs Dijkstra between country indices, skipping the banned
+// links, caching results. It returns the link-ID path and its total
+// distance.
+func (w *World) shortestPath(from, to int, banned []int) ([]int, float64) {
+	key := pathKey{from, to, bannedKey(banned)}
+	w.mu.Lock()
+	if p, ok := w.pathsOK[key]; ok {
+		w.mu.Unlock()
+		return p, w.pathDist(p)
+	}
+	w.mu.Unlock()
+
+	n := len(w.countries)
+	dist := make([]float64, n)
+	prevLink := make([]int, n)
+	prevNode := make([]int, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prevLink[i] = -1
+		prevNode[i] = -1
+	}
+	bannedSet := make(map[int]bool, len(banned))
+	for _, l := range banned {
+		bannedSet[l] = true
+	}
+	dist[from] = 0
+	h := &distHeap{items: []heapItem{{node: from, d: 0}}}
+	for h.Len() > 0 {
+		it := h.pop()
+		if done[it.node] {
+			continue
+		}
+		done[it.node] = true
+		if it.node == to {
+			break
+		}
+		for _, e := range w.adj[it.node] {
+			if bannedSet[e.link] || done[e.to] {
+				continue
+			}
+			if nd := dist[it.node] + e.w; nd < dist[e.to] {
+				dist[e.to] = nd
+				prevLink[e.to] = e.link
+				prevNode[e.to] = it.node
+				h.push(heapItem{node: e.to, d: nd})
+			}
+		}
+	}
+	var path []int
+	if !math.IsInf(dist[to], 1) {
+		for u := to; u != from; u = prevNode[u] {
+			path = append(path, prevLink[u])
+		}
+		// Reverse so the path reads DC -> participant.
+		for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+			path[i], path[j] = path[j], path[i]
+		}
+	}
+	w.mu.Lock()
+	w.pathsOK[key] = path
+	w.mu.Unlock()
+	return path, dist[to]
+}
+
+func (w *World) pathDist(path []int) float64 {
+	var d float64
+	for _, l := range path {
+		d += w.links[l].DistKm
+	}
+	return d
+}
+
+// HaversineKm returns the great-circle distance in kilometers between two
+// points given in degrees.
+func HaversineKm(lat1, lon1, lat2, lon2 float64) float64 {
+	const earthRadiusKm = 6371.0
+	rad := math.Pi / 180
+	φ1, φ2 := lat1*rad, lat2*rad
+	dφ := (lat2 - lat1) * rad
+	dλ := (lon2 - lon1) * rad
+	a := math.Sin(dφ/2)*math.Sin(dφ/2) + math.Cos(φ1)*math.Cos(φ2)*math.Sin(dλ/2)*math.Sin(dλ/2)
+	return 2 * earthRadiusKm * math.Asin(math.Min(1, math.Sqrt(a)))
+}
+
+// wanCostScale calibrates WAN prices against compute prices so that, under
+// the round-robin baseline, WAN accounts for the dominant share (~75-85%) of
+// total provisioning cost. That split is implied by the paper's Table 3
+// (LF's 1.08× cores and 0.18× WAN combining to 0.35× cost requires WAN to
+// carry ≈80% of RR's cost), and it is what makes joint provisioning trade
+// the way the paper describes (audio offloads first, video stays local).
+const wanCostScale = 9.0
+
+// linkCost derives a relative per-Gbps price from link length: longer links
+// cost more, sublinearly (long-haul capacity has economies of scale), with a
+// premium for cross-ocean spans.
+func linkCost(distKm float64) float64 {
+	c := 0.3 + math.Pow(distKm/1000, 0.7)
+	if distKm > 3000 {
+		c *= 1.4 // submarine / long-haul premium
+	}
+	return c * wanCostScale
+}
+
+// distHeap is a minimal binary min-heap for Dijkstra (no container/heap
+// interface indirection on the hot path).
+type distHeap struct {
+	items []heapItem
+}
+
+type heapItem struct {
+	node int
+	d    float64
+}
+
+func (h *distHeap) Len() int { return len(h.items) }
+
+func (h *distHeap) push(it heapItem) {
+	h.items = append(h.items, it)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].d <= h.items[i].d {
+			break
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+func (h *distHeap) pop() heapItem {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h.items) && h.items[l].d < h.items[small].d {
+			small = l
+		}
+		if r < len(h.items) && h.items[r].d < h.items[small].d {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.items[i], h.items[small] = h.items[small], h.items[i]
+		i = small
+	}
+	return top
+}

@@ -1,0 +1,293 @@
+package geo
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultWorldValid(t *testing.T) {
+	w := DefaultWorld()
+	if len(w.Countries()) < 40 {
+		t.Errorf("got %d countries, want >= 40", len(w.Countries()))
+	}
+	if len(w.DCs()) != 12 {
+		t.Errorf("got %d DCs, want 12", len(w.DCs()))
+	}
+	if len(w.Links()) < 50 {
+		t.Errorf("got %d links, want >= 50", len(w.Links()))
+	}
+}
+
+func TestEveryRegionHasDCs(t *testing.T) {
+	w := DefaultWorld()
+	for _, r := range Regions() {
+		if len(w.DCsInRegion(r)) < 2 {
+			t.Errorf("region %v has %d DCs, want >= 2 (needed for failover)", r, len(w.DCsInRegion(r)))
+		}
+	}
+}
+
+func TestHaversineKnownDistances(t *testing.T) {
+	// London to New York is about 5570 km.
+	d := HaversineKm(51.5, -0.1, 40.7, -74)
+	if d < 5400 || d > 5700 {
+		t.Errorf("London-NYC = %g km, want ~5570", d)
+	}
+	if d := HaversineKm(10, 20, 10, 20); d != 0 {
+		t.Errorf("zero distance = %g", d)
+	}
+}
+
+func TestLatencySameCountry(t *testing.T) {
+	w := DefaultWorld()
+	var tokyoDC int = -1
+	for _, dc := range w.DCs() {
+		if dc.Name == "tokyo" {
+			tokyoDC = dc.ID
+		}
+	}
+	if tokyoDC < 0 {
+		t.Fatal("no tokyo DC")
+	}
+	lat := w.Latency(tokyoDC, "JP")
+	if lat != accessMs+sameCityMs {
+		t.Errorf("intra-country latency = %g, want %g", lat, accessMs+sameCityMs)
+	}
+}
+
+func TestLatencyOrdering(t *testing.T) {
+	w := DefaultWorld()
+	var pune, tokyo, usEast int
+	for _, dc := range w.DCs() {
+		switch dc.Name {
+		case "pune":
+			pune = dc.ID
+		case "tokyo":
+			tokyo = dc.ID
+		case "us-east":
+			usEast = dc.ID
+		}
+	}
+	// A participant in India should see pune < tokyo < us-east.
+	lp := w.Latency(pune, "IN")
+	lt := w.Latency(tokyo, "IN")
+	lu := w.Latency(usEast, "IN")
+	if !(lp < lt && lt < lu) {
+		t.Errorf("IN latencies pune=%g tokyo=%g us-east=%g, want increasing", lp, lt, lu)
+	}
+	// The 120 ms threshold should separate in-region from trans-ocean:
+	// tokyo serves India under it, us-east does not.
+	if lt > 120 {
+		t.Errorf("tokyo->IN = %g ms, want <= 120 (in-region feasible)", lt)
+	}
+	if lu < 120 {
+		t.Errorf("us-east->IN = %g ms, want > 120 (cross-ocean infeasible)", lu)
+	}
+}
+
+func TestNearestDC(t *testing.T) {
+	w := DefaultWorld()
+	id := w.NearestDC("JP", true)
+	if id < 0 || w.DCs()[id].Name != "tokyo" {
+		t.Errorf("nearest DC to JP = %v, want tokyo", id)
+	}
+	if w.NearestDC("ZZ", false) != -1 {
+		t.Error("unknown country should return -1")
+	}
+	// Region restriction: nearest in-region DC for Brazil must be in AMER.
+	id = w.NearestDC("BR", true)
+	if w.DCs()[id].Region != AMER {
+		t.Errorf("nearest in-region DC for BR is %v in %v", w.DCs()[id].Name, w.DCs()[id].Region)
+	}
+}
+
+func TestPathValidAndConnected(t *testing.T) {
+	w := DefaultWorld()
+	for _, dc := range w.DCs() {
+		for _, c := range w.Countries() {
+			p := w.Path(dc.ID, c.Code)
+			if p == nil {
+				t.Fatalf("no path %s -> %s", dc.Name, c.Code)
+			}
+			// Verify the path is a connected walk from the DC country
+			// to the target country.
+			cur := dc.Country
+			for _, lid := range p {
+				l := w.Links()[lid]
+				switch cur {
+				case l.A:
+					cur = l.B
+				case l.B:
+					cur = l.A
+				default:
+					t.Fatalf("path %s->%s: link %s-%s does not touch %s", dc.Name, c.Code, l.A, l.B, cur)
+				}
+			}
+			if cur != c.Code {
+				t.Fatalf("path %s->%s ends at %s", dc.Name, c.Code, cur)
+			}
+		}
+	}
+}
+
+// TestPathDistanceAtLeastGeodesic: a routed path can never be shorter than
+// the great-circle distance between its endpoints (triangle inequality).
+func TestPathDistanceAtLeastGeodesic(t *testing.T) {
+	w := DefaultWorld()
+	for _, dc := range w.DCs() {
+		dcc, _ := w.Country(dc.Country)
+		for _, c := range w.Countries() {
+			if c.Code == dc.Country {
+				continue
+			}
+			var pathKm float64
+			for _, lid := range w.Path(dc.ID, c.Code) {
+				pathKm += w.Links()[lid].DistKm
+			}
+			direct := HaversineKm(dcc.Lat, dcc.Lon, c.Lat, c.Lon)
+			if pathKm < direct-1 {
+				t.Errorf("%s->%s path %g km < geodesic %g km", dc.Name, c.Code, pathKm, direct)
+			}
+		}
+	}
+}
+
+func TestPathAvoidingReroutes(t *testing.T) {
+	w := DefaultWorld()
+	var pune int
+	for _, dc := range w.DCs() {
+		if dc.Name == "pune" {
+			pune = dc.ID
+		}
+	}
+	base := w.Path(pune, "SG")
+	if len(base) == 0 {
+		t.Fatal("no path IN->SG")
+	}
+	banned := base[0]
+	alt := w.PathAvoiding(pune, "SG", banned)
+	if alt == nil {
+		t.Fatal("no alternative path when first link removed")
+	}
+	for _, l := range alt {
+		if l == banned {
+			t.Fatalf("rerouted path still uses banned link %d", banned)
+		}
+	}
+	if w.LatencyAvoiding(pune, "SG", banned) < w.Latency(pune, "SG") {
+		t.Error("avoiding a shortest-path link must not reduce latency")
+	}
+}
+
+func TestDCsByLatencySorted(t *testing.T) {
+	w := DefaultWorld()
+	ids := w.DCsByLatency("DE")
+	if len(ids) != len(w.DCs()) {
+		t.Fatalf("got %d ids", len(ids))
+	}
+	for i := 1; i < len(ids); i++ {
+		if w.Latency(ids[i-1], "DE") > w.Latency(ids[i], "DE") {
+			t.Fatal("not sorted by latency")
+		}
+	}
+}
+
+func TestLinkCostsPositiveAndMonotonicScale(t *testing.T) {
+	w := DefaultWorld()
+	for _, l := range w.Links() {
+		if l.CostPerGbps <= 0 {
+			t.Errorf("link %s-%s has cost %g", l.A, l.B, l.CostPerGbps)
+		}
+		if l.A >= l.B {
+			t.Errorf("link endpoints not normalized: %s-%s", l.A, l.B)
+		}
+	}
+	if linkCost(8000) <= linkCost(800) {
+		t.Error("longer links should cost more")
+	}
+}
+
+func TestNewWorldValidation(t *testing.T) {
+	cs := []Country{{Code: "AA", Lat: 0, Lon: 0}, {Code: "BB", Lat: 1, Lon: 1}}
+	if _, err := NewWorld(cs, nil, []LinkSpec{{A: "AA", B: "CC"}}); err == nil {
+		t.Error("unknown link endpoint should error")
+	}
+	if _, err := NewWorld(cs, []DC{{Name: "d", Country: "XX"}}, []LinkSpec{{A: "AA", B: "BB"}}); err == nil {
+		t.Error("DC in unknown country should error")
+	}
+	if _, err := NewWorld(cs, nil, nil); err == nil {
+		t.Error("disconnected graph should error")
+	}
+	if _, err := NewWorld([]Country{{Code: "AA"}, {Code: "AA"}}, nil, nil); err == nil {
+		t.Error("duplicate country should error")
+	}
+	if _, err := NewWorld(cs, nil, []LinkSpec{{A: "AA", B: "AA"}}); err == nil {
+		t.Error("self link should error")
+	}
+	if _, err := NewWorld(nil, nil, nil); err == nil {
+		t.Error("empty world should error")
+	}
+}
+
+func TestUnknownCountryLatency(t *testing.T) {
+	w := DefaultWorld()
+	if l := w.Latency(0, "ZZ"); l != noPathPenMs {
+		t.Errorf("latency to unknown country = %g, want %g", l, noPathPenMs)
+	}
+	if p := w.Path(0, "ZZ"); p != nil {
+		t.Errorf("path to unknown country = %v, want nil", p)
+	}
+}
+
+func TestConcurrentPathLookups(t *testing.T) {
+	w := DefaultWorld()
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for _, dc := range w.DCs() {
+				for _, c := range w.Countries() {
+					w.Latency(dc.ID, c.Code)
+					w.LatencyAvoiding(dc.ID, c.Code, 3)
+				}
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}
+
+func TestRegionStrings(t *testing.T) {
+	if AMER.String() != "AMER" || EMEA.String() != "EMEA" || APAC.String() != "APAC" {
+		t.Error("region strings wrong")
+	}
+	if Region(9).String() == "" {
+		t.Error("unknown region should still stringify")
+	}
+}
+
+// TestNoBridgeLinks: no single WAN link failure may disconnect a country —
+// otherwise link-failure provisioning scenarios would face unservable
+// participants (the real Azure WAN is similarly redundant).
+func TestNoBridgeLinks(t *testing.T) {
+	w := DefaultWorld()
+	for _, l := range w.Links() {
+		for _, c := range w.Countries() {
+			if w.Path(0, c.Code) != nil && w.PathAvoiding(0, c.Code, l.ID) == nil {
+				t.Errorf("link %s-%s is a bridge: its failure isolates %s", l.A, l.B, c.Code)
+			}
+		}
+	}
+}
+
+func TestWeightsPositive(t *testing.T) {
+	for _, c := range DefaultWorld().Countries() {
+		if c.Weight <= 0 {
+			t.Errorf("country %s weight %g", c.Code, c.Weight)
+		}
+		if math.Abs(c.Lat) > 90 || math.Abs(c.Lon) > 180 {
+			t.Errorf("country %s has invalid coordinates", c.Code)
+		}
+	}
+}

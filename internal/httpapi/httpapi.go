@@ -1,0 +1,177 @@
+// Package httpapi exposes the realtime controller over HTTP — the service
+// surface cmd/switchboard serves. Handlers are plain net/http so they can be
+// tested with httptest and embedded in other binaries.
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"switchboard/internal/controller"
+	"switchboard/internal/geo"
+	"switchboard/internal/model"
+)
+
+// Server wires the controller to HTTP routes.
+type Server struct {
+	world *geo.World
+	ctrl  *controller.Controller
+	// Now returns the current time; overridable for tests.
+	Now func() time.Time
+}
+
+// New returns a Server for the given world and controller.
+func New(world *geo.World, ctrl *controller.Controller) *Server {
+	return &Server{world: world, ctrl: ctrl, Now: time.Now}
+}
+
+// Mux returns the route table:
+//
+//	POST /v1/call/start  {"id":1,"country":"JP","series_id":7}
+//	POST /v1/call/config {"id":1,"config":"video|ID:5,JP:3"}
+//	POST /v1/call/end    {"id":1}
+//	GET  /v1/stats
+//	GET  /v1/world
+//	GET  /healthz
+func (s *Server) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/call/start", s.handleStart)
+	mux.HandleFunc("POST /v1/call/config", s.handleConfig)
+	mux.HandleFunc("POST /v1/call/end", s.handleEnd)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/world", s.handleWorld)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// StartRequest is the body of POST /v1/call/start.
+type StartRequest struct {
+	ID       uint64 `json:"id"`
+	Country  string `json:"country"`
+	SeriesID uint64 `json:"series_id,omitempty"`
+}
+
+// StartResponse is the reply to POST /v1/call/start.
+type StartResponse struct {
+	DC     int    `json:"dc"`
+	DCName string `json:"dc_name"`
+}
+
+func (s *Server) handleStart(w http.ResponseWriter, r *http.Request) {
+	var req StartRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	dc, err := s.ctrl.CallStartedWithSeries(req.ID, geo.CountryCode(req.Country), req.SeriesID, s.Now())
+	if err != nil {
+		httpError(w, http.StatusConflict, err)
+		return
+	}
+	s.reply(w, StartResponse{DC: dc, DCName: s.world.DCs()[dc].Name})
+}
+
+// ConfigRequest is the body of POST /v1/call/config.
+type ConfigRequest struct {
+	ID     uint64 `json:"id"`
+	Config string `json:"config"`
+}
+
+// ConfigResponse is the reply to POST /v1/call/config.
+type ConfigResponse struct {
+	DC       int    `json:"dc"`
+	DCName   string `json:"dc_name"`
+	Migrated bool   `json:"migrated"`
+}
+
+func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
+	var req ConfigRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	cfg, err := model.ParseConfigKey(req.Config)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	dc, migrated, err := s.ctrl.ConfigKnown(req.ID, cfg, s.Now())
+	if err != nil {
+		httpError(w, http.StatusConflict, err)
+		return
+	}
+	s.reply(w, ConfigResponse{DC: dc, DCName: s.world.DCs()[dc].Name, Migrated: migrated})
+}
+
+// EndRequest is the body of POST /v1/call/end.
+type EndRequest struct {
+	ID uint64 `json:"id"`
+}
+
+func (s *Server) handleEnd(w http.ResponseWriter, r *http.Request) {
+	var req EndRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if err := s.ctrl.CallEnded(req.ID); err != nil {
+		httpError(w, http.StatusConflict, err)
+		return
+	}
+	s.reply(w, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := s.ctrl.Stats()
+	s.reply(w, map[string]any{
+		"started":                  st.Started,
+		"frozen":                   st.Frozen,
+		"migrated":                 st.Migrated,
+		"unplanned":                st.Unplanned,
+		"ended":                    st.Ended,
+		"predicted":                st.Predicted,
+		"migration_rate":           st.MigrationRate(),
+		"recurring_migration_rate": st.RecurringMigrationRate(),
+		"active_calls":             s.ctrl.ActiveCalls(),
+	})
+}
+
+func (s *Server) handleWorld(w http.ResponseWriter, _ *http.Request) {
+	type dcDTO struct {
+		ID      int     `json:"id"`
+		Name    string  `json:"name"`
+		Country string  `json:"country"`
+		Region  string  `json:"region"`
+		Cost    float64 `json:"core_cost"`
+	}
+	out := make([]dcDTO, 0, len(s.world.DCs()))
+	for _, dc := range s.world.DCs() {
+		out = append(out, dcDTO{
+			ID: dc.ID, Name: dc.Name, Country: string(dc.Country),
+			Region: dc.Region.String(), Cost: dc.CoreCost,
+		})
+	}
+	s.reply(w, map[string]any{"dcs": out, "countries": len(s.world.Countries()), "links": len(s.world.Links())})
+}
+
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return false
+	}
+	return true
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func (s *Server) reply(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,140 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"switchboard/internal/controller"
+	"switchboard/internal/geo"
+	"switchboard/internal/model"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	world := geo.DefaultWorld()
+	ctrl, err := controller.New(controller.Config{
+		World: world,
+		Placer: &controller.MinACLPlacer{
+			ACLOf: func(cfg model.CallConfig, dc int) float64 { return cfg.ACL(world, dc) },
+			NDCs:  len(world.DCs()),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(world, ctrl)
+	ts := httptest.NewServer(s.Mux())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func post(t *testing.T, ts *httptest.Server, path string, body any) (*http.Response, map[string]any) {
+	t.Helper()
+	b, _ := json.Marshal(body)
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	var out map[string]any
+	json.NewDecoder(resp.Body).Decode(&out)
+	return resp, out
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	var out map[string]any
+	json.NewDecoder(resp.Body).Decode(&out)
+	return resp, out
+}
+
+func TestCallLifecycle(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	// Start in Japan: assigned to tokyo.
+	resp, out := post(t, ts, "/v1/call/start", StartRequest{ID: 1, Country: "JP"})
+	if resp.StatusCode != http.StatusOK || out["dc_name"] != "tokyo" {
+		t.Fatalf("start: %d %v", resp.StatusCode, out)
+	}
+	// Config turns out Indonesia-majority: migrate (the §5.4 example).
+	resp, out = post(t, ts, "/v1/call/config", ConfigRequest{ID: 1, Config: "video|ID:5,JP:3"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("config: %d %v", resp.StatusCode, out)
+	}
+	if out["migrated"] != true {
+		t.Errorf("expected migration: %v", out)
+	}
+	resp, _ = post(t, ts, "/v1/call/end", EndRequest{ID: 1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("end: %d", resp.StatusCode)
+	}
+
+	_, stats := get(t, ts, "/v1/stats")
+	if stats["started"].(float64) != 1 || stats["migrated"].(float64) != 1 || stats["active_calls"].(float64) != 0 {
+		t.Errorf("stats = %v", stats)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	_, ts := newTestServer(t)
+	// Unknown country.
+	resp, _ := post(t, ts, "/v1/call/start", StartRequest{ID: 9, Country: "ZZ"})
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("unknown country -> %d, want 409", resp.StatusCode)
+	}
+	// Malformed config string.
+	post(t, ts, "/v1/call/start", StartRequest{ID: 2, Country: "US"})
+	resp, _ = post(t, ts, "/v1/call/config", ConfigRequest{ID: 2, Config: "nope"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad config -> %d, want 400", resp.StatusCode)
+	}
+	// Unknown call ID.
+	resp, _ = post(t, ts, "/v1/call/end", EndRequest{ID: 777})
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("unknown call end -> %d, want 409", resp.StatusCode)
+	}
+	// Unknown JSON field rejected.
+	resp, err := http.Post(ts.URL+"/v1/call/start", "application/json",
+		bytes.NewReader([]byte(`{"id":3,"country":"US","bogus":1}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field -> %d, want 400", resp.StatusCode)
+	}
+	// Wrong method.
+	resp, err = http.Get(ts.URL + "/v1/call/start")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET on POST route -> %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestWorldAndHealth(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, out := get(t, ts, "/v1/world")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("world: %d", resp.StatusCode)
+	}
+	dcs, ok := out["dcs"].([]any)
+	if !ok || len(dcs) != 12 {
+		t.Errorf("world dcs = %v", out["dcs"])
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", err, resp)
+	}
+	resp.Body.Close()
+}

@@ -1,0 +1,268 @@
+package kvstore
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"time"
+)
+
+// Client is a RESP client over one TCP connection. It is safe for a single
+// goroutine; controller workers each own one client, mirroring the paper's
+// per-thread Redis connections.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+
+	// lastRTT is the duration of the most recent round trip, exposed so
+	// the controller benchmark can report write latencies (§6.6).
+	lastRTT time.Duration
+}
+
+// ErrNil is returned by Get/HGet when the key or field does not exist.
+var ErrNil = errors.New("kvstore: nil reply")
+
+// Dial connects to a kvstore (or Redis) server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return &Client{
+		conn: conn,
+		r:    bufio.NewReaderSize(conn, 16<<10),
+		w:    bufio.NewWriterSize(conn, 16<<10),
+	}, nil
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// LastRTT returns the duration of the most recent command round trip.
+func (c *Client) LastRTT() time.Duration { return c.lastRTT }
+
+// Do sends one command and reads its reply. Integer replies are returned as
+// int64, simple and bulk strings as string, nil replies as ErrNil.
+func (c *Client) Do(args ...string) (interface{}, error) {
+	start := time.Now()
+	if err := c.writeCommand(args); err != nil {
+		return nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	reply, err := c.readReply()
+	c.lastRTT = time.Since(start)
+	return reply, err
+}
+
+// Pipeline sends several commands in one batch and returns all replies; a
+// per-command nil reply appears as ErrNil in errs.
+func (c *Client) Pipeline(cmds [][]string) (replies []interface{}, errs []error, err error) {
+	for _, cmd := range cmds {
+		if err := c.writeCommand(cmd); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, nil, err
+	}
+	replies = make([]interface{}, len(cmds))
+	errs = make([]error, len(cmds))
+	for i := range cmds {
+		replies[i], errs[i] = c.readReply()
+		if errs[i] != nil && !errors.Is(errs[i], ErrNil) {
+			// Protocol-level failure: the connection is unusable.
+			if isProtocolErr(errs[i]) {
+				return replies, errs, errs[i]
+			}
+		}
+	}
+	return replies, errs, nil
+}
+
+func isProtocolErr(err error) bool {
+	var re respError
+	return !errors.As(err, &re)
+}
+
+// respError is a server-reported error (-ERR ...), distinct from transport
+// failures.
+type respError string
+
+func (e respError) Error() string { return string(e) }
+
+// Set stores a string value.
+func (c *Client) Set(key, value string) error {
+	r, err := c.Do("SET", key, value)
+	if err != nil {
+		return err
+	}
+	if s, ok := r.(string); !ok || s != "OK" {
+		return fmt.Errorf("kvstore: unexpected SET reply %v", r)
+	}
+	return nil
+}
+
+// Get fetches a string value; ErrNil when absent.
+func (c *Client) Get(key string) (string, error) {
+	r, err := c.Do("GET", key)
+	if err != nil {
+		return "", err
+	}
+	s, ok := r.(string)
+	if !ok {
+		return "", fmt.Errorf("kvstore: unexpected GET reply %v", r)
+	}
+	return s, nil
+}
+
+// Incr atomically increments an integer key.
+func (c *Client) Incr(key string) (int64, error) {
+	r, err := c.Do("INCR", key)
+	if err != nil {
+		return 0, err
+	}
+	n, ok := r.(int64)
+	if !ok {
+		return 0, fmt.Errorf("kvstore: unexpected INCR reply %v", r)
+	}
+	return n, nil
+}
+
+// HSet stores a hash field.
+func (c *Client) HSet(key, field, value string) error {
+	_, err := c.Do("HSET", key, field, value)
+	return err
+}
+
+// HGet fetches a hash field; ErrNil when absent.
+func (c *Client) HGet(key, field string) (string, error) {
+	r, err := c.Do("HGET", key, field)
+	if err != nil {
+		return "", err
+	}
+	s, ok := r.(string)
+	if !ok {
+		return "", fmt.Errorf("kvstore: unexpected HGET reply %v", r)
+	}
+	return s, nil
+}
+
+// HGetAll fetches every field of a hash (empty map when the key is absent).
+func (c *Client) HGetAll(key string) (map[string]string, error) {
+	r, err := c.Do("HGETALL", key)
+	if err != nil {
+		return nil, err
+	}
+	arr, ok := r.([]interface{})
+	if !ok || len(arr)%2 != 0 {
+		return nil, fmt.Errorf("kvstore: unexpected HGETALL reply %v", r)
+	}
+	out := make(map[string]string, len(arr)/2)
+	for i := 0; i < len(arr); i += 2 {
+		f, fok := arr[i].(string)
+		v, vok := arr[i+1].(string)
+		if !fok || !vok {
+			return nil, fmt.Errorf("kvstore: non-string HGETALL element")
+		}
+		out[f] = v
+	}
+	return out, nil
+}
+
+// Keys lists all live keys (debugging aid; the server only supports the full
+// wildcard).
+func (c *Client) Keys() ([]string, error) {
+	r, err := c.Do("KEYS", "*")
+	if err != nil {
+		return nil, err
+	}
+	arr, ok := r.([]interface{})
+	if !ok {
+		return nil, fmt.Errorf("kvstore: unexpected KEYS reply %v", r)
+	}
+	out := make([]string, 0, len(arr))
+	for _, e := range arr {
+		s, ok := e.(string)
+		if !ok {
+			return nil, fmt.Errorf("kvstore: non-string key")
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func (c *Client) writeCommand(args []string) error {
+	if len(args) == 0 {
+		return errors.New("kvstore: empty command")
+	}
+	c.w.WriteString("*" + strconv.Itoa(len(args)) + "\r\n")
+	for _, a := range args {
+		c.w.WriteString("$" + strconv.Itoa(len(a)) + "\r\n")
+		c.w.WriteString(a)
+		c.w.WriteString("\r\n")
+	}
+	return nil
+}
+
+func (c *Client) readReply() (interface{}, error) {
+	line, err := readLine(c.r)
+	if err != nil {
+		return nil, err
+	}
+	if len(line) == 0 {
+		return nil, errors.New("kvstore: empty reply")
+	}
+	switch line[0] {
+	case '+':
+		return line[1:], nil
+	case '-':
+		return nil, respError(line[1:])
+	case ':':
+		n, err := strconv.ParseInt(line[1:], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("kvstore: bad integer reply %q", line)
+		}
+		return n, nil
+	case '$':
+		n, err := strconv.Atoi(line[1:])
+		if err != nil {
+			return nil, fmt.Errorf("kvstore: bad bulk header %q", line)
+		}
+		if n < 0 {
+			return nil, ErrNil
+		}
+		buf := make([]byte, n+2)
+		if _, err := io.ReadFull(c.r, buf); err != nil {
+			return nil, err
+		}
+		return string(buf[:n]), nil
+	case '*':
+		n, err := strconv.Atoi(line[1:])
+		if err != nil {
+			return nil, fmt.Errorf("kvstore: bad array header %q", line)
+		}
+		if n < 0 {
+			return nil, ErrNil
+		}
+		out := make([]interface{}, n)
+		for i := 0; i < n; i++ {
+			v, err := c.readReply()
+			if err != nil && !errors.Is(err, ErrNil) {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("kvstore: unknown reply type %q", line)
+	}
+}

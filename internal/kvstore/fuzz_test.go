@@ -1,0 +1,31 @@
+package kvstore
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCommand: arbitrary bytes must never panic the RESP parser; they
+// either yield a command or an error.
+func FuzzReadCommand(f *testing.F) {
+	f.Add("PING\r\n")
+	f.Add("*2\r\n$3\r\nGET\r\n$1\r\nk\r\n")
+	f.Add("*1\r\n$-1\r\n")
+	f.Add("*999999\r\n")
+	f.Add("$5\r\nhello\r\n")
+	f.Add("\r\n")
+	f.Add("*2\r\n$3\r\nGET\r\n$100\r\nshort\r\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		r := bufio.NewReader(strings.NewReader(input))
+		for i := 0; i < 4; i++ {
+			args, err := readCommand(r)
+			if err != nil {
+				return
+			}
+			if args == nil {
+				t.Fatal("nil args without error")
+			}
+		}
+	})
+}

@@ -1,0 +1,406 @@
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startServer returns a serving store and its dial address.
+func startServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	s := NewServer()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(l)
+	t.Cleanup(func() { s.Close() })
+	return s, l.Addr().String()
+}
+
+func dialT(t *testing.T, addr string) *Client {
+	t.Helper()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestSetGet(t *testing.T) {
+	_, addr := startServer(t)
+	c := dialT(t, addr)
+	if err := c.Set("k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Get("k")
+	if err != nil || v != "v" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	_, addr := startServer(t)
+	c := dialT(t, addr)
+	if _, err := c.Get("nope"); !errors.Is(err, ErrNil) {
+		t.Fatalf("err = %v, want ErrNil", err)
+	}
+}
+
+func TestIncr(t *testing.T) {
+	_, addr := startServer(t)
+	c := dialT(t, addr)
+	for want := int64(1); want <= 3; want++ {
+		n, err := c.Incr("counter")
+		if err != nil || n != want {
+			t.Fatalf("Incr = %d, %v; want %d", n, err, want)
+		}
+	}
+	r, err := c.Do("INCRBY", "counter", "7")
+	if err != nil || r.(int64) != 10 {
+		t.Fatalf("INCRBY = %v, %v", r, err)
+	}
+	// INCR on a non-integer errors but keeps the connection usable.
+	c.Set("s", "abc")
+	if _, err := c.Incr("s"); err == nil {
+		t.Fatal("INCR on string should error")
+	}
+	if _, err := c.Get("k"); !errors.Is(err, ErrNil) {
+		t.Fatalf("connection unusable after command error: %v", err)
+	}
+}
+
+func TestHashOps(t *testing.T) {
+	_, addr := startServer(t)
+	c := dialT(t, addr)
+	if err := c.HSet("call:1", "config", "audio|US:2"); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.HGet("call:1", "config")
+	if err != nil || v != "audio|US:2" {
+		t.Fatalf("HGet = %q, %v", v, err)
+	}
+	if _, err := c.HGet("call:1", "missing"); !errors.Is(err, ErrNil) {
+		t.Fatalf("missing field err = %v", err)
+	}
+	r, err := c.Do("HLEN", "call:1")
+	if err != nil || r.(int64) != 1 {
+		t.Fatalf("HLEN = %v, %v", r, err)
+	}
+}
+
+func TestDelExistsDbsize(t *testing.T) {
+	_, addr := startServer(t)
+	c := dialT(t, addr)
+	c.Set("a", "1")
+	c.Set("b", "2")
+	if r, _ := c.Do("DBSIZE"); r.(int64) != 2 {
+		t.Fatalf("DBSIZE = %v", r)
+	}
+	if r, _ := c.Do("EXISTS", "a"); r.(int64) != 1 {
+		t.Fatalf("EXISTS = %v", r)
+	}
+	if r, _ := c.Do("DEL", "a", "b", "c"); r.(int64) != 2 {
+		t.Fatalf("DEL = %v", r)
+	}
+	if r, _ := c.Do("EXISTS", "a"); r.(int64) != 0 {
+		t.Fatalf("EXISTS after DEL = %v", r)
+	}
+	if r, _ := c.Do("FLUSHALL"); r.(string) != "OK" {
+		t.Fatalf("FLUSHALL = %v", r)
+	}
+	if r, _ := c.Do("DBSIZE"); r.(int64) != 0 {
+		t.Fatalf("DBSIZE after FLUSHALL = %v", r)
+	}
+}
+
+func TestPing(t *testing.T) {
+	_, addr := startServer(t)
+	c := dialT(t, addr)
+	r, err := c.Do("PING")
+	if err != nil || r.(string) != "PONG" {
+		t.Fatalf("PING = %v, %v", r, err)
+	}
+	if c.LastRTT() <= 0 {
+		t.Error("LastRTT not recorded")
+	}
+}
+
+func TestUnknownCommandAndArity(t *testing.T) {
+	_, addr := startServer(t)
+	c := dialT(t, addr)
+	if _, err := c.Do("SPONGE"); err == nil {
+		t.Error("unknown command should error")
+	}
+	if _, err := c.Do("SET", "only-key"); err == nil {
+		t.Error("bad arity should error")
+	}
+	// Connection survives server-side errors.
+	if err := c.Set("k", "v"); err != nil {
+		t.Fatalf("connection dead after error: %v", err)
+	}
+}
+
+func TestPipeline(t *testing.T) {
+	_, addr := startServer(t)
+	c := dialT(t, addr)
+	cmds := [][]string{
+		{"SET", "x", "1"},
+		{"INCR", "x"},
+		{"GET", "x"},
+		{"GET", "missing"},
+	}
+	replies, errs, err := c.Pipeline(cmds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replies[0].(string) != "OK" || replies[1].(int64) != 2 || replies[2].(string) != "2" {
+		t.Fatalf("replies = %v", replies)
+	}
+	if !errors.Is(errs[3], ErrNil) {
+		t.Fatalf("errs[3] = %v", errs[3])
+	}
+}
+
+func TestInlineProtocol(t *testing.T) {
+	// Telnet-style inline commands are accepted too.
+	_, addr := startServer(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "SET inline works\r\nGET inline\r\n")
+	buf := make([]byte, 64)
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	n, err := conn.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(buf[:n])
+	if got != "+OK\r\n$5\r\nworks\r\n" {
+		t.Fatalf("raw reply = %q", got)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	s, addr := startServer(t)
+	const workers = 8
+	const opsEach = 200
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer c.Close()
+			for j := 0; j < opsEach; j++ {
+				if _, err := c.Incr("shared"); err != nil {
+					errCh <- err
+					return
+				}
+				if err := c.Set("w"+strconv.Itoa(id), strconv.Itoa(j)); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	c := dialT(t, addr)
+	n, err := c.Incr("shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != workers*opsEach+1 {
+		t.Errorf("shared counter = %d, want %d", n, workers*opsEach+1)
+	}
+	if s.OpsServed() < workers*opsEach*2 {
+		t.Errorf("ops served = %d", s.OpsServed())
+	}
+}
+
+func TestHGetAllAndKeys(t *testing.T) {
+	_, addr := startServer(t)
+	c := dialT(t, addr)
+	c.HSet("call:1", "dc", "8")
+	c.HSet("call:1", "config", "audio|US:2")
+	c.Set("plain", "x")
+
+	m, err := c.HGetAll("call:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 2 || m["dc"] != "8" || m["config"] != "audio|US:2" {
+		t.Fatalf("HGetAll = %v", m)
+	}
+	// Absent key yields an empty map.
+	if m, err := c.HGetAll("nope"); err != nil || len(m) != 0 {
+		t.Fatalf("HGetAll missing = %v, %v", m, err)
+	}
+	keys, err := c.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 || keys[0] != "call:1" || keys[1] != "plain" {
+		t.Fatalf("Keys = %v", keys)
+	}
+	// Pattern matching beyond * is refused.
+	if _, err := c.Do("KEYS", "call:*"); err == nil {
+		t.Error("KEYS with pattern should error")
+	}
+}
+
+func TestExpiry(t *testing.T) {
+	_, addr := startServer(t)
+	c := dialT(t, addr)
+	c.Set("k", "v")
+	// EXPIRE on a missing key.
+	if r, _ := c.Do("EXPIRE", "nope", "10"); r.(int64) != 0 {
+		t.Errorf("EXPIRE missing = %v", r)
+	}
+	// TTL states: missing, no expiry, with expiry.
+	if r, _ := c.Do("TTL", "nope"); r.(int64) != -2 {
+		t.Errorf("TTL missing = %v", r)
+	}
+	if r, _ := c.Do("TTL", "k"); r.(int64) != -1 {
+		t.Errorf("TTL persistent = %v", r)
+	}
+	if r, _ := c.Do("EXPIRE", "k", "100"); r.(int64) != 1 {
+		t.Errorf("EXPIRE = %v", r)
+	}
+	if r, _ := c.Do("TTL", "k"); r.(int64) < 95 || r.(int64) > 100 {
+		t.Errorf("TTL = %v, want ~100", r)
+	}
+	// PERSIST clears the deadline.
+	if r, _ := c.Do("PERSIST", "k"); r.(int64) != 1 {
+		t.Errorf("PERSIST = %v", r)
+	}
+	if r, _ := c.Do("TTL", "k"); r.(int64) != -1 {
+		t.Errorf("TTL after PERSIST = %v", r)
+	}
+	if r, _ := c.Do("PERSIST", "k"); r.(int64) != 0 {
+		t.Errorf("second PERSIST = %v", r)
+	}
+	// Non-positive expiry deletes immediately.
+	if r, _ := c.Do("EXPIRE", "k", "0"); r.(int64) != 1 {
+		t.Errorf("EXPIRE 0 = %v", r)
+	}
+	if _, err := c.Get("k"); !errors.Is(err, ErrNil) {
+		t.Errorf("key survived EXPIRE 0: %v", err)
+	}
+	if _, err := c.Do("EXPIRE", "k", "banana"); err == nil {
+		t.Error("non-integer expiry should error")
+	}
+}
+
+func TestExpiryLazyEviction(t *testing.T) {
+	srv, addr := startServer(t)
+	c := dialT(t, addr)
+	c.Set("gone", "soon")
+	// Set a deadline in the past by writing directly (avoids sleeping).
+	sh := srv.shardOf("gone")
+	sh.mu.Lock()
+	sh.m["gone"].expireAt = time.Now().Add(-time.Second)
+	sh.mu.Unlock()
+	if _, err := c.Get("gone"); !errors.Is(err, ErrNil) {
+		t.Errorf("expired key still readable: %v", err)
+	}
+	if r, _ := c.Do("EXISTS", "gone"); r.(int64) != 0 {
+		t.Errorf("EXISTS expired = %v", r)
+	}
+	if r, _ := c.Do("DBSIZE"); r.(int64) != 0 {
+		t.Errorf("DBSIZE counts expired key: %v", r)
+	}
+	// A write-path touch collects it; INCR recreates from 0.
+	if n, err := c.Incr("gone"); err != nil || n != 1 {
+		t.Errorf("INCR over expired = %d, %v", n, err)
+	}
+}
+
+func TestServerCloseUnblocksServe(t *testing.T) {
+	s := NewServer()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(l) }()
+	time.Sleep(10 * time.Millisecond)
+	if s.Addr() == nil {
+		t.Error("Addr nil while serving")
+	}
+	s.Close()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve returned %v after Close", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Serve did not return after Close")
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("double Close: %v", err)
+	}
+}
+
+func BenchmarkSetGet(b *testing.B) {
+	s := NewServer()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go s.Serve(l)
+	defer s.Close()
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Set("bench", "value"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPipeline100(b *testing.B) {
+	s := NewServer()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go s.Serve(l)
+	defer s.Close()
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	cmds := make([][]string, 100)
+	for i := range cmds {
+		cmds[i] = []string{"INCR", "pipebench"}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Pipeline(cmds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

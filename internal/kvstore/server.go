@@ -1,0 +1,578 @@
+// Package kvstore implements a small Redis-like in-memory key-value store
+// spoken over TCP plus a pipelining client. It stands in for the Azure Redis
+// instance Switchboard's controller writes call state to (§6.6): the
+// controller's worker threads each hold a connection and record call-config
+// updates as calls arrive and participants join, which is exactly the write
+// path the Fig 10 throughput benchmark exercises.
+//
+// The wire protocol is RESP2 (arrays of bulk strings in; simple strings,
+// bulk strings, integers, and errors out), so the server is also usable with
+// standard Redis tooling for the command subset it implements: PING, SET,
+// GET, DEL, EXISTS, INCR, INCRBY, HSET, HGET, HLEN, FLUSHALL, DBSIZE.
+package kvstore
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+const numShards = 16
+
+// Server is the in-memory store. The zero value is not usable; call
+// NewServer.
+type Server struct {
+	shards [numShards]shard
+
+	mu        sync.Mutex
+	listener  net.Listener
+	conns     map[net.Conn]struct{}
+	closed    bool
+	opsServed atomic.Int64
+
+	// simLatency, when positive, is the minimum per-command latency; a
+	// deterministic heavy tail extends it up to 14x, emulating a
+	// cloud-hosted store. The paper's controller observes 0.3-4.2 ms
+	// writes against Azure Redis; an in-process loopback store is ~100x
+	// faster, which would make thread-scaling (Fig 10) invisible.
+	simLatency time.Duration
+}
+
+type shard struct {
+	mu sync.RWMutex
+	m  map[string]*entry
+}
+
+type entry struct {
+	// kind is "string" or "hash".
+	kind string
+	str  string
+	hash map[string]string
+	// expireAt is the lazy expiry deadline; zero means no expiry.
+	expireAt time.Time
+}
+
+func (e *entry) expired(now time.Time) bool {
+	return e != nil && !e.expireAt.IsZero() && now.After(e.expireAt)
+}
+
+// lookup returns the live entry for key, lazily deleting it if expired.
+// Callers must hold the shard lock (read lock is insufficient when the key
+// may be deleted, so lookup is used under the write lock; read paths call
+// lookupRead).
+func (sh *shard) lookup(key string, now time.Time) *entry {
+	e := sh.m[key]
+	if e.expired(now) {
+		delete(sh.m, key)
+		return nil
+	}
+	return e
+}
+
+// lookupRead returns the live entry without mutating (expired entries are
+// simply treated as absent; they get collected on the next write-path
+// touch).
+func (sh *shard) lookupRead(key string, now time.Time) *entry {
+	e := sh.m[key]
+	if e.expired(now) {
+		return nil
+	}
+	return e
+}
+
+// NewServer returns an empty store ready to serve.
+func NewServer() *Server {
+	s := &Server{conns: make(map[net.Conn]struct{})}
+	for i := range s.shards {
+		s.shards[i].m = make(map[string]*entry)
+	}
+	return s
+}
+
+// OpsServed returns the number of commands executed since start.
+func (s *Server) OpsServed() int64 { return s.opsServed.Load() }
+
+// SetSimulatedLatency makes every command take at least d, with a
+// deterministic heavy tail up to 14x d (mean ~2.4x d), emulating a remote
+// cloud store. Call before Serve.
+func (s *Server) SetSimulatedLatency(d time.Duration) { s.simLatency = d }
+
+func (s *Server) shardOf(key string) *shard {
+	h := fnv.New32a()
+	io.WriteString(h, key)
+	return &s.shards[h.Sum32()%numShards]
+}
+
+// ListenAndServe listens on addr ("127.0.0.1:0" picks a free port) and
+// serves until Close. The chosen address is available via Addr once it
+// returns from the initial bind, so callers typically run this in a
+// goroutine after calling Listen.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Serve accepts connections on l until Close is called.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return errors.New("kvstore: server closed")
+	}
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// Addr returns the listener address, or nil before Serve.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.listener == nil {
+		return nil
+	}
+	return s.listener.Addr()
+}
+
+// Close stops accepting connections and closes all active ones.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var err error
+	if s.listener != nil {
+		err = s.listener.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	return err
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	r := bufio.NewReaderSize(conn, 16<<10)
+	w := bufio.NewWriterSize(conn, 16<<10)
+	jitter := uint64(0x9e3779b97f4a7c15)
+	for {
+		args, err := readCommand(r)
+		if err != nil {
+			return
+		}
+		if s.simLatency > 0 {
+			// xorshift-derived deterministic jitter: latency =
+			// d·(1 + 13·u⁸) for u uniform in [0,1), i.e. a heavy
+			// tail from d to 14d with mean ≈ 2.4d. With d = 300 µs
+			// this reproduces the paper's 0.3-4.2 ms Azure Redis
+			// write band.
+			jitter ^= jitter << 13
+			jitter ^= jitter >> 7
+			jitter ^= jitter << 17
+			u := float64(jitter%1000) / 1000
+			u4 := u * u * u * u
+			factor := 1 + 13*u4*u4
+			time.Sleep(time.Duration(float64(s.simLatency) * factor))
+		}
+		// Flush when no further pipelined command is buffered.
+		s.execute(args, w)
+		if r.Buffered() == 0 {
+			if err := w.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// readCommand parses one RESP command (array of bulk strings) or an inline
+// command (space-separated line).
+func readCommand(r *bufio.Reader) ([]string, error) {
+	line, err := readLine(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(line) == 0 {
+		return nil, errors.New("kvstore: empty command")
+	}
+	if line[0] != '*' {
+		return strings.Fields(line), nil
+	}
+	n, err := strconv.Atoi(line[1:])
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("kvstore: bad array header %q", line)
+	}
+	args := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		hdr, err := readLine(r)
+		if err != nil {
+			return nil, err
+		}
+		if len(hdr) == 0 || hdr[0] != '$' {
+			return nil, fmt.Errorf("kvstore: expected bulk string, got %q", hdr)
+		}
+		ln, err := strconv.Atoi(hdr[1:])
+		if err != nil || ln < 0 {
+			return nil, fmt.Errorf("kvstore: bad bulk length %q", hdr)
+		}
+		buf := make([]byte, ln+2)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		args = append(args, string(buf[:ln]))
+	}
+	return args, nil
+}
+
+func readLine(r *bufio.Reader) (string, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+// execute runs one command, writing the RESP reply to w.
+func (s *Server) execute(args []string, w *bufio.Writer) {
+	if len(args) == 0 {
+		writeError(w, "empty command")
+		return
+	}
+	s.opsServed.Add(1)
+	cmd := strings.ToUpper(args[0])
+	switch cmd {
+	case "PING":
+		writeSimple(w, "PONG")
+	case "SET":
+		if !arity(w, args, 3) {
+			return
+		}
+		sh := s.shardOf(args[1])
+		sh.mu.Lock()
+		sh.m[args[1]] = &entry{kind: "string", str: args[2]}
+		sh.mu.Unlock()
+		writeSimple(w, "OK")
+	case "GET":
+		if !arity(w, args, 2) {
+			return
+		}
+		sh := s.shardOf(args[1])
+		sh.mu.RLock()
+		e := sh.lookupRead(args[1], time.Now())
+		sh.mu.RUnlock()
+		if e == nil || e.kind != "string" {
+			writeNil(w)
+			return
+		}
+		writeBulk(w, e.str)
+	case "DEL":
+		if len(args) < 2 {
+			writeError(w, "wrong number of arguments for 'del'")
+			return
+		}
+		var n int64
+		now := time.Now()
+		for _, key := range args[1:] {
+			sh := s.shardOf(key)
+			sh.mu.Lock()
+			if sh.lookup(key, now) != nil {
+				delete(sh.m, key)
+				n++
+			}
+			sh.mu.Unlock()
+		}
+		writeInt(w, n)
+	case "EXISTS":
+		if !arity(w, args, 2) {
+			return
+		}
+		sh := s.shardOf(args[1])
+		sh.mu.RLock()
+		ok := sh.lookupRead(args[1], time.Now()) != nil
+		sh.mu.RUnlock()
+		if ok {
+			writeInt(w, 1)
+		} else {
+			writeInt(w, 0)
+		}
+	case "INCR", "INCRBY":
+		delta := int64(1)
+		if cmd == "INCRBY" {
+			if !arity(w, args, 3) {
+				return
+			}
+			d, err := strconv.ParseInt(args[2], 10, 64)
+			if err != nil {
+				writeError(w, "value is not an integer")
+				return
+			}
+			delta = d
+		} else if !arity(w, args, 2) {
+			return
+		}
+		sh := s.shardOf(args[1])
+		sh.mu.Lock()
+		e := sh.lookup(args[1], time.Now())
+		if e == nil {
+			e = &entry{kind: "string", str: "0"}
+			sh.m[args[1]] = e
+		}
+		cur, err := strconv.ParseInt(e.str, 10, 64)
+		if err != nil || e.kind != "string" {
+			sh.mu.Unlock()
+			writeError(w, "value is not an integer or out of range")
+			return
+		}
+		cur += delta
+		e.str = strconv.FormatInt(cur, 10)
+		sh.mu.Unlock()
+		writeInt(w, cur)
+	case "HSET":
+		if !arity(w, args, 4) {
+			return
+		}
+		sh := s.shardOf(args[1])
+		sh.mu.Lock()
+		e := sh.lookup(args[1], time.Now())
+		if e == nil || e.kind != "hash" {
+			e = &entry{kind: "hash", hash: make(map[string]string)}
+			sh.m[args[1]] = e
+		}
+		_, existed := e.hash[args[2]]
+		e.hash[args[2]] = args[3]
+		sh.mu.Unlock()
+		if existed {
+			writeInt(w, 0)
+		} else {
+			writeInt(w, 1)
+		}
+	case "HGET":
+		if !arity(w, args, 3) {
+			return
+		}
+		sh := s.shardOf(args[1])
+		sh.mu.RLock()
+		e := sh.lookupRead(args[1], time.Now())
+		var v string
+		var ok bool
+		if e != nil && e.kind == "hash" {
+			v, ok = e.hash[args[2]]
+		}
+		sh.mu.RUnlock()
+		if !ok {
+			writeNil(w)
+			return
+		}
+		writeBulk(w, v)
+	case "HGETALL":
+		if !arity(w, args, 2) {
+			return
+		}
+		sh := s.shardOf(args[1])
+		sh.mu.RLock()
+		e := sh.lookupRead(args[1], time.Now())
+		var fields []string
+		if e != nil && e.kind == "hash" {
+			for f, v := range e.hash {
+				fields = append(fields, f, v)
+			}
+		}
+		sh.mu.RUnlock()
+		// Deterministic field order for testability.
+		sortPairs(fields)
+		w.WriteString("*" + strconv.Itoa(len(fields)) + "\r\n")
+		for _, f := range fields {
+			writeBulk(w, f)
+		}
+	case "KEYS":
+		// Only the full wildcard is supported (enough for debugging;
+		// production Redis discourages KEYS anyway).
+		if !arity(w, args, 2) {
+			return
+		}
+		if args[1] != "*" {
+			writeError(w, "only KEYS * is supported")
+			return
+		}
+		var keys []string
+		now := time.Now()
+		for i := range s.shards {
+			sh := &s.shards[i]
+			sh.mu.RLock()
+			for key := range sh.m {
+				if sh.lookupRead(key, now) != nil {
+					keys = append(keys, key)
+				}
+			}
+			sh.mu.RUnlock()
+		}
+		sort.Strings(keys)
+		w.WriteString("*" + strconv.Itoa(len(keys)) + "\r\n")
+		for _, k := range keys {
+			writeBulk(w, k)
+		}
+	case "HLEN":
+		if !arity(w, args, 2) {
+			return
+		}
+		sh := s.shardOf(args[1])
+		sh.mu.RLock()
+		e := sh.lookupRead(args[1], time.Now())
+		var n int64
+		if e != nil && e.kind == "hash" {
+			n = int64(len(e.hash))
+		}
+		sh.mu.RUnlock()
+		writeInt(w, n)
+	case "EXPIRE":
+		if !arity(w, args, 3) {
+			return
+		}
+		secs, err := strconv.ParseInt(args[2], 10, 64)
+		if err != nil {
+			writeError(w, "value is not an integer or out of range")
+			return
+		}
+		sh := s.shardOf(args[1])
+		sh.mu.Lock()
+		e := sh.lookup(args[1], time.Now())
+		if e == nil {
+			sh.mu.Unlock()
+			writeInt(w, 0)
+			return
+		}
+		if secs <= 0 {
+			delete(sh.m, args[1])
+		} else {
+			e.expireAt = time.Now().Add(time.Duration(secs) * time.Second)
+		}
+		sh.mu.Unlock()
+		writeInt(w, 1)
+	case "TTL":
+		if !arity(w, args, 2) {
+			return
+		}
+		sh := s.shardOf(args[1])
+		now := time.Now()
+		sh.mu.RLock()
+		e := sh.lookupRead(args[1], now)
+		sh.mu.RUnlock()
+		switch {
+		case e == nil:
+			writeInt(w, -2)
+		case e.expireAt.IsZero():
+			writeInt(w, -1)
+		default:
+			// Round up so a key expiring in 0.5s reports 1.
+			writeInt(w, int64((e.expireAt.Sub(now)+time.Second-1)/time.Second))
+		}
+	case "PERSIST":
+		if !arity(w, args, 2) {
+			return
+		}
+		sh := s.shardOf(args[1])
+		sh.mu.Lock()
+		e := sh.lookup(args[1], time.Now())
+		hadTTL := e != nil && !e.expireAt.IsZero()
+		if hadTTL {
+			e.expireAt = time.Time{}
+		}
+		sh.mu.Unlock()
+		if hadTTL {
+			writeInt(w, 1)
+		} else {
+			writeInt(w, 0)
+		}
+	case "DBSIZE":
+		var n int64
+		now := time.Now()
+		for i := range s.shards {
+			sh := &s.shards[i]
+			sh.mu.RLock()
+			for key := range sh.m {
+				if sh.lookupRead(key, now) != nil {
+					n++
+				}
+			}
+			sh.mu.RUnlock()
+		}
+		writeInt(w, n)
+	case "FLUSHALL":
+		for i := range s.shards {
+			sh := &s.shards[i]
+			sh.mu.Lock()
+			sh.m = make(map[string]*entry)
+			sh.mu.Unlock()
+		}
+		writeSimple(w, "OK")
+	default:
+		writeError(w, "unknown command '"+args[0]+"'")
+	}
+}
+
+// sortPairs sorts a flat field/value list by field, keeping pairs together.
+func sortPairs(pairs []string) {
+	n := len(pairs) / 2
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return pairs[2*idx[a]] < pairs[2*idx[b]] })
+	out := make([]string, 0, len(pairs))
+	for _, i := range idx {
+		out = append(out, pairs[2*i], pairs[2*i+1])
+	}
+	copy(pairs, out)
+}
+
+func arity(w *bufio.Writer, args []string, want int) bool {
+	if len(args) != want {
+		writeError(w, "wrong number of arguments for '"+strings.ToLower(args[0])+"'")
+		return false
+	}
+	return true
+}
+
+func writeSimple(w *bufio.Writer, s string) { w.WriteString("+" + s + "\r\n") }
+func writeError(w *bufio.Writer, s string)  { w.WriteString("-ERR " + s + "\r\n") }
+func writeInt(w *bufio.Writer, n int64)     { w.WriteString(":" + strconv.FormatInt(n, 10) + "\r\n") }
+func writeNil(w *bufio.Writer)              { w.WriteString("$-1\r\n") }
+func writeBulk(w *bufio.Writer, s string) {
+	w.WriteString("$" + strconv.Itoa(len(s)) + "\r\n")
+	w.WriteString(s)
+	w.WriteString("\r\n")
+}

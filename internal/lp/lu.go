@@ -1,0 +1,119 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// luFactor is a dense LU factorization with partial pivoting: P·A = L·U with
+// unit-diagonal L. It backs the revised simplex basis.
+type luFactor struct {
+	n    int
+	lu   []float64 // n×n row-major, L (strictly lower) and U packed together
+	perm []int     // perm[i] = original row index selected as the i-th pivot
+}
+
+// luFactorize factors the n×n row-major matrix a. a is copied, not modified.
+// It returns an error when the matrix is numerically singular.
+func luFactorize(a []float64, n int) (*luFactor, error) {
+	f := &luFactor{
+		n:    n,
+		lu:   make([]float64, n*n),
+		perm: make([]int, n),
+	}
+	copy(f.lu, a)
+	for i := range f.perm {
+		f.perm[i] = i
+	}
+	lu := f.lu
+	for k := 0; k < n; k++ {
+		// Partial pivoting: largest magnitude in column k at or below
+		// the diagonal.
+		p, best := k, math.Abs(lu[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu[i*n+k]); v > best {
+				p, best = i, v
+			}
+		}
+		if best < 1e-13 {
+			return nil, fmt.Errorf("lp: singular basis (pivot %g at column %d)", best, k)
+		}
+		if p != k {
+			rk, rp := lu[k*n:k*n+n], lu[p*n:p*n+n]
+			for j := range rk {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+			f.perm[k], f.perm[p] = f.perm[p], f.perm[k]
+		}
+		pivInv := 1 / lu[k*n+k]
+		for i := k + 1; i < n; i++ {
+			l := lu[i*n+k] * pivInv
+			if l == 0 {
+				continue
+			}
+			lu[i*n+k] = l
+			ri, rk := lu[i*n:i*n+n], lu[k*n:k*n+n]
+			for j := k + 1; j < n; j++ {
+				ri[j] -= l * rk[j]
+			}
+		}
+	}
+	return f, nil
+}
+
+// solve overwrites b (length n) with the solution of A·x = b.
+func (f *luFactor) solve(b []float64) {
+	n, lu := f.n, f.lu
+	// Apply the row permutation: x = P·b.
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = b[f.perm[i]]
+	}
+	// Forward substitution with unit-diagonal L.
+	for i := 1; i < n; i++ {
+		ri := lu[i*n : i*n+n]
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= ri[j] * x[j]
+		}
+		x[i] = s
+	}
+	// Back substitution with U.
+	for i := n - 1; i >= 0; i-- {
+		ri := lu[i*n : i*n+n]
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= ri[j] * x[j]
+		}
+		x[i] = s / ri[i]
+	}
+	copy(b, x)
+}
+
+// solveT overwrites b (length n) with the solution of Aᵀ·x = b.
+// Since P·A = L·U, Aᵀ = Uᵀ·Lᵀ·P, so we solve Uᵀy = b, Lᵀw = y, x = Pᵀw.
+func (f *luFactor) solveT(b []float64) {
+	n, lu := f.n, f.lu
+	// Uᵀ is lower triangular: forward substitution.
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for j := 0; j < i; j++ {
+			s -= lu[j*n+i] * b[j]
+		}
+		b[i] = s / lu[i*n+i]
+	}
+	// Lᵀ is unit upper triangular: back substitution.
+	for i := n - 2; i >= 0; i-- {
+		s := b[i]
+		for j := i + 1; j < n; j++ {
+			s -= lu[j*n+i] * b[j]
+		}
+		b[i] = s
+	}
+	// x = Pᵀ·w: scatter through the permutation.
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[f.perm[i]] = b[i]
+	}
+	copy(b, x)
+}

@@ -1,0 +1,130 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func matVec(a []float64, n int, x []float64) []float64 {
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var s float64
+		for j := 0; j < n; j++ {
+			s += a[i*n+j] * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+func matTVec(a []float64, n int, x []float64) []float64 {
+	y := make([]float64, n)
+	for j := 0; j < n; j++ {
+		var s float64
+		for i := 0; i < n; i++ {
+			s += a[i*n+j] * x[i]
+		}
+		y[j] = s
+	}
+	return y
+}
+
+func TestLUSolveKnown(t *testing.T) {
+	// A = [[2,1],[1,3]], b = [5, 10] -> x = [1, 3]
+	a := []float64{2, 1, 1, 3}
+	f, err := luFactorize(a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := []float64{5, 10}
+	f.solve(b)
+	if math.Abs(b[0]-1) > 1e-12 || math.Abs(b[1]-3) > 1e-12 {
+		t.Errorf("x = %v, want [1 3]", b)
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := []float64{1, 2, 2, 4}
+	if _, err := luFactorize(a, 2); err == nil {
+		t.Fatal("expected singular error")
+	}
+}
+
+func TestLUPermutationNeeded(t *testing.T) {
+	// Zero on the first diagonal forces a row swap.
+	a := []float64{0, 1, 1, 0}
+	f, err := luFactorize(a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := []float64{3, 7}
+	f.solve(b)
+	if math.Abs(b[0]-7) > 1e-12 || math.Abs(b[1]-3) > 1e-12 {
+		t.Errorf("x = %v, want [7 3]", b)
+	}
+}
+
+// TestLURoundTrip is a property test: for random well-conditioned matrices,
+// solve(A, A·x) recovers x and solveT(A, Aᵀ·x) recovers x.
+func TestLURoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(30)
+		a := make([]float64, n*n)
+		for i := range a {
+			a[i] = r.NormFloat64()
+		}
+		// Diagonal dominance keeps the matrix well-conditioned.
+		for i := 0; i < n; i++ {
+			a[i*n+i] += float64(n) + 1
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64() * 10
+		}
+		fac, err := luFactorize(a, n)
+		if err != nil {
+			return false
+		}
+		b := matVec(a, n, x)
+		fac.solve(b)
+		for i := range x {
+			if math.Abs(b[i]-x[i]) > 1e-7*(1+math.Abs(x[i])) {
+				return false
+			}
+		}
+		bt := matTVec(a, n, x)
+		fac.solveT(bt)
+		for i := range x {
+			if math.Abs(bt[i]-x[i]) > 1e-7*(1+math.Abs(x[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkLUFactorize200(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	n := 200
+	a := make([]float64, n*n)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+	}
+	for i := 0; i < n; i++ {
+		a[i*n+i] += float64(n)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := luFactorize(a, n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package lp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteMPS writes the problem in (free-form) MPS format, the de-facto
+// interchange format for LP instances. Dumping a provisioning LP lets it be
+// inspected or cross-checked with an external solver.
+//
+// Variable and row names are synthesized as C<j> and R<i> (MPS forbids the
+// arbitrary characters AddVar/AddRow names may contain); the original names
+// are emitted as comments.
+func WriteMPS(w io.Writer, p *Problem, name string) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "* %d rows, %d columns, sense %v\n", len(p.rows), len(p.obj), p.sense)
+	for j, n := range p.varNames {
+		if n != "" {
+			fmt.Fprintf(bw, "* C%d = %s\n", j, n)
+		}
+	}
+	fmt.Fprintf(bw, "NAME          %s\n", sanitizeMPSName(name))
+	fmt.Fprintln(bw, "ROWS")
+	fmt.Fprintln(bw, " N  COST")
+	for i, r := range p.rows {
+		var kind byte
+		switch r.rel {
+		case LE:
+			kind = 'L'
+		case GE:
+			kind = 'G'
+		case EQ:
+			kind = 'E'
+		}
+		fmt.Fprintf(bw, " %c  R%d\n", kind, i)
+	}
+	fmt.Fprintln(bw, "COLUMNS")
+	// MPS is column-major; gather per-column entries.
+	colRows := make([][]entry, len(p.obj)) // entry.col reused as row index
+	for i, r := range p.rows {
+		for _, e := range r.entries {
+			colRows[e.col] = append(colRows[e.col], entry{col: i, val: e.val})
+		}
+	}
+	for j := range p.obj {
+		if p.obj[j] != 0 {
+			fmt.Fprintf(bw, "    C%-9d COST      %.17g\n", j, p.obj[j])
+		}
+		for _, e := range colRows[j] {
+			fmt.Fprintf(bw, "    C%-9d R%-9d %.17g\n", j, e.col, e.val)
+		}
+	}
+	fmt.Fprintln(bw, "RHS")
+	for i, r := range p.rows {
+		if r.rhs != 0 {
+			fmt.Fprintf(bw, "    RHS       R%-9d %.17g\n", i, r.rhs)
+		}
+	}
+	// All variables are x >= 0, the MPS default; no BOUNDS section.
+	fmt.Fprintln(bw, "ENDATA")
+	return bw.Flush()
+}
+
+func sanitizeMPSName(s string) string {
+	if s == "" {
+		return "LP"
+	}
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s) && i < 16; i++ {
+		c := s[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' {
+			out = append(out, c)
+		} else {
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// ReadMPS parses the free-form MPS subset produced by WriteMPS (N/L/G/E
+// rows, COLUMNS, RHS; default bounds). The objective sense is not encoded in
+// MPS; pass the intended sense.
+func ReadMPS(r io.Reader, sense Sense) (*Problem, error) {
+	p := New(sense)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	type rowInfo struct {
+		rel  Rel
+		cols []int
+		vals []float64
+		rhs  float64
+	}
+	var rowOrder []string
+	rows := map[string]*rowInfo{}
+	objName := ""
+	cols := map[string]int{}
+	section := ""
+
+	colIndex := func(name string) int {
+		j, ok := cols[name]
+		if !ok {
+			j = p.AddVar(name, 0)
+			cols[name] = j
+		}
+		return j
+	}
+
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "*") {
+			continue
+		}
+		if !strings.HasPrefix(line, " ") && !strings.HasPrefix(line, "\t") {
+			fields := strings.Fields(line)
+			section = strings.ToUpper(fields[0])
+			if section == "ENDATA" {
+				break
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		switch section {
+		case "ROWS":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("lp: bad ROWS line %q", line)
+			}
+			switch strings.ToUpper(fields[0]) {
+			case "N":
+				if objName == "" {
+					objName = fields[1]
+				}
+			case "L":
+				rows[fields[1]] = &rowInfo{rel: LE}
+				rowOrder = append(rowOrder, fields[1])
+			case "G":
+				rows[fields[1]] = &rowInfo{rel: GE}
+				rowOrder = append(rowOrder, fields[1])
+			case "E":
+				rows[fields[1]] = &rowInfo{rel: EQ}
+				rowOrder = append(rowOrder, fields[1])
+			default:
+				return nil, fmt.Errorf("lp: unknown row type %q", fields[0])
+			}
+		case "COLUMNS":
+			// Pairs of (rowname, value) after the column name.
+			if len(fields) < 3 || len(fields)%2 == 0 {
+				return nil, fmt.Errorf("lp: bad COLUMNS line %q", line)
+			}
+			j := colIndex(fields[0])
+			for k := 1; k < len(fields); k += 2 {
+				v, err := strconv.ParseFloat(fields[k+1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("lp: bad value in %q: %w", line, err)
+				}
+				if fields[k] == objName {
+					p.SetObj(j, v)
+					continue
+				}
+				ri, ok := rows[fields[k]]
+				if !ok {
+					return nil, fmt.Errorf("lp: unknown row %q", fields[k])
+				}
+				ri.cols = append(ri.cols, j)
+				ri.vals = append(ri.vals, v)
+			}
+		case "RHS":
+			if len(fields) < 3 || len(fields)%2 == 0 {
+				return nil, fmt.Errorf("lp: bad RHS line %q", line)
+			}
+			for k := 1; k < len(fields); k += 2 {
+				v, err := strconv.ParseFloat(fields[k+1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("lp: bad RHS value in %q: %w", line, err)
+				}
+				ri, ok := rows[fields[k]]
+				if !ok {
+					return nil, fmt.Errorf("lp: RHS for unknown row %q", fields[k])
+				}
+				ri.rhs = v
+			}
+		case "BOUNDS":
+			return nil, fmt.Errorf("lp: BOUNDS section not supported")
+		case "NAME", "":
+			// ignore
+		default:
+			return nil, fmt.Errorf("lp: unknown section %q", section)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, name := range rowOrder {
+		ri := rows[name]
+		p.AddRow(name, ri.cols, ri.vals, ri.rel, ri.rhs)
+	}
+	return p, nil
+}

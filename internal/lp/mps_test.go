@@ -1,0 +1,101 @@
+package lp
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestMPSRoundTrip(t *testing.T) {
+	p := New(Minimize)
+	x := p.AddVar("x", 2)
+	y := p.AddVar("y", 3)
+	z := p.AddVar("z", 0)
+	p.AddRow("sum", []int{x, y, z}, []float64{1, 1, 1}, GE, 10)
+	p.AddRow("cap", []int{x}, []float64{1}, LE, 4)
+	p.AddRow("eq", []int{y, z}, []float64{2, -1}, EQ, 3)
+
+	var buf bytes.Buffer
+	if err := WriteMPS(&buf, p, "trip test!"); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMPS(&buf, Minimize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumVars() != p.NumVars() || back.NumRows() != p.NumRows() {
+		t.Fatalf("shape %dx%d, want %dx%d", back.NumRows(), back.NumVars(), p.NumRows(), p.NumVars())
+	}
+	a, err := p.Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := back.Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Status != b.Status || math.Abs(a.Objective-b.Objective) > 1e-9 {
+		t.Fatalf("solutions differ: %v/%g vs %v/%g", a.Status, a.Objective, b.Status, b.Objective)
+	}
+}
+
+// TestPropertyMPSRoundTripPreservesOptimum: for random LPs, write+read MPS
+// preserves the optimal objective.
+func TestPropertyMPSRoundTripPreservesOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		p := randomFeasibleLP(rng)
+		var buf bytes.Buffer
+		if err := WriteMPS(&buf, p, "rt"); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadMPS(&buf, Minimize)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, buf.String())
+		}
+		a, err := p.Solve(Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := back.Solve(Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Status != b.Status {
+			t.Fatalf("trial %d: status %v vs %v", trial, a.Status, b.Status)
+		}
+		if a.Status == Optimal && math.Abs(a.Objective-b.Objective) > 1e-6*(1+math.Abs(a.Objective)) {
+			t.Fatalf("trial %d: objective %g vs %g", trial, a.Objective, b.Objective)
+		}
+	}
+}
+
+func TestReadMPSErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad row type":   "ROWS\n X  R0\nENDATA\n",
+		"unknown row":    "ROWS\n N COST\nCOLUMNS\n    C0 R9 1\nENDATA\n",
+		"bad value":      "ROWS\n N COST\n L R0\nCOLUMNS\n    C0 R0 banana\nENDATA\n",
+		"bad rhs row":    "ROWS\n N COST\nRHS\n    RHS R9 1\nENDATA\n",
+		"bounds section": "ROWS\n N COST\nBOUNDS\n UP BND C0 1\nENDATA\n",
+		"odd columns":    "ROWS\n N COST\n L R0\nCOLUMNS\n    C0 R0\nENDATA\n",
+	}
+	for name, text := range cases {
+		if _, err := ReadMPS(strings.NewReader(text), Minimize); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestSanitizeMPSName(t *testing.T) {
+	if got := sanitizeMPSName(""); got != "LP" {
+		t.Errorf("empty name -> %q", got)
+	}
+	if got := sanitizeMPSName("hello world/42"); got != "hello_world_42" {
+		t.Errorf("got %q", got)
+	}
+	if got := sanitizeMPSName(strings.Repeat("x", 40)); len(got) != 16 {
+		t.Errorf("long name not truncated: %q", got)
+	}
+}

@@ -1,0 +1,251 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Presolve simplifies a problem before the simplex runs:
+//
+//   - empty rows (no nonzero coefficients) are checked for consistency and
+//     dropped;
+//   - singleton equality rows (a·x = b) fix their variable, which is then
+//     substituted out of every other row and the objective;
+//   - variables fixed at zero by singleton LE rows (a·x ≤ 0 with a > 0) are
+//     likewise eliminated.
+//
+// The provisioning LPs contain many such rows (zero-demand slots, forced
+// S variables under the latency filter), so presolve meaningfully shrinks
+// them. Presolve returns a reduced problem plus a recovery function mapping
+// a reduced solution back to the full variable space; it reports
+// infeasibility found during reduction via Status.
+type Presolved struct {
+	// Reduced is the smaller problem; nil when presolve already decided
+	// the outcome (Status != Optimal) or nothing remained to solve.
+	Reduced *Problem
+	// Status is Optimal when a solve of Reduced is still required,
+	// otherwise the decided outcome (Infeasible).
+	Status Status
+	// FixedObjective is the objective contribution of eliminated
+	// variables (in the original sense).
+	FixedObjective float64
+
+	origVars int
+	fixed    []float64 // fixed value per original var, NaN if free
+	keepMap  []int     // original var index per reduced column
+}
+
+// Presolve reduces the problem. The original problem is not modified.
+func Presolve(p *Problem) (*Presolved, error) {
+	ps := &Presolved{
+		origVars: len(p.obj),
+		fixed:    make([]float64, len(p.obj)),
+		Status:   Optimal,
+	}
+	for j := range ps.fixed {
+		ps.fixed[j] = math.NaN()
+	}
+
+	// Iterate to a fixed point: fixing one variable can create new
+	// singleton or empty rows.
+	type liveRow struct {
+		name string
+		cols []int
+		vals []float64
+		rel  Rel
+		rhs  float64
+	}
+	live := make([]liveRow, 0, len(p.rows))
+	for _, r := range p.rows {
+		lr := liveRow{name: r.name, rel: r.rel, rhs: r.rhs}
+		for _, e := range r.entries {
+			lr.cols = append(lr.cols, e.col)
+			lr.vals = append(lr.vals, e.val)
+		}
+		live = append(live, lr)
+	}
+
+	const tol = 1e-12
+	changed := true
+	for changed {
+		changed = false
+		for i := range live {
+			r := &live[i]
+			// Drop fixed variables from the row.
+			k := 0
+			for idx, c := range r.cols {
+				if !math.IsNaN(ps.fixed[c]) {
+					r.rhs -= r.vals[idx] * ps.fixed[c]
+					changed = true
+					continue
+				}
+				r.cols[k] = c
+				r.vals[k] = r.vals[idx]
+				k++
+			}
+			r.cols = r.cols[:k]
+			r.vals = r.vals[:k]
+
+			switch len(r.cols) {
+			case 0:
+				// Empty row: must hold trivially.
+				ok := true
+				switch r.rel {
+				case LE:
+					ok = r.rhs >= -1e-9
+				case GE:
+					ok = r.rhs <= 1e-9
+				case EQ:
+					ok = math.Abs(r.rhs) <= 1e-9
+				}
+				if !ok {
+					ps.Status = Infeasible
+					return ps, nil
+				}
+			case 1:
+				a, c := r.vals[0], r.cols[0]
+				if math.Abs(a) < tol {
+					continue
+				}
+				v := r.rhs / a
+				switch r.rel {
+				case EQ:
+					if v < -1e-9 {
+						ps.Status = Infeasible
+						return ps, nil
+					}
+					if v < 0 {
+						v = 0
+					}
+					ps.fixed[c] = v
+					r.cols = r.cols[:0]
+					r.rhs = 0
+					r.rel = EQ
+					changed = true
+				case LE:
+					// a·x <= b with a > 0 and b <= 0 forces x = 0
+					// (x >= 0); b < 0 is infeasible.
+					if a > 0 && v <= 1e-12 {
+						if v < -1e-9 {
+							ps.Status = Infeasible
+							return ps, nil
+						}
+						ps.fixed[c] = 0
+						r.cols = r.cols[:0]
+						r.rhs = 0
+						r.rel = LE
+						changed = true
+					}
+				case GE:
+					// a·x >= b with a < 0 means x <= b/a: a negative
+					// upper bound is infeasible, a zero one forces
+					// x = 0, a positive one is a plain bound we leave
+					// to the simplex.
+					if a < 0 && v <= 1e-12 {
+						if v < -1e-9 {
+							ps.Status = Infeasible
+							return ps, nil
+						}
+						ps.fixed[c] = 0
+						r.cols = r.cols[:0]
+						r.rhs = 0
+						r.rel = GE
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Build the reduced problem over surviving variables and rows.
+	reduced := New(p.sense)
+	ps.keepMap = make([]int, 0, len(p.obj))
+	newIx := make([]int, len(p.obj))
+	for j := range p.obj {
+		if math.IsNaN(ps.fixed[j]) {
+			newIx[j] = reduced.AddVar(p.varNames[j], p.obj[j])
+			ps.keepMap = append(ps.keepMap, j)
+		} else {
+			newIx[j] = -1
+			ps.FixedObjective += p.obj[j] * ps.fixed[j]
+		}
+	}
+	for i := range live {
+		r := &live[i]
+		if len(r.cols) == 0 {
+			continue
+		}
+		cols := make([]int, len(r.cols))
+		for k, c := range r.cols {
+			cols[k] = newIx[c]
+			if cols[k] < 0 {
+				return nil, fmt.Errorf("lp: internal presolve error: fixed var survived in row %q", r.name)
+			}
+		}
+		reduced.AddRow(r.name, cols, r.vals, r.rel, r.rhs)
+	}
+	if reduced.NumVars() > 0 {
+		ps.Reduced = reduced
+	}
+	return ps, nil
+}
+
+// Recover maps a reduced-space solution vector back to the original variable
+// space, filling in eliminated variables.
+func (ps *Presolved) Recover(reducedX []float64) ([]float64, error) {
+	if len(reducedX) != len(ps.keepMap) {
+		return nil, fmt.Errorf("lp: recover: got %d values, want %d", len(reducedX), len(ps.keepMap))
+	}
+	x := make([]float64, ps.origVars)
+	for j, v := range ps.fixed {
+		if !math.IsNaN(v) {
+			x[j] = v
+		}
+	}
+	for k, j := range ps.keepMap {
+		x[j] = reducedX[k]
+	}
+	return x, nil
+}
+
+// SolvePresolved presolves, solves the reduced problem, and recovers the
+// full solution. It behaves like Problem.Solve with an extra reduction step,
+// except that Duals are not recovered (eliminated rows have no multipliers
+// in the reduced space); use a direct solve when duals are needed.
+func SolvePresolved(p *Problem, opts Options) (*Solution, error) {
+	ps, err := Presolve(p)
+	if err != nil {
+		return nil, err
+	}
+	if ps.Status != Optimal {
+		return &Solution{Status: ps.Status}, nil
+	}
+	if ps.Reduced == nil {
+		// Everything was fixed by presolve.
+		x, err := ps.Recover(nil)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.CheckFeasible(x, 1e-7); err != nil {
+			return &Solution{Status: Infeasible}, nil
+		}
+		return &Solution{Status: Optimal, Objective: ps.FixedObjective, X: x}, nil
+	}
+	sol, err := ps.Reduced.Solve(opts)
+	if err != nil {
+		return nil, err
+	}
+	if sol.Status != Optimal {
+		return sol, nil
+	}
+	x, err := ps.Recover(sol.X)
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{
+		Status:     Optimal,
+		Objective:  sol.Objective + ps.FixedObjective,
+		X:          x,
+		Iterations: sol.Iterations,
+	}, nil
+}

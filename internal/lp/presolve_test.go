@@ -1,0 +1,168 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPresolveFixesSingletonEquality(t *testing.T) {
+	// x = 4 fixed; min x + y s.t. x = 4, x + y >= 10 -> y = 6, obj 10.
+	p := New(Minimize)
+	x := p.AddVar("x", 1)
+	y := p.AddVar("y", 1)
+	p.AddRow("fix", []int{x}, []float64{2}, EQ, 8)
+	p.AddRow("sum", []int{x, y}, []float64{1, 1}, GE, 10)
+
+	ps, err := Presolve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Status != Optimal || ps.Reduced == nil {
+		t.Fatalf("presolve status %v reduced %v", ps.Status, ps.Reduced)
+	}
+	if ps.Reduced.NumVars() != 1 || ps.Reduced.NumRows() != 1 {
+		t.Errorf("reduced to %dx%d, want 1x1", ps.Reduced.NumRows(), ps.Reduced.NumVars())
+	}
+	sol, err := SolvePresolved(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || math.Abs(sol.Objective-10) > 1e-9 {
+		t.Fatalf("sol = %v obj %g, want optimal 10", sol.Status, sol.Objective)
+	}
+	if math.Abs(sol.X[x]-4) > 1e-9 || math.Abs(sol.X[y]-6) > 1e-9 {
+		t.Errorf("x = %v", sol.X)
+	}
+}
+
+func TestPresolveForcedZero(t *testing.T) {
+	// 3x <= 0 forces x = 0.
+	p := New(Minimize)
+	x := p.AddVar("x", -5) // would be pushed up without the forcing row
+	y := p.AddVar("y", 1)
+	p.AddRow("zero", []int{x}, []float64{3}, LE, 0)
+	p.AddRow("cap", []int{x, y}, []float64{1, 1}, LE, 7)
+	ps, err := Presolve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(ps.fixed[x]) || ps.fixed[x] != 0 {
+		t.Errorf("x not fixed to zero: %v", ps.fixed[x])
+	}
+	sol, err := SolvePresolved(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || sol.X[x] != 0 {
+		t.Fatalf("sol = %+v", sol)
+	}
+	// -x >= 0 also forces x = 0.
+	p2 := New(Minimize)
+	x2 := p2.AddVar("x", -5)
+	p2.AddRow("zero", []int{x2}, []float64{-2}, GE, 0)
+	ps2, err := Presolve(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps2.fixed[x2] != 0 {
+		t.Errorf("GE forcing failed: %v", ps2.fixed[x2])
+	}
+}
+
+func TestPresolveDetectsInfeasibility(t *testing.T) {
+	// x = -3 contradicts x >= 0.
+	p := New(Minimize)
+	x := p.AddVar("x", 1)
+	p.AddRow("neg", []int{x}, []float64{1}, EQ, -3)
+	ps, err := Presolve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", ps.Status)
+	}
+	// Empty inconsistent row after substitution: x = 2 and x = 5.
+	p2 := New(Minimize)
+	x2 := p2.AddVar("x", 1)
+	p2.AddRow("a", []int{x2}, []float64{1}, EQ, 2)
+	p2.AddRow("b", []int{x2}, []float64{1}, EQ, 5)
+	ps2, err := Presolve(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps2.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", ps2.Status)
+	}
+	// Singleton LE with negative rhs and positive coefficient.
+	p3 := New(Minimize)
+	x3 := p3.AddVar("x", 1)
+	p3.AddRow("bad", []int{x3}, []float64{2}, LE, -4)
+	ps3, err := Presolve(p3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps3.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", ps3.Status)
+	}
+}
+
+func TestPresolveAllFixed(t *testing.T) {
+	p := New(Minimize)
+	x := p.AddVar("x", 3)
+	p.AddRow("fix", []int{x}, []float64{1}, EQ, 2)
+	sol, err := SolvePresolved(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || math.Abs(sol.Objective-6) > 1e-12 || sol.X[x] != 2 {
+		t.Fatalf("sol = %+v", sol)
+	}
+}
+
+func TestOptionsPresolveFlag(t *testing.T) {
+	p := New(Minimize)
+	x := p.AddVar("x", 1)
+	y := p.AddVar("y", 2)
+	p.AddRow("fix", []int{x}, []float64{1}, EQ, 3)
+	p.AddRow("min", []int{x, y}, []float64{1, 1}, GE, 5)
+	sol, err := p.Solve(Options{Presolve: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || math.Abs(sol.Objective-7) > 1e-9 {
+		t.Fatalf("sol = %v obj=%g, want optimal 7", sol.Status, sol.Objective)
+	}
+	if sol.X[x] != 3 || math.Abs(sol.X[y]-2) > 1e-9 {
+		t.Errorf("x = %v", sol.X)
+	}
+}
+
+// TestPropertyPresolveMatchesDirect: presolved solves agree with direct
+// solves on random feasible LPs.
+func TestPropertyPresolveMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 200; trial++ {
+		p := randomFeasibleLP(rng)
+		direct, err := p.Solve(Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pre, err := SolvePresolved(p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if direct.Status != pre.Status {
+			t.Fatalf("trial %d: status %v vs %v", trial, direct.Status, pre.Status)
+		}
+		if direct.Status != Optimal {
+			continue
+		}
+		if math.Abs(direct.Objective-pre.Objective) > 1e-5*(1+math.Abs(direct.Objective)) {
+			t.Fatalf("trial %d: objective %g vs %g", trial, direct.Objective, pre.Objective)
+		}
+		if err := p.CheckFeasible(pre.X, 1e-6); err != nil {
+			t.Fatalf("trial %d: recovered point infeasible: %v", trial, err)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package model
+
+import (
+	"testing"
+)
+
+// FuzzParseConfigKey: arbitrary strings must never panic the parser, and any
+// key it accepts must round-trip canonically (parse → Key → parse is a
+// fixed point).
+func FuzzParseConfigKey(f *testing.F) {
+	f.Add("audio|IN:2,JP:1")
+	f.Add("video|US:100")
+	f.Add("screenshare|")
+	f.Add("audio|:3")
+	f.Add("|")
+	f.Add("video|US:1,US:2")
+	f.Fuzz(func(t *testing.T, key string) {
+		cfg, err := ParseConfigKey(key)
+		if err != nil {
+			return
+		}
+		canon := cfg.Key()
+		again, err := ParseConfigKey(canon)
+		if err != nil {
+			t.Fatalf("canonical key %q failed to parse: %v", canon, err)
+		}
+		if again.Key() != canon {
+			t.Fatalf("not a fixed point: %q -> %q", canon, again.Key())
+		}
+	})
+}

@@ -1,0 +1,352 @@
+// Package predict implements the §8 call-configuration predictor for
+// recurring meetings: variable-length multi-order Markov chains (MOMC)
+// capture each participant's temporal attendance predispositions, a logistic
+// regression maps those features to a per-participant attendance
+// probability, and the per-country aggregation of predicted attendees yields
+// the predicted call config. The baseline predicts the previous instance's
+// config verbatim, as in the paper.
+package predict
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"switchboard/internal/geo"
+	"switchboard/internal/model"
+)
+
+// maxOrder is the longest attendance-history pattern the MOMC features
+// condition on.
+const maxOrder = 3
+
+// Series is one recurring meeting's attendance history.
+type Series struct {
+	ID uint64
+	// Members lists every participant ever seen in the series.
+	Members []Member
+	// Attendance[t][m] reports whether member m attended instance t.
+	Attendance [][]bool
+}
+
+// Member is one recurring participant.
+type Member struct {
+	ID      uint64
+	Country geo.CountryCode
+}
+
+// Dataset is a collection of series, split into feature-extraction history
+// and evaluation instances by the callers.
+type Dataset struct {
+	Series []*Series
+}
+
+// BuildDataset derives attendance matrices from retained call records
+// grouped by series ID (records.DB.SeriesRecords). Series with fewer than
+// minInstances occurrences are dropped (the paper trains on meetings with at
+// least 3 past occurrences).
+func BuildDataset(seriesRecs map[uint64][]*model.CallRecord, minInstances int) *Dataset {
+	ds := &Dataset{}
+	ids := make([]uint64, 0, len(seriesRecs))
+	for id := range seriesRecs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		recs := seriesRecs[id]
+		if len(recs) < minInstances {
+			continue
+		}
+		memberIx := make(map[uint64]int)
+		s := &Series{ID: id}
+		for _, r := range recs {
+			for _, leg := range r.Legs {
+				if leg.Participant == 0 {
+					continue
+				}
+				if _, ok := memberIx[leg.Participant]; !ok {
+					memberIx[leg.Participant] = len(s.Members)
+					s.Members = append(s.Members, Member{ID: leg.Participant, Country: leg.Country})
+				}
+			}
+		}
+		if len(s.Members) == 0 {
+			continue
+		}
+		s.Attendance = make([][]bool, len(recs))
+		for t, r := range recs {
+			row := make([]bool, len(s.Members))
+			for _, leg := range r.Legs {
+				if ix, ok := memberIx[leg.Participant]; ok {
+					row[ix] = true
+				}
+			}
+			s.Attendance[t] = row
+		}
+		ds.Series = append(ds.Series, s)
+	}
+	return ds
+}
+
+// numFeatures: bias, last-1, last-2, last-3, overall frequency, and one MOMC
+// conditional probability per order.
+const numFeatures = 5 + maxOrder
+
+// features builds the feature vector for member m of series s at instance t,
+// using only history before t.
+func features(s *Series, m, t int) []float64 {
+	f := make([]float64, numFeatures)
+	f[0] = 1 // bias
+	for k := 1; k <= maxOrder; k++ {
+		if t-k >= 0 && s.Attendance[t-k][m] {
+			f[k] = 1
+		}
+	}
+	// Overall attendance frequency.
+	attended := 0
+	for i := 0; i < t; i++ {
+		if s.Attendance[i][m] {
+			attended++
+		}
+	}
+	if t > 0 {
+		f[4] = float64(attended) / float64(t)
+	} else {
+		f[4] = 0.5
+	}
+	// MOMC conditionals: P(attend | exact pattern of the last k
+	// instances), Laplace-smoothed, estimated from this member's own
+	// history — the "variable length multi-order Markov chains" of §8.
+	for k := 1; k <= maxOrder; k++ {
+		f[4+k] = momcProb(s, m, t, k)
+	}
+	return f
+}
+
+// momcProb estimates P(attend at i | attendance pattern of (i-k .. i-1)
+// equals the pattern now in effect at t) over the member's history.
+func momcProb(s *Series, m, t, k int) float64 {
+	if t < k {
+		return 0.5
+	}
+	pattern := make([]bool, k)
+	for j := 0; j < k; j++ {
+		pattern[j] = s.Attendance[t-k+j][m]
+	}
+	match, attend := 0, 0
+	for i := k; i < t; i++ {
+		ok := true
+		for j := 0; j < k; j++ {
+			if s.Attendance[i-k+j][m] != pattern[j] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			match++
+			if s.Attendance[i][m] {
+				attend++
+			}
+		}
+	}
+	// Laplace smoothing toward 1/2.
+	return (float64(attend) + 1) / (float64(match) + 2)
+}
+
+// Model is a trained logistic regression over MOMC features.
+type Model struct {
+	Weights []float64
+}
+
+// TrainOptions tune training; zero values select defaults.
+type TrainOptions struct {
+	// Epochs of full-batch gradient descent (default 200).
+	Epochs int
+	// LearningRate (default 0.5).
+	LearningRate float64
+	// L2 regularization strength (default 1e-4).
+	L2 float64
+	// MinHistory is the first instance index used as a training target
+	// (default maxOrder, so every feature has context).
+	MinHistory int
+}
+
+func (o TrainOptions) withDefaults() TrainOptions {
+	if o.Epochs == 0 {
+		o.Epochs = 200
+	}
+	if o.LearningRate == 0 {
+		o.LearningRate = 0.5
+	}
+	if o.L2 == 0 {
+		o.L2 = 1e-4
+	}
+	if o.MinHistory == 0 {
+		o.MinHistory = maxOrder
+	}
+	return o
+}
+
+// Train fits the logistic regression on all (member, instance) pairs of the
+// dataset with at least MinHistory preceding instances.
+func Train(ds *Dataset, opts TrainOptions) (*Model, error) {
+	opts = opts.withDefaults()
+	var xs [][]float64
+	var ys []float64
+	for _, s := range ds.Series {
+		for t := opts.MinHistory; t < len(s.Attendance); t++ {
+			for m := range s.Members {
+				xs = append(xs, features(s, m, t))
+				if s.Attendance[t][m] {
+					ys = append(ys, 1)
+				} else {
+					ys = append(ys, 0)
+				}
+			}
+		}
+	}
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("predict: no training examples (need series with > %d instances)", opts.MinHistory)
+	}
+	w := make([]float64, numFeatures)
+	grad := make([]float64, numFeatures)
+	n := float64(len(xs))
+	for epoch := 0; epoch < opts.Epochs; epoch++ {
+		for j := range grad {
+			grad[j] = opts.L2 * w[j]
+		}
+		for i, x := range xs {
+			p := sigmoid(dot(w, x))
+			e := p - ys[i]
+			for j, xj := range x {
+				grad[j] += e * xj / n
+			}
+		}
+		for j := range w {
+			w[j] -= opts.LearningRate * grad[j]
+		}
+	}
+	return &Model{Weights: w}, nil
+}
+
+func sigmoid(z float64) float64 { return 1 / (1 + math.Exp(-z)) }
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// PredictAttendance returns each member's probability of attending instance
+// t of series s, using only history before t.
+func (m *Model) PredictAttendance(s *Series, t int) []float64 {
+	out := make([]float64, len(s.Members))
+	for i := range s.Members {
+		out[i] = sigmoid(dot(m.Weights, features(s, i, t)))
+	}
+	return out
+}
+
+// PredictCounts aggregates attendance probabilities into per-country
+// participant counts: the expected count per country, rounded. For count
+// accuracy this dominates thresholding each member independently (the sum of
+// probabilities is the minimum-squared-error estimate of the count).
+func (m *Model) PredictCounts(s *Series, t int) map[geo.CountryCode]int {
+	probs := m.PredictAttendance(s, t)
+	expected := make(map[geo.CountryCode]float64)
+	for i, p := range probs {
+		expected[s.Members[i].Country] += p
+	}
+	counts := make(map[geo.CountryCode]int)
+	for c, e := range expected {
+		if n := int(math.Round(e)); n > 0 {
+			counts[c] = n
+		}
+	}
+	return counts
+}
+
+// ActualCounts returns the ground-truth per-country counts of instance t.
+func ActualCounts(s *Series, t int) map[geo.CountryCode]int {
+	counts := make(map[geo.CountryCode]int)
+	for i, attended := range s.Attendance[t] {
+		if attended {
+			counts[s.Members[i].Country]++
+		}
+	}
+	return counts
+}
+
+// BaselineCounts predicts instance t as a copy of instance t-1 (the paper's
+// baseline).
+func BaselineCounts(s *Series, t int) map[geo.CountryCode]int {
+	if t == 0 {
+		return map[geo.CountryCode]int{}
+	}
+	return ActualCounts(s, t-1)
+}
+
+// Accuracy aggregates per-(instance, country) count errors.
+type Accuracy struct {
+	RMSE      float64
+	MAE       float64
+	Instances int
+}
+
+// Evaluate scores predicted-vs-actual counts over the last evalInstances of
+// every series, comparing the model against the previous-instance baseline.
+func Evaluate(ds *Dataset, m *Model, evalInstances int) (model, baseline Accuracy, err error) {
+	var se, ae, seB, aeB float64
+	var n, nB, instances int
+	for _, s := range ds.Series {
+		start := len(s.Attendance) - evalInstances
+		if start < maxOrder+1 {
+			start = maxOrder + 1
+		}
+		for t := start; t < len(s.Attendance); t++ {
+			instances++
+			actual := ActualCounts(s, t)
+			pred := m.PredictCounts(s, t)
+			base := BaselineCounts(s, t)
+			for _, country := range unionKeys(actual, pred) {
+				d := float64(pred[country] - actual[country])
+				se += d * d
+				ae += math.Abs(d)
+				n++
+			}
+			for _, country := range unionKeys(actual, base) {
+				d := float64(base[country] - actual[country])
+				seB += d * d
+				aeB += math.Abs(d)
+				nB++
+			}
+		}
+	}
+	if n == 0 || nB == 0 {
+		return Accuracy{}, Accuracy{}, fmt.Errorf("predict: no evaluation instances")
+	}
+	model = Accuracy{RMSE: math.Sqrt(se / float64(n)), MAE: ae / float64(n), Instances: instances}
+	baseline = Accuracy{RMSE: math.Sqrt(seB / float64(nB)), MAE: aeB / float64(nB), Instances: instances}
+	return model, baseline, nil
+}
+
+func unionKeys(a, b map[geo.CountryCode]int) []geo.CountryCode {
+	seen := make(map[geo.CountryCode]bool, len(a)+len(b))
+	var out []geo.CountryCode
+	for k := range a {
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	for k := range b {
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,213 @@
+package predict
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"switchboard/internal/geo"
+	"switchboard/internal/model"
+	"switchboard/internal/trace"
+)
+
+// synthSeries builds a series whose members attend with fixed propensities.
+func synthSeries(id uint64, nMembers, nInstances int, seed int64) *Series {
+	rng := rand.New(rand.NewSource(seed))
+	s := &Series{ID: id}
+	probs := make([]float64, nMembers)
+	countries := []geo.CountryCode{"US", "IN", "JP", "DE"}
+	for m := 0; m < nMembers; m++ {
+		probs[m] = 0.2 + 0.7*rng.Float64()
+		s.Members = append(s.Members, Member{ID: uint64(m + 1), Country: countries[m%len(countries)]})
+	}
+	s.Attendance = make([][]bool, nInstances)
+	for t := range s.Attendance {
+		row := make([]bool, nMembers)
+		for m := range row {
+			row[m] = rng.Float64() < probs[m]
+		}
+		s.Attendance[t] = row
+	}
+	return s
+}
+
+func synthDataset(nSeries, nMembers, nInstances int) *Dataset {
+	ds := &Dataset{}
+	for i := 0; i < nSeries; i++ {
+		ds.Series = append(ds.Series, synthSeries(uint64(i+1), nMembers, nInstances, int64(i+100)))
+	}
+	return ds
+}
+
+func TestBuildDataset(t *testing.T) {
+	start := time.Date(2022, 9, 5, 9, 0, 0, 0, time.UTC)
+	mk := func(id uint64, day int, users ...uint64) *model.CallRecord {
+		r := &model.CallRecord{ID: id, SeriesID: 7, Start: start.AddDate(0, 0, day), Duration: time.Hour}
+		for _, u := range users {
+			r.Legs = append(r.Legs, model.LegRecord{Participant: u, Country: "US"})
+		}
+		return r
+	}
+	recs := map[uint64][]*model.CallRecord{
+		7: {mk(1, 0, 1, 2), mk(2, 1, 1), mk(3, 2, 1, 2, 3)},
+		8: {mk(4, 0, 9)}, // too few instances
+	}
+	ds := BuildDataset(recs, 3)
+	if len(ds.Series) != 1 {
+		t.Fatalf("got %d series, want 1", len(ds.Series))
+	}
+	s := ds.Series[0]
+	if len(s.Members) != 3 || len(s.Attendance) != 3 {
+		t.Fatalf("members=%d instances=%d", len(s.Members), len(s.Attendance))
+	}
+	if !s.Attendance[0][0] || !s.Attendance[0][1] || s.Attendance[0][2] {
+		t.Errorf("instance 0 attendance = %v", s.Attendance[0])
+	}
+	if !s.Attendance[2][2] {
+		t.Error("member 3 should attend instance 2")
+	}
+}
+
+func TestMomcProbLearnsPattern(t *testing.T) {
+	// Alternating attendance: P(attend | absent last time) must be high.
+	s := &Series{
+		Members:    []Member{{ID: 1, Country: "US"}},
+		Attendance: make([][]bool, 12),
+	}
+	for t2 := range s.Attendance {
+		s.Attendance[t2] = []bool{t2%2 == 0}
+	}
+	// At t=11, last instance (10) was attended -> pattern [true]; history
+	// says attendance after attended is ~0.
+	pAfterPresent := momcProb(s, 0, 11, 1)
+	if pAfterPresent > 0.3 {
+		t.Errorf("P(attend|present) = %g, want low for alternating member", pAfterPresent)
+	}
+	// At t=10, last instance (9) was a miss -> history says ~1.
+	pAfterAbsent := momcProb(s, 0, 10, 1)
+	if pAfterAbsent < 0.7 {
+		t.Errorf("P(attend|absent) = %g, want high", pAfterAbsent)
+	}
+	if p := momcProb(s, 0, 0, 1); p != 0.5 {
+		t.Errorf("no-history prior = %g, want 0.5", p)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(&Dataset{}, TrainOptions{}); err == nil {
+		t.Error("empty dataset should error")
+	}
+}
+
+func TestModelBeatsBaseline(t *testing.T) {
+	// With stationary propensities, per-member frequency features beat
+	// copying the (noisy) previous instance — the §8 result's shape.
+	ds := synthDataset(30, 12, 20)
+	m, err := Train(ds, TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, base, err := Evaluate(ds, m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.Instances == 0 {
+		t.Fatal("no evaluation instances")
+	}
+	if acc.RMSE >= base.RMSE {
+		t.Errorf("model RMSE %.3f not better than baseline %.3f", acc.RMSE, base.RMSE)
+	}
+	if acc.MAE >= base.MAE {
+		t.Errorf("model MAE %.3f not better than baseline %.3f", acc.MAE, base.MAE)
+	}
+}
+
+func TestPredictAttendanceProbabilitiesValid(t *testing.T) {
+	ds := synthDataset(5, 8, 15)
+	m, err := Train(ds, TrainOptions{Epochs: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ds.Series[0]
+	probs := m.PredictAttendance(s, len(s.Attendance)-1)
+	if len(probs) != len(s.Members) {
+		t.Fatalf("got %d probs", len(probs))
+	}
+	for _, p := range probs {
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			t.Fatalf("invalid probability %g", p)
+		}
+	}
+}
+
+func TestAlwaysAttendeePredicted(t *testing.T) {
+	// A member who always attends must be predicted to attend.
+	ds := synthDataset(20, 10, 16)
+	s := &Series{Members: []Member{{ID: 1, Country: "US"}, {ID: 2, Country: "IN"}}}
+	s.Attendance = make([][]bool, 16)
+	for t2 := range s.Attendance {
+		s.Attendance[t2] = []bool{true, false}
+	}
+	ds.Series = append(ds.Series, s)
+	m, err := Train(ds, TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := m.PredictCounts(s, 15)
+	if counts["US"] != 1 {
+		t.Errorf("always-attendee not predicted: %v", counts)
+	}
+	if counts["IN"] != 0 {
+		t.Errorf("never-attendee predicted: %v", counts)
+	}
+}
+
+func TestBaselineCounts(t *testing.T) {
+	s := synthSeries(1, 6, 10, 3)
+	base := BaselineCounts(s, 5)
+	actualPrev := ActualCounts(s, 4)
+	for c, n := range actualPrev {
+		if base[c] != n {
+			t.Errorf("baseline[%s] = %d, want %d", c, base[c], n)
+		}
+	}
+	if len(BaselineCounts(s, 0)) != 0 {
+		t.Error("baseline at t=0 should be empty")
+	}
+}
+
+func TestEndToEndWithTraceSeries(t *testing.T) {
+	cfg := trace.DefaultConfig()
+	cfg.Days = 12 // ~10 weekday instances per series
+	cfg.CallsPerDay = 1200
+	g, err := trace.NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seriesRecs := make(map[uint64][]*model.CallRecord)
+	g.EachCall(func(r *model.CallRecord) bool {
+		if r.SeriesID != 0 {
+			seriesRecs[r.SeriesID] = append(seriesRecs[r.SeriesID], r)
+		}
+		return true
+	})
+	ds := BuildDataset(seriesRecs, 6)
+	if len(ds.Series) == 0 {
+		t.Fatal("no recurring series in trace")
+	}
+	m, err := Train(ds, TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, base, err := Evaluate(ds, m, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §8 shape: the MOMC model beats the previous-instance baseline.
+	if acc.RMSE >= base.RMSE {
+		t.Errorf("model RMSE %.3f vs baseline %.3f: expected improvement", acc.RMSE, base.RMSE)
+	}
+	t.Logf("model RMSE=%.3f MAE=%.3f; baseline RMSE=%.3f MAE=%.3f over %d instances",
+		acc.RMSE, acc.MAE, base.RMSE, base.MAE, acc.Instances)
+}

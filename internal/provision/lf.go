@@ -1,0 +1,92 @@
+package provision
+
+import (
+	"fmt"
+	"math"
+
+	"switchboard/internal/geo"
+)
+
+// LocalityFirst implements the §3.2 baseline: every call is hosted at the DC
+// with the lowest average call latency for its config. Latency and WAN usage
+// are minimal, but each DC must be provisioned for its own local peak, and
+// the sum of time-shifted local peaks exceeds the global peak; the skew also
+// inflates backup capacity.
+func LocalityFirst(in *Inputs) (*Plan, error) {
+	lm, err := NewLoadModel(in)
+	if err != nil {
+		return nil, err
+	}
+	return localityFirstWith(lm)
+}
+
+func localityFirstWith(lm *LoadModel) (*Plan, error) {
+	w := lm.world
+	d := lm.demand
+	nT, nC, nD := len(d.Counts), len(d.Configs), len(w.DCs())
+
+	alloc := newAlloc(nT, nC, nD)
+	home := make([]int, nC)
+	for c := range d.Configs {
+		home[c] = lm.MinACLDC(c)
+		for t := 0; t < nT; t++ {
+			if dem := d.Counts[t][c]; dem > 0 {
+				alloc[t][c][home[c]] = dem
+			}
+		}
+	}
+
+	serving := PeakPerDC(lm.ComputeUsage(alloc))
+	cores := append([]float64(nil), serving...)
+	link := PeakPerDC(lm.LinkUsage(alloc, -1))
+
+	if lm.in.WithBackup {
+		// §3.2 compute backup, per region (fail-over stays in-region to
+		// keep latency acceptable, as in the paper's examples).
+		for _, r := range geo.Regions() {
+			dcs := w.DCsInRegion(r)
+			if len(dcs) < 2 {
+				continue
+			}
+			sv := make([]float64, len(dcs))
+			for i, x := range dcs {
+				sv[i] = serving[x]
+			}
+			bk, err := DefaultBackup(sv)
+			if err != nil {
+				return nil, fmt.Errorf("provision: LF backup (%v): %w", r, err)
+			}
+			for i, x := range dcs {
+				cores[x] += bk[i]
+			}
+		}
+		// WAN backup: on DC failure, LF moves each affected call to the
+		// next-lowest-ACL surviving DC.
+		link = backupWAN(lm, alloc, func(t, c, failed int, shares []float64) []float64 {
+			out := append([]float64(nil), shares...)
+			moved := out[failed]
+			out[failed] = 0
+			next, nextACL := -1, math.Inf(1)
+			for x := 0; x < nD; x++ {
+				if x == failed {
+					continue
+				}
+				if a := lm.ACL(c, x); a < nextACL {
+					next, nextACL = x, a
+				}
+			}
+			if next >= 0 {
+				out[next] += moved
+			}
+			return out
+		})
+	}
+
+	return &Plan{
+		Scheme:   "locality-first",
+		Cores:    cores,
+		LinkGbps: link,
+		Alloc:    alloc,
+		Demand:   d,
+	}, nil
+}

@@ -1,0 +1,397 @@
+// Package provision implements MP capacity provisioning (§5.3): given a
+// demand envelope over call configs, decide how many compute cores to
+// provision at every datacenter and how much bandwidth on every WAN link.
+//
+// Three provisioners are implemented:
+//
+//   - RoundRobin (§3.1): spreads every call equally over the DCs of its
+//     region; minimal compute, heavy WAN usage.
+//   - LocalityFirst (§3.2): hosts every call at its minimum-ACL DC; minimal
+//     latency and WAN, but compute must cover the sum of shifted local peaks.
+//   - Switchboard (§5.3): a joint compute+network LP per failure scenario
+//     with peak-aware sharing across time slots (Eq 3–9), taking the
+//     max-over-scenarios capacity (Eq 7–8).
+//
+// All three share the same load-accounting model so their outputs are
+// directly comparable (Table 3).
+package provision
+
+import (
+	"fmt"
+	"math"
+
+	"switchboard/internal/geo"
+	"switchboard/internal/model"
+	"switchboard/internal/records"
+)
+
+// Inputs bundles everything a provisioner needs.
+type Inputs struct {
+	// World supplies DCs, links, and WAN routing.
+	World *geo.World
+	// Latency answers Lat(x, u) queries (pooled medians with model
+	// fallback; see records.LatencyEstimator).
+	Latency *records.LatencyEstimator
+	// Demand is the per-slot, per-config call demand envelope.
+	Demand *records.Demand
+	// LatencyThresholdMs is LAT_th (the paper uses 120 ms one-way).
+	LatencyThresholdMs float64
+	// WithBackup selects whether failure scenarios (one DC or one WAN
+	// link down at a time) are provisioned for.
+	WithBackup bool
+	// DCFailuresOnly restricts the Switchboard backup scenarios to DC
+	// failures, skipping link failures. Used by the §4.2 ablation so
+	// both arms protect against the same events.
+	DCFailuresOnly bool
+	// SlotStride optionally coarsens time: consecutive groups of this
+	// many slots are merged by per-config max before optimization. 0 or
+	// 1 keeps all slots. Only the Switchboard LP's size depends on it;
+	// the baselines are cheap either way.
+	SlotStride int
+	// MaxDCsPerConfig optionally caps each config's candidate DC set to
+	// the K lowest-ACL feasible DCs (0 = no cap). This bounds LP columns
+	// on large worlds at a small optimality cost.
+	MaxDCsPerConfig int
+	// IgnoreNetworkCost makes the Switchboard LP price WAN capacity at
+	// (almost) zero, optimizing compute alone. Used by the joint-vs-
+	// compute-only ablation of the §4.3 idea; WAN peaks are still
+	// reported so the induced network cost can be compared.
+	IgnoreNetworkCost bool
+	// ExtraScenarios adds compound failure scenarios (multiple DCs
+	// and/or links down at once) on top of the standard single-failure
+	// set when WithBackup is set.
+	ExtraScenarios []Scenario
+}
+
+func (in *Inputs) validate() error {
+	if in.World == nil || in.Latency == nil || in.Demand == nil {
+		return fmt.Errorf("provision: World, Latency, and Demand are required")
+	}
+	if in.LatencyThresholdMs <= 0 {
+		return fmt.Errorf("provision: LatencyThresholdMs must be positive, got %g", in.LatencyThresholdMs)
+	}
+	if len(in.Demand.Configs) == 0 {
+		return fmt.Errorf("provision: empty demand")
+	}
+	return nil
+}
+
+// Plan is a provisioning decision plus the no-failure allocation it was
+// computed from.
+type Plan struct {
+	// Scheme identifies the provisioner that produced the plan.
+	Scheme string
+	// Cores[x] is the total provisioned cores at DC x (serving plus any
+	// backup).
+	Cores []float64
+	// LinkGbps[l] is the provisioned bandwidth of WAN link l.
+	LinkGbps []float64
+	// Alloc[t][c][x] is the number of calls of config c in slot t hosted
+	// at DC x in the no-failure scenario.
+	Alloc [][][]float64
+	// Demand echoes the input demand the plan was computed for.
+	Demand *records.Demand
+}
+
+// TotalCores returns the summed provisioned cores across DCs.
+func (p *Plan) TotalCores() float64 {
+	var s float64
+	for _, v := range p.Cores {
+		s += v
+	}
+	return s
+}
+
+// TotalGbps returns the summed provisioned bandwidth across WAN links (the
+// paper's "Total WAN capacity" metric: the sum of per-link peaks).
+func (p *Plan) TotalGbps() float64 {
+	var s float64
+	for _, v := range p.LinkGbps {
+		s += v
+	}
+	return s
+}
+
+// Cost returns the provisioning cost under the world's price tables (Eq 3).
+func (p *Plan) Cost(w *geo.World) float64 {
+	var c float64
+	for x, cores := range p.Cores {
+		c += w.DCs()[x].CoreCost * cores
+	}
+	for l, gbps := range p.LinkGbps {
+		c += w.Links()[l].CostPerGbps * gbps
+	}
+	return c
+}
+
+// MeanACL returns the demand-weighted mean average call latency of the
+// plan's no-failure allocation.
+func (p *Plan) MeanACL(lm *LoadModel) float64 {
+	var sum, calls float64
+	for t := range p.Alloc {
+		for c := range p.Alloc[t] {
+			for x, share := range p.Alloc[t][c] {
+				if share > 0 {
+					sum += share * lm.ACL(c, x)
+					calls += share
+				}
+			}
+		}
+	}
+	if calls == 0 {
+		return 0
+	}
+	return sum / calls
+}
+
+// LoadModel precomputes, per (config, DC), the compute load, ACL, and the
+// per-link network load of hosting that config there. It is shared by all
+// provisioners so comparisons use identical accounting.
+type LoadModel struct {
+	in      *Inputs
+	world   *geo.World
+	demand  *records.Demand
+	cl      []float64   // cores per call, by config
+	acl     [][]float64 // [config][dc] average call latency
+	allowed [][]int     // [config] candidate DCs after Eq 4 filtering
+	// linkLoad[c][x] lists (link, Gbps-per-call) pairs for hosting one
+	// call of config c at DC x along current (unbanned) paths.
+	linkLoad [][][]linkShare
+}
+
+type linkShare struct {
+	link int
+	gbps float64
+}
+
+// NewLoadModel validates inputs, applies the SlotStride coarsening, and
+// precomputes the load tables.
+func NewLoadModel(in *Inputs) (*LoadModel, error) {
+	if err := in.validate(); err != nil {
+		return nil, err
+	}
+	demand := in.Demand
+	if in.SlotStride > 1 {
+		demand = coarsenDemand(demand, in.SlotStride)
+	}
+	lm := &LoadModel{in: in, world: in.World, demand: demand}
+	nc := len(demand.Configs)
+	nd := len(in.World.DCs())
+	lm.cl = make([]float64, nc)
+	lm.acl = make([][]float64, nc)
+	lm.allowed = make([][]int, nc)
+	lm.linkLoad = make([][][]linkShare, nc)
+	for c, cfg := range demand.Configs {
+		lm.cl[c] = cfg.ComputeLoad()
+		lm.acl[c] = make([]float64, nd)
+		lm.linkLoad[c] = make([][]linkShare, nd)
+		for x := 0; x < nd; x++ {
+			lm.acl[c][x] = in.Latency.ACL(cfg, x)
+			lm.linkLoad[c][x] = lm.pathLoads(cfg, x, -1)
+		}
+		lm.allowed[c] = lm.candidateDCs(c)
+	}
+	return lm, nil
+}
+
+// pathLoads aggregates the per-link Gbps of one call of cfg hosted at DC x,
+// optionally avoiding a failed link.
+func (lm *LoadModel) pathLoads(cfg model.CallConfig, x int, bannedLink int) []linkShare {
+	if bannedLink < 0 {
+		return lm.pathLoadsMulti(cfg, x, nil)
+	}
+	return lm.pathLoadsMulti(cfg, x, []int{bannedLink})
+}
+
+// pathLoadsMulti is pathLoads with a set of failed links.
+func (lm *LoadModel) pathLoadsMulti(cfg model.CallConfig, x int, banned []int) []linkShare {
+	perLink := make(map[int]float64)
+	mbps := cfg.Media.NetworkLoad()
+	for _, cc := range cfg.Spread {
+		path := lm.world.PathAvoidingSet(x, cc.Country, banned)
+		for _, l := range path {
+			perLink[l] += mbps * float64(cc.Count) / 1000 // Mbps -> Gbps
+		}
+	}
+	return sortedShares(perLink)
+}
+
+// candidateDCs applies the latency constraint (Eq 4): DCs whose ACL is under
+// the threshold, or the single minimum-ACL DC when none qualifies, optionally
+// capped to the K best.
+func (lm *LoadModel) candidateDCs(c int) []int {
+	nd := len(lm.world.DCs())
+	var feasible []int
+	best, bestACL := -1, math.Inf(1)
+	for x := 0; x < nd; x++ {
+		a := lm.acl[c][x]
+		if a <= lm.in.LatencyThresholdMs {
+			feasible = append(feasible, x)
+		}
+		if a < bestACL {
+			best, bestACL = x, a
+		}
+	}
+	if len(feasible) == 0 {
+		return []int{best}
+	}
+	if k := lm.in.MaxDCsPerConfig; k > 0 && len(feasible) > k {
+		// Keep the K lowest-ACL candidates.
+		sortByACL(feasible, lm.acl[c])
+		feasible = feasible[:k]
+	}
+	return feasible
+}
+
+func sortByACL(dcs []int, acl []float64) {
+	for i := 1; i < len(dcs); i++ {
+		for j := i; j > 0 && acl[dcs[j]] < acl[dcs[j-1]]; j-- {
+			dcs[j], dcs[j-1] = dcs[j-1], dcs[j]
+		}
+	}
+}
+
+// Demand returns the (possibly slot-coarsened) demand the model operates on.
+func (lm *LoadModel) Demand() *records.Demand { return lm.demand }
+
+// ACL returns the average call latency of config c at DC x.
+func (lm *LoadModel) ACL(c, x int) float64 { return lm.acl[c][x] }
+
+// ComputeLoad returns the cores one call of config c consumes.
+func (lm *LoadModel) ComputeLoad(c int) float64 { return lm.cl[c] }
+
+// Allowed returns config c's candidate DCs under the latency constraint.
+func (lm *LoadModel) Allowed(c int) []int { return lm.allowed[c] }
+
+// LinkLoad is one (link, Gbps-per-call) contribution of hosting a config at
+// a DC.
+type LinkLoad struct {
+	Link int
+	Gbps float64
+}
+
+// LinkLoads returns the per-link bandwidth one call of config c consumes
+// when hosted at DC x, under no-failure routing.
+func (lm *LoadModel) LinkLoads(c, x int) []LinkLoad {
+	shares := lm.linkLoad[c][x]
+	out := make([]LinkLoad, len(shares))
+	for i, ls := range shares {
+		out[i] = LinkLoad{Link: ls.link, Gbps: ls.gbps}
+	}
+	return out
+}
+
+// World returns the world the model was built over.
+func (lm *LoadModel) World() *geo.World { return lm.world }
+
+// MinACLDC returns the DC with the lowest ACL for config c.
+func (lm *LoadModel) MinACLDC(c int) int {
+	best, bestACL := 0, math.Inf(1)
+	for x := range lm.acl[c] {
+		if lm.acl[c][x] < bestACL {
+			best, bestACL = x, lm.acl[c][x]
+		}
+	}
+	return best
+}
+
+// ComputeUsage returns, per slot and DC, the cores consumed by an allocation.
+func (lm *LoadModel) ComputeUsage(alloc [][][]float64) [][]float64 {
+	nd := len(lm.world.DCs())
+	out := make([][]float64, len(alloc))
+	for t := range alloc {
+		out[t] = make([]float64, nd)
+		for c := range alloc[t] {
+			for x, share := range alloc[t][c] {
+				if share != 0 {
+					out[t][x] += share * lm.cl[c]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// LinkUsage returns, per slot and link, the Gbps consumed by an allocation,
+// optionally with one link failed (traffic reroutes around it).
+func (lm *LoadModel) LinkUsage(alloc [][][]float64, bannedLink int) [][]float64 {
+	nl := len(lm.world.Links())
+	out := make([][]float64, len(alloc))
+	for t := range alloc {
+		out[t] = make([]float64, nl)
+		for c := range alloc[t] {
+			for x, share := range alloc[t][c] {
+				if share == 0 {
+					continue
+				}
+				shares := lm.linkLoad[c][x]
+				if bannedLink >= 0 {
+					shares = lm.pathLoads(lm.demand.Configs[c], x, bannedLink)
+				}
+				for _, ls := range shares {
+					out[t][ls.link] += share * ls.gbps
+				}
+			}
+		}
+	}
+	return out
+}
+
+// PeakPerDC reduces a per-slot usage matrix to its per-DC (or per-link) peak.
+func PeakPerDC(usage [][]float64) []float64 {
+	if len(usage) == 0 {
+		return nil
+	}
+	out := make([]float64, len(usage[0]))
+	for _, row := range usage {
+		for i, v := range row {
+			if v > out[i] {
+				out[i] = v
+			}
+		}
+	}
+	return out
+}
+
+// coarsenDemand merges groups of stride consecutive slots by per-config max.
+func coarsenDemand(d *records.Demand, stride int) *records.Demand {
+	nT := (len(d.Counts) + stride - 1) / stride
+	out := &records.Demand{
+		Configs:     d.Configs,
+		Counts:      make([][]float64, nT),
+		Cushion:     d.Cushion,
+		CoveredFrac: d.CoveredFrac,
+	}
+	for t := range out.Counts {
+		out.Counts[t] = make([]float64, len(d.Configs))
+		for s := t * stride; s < (t+1)*stride && s < len(d.Counts); s++ {
+			for c, v := range d.Counts[s] {
+				if v > out.Counts[t][c] {
+					out.Counts[t][c] = v
+				}
+			}
+		}
+	}
+	return out
+}
+
+// newAlloc allocates a zeroed [T][C][X] allocation tensor.
+func newAlloc(nT, nC, nX int) [][][]float64 {
+	a := make([][][]float64, nT)
+	for t := range a {
+		a[t] = make([][]float64, nC)
+		for c := range a[t] {
+			a[t][c] = make([]float64, nX)
+		}
+	}
+	return a
+}
+
+// majorityRegion returns the region of the config's majority country.
+func majorityRegion(w *geo.World, cfg model.CallConfig) geo.Region {
+	maj, _ := cfg.Spread.Majority()
+	if c, ok := w.Country(maj); ok {
+		return c.Region
+	}
+	return geo.AMER
+}

@@ -1,0 +1,612 @@
+package provision
+
+import (
+	"math"
+	"testing"
+
+	"switchboard/internal/geo"
+	"switchboard/internal/model"
+	"switchboard/internal/records"
+	"switchboard/internal/trace"
+)
+
+// testInputs builds a small demand from a short synthetic trace.
+func testInputs(t *testing.T, withBackup bool) *Inputs {
+	t.Helper()
+	cfg := trace.DefaultConfig()
+	cfg.Days = 2
+	cfg.CallsPerDay = 1500
+	g, err := trace.NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := geo.DefaultWorld()
+	db := records.New(cfg.Start, w)
+	g.EachCall(func(r *model.CallRecord) bool { db.Add(r); return true })
+	return &Inputs{
+		World:              w,
+		Latency:            db.Estimator(20),
+		Demand:             db.PeakEnvelope(12),
+		LatencyThresholdMs: 120,
+		WithBackup:         withBackup,
+		SlotStride:         8, // 6 coarse slots keep the LPs small in tests
+	}
+}
+
+func TestInputsValidation(t *testing.T) {
+	if _, err := RoundRobin(&Inputs{}); err == nil {
+		t.Error("nil fields should error")
+	}
+	in := testInputs(t, false)
+	in.LatencyThresholdMs = 0
+	if _, err := RoundRobin(in); err == nil {
+		t.Error("zero threshold should error")
+	}
+	in = testInputs(t, false)
+	in.Demand = &records.Demand{}
+	if _, err := LocalityFirst(in); err == nil {
+		t.Error("empty demand should error")
+	}
+}
+
+func TestDefaultBackupEqualServing(t *testing.T) {
+	// §3.1: four DCs with equal serving s need s/(n-1) backup each.
+	bk, err := DefaultBackup([]float64{25, 25, 25, 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, b := range bk {
+		total += b
+	}
+	if math.Abs(total-100.0/3) > 1e-6 {
+		t.Errorf("total backup = %g, want 33.33", total)
+	}
+}
+
+func TestDefaultBackupSkewedServing(t *testing.T) {
+	// §3.2's example: one DC holding 75% forces 75% total backup.
+	bk, err := DefaultBackup([]float64{75, 10, 10, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for i, b := range bk {
+		if b < -1e-9 {
+			t.Errorf("negative backup[%d] = %g", i, b)
+		}
+		total += b
+	}
+	if math.Abs(total-75) > 1e-6 {
+		t.Errorf("total backup = %g, want 75", total)
+	}
+	// Verify the failure constraints hold.
+	serving := []float64{75, 10, 10, 5}
+	for x := range serving {
+		var cover float64
+		for y, b := range bk {
+			if y != x {
+				cover += b
+			}
+		}
+		if cover < serving[x]-1e-6 {
+			t.Errorf("failure of DC %d uncovered: %g < %g", x, cover, serving[x])
+		}
+	}
+}
+
+func TestDefaultBackupEdgeCases(t *testing.T) {
+	if bk, err := DefaultBackup(nil); err != nil || bk != nil {
+		t.Error("empty serving should be a no-op")
+	}
+	if _, err := DefaultBackup([]float64{10}); err == nil {
+		t.Error("single DC with load cannot be backed up")
+	}
+	if bk, err := DefaultBackup([]float64{0}); err != nil || bk[0] != 0 {
+		t.Error("single idle DC needs no backup")
+	}
+}
+
+// TestPeakAwareBackupFig4 reproduces the paper's Fig 4 worked example
+// exactly: demand (JP, HK, IN) over three slots; the default plan needs
+// 160 cores per DC while the peak-aware plan needs only 100/110/110.
+func TestPeakAwareBackupFig4(t *testing.T) {
+	demand := [][]float64{
+		{100, 60, 20}, // T1: Japan at peak
+		{30, 110, 60}, // T2: Hong Kong at peak
+		{20, 40, 110}, // T3: India at peak
+	}
+
+	// Default plan (Fig 4b): serving peaks (100,110,110) + §3.2 backup.
+	serving := []float64{100, 110, 110}
+	bk, err := DefaultBackup(serving)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var defaultTotal float64
+	for i := range serving {
+		defaultTotal += serving[i] + bk[i]
+	}
+	if math.Abs(defaultTotal-480) > 1e-6 {
+		t.Errorf("default plan total = %g, want 480 (160 per DC)", defaultTotal)
+	}
+
+	// Peak-aware plan (Fig 4c): 100 + 110 + 110 = 320.
+	caps, err := PeakAwareBackup(demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, c := range caps {
+		total += c
+	}
+	if math.Abs(total-320) > 1e-6 {
+		t.Errorf("peak-aware total = %g, want 320 (got %v)", total, caps)
+	}
+	want := []float64{100, 110, 110}
+	for i := range want {
+		if math.Abs(caps[i]-want[i]) > 1e-6 {
+			t.Errorf("caps[%d] = %g, want %g", i, caps[i], want[i])
+		}
+	}
+}
+
+func TestPeakAwareBackupValidation(t *testing.T) {
+	if _, err := PeakAwareBackup(nil); err == nil {
+		t.Error("empty demand should error")
+	}
+	if _, err := PeakAwareBackup([][]float64{{5}}); err == nil {
+		t.Error("single DC should error")
+	}
+	if _, err := PeakAwareBackup([][]float64{{1, 2}, {1}}); err == nil {
+		t.Error("ragged demand should error")
+	}
+}
+
+func TestRoundRobinSpreadsEqually(t *testing.T) {
+	in := testInputs(t, false)
+	plan, err := RoundRobin(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := in.World
+	lm, _ := NewLoadModel(in)
+	d := lm.Demand()
+	for t2 := range plan.Alloc {
+		for c := range plan.Alloc[t2] {
+			dem := d.Counts[t2][c]
+			if dem == 0 {
+				continue
+			}
+			region := majorityRegion(w, d.Configs[c])
+			nDCs := len(w.DCsInRegion(region))
+			var total float64
+			for x, s := range plan.Alloc[t2][c] {
+				if s > 0 {
+					if w.DCs()[x].Region != region {
+						t.Fatalf("RR placed config %d outside region %v", c, region)
+					}
+					if math.Abs(s-dem/float64(nDCs)) > 1e-9 {
+						t.Fatalf("RR share %g, want %g", s, dem/float64(nDCs))
+					}
+				}
+				total += s
+			}
+			if math.Abs(total-dem) > 1e-9 {
+				t.Fatalf("RR total %g != demand %g", total, dem)
+			}
+		}
+	}
+}
+
+func TestRoundRobinWeighted(t *testing.T) {
+	in := testInputs(t, false)
+	w := in.World
+	// Double weight on us-east within AMER; zero elsewhere-but-positive
+	// defaults for the other regions.
+	weights := make([]float64, len(w.DCs()))
+	for i := range weights {
+		weights[i] = 1
+	}
+	var usEast, saoPaulo int
+	for _, dc := range w.DCs() {
+		switch dc.Name {
+		case "us-east":
+			usEast = dc.ID
+		case "sao-paulo":
+			saoPaulo = dc.ID
+		}
+	}
+	weights[usEast] = 3
+	plan, err := RoundRobinWeighted(in, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm, _ := NewLoadModel(in)
+	d := lm.Demand()
+	for t2 := range plan.Alloc {
+		for c := range plan.Alloc[t2] {
+			dem := d.Counts[t2][c]
+			if dem == 0 || majorityRegion(w, d.Configs[c]) != geo.AMER {
+				continue
+			}
+			// AMER has two DCs with weights 3:1.
+			if math.Abs(plan.Alloc[t2][c][usEast]-dem*0.75) > 1e-9 {
+				t.Fatalf("us-east share %g, want %g", plan.Alloc[t2][c][usEast], dem*0.75)
+			}
+			if math.Abs(plan.Alloc[t2][c][saoPaulo]-dem*0.25) > 1e-9 {
+				t.Fatalf("sao-paulo share %g, want %g", plan.Alloc[t2][c][saoPaulo], dem*0.25)
+			}
+		}
+	}
+
+	// Validation.
+	if _, err := RoundRobinWeighted(in, []float64{1}); err == nil {
+		t.Error("wrong weight count should error")
+	}
+	weights[usEast] = -1
+	if _, err := RoundRobinWeighted(in, weights); err == nil {
+		t.Error("negative weight should error")
+	}
+}
+
+func TestRoundRobinWeightedZeroRegion(t *testing.T) {
+	// Zero out an entire region: its calls fall back to their min-ACL DC
+	// and none are lost.
+	in := testInputs(t, false)
+	w := in.World
+	weights := make([]float64, len(w.DCs()))
+	for _, dc := range w.DCs() {
+		if dc.Region != geo.APAC {
+			weights[dc.ID] = 1
+		}
+	}
+	plan, err := RoundRobinWeighted(in, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm, _ := NewLoadModel(in)
+	d := lm.Demand()
+	for t2 := range plan.Alloc {
+		for c := range plan.Alloc[t2] {
+			var got float64
+			for _, s := range plan.Alloc[t2][c] {
+				got += s
+			}
+			if math.Abs(got-d.Counts[t2][c]) > 1e-9*(1+d.Counts[t2][c]) {
+				t.Fatalf("slot %d config %d allocated %g, want %g", t2, c, got, d.Counts[t2][c])
+			}
+		}
+	}
+}
+
+func TestLocalityFirstMinimizesACL(t *testing.T) {
+	in := testInputs(t, false)
+	plan, err := LocalityFirst(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm, _ := NewLoadModel(in)
+	for t2 := range plan.Alloc {
+		for c := range plan.Alloc[t2] {
+			for x, s := range plan.Alloc[t2][c] {
+				if s > 0 && x != lm.MinACLDC(c) {
+					t.Fatalf("LF hosted config %d at %d, want %d", c, x, lm.MinACLDC(c))
+				}
+			}
+		}
+	}
+	rr, err := RoundRobin(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.MeanACL(lm) >= rr.MeanACL(lm) {
+		t.Errorf("LF ACL %g should beat RR ACL %g", plan.MeanACL(lm), rr.MeanACL(lm))
+	}
+	if plan.TotalGbps() >= rr.TotalGbps() {
+		t.Errorf("LF WAN %g should be below RR WAN %g", plan.TotalGbps(), rr.TotalGbps())
+	}
+}
+
+func TestSwitchboardMeetsDemandAndBeatsBaselinesOnCost(t *testing.T) {
+	in := testInputs(t, false)
+	sb, err := Switchboard(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm, _ := NewLoadModel(in)
+	d := lm.Demand()
+
+	// Completeness: every slot/config fully allocated.
+	for t2 := range sb.Alloc {
+		for c := range sb.Alloc[t2] {
+			var total float64
+			for _, s := range sb.Alloc[t2][c] {
+				total += s
+			}
+			if math.Abs(total-d.Counts[t2][c]) > 1e-5*(1+d.Counts[t2][c]) {
+				t.Fatalf("SB slot %d config %d allocated %g, want %g", t2, c, total, d.Counts[t2][c])
+			}
+		}
+	}
+	// Capacity covers usage.
+	usage := PeakPerDC(lm.ComputeUsage(sb.Alloc))
+	for x, u := range usage {
+		if u > sb.Cores[x]+1e-6 {
+			t.Fatalf("DC %d usage %g > cores %g", x, u, sb.Cores[x])
+		}
+	}
+	// Latency constraint honored where feasible.
+	for t2 := range sb.Alloc {
+		for c := range sb.Alloc[t2] {
+			feasible := false
+			for _, x := range lm.Allowed(c) {
+				if lm.ACL(c, x) <= in.LatencyThresholdMs {
+					feasible = true
+				}
+			}
+			for x, s := range sb.Alloc[t2][c] {
+				if s > 1e-9 && feasible && lm.ACL(c, x) > in.LatencyThresholdMs {
+					t.Fatalf("SB placed config %d at DC %d with ACL %g > %g",
+						c, x, lm.ACL(c, x), in.LatencyThresholdMs)
+				}
+			}
+		}
+	}
+
+	// Cost optimality within the latency constraint: SB must not exceed
+	// either baseline's cost (Table 3's headline).
+	rr, err := RoundRobin(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lf, err := LocalityFirst(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := in.World
+	if sb.Cost(w) > rr.Cost(w)*1.001 {
+		t.Errorf("SB cost %g exceeds RR %g", sb.Cost(w), rr.Cost(w))
+	}
+	if sb.Cost(w) > lf.Cost(w)*1.001 {
+		t.Errorf("SB cost %g exceeds LF %g", sb.Cost(w), lf.Cost(w))
+	}
+}
+
+func TestSwitchboardWithBackupDominatesWithout(t *testing.T) {
+	in := testInputs(t, false)
+	noBk, err := Switchboard(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in2 := testInputs(t, true)
+	withBk, err := Switchboard(in2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withBk.TotalCores() < noBk.TotalCores()-1e-6 {
+		t.Errorf("backup cores %g < serving-only cores %g", withBk.TotalCores(), noBk.TotalCores())
+	}
+	if withBk.Cost(in.World) < noBk.Cost(in.World)-1e-6 {
+		t.Errorf("backup cost below serving-only cost")
+	}
+	// Survivability: for every DC failure, surviving capacity must cover
+	// the peak total compute demand of feasible reassignment. We check the
+	// aggregate condition: total surviving cores >= peak demand load.
+	lm, _ := NewLoadModel(in2)
+	peak := 0.0
+	for t2 := range lm.Demand().Counts {
+		var load float64
+		for c, dem := range lm.Demand().Counts[t2] {
+			load += dem * lm.ComputeLoad(c)
+		}
+		if load > peak {
+			peak = load
+		}
+	}
+	for f := range in2.World.DCs() {
+		var surviving float64
+		for x, cores := range withBk.Cores {
+			if x != f {
+				surviving += cores
+			}
+		}
+		if surviving < peak-1e-6 {
+			t.Errorf("DC %d failure leaves %g cores < peak demand %g", f, surviving, peak)
+		}
+	}
+}
+
+func TestBaselinesWithBackupGrow(t *testing.T) {
+	for _, scheme := range []struct {
+		name string
+		f    func(*Inputs) (*Plan, error)
+	}{{"rr", RoundRobin}, {"lf", LocalityFirst}} {
+		without, err := scheme.f(testInputs(t, false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		with, err := scheme.f(testInputs(t, true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if with.TotalCores() <= without.TotalCores() {
+			t.Errorf("%s: backup cores %g not above serving %g", scheme.name, with.TotalCores(), without.TotalCores())
+		}
+		if with.TotalGbps() < without.TotalGbps()-1e-9 {
+			t.Errorf("%s: backup WAN %g below serving WAN %g", scheme.name, with.TotalGbps(), without.TotalGbps())
+		}
+	}
+}
+
+func TestLFComputeAtLeastRR(t *testing.T) {
+	// §3.2: the sum of time-shifted local peaks >= the global peak, so LF
+	// provisions at least as much compute as RR.
+	in := testInputs(t, false)
+	rr, err := RoundRobin(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lf, err := LocalityFirst(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lf.TotalCores() < rr.TotalCores()*0.999 {
+		t.Errorf("LF cores %g below RR cores %g", lf.TotalCores(), rr.TotalCores())
+	}
+}
+
+func TestSlotStrideCoarsening(t *testing.T) {
+	in := testInputs(t, false)
+	in.SlotStride = 0
+	lmFine, err := NewLoadModel(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in2 := testInputs(t, false)
+	in2.SlotStride = 8
+	lmCoarse, err := NewLoadModel(in2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(lmCoarse.Demand().Counts), 6; got != want {
+		t.Errorf("coarse slots = %d, want %d", got, want)
+	}
+	if len(lmFine.Demand().Counts) != model.SlotsPerDay {
+		t.Errorf("fine slots = %d", len(lmFine.Demand().Counts))
+	}
+	// Coarsening takes maxima, so per-config coarse demand >= any fine
+	// slot in its group.
+	for t2 := 0; t2 < 6; t2++ {
+		for c := range lmCoarse.Demand().Configs {
+			for s := t2 * 8; s < (t2+1)*8; s++ {
+				if lmFine.Demand().Counts[s][c] > lmCoarse.Demand().Counts[t2][c]+1e-9 {
+					t.Fatalf("coarse max violated at slot %d config %d", s, c)
+				}
+			}
+		}
+	}
+}
+
+func TestMaxDCsPerConfigCap(t *testing.T) {
+	in := testInputs(t, false)
+	in.MaxDCsPerConfig = 2
+	lm, err := NewLoadModel(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range lm.Demand().Configs {
+		if len(lm.Allowed(c)) > 2 {
+			t.Fatalf("config %d has %d candidates, cap is 2", c, len(lm.Allowed(c)))
+		}
+	}
+}
+
+func TestCandidateFallbackToMinACL(t *testing.T) {
+	// An impossible threshold forces the min-ACL escape hatch.
+	in := testInputs(t, false)
+	in.LatencyThresholdMs = 0.001
+	lm, err := NewLoadModel(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range lm.Demand().Configs {
+		allowed := lm.Allowed(c)
+		if len(allowed) != 1 || allowed[0] != lm.MinACLDC(c) {
+			t.Fatalf("config %d fallback = %v, want [%d]", c, allowed, lm.MinACLDC(c))
+		}
+	}
+}
+
+func TestPlanAccessors(t *testing.T) {
+	p := &Plan{Cores: []float64{1, 2}, LinkGbps: []float64{3, 4, 5}}
+	if p.TotalCores() != 3 || p.TotalGbps() != 12 {
+		t.Error("totals wrong")
+	}
+}
+
+func TestExtraScenariosCompoundFailure(t *testing.T) {
+	// Provision for the simultaneous loss of both APAC anchor DCs (pune +
+	// tokyo). The resulting plan must dominate the single-failure plan
+	// and leave enough surviving capacity for the peak.
+	in := testInputs(t, true)
+	in.DCFailuresOnly = true
+	base, err := Switchboard(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pune, tokyo int
+	for _, dc := range in.World.DCs() {
+		switch dc.Name {
+		case "pune":
+			pune = dc.ID
+		case "tokyo":
+			tokyo = dc.ID
+		}
+	}
+	in2 := testInputs(t, true)
+	in2.DCFailuresOnly = true
+	in2.ExtraScenarios = []Scenario{{Name: "F_APAC_pair", DCs: []int{pune, tokyo}}}
+	compound, err := Switchboard(in2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compound.TotalCores() < base.TotalCores()-1e-9 {
+		t.Errorf("compound-failure plan has fewer cores (%g) than single-failure plan (%g)",
+			compound.TotalCores(), base.TotalCores())
+	}
+	for x := range compound.Cores {
+		if compound.Cores[x] < base.Cores[x]-1e-6 {
+			t.Errorf("DC %d capacity shrank under a stricter failure model", x)
+		}
+	}
+	// Survivability of the compound event: surviving cores cover the peak
+	// demand load.
+	lm, _ := NewLoadModel(in2)
+	peak := 0.0
+	for t2 := range lm.Demand().Counts {
+		var load float64
+		for c, dem := range lm.Demand().Counts[t2] {
+			load += dem * lm.ComputeLoad(c)
+		}
+		if load > peak {
+			peak = load
+		}
+	}
+	surviving := compound.TotalCores() - compound.Cores[pune] - compound.Cores[tokyo]
+	if surviving < peak-1e-6 {
+		t.Errorf("losing pune+tokyo leaves %g cores < peak %g", surviving, peak)
+	}
+}
+
+func TestScenarioString(t *testing.T) {
+	if (Scenario{Name: "x"}).String() != "x" {
+		t.Error("named scenario should print its name")
+	}
+	if (Scenario{DCs: []int{1}}).String() == "" {
+		t.Error("anonymous scenario should describe itself")
+	}
+	if !(Scenario{}).empty() || (Scenario{Links: []int{1}}).empty() {
+		t.Error("empty detection wrong")
+	}
+}
+
+func TestIgnoreNetworkCostIncreasesWAN(t *testing.T) {
+	in := testInputs(t, false)
+	joint, err := Switchboard(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in2 := testInputs(t, false)
+	in2.IgnoreNetworkCost = true
+	computeOnly, err := Switchboard(in2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pricing WAN at zero can only shift cost into network usage: the
+	// true total cost of the compute-only plan is >= the joint plan's.
+	w := in.World
+	if computeOnly.Cost(w) < joint.Cost(w)-1e-6 {
+		t.Errorf("compute-only cost %g below joint cost %g", computeOnly.Cost(w), joint.Cost(w))
+	}
+}

@@ -1,0 +1,153 @@
+package provision
+
+import (
+	"fmt"
+
+	"switchboard/internal/geo"
+)
+
+// RoundRobin implements the §3.1 baseline: every call is spread equally over
+// the DCs of its (majority) region. Compute is minimal — each DC carries an
+// equal share of the regional peak and backup is the smallest possible — but
+// calls land on far-away DCs, inflating WAN usage and latency.
+func RoundRobin(in *Inputs) (*Plan, error) {
+	return RoundRobinWeighted(in, nil)
+}
+
+// RoundRobinWeighted is the weighted generalization §3.1 mentions: calls are
+// spread over their region's DCs proportionally to the given per-DC weights
+// (indexed like World.DCs(); zero-weight DCs host nothing). nil weights mean
+// equal weights, i.e. plain round-robin.
+func RoundRobinWeighted(in *Inputs, weights []float64) (*Plan, error) {
+	lm, err := NewLoadModel(in)
+	if err != nil {
+		return nil, err
+	}
+	if weights != nil {
+		if len(weights) != len(in.World.DCs()) {
+			return nil, fmt.Errorf("provision: %d weights for %d DCs", len(weights), len(in.World.DCs()))
+		}
+		for x, w := range weights {
+			if w < 0 {
+				return nil, fmt.Errorf("provision: negative weight for DC %d", x)
+			}
+		}
+	}
+	return roundRobinWith(lm, weights)
+}
+
+func roundRobinWith(lm *LoadModel, weights []float64) (*Plan, error) {
+	w := lm.world
+	d := lm.demand
+	nT, nC, nD := len(d.Counts), len(d.Configs), len(w.DCs())
+
+	regionDCs := make(map[geo.Region][]int)
+	for _, r := range geo.Regions() {
+		regionDCs[r] = w.DCsInRegion(r)
+	}
+
+	weightOf := func(x int) float64 {
+		if weights == nil {
+			return 1
+		}
+		return weights[x]
+	}
+	alloc := newAlloc(nT, nC, nD)
+	for c, cfg := range d.Configs {
+		region := majorityRegion(w, cfg)
+		dcs := regionDCs[region]
+		var total float64
+		for _, x := range dcs {
+			total += weightOf(x)
+		}
+		if len(dcs) == 0 || total <= 0 {
+			// No (weighted) DC in region: everything goes to the
+			// config's best DC regardless of weights.
+			dcs = []int{lm.MinACLDC(c)}
+			total = 0
+		}
+		for t := 0; t < nT; t++ {
+			dem := d.Counts[t][c]
+			if dem == 0 {
+				continue
+			}
+			if total <= 0 {
+				alloc[t][c][dcs[0]] = dem
+				continue
+			}
+			for _, x := range dcs {
+				if share := weightOf(x) / total; share > 0 {
+					alloc[t][c][x] = dem * share
+				}
+			}
+		}
+	}
+
+	serving := PeakPerDC(lm.ComputeUsage(alloc))
+	cores := append([]float64(nil), serving...)
+	link := PeakPerDC(lm.LinkUsage(alloc, -1))
+
+	if lm.in.WithBackup {
+		// Compute backup per region via the §3.2 LP.
+		for _, r := range geo.Regions() {
+			dcs := regionDCs[r]
+			if len(dcs) < 2 {
+				continue
+			}
+			sv := make([]float64, len(dcs))
+			for i, x := range dcs {
+				sv[i] = serving[x]
+			}
+			bk, err := DefaultBackup(sv)
+			if err != nil {
+				return nil, fmt.Errorf("provision: RR backup (%v): %w", r, err)
+			}
+			for i, x := range dcs {
+				cores[x] += bk[i]
+			}
+		}
+		// WAN backup: on DC failure, RR redistributes the failed DC's
+		// share over the surviving in-region DCs (by weight).
+		link = backupWAN(lm, alloc, func(t, c, failed int, shares []float64) []float64 {
+			out := append([]float64(nil), shares...)
+			moved := out[failed]
+			out[failed] = 0
+			region := w.DCs()[failed].Region
+			var survivors []int
+			var total float64
+			for _, x := range regionDCs[region] {
+				if x != failed && weightOf(x) > 0 {
+					survivors = append(survivors, x)
+					total += weightOf(x)
+				}
+			}
+			equalSplit := weights == nil
+			if len(survivors) == 0 {
+				// No weighted survivor in the region: fail over
+				// across all DCs, equally.
+				equalSplit = true
+				for x := range out {
+					if x != failed {
+						survivors = append(survivors, x)
+					}
+				}
+			}
+			for _, x := range survivors {
+				if equalSplit {
+					out[x] += moved / float64(len(survivors))
+				} else {
+					out[x] += moved * weightOf(x) / total
+				}
+			}
+			return out
+		})
+	}
+
+	return &Plan{
+		Scheme:   "round-robin",
+		Cores:    cores,
+		LinkGbps: link,
+		Alloc:    alloc,
+		Demand:   d,
+	}, nil
+}

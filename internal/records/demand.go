@@ -1,0 +1,106 @@
+package records
+
+import (
+	"switchboard/internal/model"
+)
+
+// Demand is the input to capacity provisioning: for every slot of day and
+// every (top) call config, the number of calls that must be hosted
+// simultaneously. The paper provisions for every 30-minute slot of a
+// multi-month window; this representation compresses the window into a
+// peak-day envelope (the per-slot maximum across days), which is what the
+// peak-cost objective responds to (see DESIGN.md, Known deviations).
+type Demand struct {
+	// Configs are the call configs being provisioned for, most frequent
+	// first.
+	Configs []model.CallConfig
+	// Counts[t][c] is the demand D(t,c) for slot-of-day t and config c,
+	// already inflated by Cushion.
+	Counts [][]float64
+	// Cushion is the multiplicative inflation applied to cover the long
+	// tail of configs not individually forecast (§5.2).
+	Cushion float64
+	// CoveredFrac is the fraction of all calls the selected configs
+	// represent before inflation.
+	CoveredFrac float64
+}
+
+// PeakEnvelope builds the provisioning demand from the top n configs in the
+// database: the per-slot-of-day maximum across observed days, inflated so
+// that total provisioned demand accounts for the uncovered tail.
+func (db *DB) PeakEnvelope(topN int) *Demand {
+	top := db.TopConfigs(topN)
+	var covered float64
+	for _, cs := range top {
+		covered += cs.Total
+	}
+	cushion := 1.0
+	if covered > 0 && db.totalCalls > 0 {
+		cushion = float64(db.totalCalls) / covered
+	}
+	return EnvelopeFromSeries(top, cushion)
+}
+
+// EnvelopeFromSeries builds a peak-day demand envelope from explicit config
+// series (observed or forecast), applying the given cushion. Series may have
+// different lengths; missing slots count as zero.
+func EnvelopeFromSeries(series []ConfigSeries, cushion float64) *Demand {
+	d := &Demand{
+		Configs: make([]model.CallConfig, len(series)),
+		Counts:  make([][]float64, model.SlotsPerDay),
+		Cushion: cushion,
+	}
+	for t := range d.Counts {
+		d.Counts[t] = make([]float64, len(series))
+	}
+	var grand, covered float64
+	for c, cs := range series {
+		d.Configs[c] = cs.Config
+		covered += cs.Total
+		for i, v := range cs.Counts {
+			t := i % model.SlotsPerDay
+			if v > d.Counts[t][c] {
+				d.Counts[t][c] = v
+			}
+		}
+	}
+	for t := range d.Counts {
+		for c := range d.Counts[t] {
+			d.Counts[t][c] *= cushion
+			grand += d.Counts[t][c]
+		}
+	}
+	if grand > 0 {
+		d.CoveredFrac = covered / (covered * cushion)
+	}
+	return d
+}
+
+// TotalCalls returns the summed demand across all slots and configs.
+func (d *Demand) TotalCalls() float64 {
+	var sum float64
+	for _, row := range d.Counts {
+		for _, v := range row {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// PeakCalls returns the maximum per-slot total demand.
+func (d *Demand) PeakCalls() float64 {
+	var peak float64
+	for _, row := range d.Counts {
+		var s float64
+		for _, v := range row {
+			s += v
+		}
+		if s > peak {
+			peak = s
+		}
+	}
+	return peak
+}
+
+// Slots returns the number of time slots in the envelope.
+func (d *Demand) Slots() int { return len(d.Counts) }

@@ -1,0 +1,121 @@
+package records
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"encoding/gob"
+
+	"switchboard/internal/geo"
+	"switchboard/internal/model"
+)
+
+// Snapshot formats: ingesting weeks of trace takes far longer than loading
+// the aggregates back, so a DB can be saved after ingestion and reloaded by
+// later runs (the world is not serialized — supply the same one on load).
+
+// dbSnapshot is the gob-encoded shape of a DB.
+type dbSnapshot struct {
+	Version  int
+	Origin   time.Time
+	NumSlots int
+
+	Configs []configSnapshot
+	Latency []latencySnapshot
+
+	ComputeByCountry map[string][]float64
+	JoinHist         [joinHistBuckets]int64
+	TotalLegs        int64
+	TotalCalls       int64
+
+	Series map[uint64][]*model.CallRecord
+}
+
+type configSnapshot struct {
+	Key    string
+	Counts []float64
+	Total  float64
+}
+
+type latencySnapshot struct {
+	DC      int
+	Country string
+	Samples []float64
+	Seen    int64
+}
+
+const snapshotVersion = 1
+
+// Save writes the database's aggregates to w.
+func (db *DB) Save(w io.Writer) error {
+	snap := dbSnapshot{
+		Version:          snapshotVersion,
+		Origin:           db.origin,
+		NumSlots:         db.numSlots,
+		ComputeByCountry: make(map[string][]float64, len(db.computeByCountry)),
+		JoinHist:         db.joinHist,
+		TotalLegs:        db.totalLegs,
+		TotalCalls:       db.totalCalls,
+		Series:           db.series,
+	}
+	for key, cs := range db.byConfig {
+		snap.Configs = append(snap.Configs, configSnapshot{
+			Key:    key,
+			Counts: cs.counts,
+			Total:  cs.total,
+		})
+	}
+	for k, r := range db.latency {
+		snap.Latency = append(snap.Latency, latencySnapshot{
+			DC:      k.dc,
+			Country: string(k.country),
+			Samples: r.samples,
+			Seen:    r.seen,
+		})
+	}
+	for c, series := range db.computeByCountry {
+		snap.ComputeByCountry[string(c)] = series
+	}
+	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
+		return fmt.Errorf("records: saving snapshot: %w", err)
+	}
+	return nil
+}
+
+// Load reads a snapshot written by Save and reconstructs the database over
+// the given world (which must match the one the data was built with).
+func Load(r io.Reader, world *geo.World) (*DB, error) {
+	var snap dbSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("records: loading snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("records: snapshot version %d, want %d", snap.Version, snapshotVersion)
+	}
+	db := New(snap.Origin, world)
+	db.numSlots = snap.NumSlots
+	db.joinHist = snap.JoinHist
+	db.totalLegs = snap.TotalLegs
+	db.totalCalls = snap.TotalCalls
+	if snap.Series != nil {
+		db.series = snap.Series
+	}
+	for _, cs := range snap.Configs {
+		cfg, err := model.ParseConfigKey(cs.Key)
+		if err != nil {
+			return nil, fmt.Errorf("records: snapshot config %q: %w", cs.Key, err)
+		}
+		db.byConfig[cs.Key] = &configStats{cfg: cfg, counts: cs.Counts, total: cs.Total}
+	}
+	for _, ls := range snap.Latency {
+		db.latency[latKey{dc: ls.DC, country: geo.CountryCode(ls.Country)}] = &reservoir{
+			samples: ls.Samples,
+			seen:    ls.Seen,
+		}
+	}
+	for c, series := range snap.ComputeByCountry {
+		db.computeByCountry[geo.CountryCode(c)] = series
+	}
+	return db, nil
+}

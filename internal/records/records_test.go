@@ -1,0 +1,291 @@
+package records
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"switchboard/internal/geo"
+	"switchboard/internal/model"
+	"switchboard/internal/trace"
+)
+
+var origin = time.Date(2022, 9, 5, 0, 0, 0, 0, time.UTC)
+
+func makeRecord(id uint64, start time.Time, dc int, media model.MediaType, legs ...geo.CountryCode) *model.CallRecord {
+	r := &model.CallRecord{ID: id, Start: start, Duration: 30 * time.Minute, DC: dc}
+	for i, c := range legs {
+		r.Legs = append(r.Legs, model.LegRecord{
+			Participant: uint64(100*id) + uint64(i),
+			Country:     c,
+			JoinOffset:  time.Duration(i) * time.Minute,
+			LatencyMs:   10 + float64(i),
+			Media:       media,
+		})
+	}
+	return r
+}
+
+func TestAddAndSeries(t *testing.T) {
+	w := geo.DefaultWorld()
+	db := New(origin, w)
+	db.Add(makeRecord(1, origin.Add(10*time.Minute), 0, model.Audio, "US", "US"))
+	db.Add(makeRecord(2, origin.Add(20*time.Minute), 0, model.Audio, "US", "US"))
+	db.Add(makeRecord(3, origin.Add(40*time.Minute), 0, model.Video, "US", "US"))
+	db.Add(makeRecord(4, origin.Add(-time.Hour), 0, model.Audio, "US")) // before origin: dropped
+
+	if db.TotalCalls() != 3 {
+		t.Errorf("total calls = %d, want 3", db.TotalCalls())
+	}
+	if db.NumConfigs() != 2 {
+		t.Errorf("configs = %d, want 2", db.NumConfigs())
+	}
+	top := db.TopConfigs(10)
+	if len(top) != 2 {
+		t.Fatalf("top = %d", len(top))
+	}
+	if top[0].Config.Key() != "audio|US:2" || top[0].Total != 2 {
+		t.Errorf("top config = %v (%g)", top[0].Config.Key(), top[0].Total)
+	}
+	if top[0].Counts[0] != 2 || len(top[0].Counts) != db.NumSlots() {
+		t.Errorf("series = %v", top[0].Counts)
+	}
+}
+
+func TestCoverageMonotone(t *testing.T) {
+	w := geo.DefaultWorld()
+	db := New(origin, w)
+	// 10 calls of one config, 1 call each of 9 others.
+	for i := 0; i < 10; i++ {
+		db.Add(makeRecord(uint64(i), origin.Add(time.Minute), 0, model.Audio, "US", "US"))
+	}
+	countries := []geo.CountryCode{"IN", "JP", "DE", "BR", "AU", "GB", "SG", "FR", "CA"}
+	for i, c := range countries {
+		db.Add(makeRecord(uint64(100+i), origin.Add(time.Minute), 0, model.Video, c))
+	}
+	cov := db.Coverage([]float64{0.1, 0.5, 1.0})
+	if cov[0] > cov[1]+1e-12 || cov[1] > cov[2]+1e-12 {
+		t.Errorf("coverage not monotone: %v", cov)
+	}
+	// Top 10% of 10 configs = the heavy config = 10/19 of calls.
+	if math.Abs(cov[0]-10.0/19) > 1e-9 {
+		t.Errorf("cov[0.1] = %g, want %g", cov[0], 10.0/19)
+	}
+	if math.Abs(cov[2]-1) > 1e-9 {
+		t.Errorf("cov[1.0] = %g, want 1", cov[2])
+	}
+}
+
+func TestLatencyEstimatorMedianAndFallback(t *testing.T) {
+	w := geo.DefaultWorld()
+	db := New(origin, w)
+	rec := makeRecord(1, origin.Add(time.Minute), 0, model.Audio, "US")
+	// Three observations 8, 10, 12 -> median 10.
+	for i, v := range []float64{8, 10, 12} {
+		r := *rec
+		r.ID = uint64(i + 1)
+		r.Legs = []model.LegRecord{{Participant: 1, Country: "US", LatencyMs: v}}
+		db.Add(&r)
+	}
+	est := db.Estimator(3)
+	if got := est.Latency(0, "US"); math.Abs(got-10) > 1e-9 {
+		t.Errorf("median latency = %g, want 10", got)
+	}
+	if !est.Observed(0, "US") {
+		t.Error("US pair should be observed")
+	}
+	// Unobserved pair falls back to the model.
+	if got, want := est.Latency(0, "JP"), w.Latency(0, "JP"); got != want {
+		t.Errorf("fallback latency = %g, want %g", got, want)
+	}
+	if est.Observed(0, "JP") {
+		t.Error("JP pair should be unobserved")
+	}
+	// minSamples above the observation count also falls back.
+	est2 := db.Estimator(10)
+	if est2.Observed(0, "US") {
+		t.Error("minSamples not honored")
+	}
+}
+
+func TestEstimatorACL(t *testing.T) {
+	w := geo.DefaultWorld()
+	db := New(origin, w)
+	est := db.Estimator(1)
+	cfg := model.CallConfig{Spread: model.NewSpread(map[geo.CountryCode]int{"IN": 3, "JP": 1}), Media: model.Audio}
+	var pune int
+	for _, dc := range w.DCs() {
+		if dc.Name == "pune" {
+			pune = dc.ID
+		}
+	}
+	want := (3*w.Latency(pune, "IN") + w.Latency(pune, "JP")) / 4
+	if got := est.ACL(cfg, pune); math.Abs(got-want) > 1e-9 {
+		t.Errorf("ACL = %g, want %g", got, want)
+	}
+	if est.ACL(model.CallConfig{}, pune) != 0 {
+		t.Error("empty config ACL should be 0")
+	}
+}
+
+func TestReservoirBounded(t *testing.T) {
+	w := geo.DefaultWorld()
+	db := New(origin, w)
+	for i := 0; i < reservoirSize*4; i++ {
+		r := makeRecord(uint64(i+1), origin.Add(time.Minute), 0, model.Audio, "US")
+		r.Legs[0].LatencyMs = float64(i + 1)
+		db.Add(r)
+	}
+	res := db.latency[latKey{0, "US"}]
+	if len(res.samples) != reservoirSize {
+		t.Errorf("reservoir has %d samples, want %d", len(res.samples), reservoirSize)
+	}
+	if res.seen != reservoirSize*4 {
+		t.Errorf("seen = %d", res.seen)
+	}
+	// Median of 1..2048 is ~1024; the reservoir estimate should be in the
+	// right neighborhood.
+	med := res.median()
+	if med < 700 || med > 1350 {
+		t.Errorf("reservoir median %g far from 1024", med)
+	}
+}
+
+func TestJoinCDF(t *testing.T) {
+	w := geo.DefaultWorld()
+	db := New(origin, w)
+	db.Add(makeRecord(1, origin.Add(time.Minute), 0, model.Audio, "US", "US", "US"))
+	cdf := db.JoinCDF()
+	if len(cdf) != joinHistBuckets {
+		t.Fatalf("cdf length %d", len(cdf))
+	}
+	if cdf[len(cdf)-1] != 1 {
+		t.Errorf("cdf end = %g, want 1", cdf[len(cdf)-1])
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i] < cdf[i-1] {
+			t.Fatal("cdf not monotone")
+		}
+	}
+	// Legs joined at 0, 1, 2 minutes: all joined by bucket 2.
+	if cdf[2] != 1 {
+		t.Errorf("cdf[2] = %g, want 1", cdf[2])
+	}
+}
+
+func TestComputeDemandByCountry(t *testing.T) {
+	w := geo.DefaultWorld()
+	db := New(origin, w)
+	// Two days, same slot: averages to one call's load.
+	db.Add(makeRecord(1, origin.Add(10*time.Minute), 0, model.Audio, "JP", "JP"))
+	db.Add(makeRecord(2, origin.Add(24*time.Hour+10*time.Minute), 0, model.Audio, "JP", "JP"))
+	d := db.ComputeDemandByCountry("JP")
+	if len(d) != model.SlotsPerDay {
+		t.Fatalf("len = %d", len(d))
+	}
+	want := 2 * model.Audio.ComputeLoad()
+	if math.Abs(d[0]-want) > 1e-9 {
+		t.Errorf("slot 0 demand = %g, want %g", d[0], want)
+	}
+	if db.ComputeDemandByCountry("ZZ")[0] != 0 {
+		t.Error("unknown country should have zero demand")
+	}
+}
+
+func TestSeriesRecordsSorted(t *testing.T) {
+	w := geo.DefaultWorld()
+	db := New(origin, w)
+	r1 := makeRecord(1, origin.Add(48*time.Hour), 0, model.Audio, "US")
+	r1.SeriesID = 7
+	r2 := makeRecord(2, origin.Add(24*time.Hour), 0, model.Audio, "US")
+	r2.SeriesID = 7
+	db.Add(r1)
+	db.Add(r2)
+	recs := db.SeriesRecords()[7]
+	if len(recs) != 2 || !recs[0].Start.Before(recs[1].Start) {
+		t.Errorf("series records not sorted: %v", recs)
+	}
+}
+
+func TestPeakEnvelope(t *testing.T) {
+	w := geo.DefaultWorld()
+	db := New(origin, w)
+	// Config A: 3 calls in slot 0 day 1, 1 call slot 0 day 2 -> envelope 3.
+	for i := 0; i < 3; i++ {
+		db.Add(makeRecord(uint64(i+1), origin.Add(time.Minute), 0, model.Audio, "US", "US"))
+	}
+	db.Add(makeRecord(4, origin.Add(24*time.Hour+time.Minute), 0, model.Audio, "US", "US"))
+	// Config B (tail): one call, excluded from top-1.
+	db.Add(makeRecord(5, origin.Add(time.Minute), 0, model.Video, "JP"))
+
+	d := db.PeakEnvelope(1)
+	if len(d.Configs) != 1 || d.Configs[0].Key() != "audio|US:2" {
+		t.Fatalf("configs = %v", d.Configs)
+	}
+	// Cushion = 5 total / 4 covered.
+	if math.Abs(d.Cushion-1.25) > 1e-9 {
+		t.Errorf("cushion = %g, want 1.25", d.Cushion)
+	}
+	if math.Abs(d.Counts[0][0]-3*1.25) > 1e-9 {
+		t.Errorf("slot 0 demand = %g, want %g", d.Counts[0][0], 3*1.25)
+	}
+	if d.Slots() != model.SlotsPerDay {
+		t.Errorf("slots = %d", d.Slots())
+	}
+	if d.PeakCalls() != 3*1.25 {
+		t.Errorf("peak = %g", d.PeakCalls())
+	}
+	// The envelope takes the per-slot max across days (3, not 3+1).
+	if math.Abs(d.TotalCalls()-3*1.25) > 1e-9 {
+		t.Errorf("total = %g, want 3.75", d.TotalCalls())
+	}
+}
+
+func TestEnvelopeFromEmptySeries(t *testing.T) {
+	d := EnvelopeFromSeries(nil, 1)
+	if d.TotalCalls() != 0 || d.PeakCalls() != 0 {
+		t.Error("empty envelope should be zero")
+	}
+}
+
+func TestIngestFullTrace(t *testing.T) {
+	cfg := trace.DefaultConfig()
+	cfg.Days = 2
+	cfg.CallsPerDay = 2000
+	g, err := trace.NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := New(cfg.Start, geo.DefaultWorld())
+	g.EachCall(func(r *model.CallRecord) bool { db.Add(r); return true })
+
+	if db.TotalCalls() < 2000 {
+		t.Fatalf("ingested only %d calls", db.TotalCalls())
+	}
+	if db.NumSlots() > cfg.Days*model.SlotsPerDay {
+		t.Errorf("slots = %d beyond horizon", db.NumSlots())
+	}
+	// The estimator should report observed medians close to the model for
+	// pairs with traffic (the generator adds ~8% lognormal noise).
+	w := geo.DefaultWorld()
+	est := db.Estimator(30)
+	usEast := w.NearestDC("US", true)
+	if !est.Observed(usEast, "US") {
+		t.Fatal("expected US->us-east observations")
+	}
+	modelLat := w.Latency(usEast, "US")
+	if got := est.Latency(usEast, "US"); math.Abs(got-modelLat)/modelLat > 0.15 {
+		t.Errorf("estimated %g vs model %g", got, modelLat)
+	}
+	// Coverage curve sanity (Fig 7c shape): top 10% of configs cover the
+	// majority of calls.
+	cov := db.Coverage([]float64{0.10})
+	if cov[0] < 0.5 {
+		t.Errorf("top-10%% coverage = %g, want >= 0.5", cov[0])
+	}
+	// Demand envelope covers a plausible fraction of per-day volume.
+	d := db.PeakEnvelope(100)
+	if d.TotalCalls() <= 0 || d.PeakCalls() <= 0 {
+		t.Error("empty demand envelope from real trace")
+	}
+}

@@ -1,0 +1,330 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"switchboard/internal/model"
+	"switchboard/internal/provision"
+)
+
+// DrillResult reports a DC-failure drill: the simulator replays calls
+// normally until the failure instant, then kills one DC — every call hosted
+// there is re-placed onto surviving DCs, and all later arrivals avoid it.
+// Comparing a backup-provisioned plan against a serving-only plan under the
+// same drill shows what the paper's failure scenarios (Eq 7-8) actually buy.
+type DrillResult struct {
+	// FailedDC is the killed datacenter.
+	FailedDC int
+	// Replaced counts calls that were live on the failed DC and had to
+	// move.
+	Replaced int
+	// ReplaceOverflowed counts re-placements that exceeded surviving
+	// capacity at the moment of failover.
+	ReplaceOverflowed int
+	// PostOverflowed counts post-failure arrivals that exceeded capacity.
+	PostOverflowed int
+	// PostCalls counts post-failure arrivals.
+	PostCalls int
+	// MeanACLBefore and MeanACLAfter are realized ACLs for calls placed
+	// before and after the failure instant (re-placed calls count in
+	// "after" with their new DC).
+	MeanACLBefore, MeanACLAfter float64
+	// MaxCoreUtilAfter is the peak post-failure utilization across
+	// surviving DCs with nonzero capacity.
+	MaxCoreUtilAfter float64
+}
+
+// OverflowRateAfter returns the post-failure overflow fraction, counting
+// both forced re-placements and new arrivals.
+func (r *DrillResult) OverflowRateAfter() float64 {
+	total := r.Replaced + r.PostCalls
+	if total == 0 {
+		return 0
+	}
+	return float64(r.ReplaceOverflowed+r.PostOverflowed) / float64(total)
+}
+
+// maskedPolicy hides a failed DC from the wrapped policy's candidate set.
+type maskedPolicy struct {
+	inner  Policy
+	failed int
+}
+
+func (m *maskedPolicy) Name() string { return m.inner.Name() }
+
+func (m *maskedPolicy) Choose(c int, at time.Time, candidates []int, u *Usage) int {
+	alive := make([]int, 0, len(candidates))
+	for _, x := range candidates {
+		if x != m.failed {
+			alive = append(alive, x)
+		}
+	}
+	if len(alive) == 0 {
+		// Nothing eligible survives: the inner policy gets the full
+		// DC range minus the failed one (min-ACL escape hatch).
+		for x := range u.CapCores {
+			if x != m.failed {
+				alive = append(alive, x)
+			}
+		}
+	}
+	return m.inner.Choose(c, at, alive, u)
+}
+
+// RunFailureDrill replays the records with DC failedDC failing at failAt.
+// Before the failure the run is identical to Run; at the instant of failure
+// every call hosted at the failed DC is re-placed (lowest-ACL surviving
+// candidate with headroom, else lowest-ACL outright), and from then on the
+// failed DC is masked out of every placement.
+func (s *Simulator) RunFailureDrill(recs []*model.CallRecord, p Policy, failedDC int, failAt time.Time) (*DrillResult, error) {
+	if p == nil {
+		return nil, fmt.Errorf("sim: nil policy")
+	}
+	if failedDC < 0 || failedDC >= len(s.world.DCs()) {
+		return nil, fmt.Errorf("sim: invalid failed DC %d", failedDC)
+	}
+
+	events := make([]event, 0, 2*len(recs))
+	for _, r := range recs {
+		if len(r.Legs) == 0 {
+			continue
+		}
+		events = append(events, event{at: r.Start, start: true, rec: r})
+		events = append(events, event{at: r.Start.Add(r.Duration), start: false, rec: r})
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if !events[i].at.Equal(events[j].at) {
+			return events[i].at.Before(events[j].at)
+		}
+		if events[i].start != events[j].start {
+			return !events[i].start
+		}
+		return events[i].rec.ID < events[j].rec.ID
+	})
+
+	w := s.world
+	u := &Usage{
+		Cores:    make([]float64, len(w.DCs())),
+		Gbps:     make([]float64, len(w.Links())),
+		CapCores: s.capCores,
+		CapGbps:  s.capGbps,
+	}
+	res := &DrillResult{FailedDC: failedDC}
+	active := make(map[uint64]*drillPlacement, 1024)
+	failed := false
+	var aclBeforeSum, aclAfterSum float64
+	var nBefore, nAfter int
+	masked := &maskedPolicy{inner: p, failed: failedDC}
+
+	remove := func(pl *drillPlacement) {
+		u.Cores[pl.dc] -= pl.cores
+		for _, ll := range pl.links {
+			u.Gbps[ll.Link] -= ll.Gbps
+		}
+	}
+	add := func(pl *drillPlacement) {
+		u.Cores[pl.dc] += pl.cores
+		for _, ll := range pl.links {
+			u.Gbps[ll.Link] += ll.Gbps
+		}
+	}
+	trackPostUtil := func() {
+		for x, cap := range s.capCores {
+			if x == failedDC || cap <= 1e-9 {
+				continue
+			}
+			if r := u.Cores[x] / cap; r > res.MaxCoreUtilAfter {
+				res.MaxCoreUtilAfter = r
+			}
+		}
+	}
+
+	failover := func() {
+		// Re-place every call on the failed DC, in call-ID order for
+		// determinism.
+		var ids []uint64
+		for id, pl := range active {
+			if pl.dc == failedDC {
+				ids = append(ids, id)
+			}
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			pl := active[id]
+			remove(pl)
+			res.Replaced++
+			newDC := s.failoverDC(pl, failedDC, u)
+			pl.dc = newDC
+			if pl.c >= 0 {
+				pl.links = s.lm.LinkLoads(pl.c, newDC)
+			} else {
+				pl.links = pathLoadsFor(w, pl.cfg, newDC)
+			}
+			if !u.FitsCompute(newDC, pl.cores) {
+				res.ReplaceOverflowed++
+			}
+			add(pl)
+			if pl.c >= 0 {
+				aclAfterSum += s.lm.ACL(pl.c, newDC)
+			} else {
+				aclAfterSum += s.est.ACL(pl.cfg, newDC)
+			}
+			nAfter++
+		}
+		trackPostUtil()
+	}
+
+	for _, e := range events {
+		if !failed && !e.at.Before(failAt) {
+			failed = true
+			failover()
+		}
+		if !e.start {
+			if pl, ok := active[e.rec.ID]; ok {
+				delete(active, e.rec.ID)
+				remove(pl)
+			}
+			continue
+		}
+
+		cfg := e.rec.Config()
+		pl := &drillPlacement{c: -1, cfg: cfg}
+		if c, known := s.configIx[cfg.Key()]; known {
+			pl.c = c
+			pl.cores = s.lm.ComputeLoad(c)
+			var dc int
+			if failed {
+				dc = masked.Choose(c, e.at, s.lm.Allowed(c), u)
+			} else {
+				dc = p.Choose(c, e.at, s.lm.Allowed(c), u)
+			}
+			if dc < 0 || dc >= len(w.DCs()) {
+				return nil, fmt.Errorf("sim: policy %q chose invalid DC %d", p.Name(), dc)
+			}
+			pl.dc = dc
+			pl.links = s.lm.LinkLoads(c, dc)
+		} else {
+			pl.cores = cfg.ComputeLoad()
+			maj, _ := cfg.Spread.Majority()
+			pl.dc = -1
+			for _, cand := range w.DCsByLatency(maj) {
+				if failed && cand == failedDC {
+					continue
+				}
+				ll := pathLoadsFor(w, cfg, cand)
+				if u.FitsAt(cand, pl.cores, ll) {
+					pl.dc, pl.links = cand, ll
+					break
+				}
+			}
+			if pl.dc < 0 {
+				for _, cand := range w.DCsByLatency(maj) {
+					if !failed || cand != failedDC {
+						pl.dc = cand
+						break
+					}
+				}
+				pl.links = pathLoadsFor(w, cfg, pl.dc)
+			}
+		}
+
+		fits := u.FitsCompute(pl.dc, pl.cores)
+		var acl float64
+		if pl.c >= 0 {
+			acl = s.lm.ACL(pl.c, pl.dc)
+		} else {
+			acl = s.est.ACL(pl.cfg, pl.dc)
+		}
+		if failed {
+			res.PostCalls++
+			if !fits {
+				res.PostOverflowed++
+			}
+			aclAfterSum += acl
+			nAfter++
+		} else {
+			// Pre-failure overflow is Run's subject, not the drill's;
+			// it still shows up in utilization.
+			aclBeforeSum += acl
+			nBefore++
+		}
+		add(pl)
+		if failed {
+			trackPostUtil()
+		}
+		active[e.rec.ID] = pl
+	}
+	if !failed {
+		return nil, fmt.Errorf("sim: failure instant %v after the last event", failAt)
+	}
+
+	if nBefore > 0 {
+		res.MeanACLBefore = aclBeforeSum / float64(nBefore)
+	}
+	if nAfter > 0 {
+		res.MeanACLAfter = aclAfterSum / float64(nAfter)
+	}
+	return res, nil
+}
+
+// failoverDC picks where a displaced call goes: the lowest-ACL surviving
+// candidate with headroom, else the lowest-ACL surviving candidate.
+func (s *Simulator) failoverDC(pl *drillPlacement, failedDC int, u *Usage) int {
+	var candidates []int
+	if pl.c >= 0 {
+		candidates = s.lm.Allowed(pl.c)
+	}
+	best, bestACL := -1, math.Inf(1)
+	consider := func(x int, acl float64, needFit bool) {
+		if x == failedDC {
+			return
+		}
+		if needFit && !u.FitsAt(x, pl.cores, linkLoadsAt(s, pl, x)) {
+			return
+		}
+		if acl < bestACL {
+			best, bestACL = x, acl
+		}
+	}
+	for pass := 0; pass < 2 && best < 0; pass++ {
+		needFit := pass == 0
+		if pl.c >= 0 {
+			for _, x := range candidates {
+				consider(x, s.lm.ACL(pl.c, x), needFit)
+			}
+		}
+		if best < 0 {
+			for x := range s.world.DCs() {
+				var acl float64
+				if pl.c >= 0 {
+					acl = s.lm.ACL(pl.c, x)
+				} else {
+					acl = s.est.ACL(pl.cfg, x)
+				}
+				consider(x, acl, needFit)
+			}
+		}
+	}
+	return best
+}
+
+func linkLoadsAt(s *Simulator, pl *drillPlacement, x int) []provision.LinkLoad {
+	if pl.c >= 0 {
+		return s.lm.LinkLoads(pl.c, x)
+	}
+	return pathLoadsFor(s.world, pl.cfg, x)
+}
+
+// drillPlacement is the drill's per-call bookkeeping: where the call lives
+// and what it consumes. c is the config index, or -1 for configs outside the
+// planned universe.
+type drillPlacement struct {
+	dc    int
+	c     int
+	cfg   model.CallConfig
+	cores float64
+	links []provision.LinkLoad
+}

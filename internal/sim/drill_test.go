@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"switchboard/internal/provision"
+)
+
+func TestDrillValidation(t *testing.T) {
+	f := buildFixture(t)
+	s, err := New(f.lm, f.est, f.plan.Cores, f.plan.LinkGbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunFailureDrill(f.recs, nil, 0, f.start); err == nil {
+		t.Error("nil policy should error")
+	}
+	if _, err := s.RunFailureDrill(f.recs, &GreedyLocalPolicy{LM: f.lm}, 99, f.start); err == nil {
+		t.Error("invalid DC should error")
+	}
+	if _, err := s.RunFailureDrill(f.recs, &GreedyLocalPolicy{LM: f.lm}, 0, f.start.AddDate(0, 0, 30)); err == nil {
+		t.Error("failure after the trace should error")
+	}
+}
+
+// TestDrillBackupAbsorbsFailure is the point of backup provisioning: under a
+// DC failure mid-peak, the backup-provisioned plan absorbs the displaced and
+// subsequent calls, while a serving-only plan overflows much more.
+func TestDrillBackupAbsorbsFailure(t *testing.T) {
+	f := buildFixture(t)
+
+	// Serving-only plan for the same demand.
+	in := &provision.Inputs{
+		World:              f.lm.World(),
+		Latency:            f.est,
+		Demand:             f.lm.Demand(),
+		LatencyThresholdMs: 120,
+		WithBackup:         false,
+	}
+	servingOnly, err := provision.Switchboard(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fail the busiest DC of the backup plan at mid-day (around the
+	// global peak for this trace).
+	failed := 0
+	for x, cores := range f.plan.Cores {
+		if cores > f.plan.Cores[failed] {
+			failed = x
+		}
+	}
+	failAt := f.start.Add(9 * time.Hour)
+
+	run := func(cores, links []float64) *DrillResult {
+		s, err := New(f.lm, f.est, cores, links)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.RunFailureDrill(f.recs, &GreedyLocalPolicy{LM: f.lm}, failed, failAt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	withBackup := run(f.plan.Cores, f.plan.LinkGbps)
+	withoutBackup := run(servingOnly.Cores, servingOnly.LinkGbps)
+
+	if withBackup.Replaced == 0 {
+		t.Fatalf("drill displaced no calls (failed DC %d); result %+v", failed, withBackup)
+	}
+	if withBackup.PostCalls == 0 {
+		t.Fatal("no post-failure arrivals")
+	}
+	// The backup plan absorbs the planned demand; residual overflow comes
+	// from tail traffic outside the planned config universe (whose
+	// cushion headroom died with the DC) and integral burstiness.
+	if rate := withBackup.OverflowRateAfter(); rate > 0.25 {
+		t.Errorf("backup plan post-failure overflow %.3f, want modest", rate)
+	}
+	// The serving-only plan must do strictly worse.
+	if withoutBackup.OverflowRateAfter() <= withBackup.OverflowRateAfter() {
+		t.Errorf("serving-only overflow %.3f not above backup plan %.3f",
+			withoutBackup.OverflowRateAfter(), withBackup.OverflowRateAfter())
+	}
+	// Latency degrades gracefully, not catastrophically.
+	if withBackup.MeanACLAfter > withBackup.MeanACLBefore*4+20 {
+		t.Errorf("post-failure ACL %.1f vs %.1f before", withBackup.MeanACLAfter, withBackup.MeanACLBefore)
+	}
+	if withBackup.MaxCoreUtilAfter <= 0 {
+		t.Error("no post-failure utilization recorded")
+	}
+}

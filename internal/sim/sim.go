@@ -1,0 +1,517 @@
+// Package sim is a discrete-event, call-level simulator: it replays
+// individual calls (real start times, durations, and spreads) against a
+// provisioning plan and a placement policy, tracking instantaneous per-DC
+// compute and per-link bandwidth usage, realized average call latency, and
+// capacity violations.
+//
+// The provisioning LP reasons about fractional call counts per 30-minute
+// slot; production traffic is integral and bursty within slots. The paper
+// validates its plans by replaying Teams calls; this simulator plays that
+// role for the synthetic substrate — it answers "does the plan actually
+// carry the calls?" rather than "does the LP bound the averages?".
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"switchboard/internal/geo"
+	"switchboard/internal/model"
+	"switchboard/internal/provision"
+	"switchboard/internal/records"
+)
+
+// Usage is the simulator's live resource view, exposed to policies.
+type Usage struct {
+	// Cores[x] is the compute currently consumed at DC x.
+	Cores []float64
+	// Gbps[l] is the bandwidth currently consumed on link l.
+	Gbps []float64
+	// CapCores and CapGbps are the provisioned capacities.
+	CapCores []float64
+	CapGbps  []float64
+}
+
+// ComputeHeadroom returns the free cores at DC x.
+func (u *Usage) ComputeHeadroom(x int) float64 { return u.CapCores[x] - u.Cores[x] }
+
+// FitsAt reports whether one call of the given loads fits at DC x without
+// exceeding compute or any link capacity. Policies use it to prefer
+// placements that stay inside the plan on both resources.
+func (u *Usage) FitsAt(x int, cores float64, links []provision.LinkLoad) bool {
+	if !u.FitsCompute(x, cores) {
+		return false
+	}
+	for _, ll := range links {
+		if u.Gbps[ll.Link]+ll.Gbps > u.CapGbps[ll.Link]+1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// FitsCompute reports whether the call's cores fit at DC x. Compute is the
+// hard resource: an MP server either exists or it doesn't. WAN capacity, by
+// contrast, is the *provisioned peak* the plan pays for — physical links are
+// far larger, so exceeding it degrades cost, not calls (tracked via
+// Result.LinkExcessGbps).
+func (u *Usage) FitsCompute(x int, cores float64) bool {
+	return u.Cores[x]+cores <= u.CapCores[x]+1e-9
+}
+
+// Policy chooses the hosting DC for an arriving call. candidates are the
+// latency-feasible DCs (Eq 4 filtering, min-ACL fallback applied); the
+// policy may return any DC, but choosing outside candidates or above
+// capacity is counted against it by the simulator.
+type Policy interface {
+	Name() string
+	// Choose returns the DC for one call of config index c (within the
+	// LoadModel's config universe) arriving at the given time.
+	Choose(c int, at time.Time, candidates []int, u *Usage) int
+}
+
+// Releaser is an optional Policy extension: the simulator notifies it when a
+// call it placed ends, so quota-tracking policies can tally usage the way
+// §5.4(b) prescribes ("as new calls arrive and old calls end ... resource
+// usage tallied up accurately").
+type Releaser interface {
+	Release(c int, startedAt time.Time, dc int)
+}
+
+// Result summarizes one simulation run.
+type Result struct {
+	Policy string
+	// Calls is the number of simulated calls; Placed counts those hosted
+	// within compute capacity, Overflowed those admitted beyond it (they
+	// are still hosted — conferencing calls are not droppable — but
+	// flagged). WAN exceedance is cost, not failure; see LinkExcessGbps.
+	Calls      int
+	Placed     int
+	Overflowed int
+	// LinkExcessGbps sums, over links, the realized peak beyond the
+	// provisioned capacity — the extra WAN the plan would have had to
+	// pay for.
+	LinkExcessGbps float64
+	// MeanACL is the realized call-weighted average latency (ms).
+	MeanACL float64
+	// PeakCores / PeakGbps are the realized per-resource peaks.
+	PeakCores []float64
+	PeakGbps  []float64
+	// MaxCoreUtil / MaxLinkUtil are the maximum realized peak/capacity
+	// ratios across DCs / links with at least utilFloor capacity (tiny
+	// placements make ratios on near-zero-capacity resources meaningless;
+	// see MaxCoreOvershoot for the absolute view).
+	MaxCoreUtil float64
+	MaxLinkUtil float64
+	// MaxCoreOvershoot is the largest absolute excess (peak − capacity,
+	// in cores) across all DCs, including near-zero-capacity ones.
+	MaxCoreOvershoot float64
+	// StrandedCores / StrandedGbps are peak loads that landed on DCs /
+	// links with zero provisioned capacity (traffic from configs outside
+	// the planned universe placed by the nearest-DC rule; at production
+	// coverage this is negligible, at small synthetic coverage it is
+	// worth watching).
+	StrandedCores float64
+	StrandedGbps  float64
+	// UnknownConfigs counts calls whose config was outside the plan's
+	// config universe (placed by nearest-DC rule).
+	UnknownConfigs int
+	// CoreTimeline[slot][dc] is the peak compute usage at the DC during
+	// each 30-minute slot of the replay (slot 0 starts at the first
+	// event), for utilization plots and post-hoc analysis.
+	CoreTimeline [][]float64
+}
+
+// UtilizationAt returns the per-DC utilization ratios for one timeline slot
+// (zero capacity yields zero).
+func (r *Result) UtilizationAt(slot int, capCores []float64) []float64 {
+	out := make([]float64, len(capCores))
+	if slot < 0 || slot >= len(r.CoreTimeline) {
+		return out
+	}
+	for x, cap := range capCores {
+		if cap > 1e-9 {
+			out[x] = r.CoreTimeline[slot][x] / cap
+		}
+	}
+	return out
+}
+
+// OverflowRate returns Overflowed / Calls.
+func (r *Result) OverflowRate() float64 {
+	if r.Calls == 0 {
+		return 0
+	}
+	return float64(r.Overflowed) / float64(r.Calls)
+}
+
+// Simulator replays call records against a plan.
+type Simulator struct {
+	lm       *provision.LoadModel
+	world    *geo.World
+	est      *records.LatencyEstimator
+	capCores []float64
+	capGbps  []float64
+	configIx map[string]int
+}
+
+// New builds a simulator over the load model's config universe and the given
+// provisioned capacities.
+func New(lm *provision.LoadModel, est *records.LatencyEstimator, capCores, capGbps []float64) (*Simulator, error) {
+	w := lm.World()
+	if len(capCores) != len(w.DCs()) || len(capGbps) != len(w.Links()) {
+		return nil, fmt.Errorf("sim: capacity vectors sized %d/%d, want %d/%d",
+			len(capCores), len(capGbps), len(w.DCs()), len(w.Links()))
+	}
+	s := &Simulator{
+		lm:       lm,
+		world:    w,
+		est:      est,
+		capCores: capCores,
+		capGbps:  capGbps,
+		configIx: make(map[string]int, len(lm.Demand().Configs)),
+	}
+	for i, cfg := range lm.Demand().Configs {
+		s.configIx[cfg.Key()] = i
+	}
+	return s, nil
+}
+
+// event is a call start or end.
+type event struct {
+	at    time.Time
+	start bool
+	rec   *model.CallRecord
+}
+
+// Run replays the records in time order under the policy.
+func (s *Simulator) Run(recs []*model.CallRecord, p Policy) (*Result, error) {
+	if p == nil {
+		return nil, fmt.Errorf("sim: nil policy")
+	}
+	events := make([]event, 0, 2*len(recs))
+	for _, r := range recs {
+		if len(r.Legs) == 0 {
+			continue
+		}
+		events = append(events, event{at: r.Start, start: true, rec: r})
+		events = append(events, event{at: r.Start.Add(r.Duration), start: false, rec: r})
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if !events[i].at.Equal(events[j].at) {
+			return events[i].at.Before(events[j].at)
+		}
+		// Ends before starts at equal instants frees capacity first.
+		if events[i].start != events[j].start {
+			return !events[i].start
+		}
+		return events[i].rec.ID < events[j].rec.ID
+	})
+
+	w := s.world
+	u := &Usage{
+		Cores:    make([]float64, len(w.DCs())),
+		Gbps:     make([]float64, len(w.Links())),
+		CapCores: s.capCores,
+		CapGbps:  s.capGbps,
+	}
+	res := &Result{
+		Policy:    p.Name(),
+		PeakCores: make([]float64, len(w.DCs())),
+		PeakGbps:  make([]float64, len(w.Links())),
+	}
+	type placement struct {
+		dc      int
+		c       int // config index, -1 when outside the plan universe
+		started time.Time
+		cores   float64
+		links   []provision.LinkLoad
+	}
+	active := make(map[uint64]placement, 1024)
+	var aclSum float64
+	releaser, _ := p.(Releaser)
+	var origin time.Time
+	if len(events) > 0 {
+		origin = events[0].at
+	}
+	trackTimeline := func(at time.Time, dc int) {
+		slot := model.SlotIndex(origin, at)
+		if slot < 0 {
+			return
+		}
+		for len(res.CoreTimeline) <= slot {
+			res.CoreTimeline = append(res.CoreTimeline, make([]float64, len(w.DCs())))
+		}
+		if u.Cores[dc] > res.CoreTimeline[slot][dc] {
+			res.CoreTimeline[slot][dc] = u.Cores[dc]
+		}
+	}
+
+	for _, e := range events {
+		if !e.start {
+			pl, ok := active[e.rec.ID]
+			if !ok {
+				continue
+			}
+			delete(active, e.rec.ID)
+			u.Cores[pl.dc] -= pl.cores
+			for _, ll := range pl.links {
+				u.Gbps[ll.Link] -= ll.Gbps
+			}
+			if releaser != nil && pl.c >= 0 {
+				releaser.Release(pl.c, pl.started, pl.dc)
+			}
+			continue
+		}
+
+		cfg := e.rec.Config()
+		c, known := s.configIx[cfg.Key()]
+		var dc int
+		var cores float64
+		var links []provision.LinkLoad
+		if known {
+			dc = p.Choose(c, e.at, s.lm.Allowed(c), u)
+			if dc < 0 || dc >= len(w.DCs()) {
+				return nil, fmt.Errorf("sim: policy %q chose invalid DC %d", p.Name(), dc)
+			}
+			cores = s.lm.ComputeLoad(c)
+			links = s.lm.LinkLoads(c, dc)
+			aclSum += s.lm.ACL(c, dc)
+		} else {
+			// Outside the planned config universe: the §5.4
+			// unanticipated-config rule sends the call to the
+			// majority country's closest DC; like any real
+			// controller we prefer a close DC that still has
+			// headroom before overloading the closest one.
+			res.UnknownConfigs++
+			maj, _ := cfg.Spread.Majority()
+			cores = cfg.ComputeLoad()
+			dc = -1
+			for _, cand := range w.DCsByLatency(maj) {
+				ll := pathLoadsFor(w, cfg, cand)
+				if u.FitsAt(cand, cores, ll) {
+					dc, links = cand, ll
+					break
+				}
+			}
+			if dc < 0 {
+				dc = w.NearestDC(maj, true)
+				if dc < 0 {
+					dc = 0
+				}
+				links = pathLoadsFor(w, cfg, dc)
+			}
+			aclSum += s.est.ACL(cfg, dc)
+		}
+
+		if u.FitsCompute(dc, cores) {
+			res.Placed++
+		} else {
+			res.Overflowed++
+		}
+		u.Cores[dc] += cores
+		for _, ll := range links {
+			u.Gbps[ll.Link] += ll.Gbps
+		}
+		if u.Cores[dc] > res.PeakCores[dc] {
+			res.PeakCores[dc] = u.Cores[dc]
+		}
+		trackTimeline(e.at, dc)
+		for _, ll := range links {
+			if u.Gbps[ll.Link] > res.PeakGbps[ll.Link] {
+				res.PeakGbps[ll.Link] = u.Gbps[ll.Link]
+			}
+		}
+		cIdx := -1
+		if known {
+			cIdx = c
+		}
+		active[e.rec.ID] = placement{dc: dc, c: cIdx, started: e.at, cores: cores, links: links}
+		res.Calls++
+	}
+
+	if res.Calls > 0 {
+		res.MeanACL = aclSum / float64(res.Calls)
+	}
+	for x, peak := range res.PeakCores {
+		if s.capCores[x] >= coreUtilFloor {
+			if r := peak / s.capCores[x]; r > res.MaxCoreUtil {
+				res.MaxCoreUtil = r
+			}
+		} else if s.capCores[x] <= 1e-9 && peak > res.StrandedCores {
+			res.StrandedCores = peak
+		}
+		if over := peak - s.capCores[x]; over > res.MaxCoreOvershoot {
+			res.MaxCoreOvershoot = over
+		}
+	}
+	for l, peak := range res.PeakGbps {
+		if s.capGbps[l] >= linkUtilFloor {
+			if r := peak / s.capGbps[l]; r > res.MaxLinkUtil {
+				res.MaxLinkUtil = r
+			}
+		} else if s.capGbps[l] <= 1e-9 && peak > res.StrandedGbps {
+			res.StrandedGbps = peak
+		}
+		if over := peak - s.capGbps[l]; over > 0 {
+			res.LinkExcessGbps += over
+		}
+	}
+	return res, nil
+}
+
+// Utilization-ratio floors: below these capacities a ratio is noise.
+const (
+	coreUtilFloor = 1.0  // one core
+	linkUtilFloor = 0.01 // 10 Mbps
+)
+
+// pathLoadsFor computes per-link loads for a config outside the load model's
+// universe.
+func pathLoadsFor(w *geo.World, cfg model.CallConfig, dc int) []provision.LinkLoad {
+	perLink := make(map[int]float64)
+	mbps := cfg.Media.NetworkLoad()
+	for _, cc := range cfg.Spread {
+		for _, l := range w.Path(dc, cc.Country) {
+			perLink[l] += mbps * float64(cc.Count) / 1000
+		}
+	}
+	out := make([]provision.LinkLoad, 0, len(perLink))
+	for l, g := range perLink {
+		out = append(out, provision.LinkLoad{Link: l, Gbps: g})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Link < out[j].Link })
+	return out
+}
+
+// GreedyLocalPolicy hosts each call at the lowest-ACL candidate that still
+// has compute and link headroom, falling back to the lowest-ACL candidate
+// outright — the realtime analogue of locality-first.
+type GreedyLocalPolicy struct {
+	LM *provision.LoadModel
+}
+
+// Name implements Policy.
+func (p *GreedyLocalPolicy) Name() string { return "greedy-local" }
+
+// Choose implements Policy.
+func (p *GreedyLocalPolicy) Choose(c int, _ time.Time, candidates []int, u *Usage) int {
+	best, bestACL := -1, math.Inf(1)
+	for _, x := range candidates {
+		if !u.FitsAt(x, p.LM.ComputeLoad(c), p.LM.LinkLoads(c, x)) {
+			continue
+		}
+		if a := p.LM.ACL(c, x); a < bestACL {
+			best, bestACL = x, a
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	// Everything full: take the lowest-ACL candidate and let the
+	// simulator count the overflow.
+	for _, x := range candidates {
+		if a := p.LM.ACL(c, x); a < bestACL {
+			best, bestACL = x, a
+		}
+	}
+	return best
+}
+
+// PlanPolicy follows a daily allocation plan's per-slot shares: each (slot,
+// config) has per-DC quotas; a call takes the lowest-ACL DC with both quota
+// and capacity left, then the plan's fallbacks.
+type PlanPolicy struct {
+	LM *provision.LoadModel
+	// Alloc is the allocation plan tensor [planSlot][config][dc].
+	Alloc [][][]float64
+	// Origin anchors slot-of-day computation.
+	Origin time.Time
+
+	remaining [][][]float64
+	lastDay   int
+}
+
+// Name implements Policy.
+func (p *PlanPolicy) Name() string { return "plan" }
+
+// Release implements Releaser: a finished call returns its quota slot so the
+// tally tracks concurrency, as §5.4(b) prescribes.
+func (p *PlanPolicy) Release(c int, startedAt time.Time, dc int) {
+	day := int(startedAt.Sub(p.Origin).Hours() / 24)
+	if p.remaining == nil || day != p.lastDay {
+		return // a fresh daily plan superseded this call's quotas
+	}
+	nT := len(p.remaining)
+	slot := model.SlotOfDay(startedAt) * nT / model.SlotsPerDay
+	if slot >= nT {
+		slot = nT - 1
+	}
+	if dc >= 0 && dc < len(p.remaining[slot][c]) {
+		p.remaining[slot][c][dc]++
+	}
+}
+
+// Choose implements Policy.
+func (p *PlanPolicy) Choose(c int, at time.Time, candidates []int, u *Usage) int {
+	day := int(at.Sub(p.Origin).Hours() / 24)
+	if p.remaining == nil || day != p.lastDay {
+		// A fresh plan is issued daily (§5.3); reset quotas.
+		p.remaining = cloneAlloc(p.Alloc)
+		p.lastDay = day
+	}
+	nT := len(p.remaining)
+	slot := model.SlotOfDay(at) * nT / model.SlotsPerDay
+	if slot >= nT {
+		slot = nT - 1
+	}
+	row := p.remaining[slot][c]
+
+	best, bestACL := -1, math.Inf(1)
+	for _, x := range candidates {
+		if row[x] < 1 {
+			continue
+		}
+		if !u.FitsAt(x, p.LM.ComputeLoad(c), p.LM.LinkLoads(c, x)) {
+			continue
+		}
+		if a := p.LM.ACL(c, x); a < bestACL {
+			best, bestACL = x, a
+		}
+	}
+	if best < 0 {
+		// Quotas exhausted: any candidate with headroom.
+		for _, x := range candidates {
+			if !u.FitsAt(x, p.LM.ComputeLoad(c), p.LM.LinkLoads(c, x)) {
+				continue
+			}
+			if a := p.LM.ACL(c, x); a < bestACL {
+				best, bestACL = x, a
+			}
+		}
+	}
+	if best < 0 {
+		for _, x := range candidates {
+			if a := p.LM.ACL(c, x); a < bestACL {
+				best, bestACL = x, a
+			}
+		}
+	}
+	if best >= 0 && row[best] >= 1 {
+		row[best]--
+	}
+	return best
+}
+
+func cloneAlloc(a [][][]float64) [][][]float64 {
+	out := make([][][]float64, len(a))
+	for t := range a {
+		out[t] = make([][]float64, len(a[t]))
+		for c := range a[t] {
+			out[t][c] = append([]float64(nil), a[t][c]...)
+		}
+	}
+	return out
+}

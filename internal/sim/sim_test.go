@@ -1,0 +1,248 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"switchboard/internal/allocate"
+	"switchboard/internal/geo"
+	"switchboard/internal/model"
+	"switchboard/internal/provision"
+	"switchboard/internal/records"
+	"switchboard/internal/trace"
+)
+
+type fixture struct {
+	lm    *provision.LoadModel
+	est   *records.LatencyEstimator
+	plan  *provision.Plan
+	alloc *allocate.Result
+	recs  []*model.CallRecord
+	start time.Time
+}
+
+var (
+	fixtureOnce sync.Once
+	fixtureVal  *fixture
+)
+
+// buildFixture builds (once) the shared provisioning fixture; tests must not
+// mutate it.
+func buildFixture(t *testing.T) *fixture {
+	t.Helper()
+	fixtureOnce.Do(func() { fixtureVal = buildFixtureOnce(t) })
+	if fixtureVal == nil {
+		t.Fatal("fixture failed to build")
+	}
+	return fixtureVal
+}
+
+func buildFixtureOnce(t *testing.T) *fixture {
+	t.Helper()
+	cfg := trace.DefaultConfig()
+	cfg.Days = 1
+	cfg.CallsPerDay = 1500
+	g, err := trace.NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := geo.DefaultWorld()
+	db := records.New(cfg.Start, w)
+	var recs []*model.CallRecord
+	g.EachCall(func(r *model.CallRecord) bool {
+		db.Add(r)
+		recs = append(recs, r)
+		return true
+	})
+	in := &provision.Inputs{
+		World:              w,
+		Latency:            db.Estimator(20),
+		Demand:             db.PeakEnvelope(60),
+		LatencyThresholdMs: 120,
+		WithBackup:         true,
+		SlotStride:         8,
+	}
+	lm, err := provision.NewLoadModel(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := provision.Switchboard(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := allocate.Build(lm, plan.Cores, plan.LinkGbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{lm: lm, est: db.Estimator(20), plan: plan, alloc: alloc, recs: recs, start: cfg.Start}
+}
+
+func TestNewValidation(t *testing.T) {
+	f := buildFixture(t)
+	if _, err := New(f.lm, f.est, []float64{1}, f.plan.LinkGbps); err == nil {
+		t.Error("bad capacity vector should error")
+	}
+	s, err := New(f.lm, f.est, f.plan.Cores, f.plan.LinkGbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(f.recs, nil); err == nil {
+		t.Error("nil policy should error")
+	}
+}
+
+func TestGreedyLocalWithinProvisionedCapacity(t *testing.T) {
+	f := buildFixture(t)
+	s, err := New(f.lm, f.est, f.plan.Cores, f.plan.LinkGbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(f.recs, &GreedyLocalPolicy{LM: f.lm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Calls != len(f.recs) {
+		t.Fatalf("simulated %d of %d calls", res.Calls, len(f.recs))
+	}
+	// The plan was provisioned (with backup headroom) for this very
+	// demand; integral replay should overflow rarely, if at all.
+	if rate := res.OverflowRate(); rate > 0.08 {
+		t.Errorf("overflow rate %.3f too high for in-sample replay", rate)
+	}
+	if res.MeanACL <= 0 || res.MeanACL > 120 {
+		t.Errorf("mean ACL %.1f implausible", res.MeanACL)
+	}
+	// Energy conservation: usage returns to zero after all calls end
+	// (checked indirectly: peaks are finite and positive somewhere).
+	var totalPeak float64
+	for _, p := range res.PeakCores {
+		totalPeak += p
+	}
+	if totalPeak <= 0 {
+		t.Error("no compute peaks recorded")
+	}
+}
+
+func TestPlanPolicyFollowsPlan(t *testing.T) {
+	f := buildFixture(t)
+	s, err := New(f.lm, f.est, f.plan.Cores, f.plan.LinkGbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := &PlanPolicy{LM: f.lm, Alloc: f.alloc.Alloc, Origin: f.start}
+	res, err := s.Run(f.recs, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Calls == 0 || res.Placed == 0 {
+		t.Fatalf("res = %+v", res)
+	}
+	if rate := res.OverflowRate(); rate > 0.08 {
+		t.Errorf("plan policy overflow rate %.3f", rate)
+	}
+	// The plan policy's realized latency should be within a factor of the
+	// greedy-local optimum (it follows a latency-minimizing plan).
+	greedy, err := s.Run(f.recs, &GreedyLocalPolicy{LM: f.lm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanACL > 2*greedy.MeanACL+5 {
+		t.Errorf("plan ACL %.1f far above greedy %.1f", res.MeanACL, greedy.MeanACL)
+	}
+}
+
+func TestScarcityOverflowsAreCounted(t *testing.T) {
+	f := buildFixture(t)
+	tiny := make([]float64, len(f.plan.Cores))
+	links := make([]float64, len(f.plan.LinkGbps))
+	s, err := New(f.lm, f.est, tiny, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(f.recs, &GreedyLocalPolicy{LM: f.lm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Overflowed != res.Calls {
+		t.Errorf("with zero capacity, %d/%d overflowed", res.Overflowed, res.Calls)
+	}
+	if res.StrandedCores <= 0 {
+		t.Errorf("zero-capacity run should report stranded load, got %g", res.StrandedCores)
+	}
+}
+
+func TestRealizedPeaksTrackCapacity(t *testing.T) {
+	f := buildFixture(t)
+	s, err := New(f.lm, f.est, f.plan.Cores, f.plan.LinkGbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(f.recs, &GreedyLocalPolicy{LM: f.lm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With backup headroom the plan should leave slack. Integral,
+	// within-slot-bursty arrivals plus tail (unplanned-config) traffic
+	// can push a small DC past its planned share, but not wildly.
+	if res.MaxCoreUtil > 2.0 {
+		t.Errorf("max core utilization %.2f", res.MaxCoreUtil)
+	}
+	// In absolute terms any overshoot stays small (a few cores).
+	if res.MaxCoreOvershoot > 3.0 {
+		t.Errorf("max absolute core overshoot %.2f cores", res.MaxCoreOvershoot)
+	}
+	// The utilization timeline is consistent with the global peaks.
+	if len(res.CoreTimeline) == 0 {
+		t.Fatal("no timeline recorded")
+	}
+	maxOfTimeline := make([]float64, len(res.PeakCores))
+	for _, row := range res.CoreTimeline {
+		for x, v := range row {
+			if v > maxOfTimeline[x] {
+				maxOfTimeline[x] = v
+			}
+		}
+	}
+	for x := range res.PeakCores {
+		if maxOfTimeline[x] > res.PeakCores[x]+1e-9 {
+			t.Fatalf("timeline max %g above global peak %g at DC %d", maxOfTimeline[x], res.PeakCores[x], x)
+		}
+	}
+	util := res.UtilizationAt(0, f.plan.Cores)
+	if len(util) != len(f.plan.Cores) {
+		t.Fatal("utilization vector sized wrong")
+	}
+	if out := res.UtilizationAt(-1, f.plan.Cores); out[0] != 0 {
+		t.Error("out-of-range slot should be zero")
+	}
+}
+
+func TestUnknownConfigsHandled(t *testing.T) {
+	f := buildFixture(t)
+	s, err := New(f.lm, f.est, f.plan.Cores, f.plan.LinkGbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A config certainly outside the planned universe.
+	exotic := &model.CallRecord{
+		ID:       999999,
+		Start:    f.start.Add(time.Hour),
+		Duration: 20 * time.Minute,
+		Legs: []model.LegRecord{
+			{Participant: 1, Country: "NZ", Media: model.Video},
+			{Participant: 2, Country: "CL", Media: model.Video, JoinOffset: time.Minute},
+			{Participant: 3, Country: "KE", Media: model.Video, JoinOffset: time.Minute},
+		},
+	}
+	res, err := s.Run([]*model.CallRecord{exotic}, &GreedyLocalPolicy{LM: f.lm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UnknownConfigs != 1 || res.Calls != 1 {
+		t.Errorf("res = %+v", res)
+	}
+	if res.MeanACL <= 0 {
+		t.Error("unknown config should still get an ACL")
+	}
+}

@@ -1,0 +1,588 @@
+// Package trace generates the synthetic Microsoft-Teams-like call workload
+// the experiments run on, replacing the paper's 15 months of production call
+// records (see DESIGN.md for the substitution argument).
+//
+// The generator reproduces, as statistical properties, everything the rest of
+// the system depends on:
+//
+//   - per-country diurnal demand following local work hours, so demand peaks
+//     shift across time zones (the paper's Fig 3 and the basis of peak-aware
+//     provisioning);
+//   - a heavy-tailed call-size and country-pair distribution, so a small
+//     fraction of distinct call configs covers most calls (Fig 7c);
+//   - per-config growth trends and weekly seasonality, so Holt-Winters
+//     forecasting is meaningful (Fig 7a/7b);
+//   - a participant join-time process with ~80% of participants joined five
+//     minutes in (Fig 8), driving the config-freeze and migration logic;
+//   - first-joiner locality: the large majority of calls have their majority
+//     in the first joiner's country (§5.4 reports 95.2%);
+//   - recurring meeting series with per-member attendance propensities, the
+//     input to the §8 config predictor.
+//
+// Generation is deterministic for a given Config (including Seed).
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"switchboard/internal/geo"
+	"switchboard/internal/model"
+)
+
+// Config parameterizes a Generator. Use DefaultConfig for the values the
+// experiments use.
+type Config struct {
+	// Seed makes the trace reproducible.
+	Seed int64
+	// Start is the UTC start of the trace; it should be midnight.
+	Start time.Time
+	// Days is the horizon length.
+	Days int
+	// CallsPerDay is the approximate global call volume on day 0.
+	CallsPerDay int
+	// GrowthPerDay is the multiplicative daily volume growth (0.004 ≈
+	// +12%/month, in line with pandemic-era conferencing growth).
+	GrowthPerDay float64
+	// InterCountryFrac is the probability that a call spans countries.
+	InterCountryFrac float64
+	// MediaMix is the probability of audio, screen-share, and video calls;
+	// it must sum to 1.
+	MediaMix [3]float64
+	// SeriesPerThousand is how many recurring weekday meeting series exist
+	// per thousand daily calls.
+	SeriesPerThousand int
+	// WeekendFactor scales weekend demand relative to weekdays; 0 means
+	// the default of 0.2.
+	WeekendFactor float64
+	// SurgeDay, when SurgeFactor > 0, multiplies that day's ad-hoc volume
+	// by SurgeFactor — a demand spike (regional event, outage elsewhere)
+	// for stress-testing provisioning headroom.
+	SurgeDay    int
+	SurgeFactor float64
+	// SurgeCountry optionally confines the surge to one country; empty
+	// surges everywhere.
+	SurgeCountry geo.CountryCode
+	// World supplies countries and weights; nil means geo.DefaultWorld().
+	World *geo.World
+}
+
+// DefaultConfig returns the generator configuration used by the experiments.
+func DefaultConfig() Config {
+	return Config{
+		Seed:              1,
+		Start:             time.Date(2022, 9, 5, 0, 0, 0, 0, time.UTC), // a Monday
+		Days:              7,
+		CallsPerDay:       20000,
+		GrowthPerDay:      0.004,
+		InterCountryFrac:  0.15,
+		MediaMix:          [3]float64{0.30, 0.10, 0.60},
+		SeriesPerThousand: 8,
+		World:             nil,
+	}
+}
+
+// Generator produces call records. It is not safe for concurrent use; create
+// one per goroutine (generation is cheap and deterministic).
+type Generator struct {
+	cfg         Config
+	world       *geo.World
+	rng         *rand.Rand
+	countries   []geo.Country
+	totalWeight float64
+	series      []*meetingSeries
+	nextCallID  uint64
+	nextUserID  uint64
+}
+
+// meetingSeries is one recurring weekday meeting.
+type meetingSeries struct {
+	id      uint64
+	slot    int // slot of day when it occurs
+	country geo.CountryCode
+	members []seriesMember
+	media   model.MediaType
+}
+
+type seriesMember struct {
+	user    uint64
+	country geo.CountryCode
+	// attendProb is the member's per-instance attendance propensity; the
+	// predictor's job is to learn it from history.
+	attendProb float64
+}
+
+// NewGenerator validates the config and prepares a generator.
+func NewGenerator(cfg Config) (*Generator, error) {
+	if cfg.Days <= 0 {
+		return nil, fmt.Errorf("trace: Days must be positive, got %d", cfg.Days)
+	}
+	if cfg.CallsPerDay <= 0 {
+		return nil, fmt.Errorf("trace: CallsPerDay must be positive, got %d", cfg.CallsPerDay)
+	}
+	if s := cfg.MediaMix[0] + cfg.MediaMix[1] + cfg.MediaMix[2]; math.Abs(s-1) > 1e-9 {
+		return nil, fmt.Errorf("trace: MediaMix sums to %g, want 1", s)
+	}
+	if cfg.InterCountryFrac < 0 || cfg.InterCountryFrac > 1 {
+		return nil, fmt.Errorf("trace: InterCountryFrac %g outside [0,1]", cfg.InterCountryFrac)
+	}
+	if cfg.WeekendFactor < 0 {
+		return nil, fmt.Errorf("trace: negative WeekendFactor %g", cfg.WeekendFactor)
+	}
+	if cfg.WeekendFactor == 0 {
+		cfg.WeekendFactor = 0.2
+	}
+	if cfg.SurgeFactor < 0 {
+		return nil, fmt.Errorf("trace: negative SurgeFactor %g", cfg.SurgeFactor)
+	}
+	if cfg.SurgeFactor > 0 && (cfg.SurgeDay < 0 || cfg.SurgeDay >= cfg.Days) {
+		return nil, fmt.Errorf("trace: SurgeDay %d outside horizon [0,%d)", cfg.SurgeDay, cfg.Days)
+	}
+	if cfg.SurgeCountry != "" {
+		if cfg.World == nil {
+			cfg.World = geo.DefaultWorld()
+		}
+		if _, ok := cfg.World.Country(cfg.SurgeCountry); !ok {
+			return nil, fmt.Errorf("trace: unknown SurgeCountry %q", cfg.SurgeCountry)
+		}
+	}
+	if cfg.World == nil {
+		cfg.World = geo.DefaultWorld()
+	}
+	g := &Generator{
+		cfg:        cfg,
+		world:      cfg.World,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		countries:  cfg.World.Countries(),
+		nextCallID: 1,
+		nextUserID: 1,
+	}
+	for _, c := range g.countries {
+		g.totalWeight += c.Weight
+	}
+	g.buildSeries()
+	return g, nil
+}
+
+// Config returns the configuration the generator was built with (with the
+// World default filled in).
+func (g *Generator) Config() Config { return g.cfg }
+
+// buildSeries creates the recurring weekday meetings, assigned to countries
+// proportionally to weight.
+func (g *Generator) buildSeries() {
+	n := g.cfg.CallsPerDay * g.cfg.SeriesPerThousand / 1000
+	for i := 0; i < n; i++ {
+		host := g.sampleCountry()
+		// Business meetings: during local work hours, on the half hour.
+		localSlot := 16 + g.rng.Intn(20) // 08:00..17:30 local
+		utcSlot := localSlot - int(math.Round(float64(hostOffsetMin(g.world, host))/30))
+		utcSlot = ((utcSlot % model.SlotsPerDay) + model.SlotsPerDay) % model.SlotsPerDay
+		nMembers := 3 + g.rng.Intn(18)
+		members := make([]seriesMember, nMembers)
+		for m := range members {
+			country := host
+			// Some members dial in from elsewhere.
+			if g.rng.Float64() < 0.12 {
+				country = g.sampleNeighborCountry(host)
+			}
+			members[m] = seriesMember{
+				user:       g.newUser(),
+				country:    country,
+				attendProb: 0.3 + 0.65*g.rng.Float64(),
+			}
+		}
+		g.series = append(g.series, &meetingSeries{
+			id:      uint64(i + 1),
+			slot:    utcSlot,
+			country: host,
+			members: members,
+			media:   g.sampleMedia(),
+		})
+	}
+}
+
+func hostOffsetMin(w *geo.World, code geo.CountryCode) int {
+	c, _ := w.Country(code)
+	return c.UTCOffsetMin
+}
+
+func (g *Generator) newUser() uint64 {
+	u := g.nextUserID
+	g.nextUserID++
+	return u
+}
+
+// EachCall generates the whole horizon in time order, invoking fn for every
+// call record. Generation stops early if fn returns false. Records are owned
+// by the callee and not retained by the generator, so arbitrarily long
+// horizons stream in constant memory.
+func (g *Generator) EachCall(fn func(*model.CallRecord) bool) {
+	slots := g.cfg.Days * model.SlotsPerDay
+	for s := 0; s < slots; s++ {
+		slotStart := model.SlotStart(g.cfg.Start, s)
+		day := s / model.SlotsPerDay
+		slotOfDay := s % model.SlotsPerDay
+		weekday := slotStart.Weekday()
+		growth := math.Pow(1+g.cfg.GrowthPerDay, float64(day))
+
+		// Recurring series fire on weekdays at their slot.
+		if weekday != time.Saturday && weekday != time.Sunday {
+			for _, ser := range g.series {
+				if ser.slot != slotOfDay {
+					continue
+				}
+				if rec := g.seriesInstance(ser, slotStart); rec != nil {
+					if !fn(rec) {
+						return
+					}
+				}
+			}
+		}
+
+		// Ad-hoc calls per country, Poisson around the diurnal rate.
+		for _, c := range g.countries {
+			lambda := g.slotRate(c, slotOfDay, weekday) * growth
+			if g.cfg.SurgeFactor > 0 && day == g.cfg.SurgeDay &&
+				(g.cfg.SurgeCountry == "" || g.cfg.SurgeCountry == c.Code) {
+				lambda *= g.cfg.SurgeFactor
+			}
+			n := g.poisson(lambda)
+			for k := 0; k < n; k++ {
+				if !fn(g.adHocCall(c, slotStart)) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// GenerateAll collects the full horizon into memory. Convenient for tests
+// and small traces; prefer EachCall for long horizons.
+func (g *Generator) GenerateAll() []*model.CallRecord {
+	var out []*model.CallRecord
+	g.EachCall(func(r *model.CallRecord) bool {
+		out = append(out, r)
+		return true
+	})
+	return out
+}
+
+// slotRate returns the expected number of ad-hoc calls from country c in a
+// given 30-minute slot of day.
+func (g *Generator) slotRate(c geo.Country, slotOfDay int, weekday time.Weekday) float64 {
+	daily := float64(g.cfg.CallsPerDay) * c.Weight / g.totalWeight
+	localMin := slotOfDay*30 + c.UTCOffsetMin
+	localHour := math.Mod(float64(localMin)/60+48, 24)
+	shape := diurnal(localHour)
+	if weekday == time.Saturday || weekday == time.Sunday {
+		shape *= g.cfg.WeekendFactor
+	}
+	// diurnalDayIntegral normalizes so the shape integrates to one day.
+	return daily * shape * (0.5 / diurnalDayIntegral)
+}
+
+// diurnal is the relative intensity of conferencing at a local hour: a
+// morning peak, a slightly smaller afternoon peak, and a quiet night.
+func diurnal(h float64) float64 {
+	morning := math.Exp(-sq(h-10.5) / (2 * sq(1.9)))
+	afternoon := 0.85 * math.Exp(-sq(h-15.0)/(2*sq(2.2)))
+	return 0.04 + morning + afternoon
+}
+
+// diurnalDayIntegral is ∫₀²⁴ diurnal(h) dh, computed once by Simpson's rule
+// so slotRate normalizes exactly even if the shape changes.
+var diurnalDayIntegral = func() float64 {
+	const n = 4800 // even
+	h := 24.0 / n
+	sum := diurnal(0) + diurnal(24)
+	for i := 1; i < n; i++ {
+		w := 2.0
+		if i%2 == 1 {
+			w = 4.0
+		}
+		sum += w * diurnal(float64(i)*h)
+	}
+	return sum * h / 3
+}()
+
+func sq(x float64) float64 { return x * x }
+
+// adHocCall builds one non-recurring call originating in country c.
+func (g *Generator) adHocCall(origin geo.Country, slotStart time.Time) *model.CallRecord {
+	size := g.sampleSize()
+	counts := map[geo.CountryCode]int{origin.Code: size}
+	if size >= 2 && g.rng.Float64() < g.cfg.InterCountryFrac {
+		// Move a minority of participants to 1..2 partner countries.
+		partners := 1
+		if size >= 5 && g.rng.Float64() < 0.3 {
+			partners = 2
+		}
+		moved := 0
+		maxMove := (size - 1) / 2 // origin keeps a majority most of the time
+		if maxMove < 1 {
+			maxMove = 1
+		}
+		for p := 0; p < partners && moved < maxMove; p++ {
+			other := g.sampleNeighborCountry(origin.Code)
+			k := 1 + g.rng.Intn(maxMove-moved)
+			if other == origin.Code {
+				continue
+			}
+			counts[origin.Code] -= k
+			counts[other] += k
+			moved += k
+		}
+		// Occasionally the first joiner is in the minority (the 4.8% of
+		// §5.4): flip so a partner country holds the majority.
+		if g.rng.Float64() < 0.20 {
+			other := g.sampleNeighborCountry(origin.Code)
+			if other != origin.Code {
+				k := counts[origin.Code]
+				counts[origin.Code] = 1
+				counts[other] += k - 1
+			}
+		}
+	}
+	return g.buildRecord(counts, origin.Code, g.sampleMedia(), slotStart, 0, nil)
+}
+
+// seriesInstance instantiates one occurrence of a recurring meeting; nil when
+// nobody attends.
+func (g *Generator) seriesInstance(ser *meetingSeries, slotStart time.Time) *model.CallRecord {
+	counts := make(map[geo.CountryCode]int)
+	var attendees []seriesMember
+	for _, m := range ser.members {
+		if g.rng.Float64() < m.attendProb {
+			counts[m.country]++
+			attendees = append(attendees, m)
+		}
+	}
+	if len(attendees) == 0 {
+		return nil
+	}
+	return g.buildRecord(counts, ser.country, ser.media, slotStart, ser.id, attendees)
+}
+
+// buildRecord assembles a CallRecord: hosting DC (nearest in-region to the
+// first joiner, as the real-time path would choose), join offsets, per-leg
+// media, and observed latencies (model latency with small lognormal noise).
+func (g *Generator) buildRecord(counts map[geo.CountryCode]int, firstJoiner geo.CountryCode, media model.MediaType, slotStart time.Time, seriesID uint64, members []seriesMember) *model.CallRecord {
+	start := slotStart.Add(time.Duration(g.rng.Int63n(int64(model.SlotDuration))))
+	dc := g.world.NearestDC(firstJoiner, true)
+	rec := &model.CallRecord{
+		ID:       g.nextCallID,
+		Start:    start,
+		Duration: g.sampleDuration(),
+		DC:       dc,
+		SeriesID: seriesID,
+	}
+	g.nextCallID++
+
+	// Flatten the spread into per-leg countries, first joiner first.
+	var legCountries []geo.CountryCode
+	var legUsers []uint64
+	if members != nil {
+		for _, m := range members {
+			legCountries = append(legCountries, m.country)
+			legUsers = append(legUsers, m.user)
+		}
+		// Make a first-joiner-country leg lead if present.
+		for i, c := range legCountries {
+			if c == firstJoiner {
+				legCountries[0], legCountries[i] = legCountries[i], legCountries[0]
+				legUsers[0], legUsers[i] = legUsers[i], legUsers[0]
+				break
+			}
+		}
+	} else {
+		codes := make([]geo.CountryCode, 0, len(counts))
+		for c := range counts {
+			codes = append(codes, c)
+		}
+		sort.Slice(codes, func(i, j int) bool { return codes[i] < codes[j] })
+		legCountries = append(legCountries, firstJoiner)
+		remaining := map[geo.CountryCode]int{}
+		for c, n := range counts {
+			remaining[c] = n
+		}
+		remaining[firstJoiner]--
+		if remaining[firstJoiner] < 0 {
+			// The flip above may have left the first joiner with one
+			// participant slot; keep counts consistent.
+			remaining[firstJoiner] = 0
+		}
+		for _, c := range codes {
+			for k := 0; k < remaining[c]; k++ {
+				legCountries = append(legCountries, c)
+			}
+		}
+		for range legCountries {
+			legUsers = append(legUsers, g.newUser())
+		}
+	}
+
+	rec.Legs = make([]model.LegRecord, len(legCountries))
+	for i, country := range legCountries {
+		legMedia := model.Audio
+		if media != model.Audio && (i == 0 || g.rng.Float64() < 0.6) {
+			legMedia = media
+		}
+		rec.Legs[i] = model.LegRecord{
+			Participant: legUsers[i],
+			Country:     country,
+			JoinOffset:  g.sampleJoinOffset(i),
+			LatencyMs:   g.observedLatency(dc, country),
+			Media:       legMedia,
+		}
+	}
+	// Ensure the call's media type survives per-leg sampling.
+	rec.Legs[0].Media = media
+	return rec
+}
+
+// sampleSize draws the participant count: mostly small calls with a heavy
+// tail, which concentrates calls onto few distinct configs (Fig 7c).
+func (g *Generator) sampleSize() int {
+	r := g.rng.Float64()
+	switch {
+	case r < 0.40:
+		return 2
+	case r < 0.58:
+		return 3
+	case r < 0.70:
+		return 4
+	case r < 0.79:
+		return 5
+	case r < 0.86:
+		return 6
+	case r < 0.91:
+		return 7
+	case r < 0.945:
+		return 8
+	}
+	// Geometric tail for large meetings, capped at 200.
+	n := 9
+	for g.rng.Float64() < 0.82 && n < 200 {
+		n++
+	}
+	return n
+}
+
+func (g *Generator) sampleMedia() model.MediaType {
+	r := g.rng.Float64()
+	switch {
+	case r < g.cfg.MediaMix[0]:
+		return model.Audio
+	case r < g.cfg.MediaMix[0]+g.cfg.MediaMix[1]:
+		return model.ScreenShare
+	default:
+		return model.Video
+	}
+}
+
+// sampleJoinOffset draws when the i-th participant joins relative to call
+// start. The mix is calibrated so ~80% of participants have joined by 300 s
+// (the paper's Fig 8 and the A=300 s config freeze).
+func (g *Generator) sampleJoinOffset(i int) time.Duration {
+	if i == 0 {
+		return 0
+	}
+	if g.rng.Float64() < 0.86 {
+		// Early joiners: exponential with a two-minute mean.
+		d := time.Duration(g.rng.ExpFloat64() * float64(120*time.Second))
+		if d > 30*time.Minute {
+			d = 30 * time.Minute
+		}
+		return d
+	}
+	// Latecomers: uniform between 5 and 25 minutes in.
+	return 5*time.Minute + time.Duration(g.rng.Int63n(int64(20*time.Minute)))
+}
+
+func (g *Generator) sampleDuration() time.Duration {
+	// Lognormal around 30 minutes, capped at 4 hours.
+	d := time.Duration(math.Exp(math.Log(30*60)+0.5*g.rng.NormFloat64()) * float64(time.Second))
+	if d < time.Minute {
+		d = time.Minute
+	}
+	if d > 4*time.Hour {
+		d = 4 * time.Hour
+	}
+	return d
+}
+
+// observedLatency is the modeled one-way latency with measurement noise; the
+// records DB recovers the model value as the per-pair median.
+func (g *Generator) observedLatency(dc int, country geo.CountryCode) float64 {
+	base := g.world.Latency(dc, country)
+	return base * math.Exp(0.08*g.rng.NormFloat64())
+}
+
+// sampleCountry draws a country proportionally to demand weight.
+func (g *Generator) sampleCountry() geo.CountryCode {
+	r := g.rng.Float64() * g.totalWeight
+	for _, c := range g.countries {
+		r -= c.Weight
+		if r <= 0 {
+			return c.Code
+		}
+	}
+	return g.countries[len(g.countries)-1].Code
+}
+
+// sampleNeighborCountry draws a partner country for an inter-country call
+// with a gravity model: closer and heavier countries are likelier, with a
+// same-region boost (most business calls stay within a region).
+func (g *Generator) sampleNeighborCountry(origin geo.CountryCode) geo.CountryCode {
+	oc, _ := g.world.Country(origin)
+	var cum []float64
+	var total float64
+	for _, c := range g.countries {
+		if c.Code == origin {
+			cum = append(cum, total)
+			continue
+		}
+		dist := geo.HaversineKm(oc.Lat, oc.Lon, c.Lat, c.Lon)
+		p := c.Weight / sq(1+dist/2500)
+		if c.Region == oc.Region {
+			p *= 4
+		}
+		total += p
+		cum = append(cum, total)
+	}
+	r := g.rng.Float64() * total
+	for i, c := range cum {
+		if r <= c && (g.countries[i].Code != origin) {
+			return g.countries[i].Code
+		}
+	}
+	return origin
+}
+
+// poisson draws from Poisson(lambda), using Knuth's method for small lambda
+// and a normal approximation above 30.
+func (g *Generator) poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 30 {
+		n := int(math.Round(lambda + math.Sqrt(lambda)*g.rng.NormFloat64()))
+		if n < 0 {
+			return 0
+		}
+		return n
+	}
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= g.rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}

@@ -1,0 +1,458 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"switchboard/internal/geo"
+	"switchboard/internal/model"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Days = 2
+	cfg.CallsPerDay = 3000
+	return cfg
+}
+
+func TestNewGeneratorValidation(t *testing.T) {
+	bad := DefaultConfig()
+	bad.Days = 0
+	if _, err := NewGenerator(bad); err == nil {
+		t.Error("Days=0 should error")
+	}
+	bad = DefaultConfig()
+	bad.CallsPerDay = 0
+	if _, err := NewGenerator(bad); err == nil {
+		t.Error("CallsPerDay=0 should error")
+	}
+	bad = DefaultConfig()
+	bad.MediaMix = [3]float64{0.5, 0.5, 0.5}
+	if _, err := NewGenerator(bad); err == nil {
+		t.Error("bad MediaMix should error")
+	}
+	bad = DefaultConfig()
+	bad.InterCountryFrac = 1.5
+	if _, err := NewGenerator(bad); err == nil {
+		t.Error("bad InterCountryFrac should error")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g1, err := NewGenerator(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := NewGenerator(smallConfig())
+	a := g1.GenerateAll()
+	b := g2.GenerateAll()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Start != b[i].Start || a[i].Config().Key() != b[i].Config().Key() {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestVolumeNearTarget(t *testing.T) {
+	cfg := smallConfig()
+	g, _ := NewGenerator(cfg)
+	n := 0
+	g.EachCall(func(*model.CallRecord) bool { n++; return true })
+	want := cfg.Days * cfg.CallsPerDay
+	if n < want*7/10 || n > want*13/10 {
+		t.Errorf("generated %d calls, want within 30%% of %d", n, want)
+	}
+}
+
+func TestRecordsWellFormed(t *testing.T) {
+	cfg := smallConfig()
+	g, _ := NewGenerator(cfg)
+	w := geo.DefaultWorld()
+	end := cfg.Start.AddDate(0, 0, cfg.Days)
+	seen := map[uint64]bool{}
+	g.EachCall(func(r *model.CallRecord) bool {
+		if seen[r.ID] {
+			t.Fatalf("duplicate call ID %d", r.ID)
+		}
+		seen[r.ID] = true
+		if r.Start.Before(cfg.Start) || !r.Start.Before(end) {
+			t.Fatalf("call %d starts at %v outside horizon", r.ID, r.Start)
+		}
+		if len(r.Legs) == 0 {
+			t.Fatalf("call %d has no legs", r.ID)
+		}
+		if r.DC < 0 || r.DC >= len(w.DCs()) {
+			t.Fatalf("call %d hosted at invalid DC %d", r.ID, r.DC)
+		}
+		if r.Legs[0].JoinOffset != 0 {
+			t.Fatalf("call %d first leg joins at %v, want 0", r.ID, r.Legs[0].JoinOffset)
+		}
+		for _, l := range r.Legs {
+			if l.LatencyMs <= 0 {
+				t.Fatalf("call %d leg latency %g", r.ID, l.LatencyMs)
+			}
+			if _, ok := w.Country(l.Country); !ok {
+				t.Fatalf("call %d leg in unknown country %q", r.ID, l.Country)
+			}
+			if l.Participant == 0 {
+				t.Fatalf("call %d leg without participant ID", r.ID)
+			}
+		}
+		if r.Duration <= 0 {
+			t.Fatalf("call %d duration %v", r.ID, r.Duration)
+		}
+		return true
+	})
+	if len(seen) == 0 {
+		t.Fatal("no calls generated")
+	}
+}
+
+func TestJoinOffsetsMatchFig8(t *testing.T) {
+	g, _ := NewGenerator(smallConfig())
+	var within, total int
+	g.EachCall(func(r *model.CallRecord) bool {
+		for _, l := range r.Legs {
+			total++
+			if l.JoinOffset <= 300*time.Second {
+				within++
+			}
+		}
+		return true
+	})
+	frac := float64(within) / float64(total)
+	// Paper Fig 8: ~80% of participants joined by 300 s.
+	if frac < 0.72 || frac > 0.92 {
+		t.Errorf("%.1f%% of participants joined by 300s, want ~80%%", 100*frac)
+	}
+}
+
+func TestFirstJoinerMajorityLocality(t *testing.T) {
+	g, _ := NewGenerator(smallConfig())
+	var match, total int
+	g.EachCall(func(r *model.CallRecord) bool {
+		total++
+		maj, _ := r.Config().Spread.Majority()
+		if maj == r.Legs[0].Country {
+			match++
+		}
+		return true
+	})
+	frac := float64(match) / float64(total)
+	// §5.4: 95.2% of calls have their majority in the first joiner's
+	// country. Allow a generous band.
+	if frac < 0.90 || frac > 0.99 {
+		t.Errorf("first-joiner majority locality = %.1f%%, want ~95%%", 100*frac)
+	}
+}
+
+func TestDiurnalPeaksShiftAcrossTimeZones(t *testing.T) {
+	// The compute demand of Japan and the US must peak in different UTC
+	// slots (the property behind the paper's Fig 3).
+	cfg := smallConfig()
+	cfg.Days = 1
+	g, _ := NewGenerator(cfg)
+	demand := map[geo.CountryCode][]float64{
+		"JP": make([]float64, model.SlotsPerDay),
+		"US": make([]float64, model.SlotsPerDay),
+		"IN": make([]float64, model.SlotsPerDay),
+	}
+	g.EachCall(func(r *model.CallRecord) bool {
+		slot := model.SlotOfDay(r.Start)
+		cfgc := r.Config()
+		for _, cc := range cfgc.Spread {
+			if d, ok := demand[cc.Country]; ok {
+				d[slot] += float64(cc.Count) * cfgc.Media.ComputeLoad()
+			}
+		}
+		return true
+	})
+	peak := func(series []float64) int {
+		best, bi := -1.0, 0
+		for i, v := range series {
+			if v > best {
+				best, bi = v, i
+			}
+		}
+		return bi
+	}
+	pJP, pUS := peak(demand["JP"]), peak(demand["US"])
+	// Japan's work day peaks in the 0..9 UTC range; the US peaks in the
+	// 14..23 UTC range (±6 offset, business hours).
+	if h := pJP / 2; h > 10 {
+		t.Errorf("JP demand peaks at %d UTC, want morning-UTC", h)
+	}
+	if h := pUS / 2; h < 13 {
+		t.Errorf("US demand peaks at %d UTC, want afternoon-UTC", h)
+	}
+	if pJP == pUS {
+		t.Error("JP and US demand peak in the same slot; diurnal shift missing")
+	}
+}
+
+func TestMediaMixRespected(t *testing.T) {
+	g, _ := NewGenerator(smallConfig())
+	counts := map[model.MediaType]int{}
+	total := 0
+	g.EachCall(func(r *model.CallRecord) bool {
+		counts[r.Config().Media]++
+		total++
+		return true
+	})
+	audioFrac := float64(counts[model.Audio]) / float64(total)
+	videoFrac := float64(counts[model.Video]) / float64(total)
+	if math.Abs(audioFrac-0.30) > 0.05 {
+		t.Errorf("audio fraction %.2f, want ~0.30", audioFrac)
+	}
+	if math.Abs(videoFrac-0.60) > 0.05 {
+		t.Errorf("video fraction %.2f, want ~0.60", videoFrac)
+	}
+}
+
+func TestConfigConcentration(t *testing.T) {
+	// A small share of distinct configs must cover a large share of calls
+	// (paper Fig 7c: top 1% cover 93%). The synthetic world is smaller so
+	// concentration is even stronger; assert a sane lower bound.
+	g, _ := NewGenerator(smallConfig())
+	counts := map[string]int{}
+	total := 0
+	g.EachCall(func(r *model.CallRecord) bool {
+		counts[r.Config().Key()]++
+		total++
+		return true
+	})
+	if len(counts) < 100 {
+		t.Fatalf("only %d distinct configs", len(counts))
+	}
+	freqs := make([]int, 0, len(counts))
+	for _, n := range counts {
+		freqs = append(freqs, n)
+	}
+	// Sort descending.
+	for i := range freqs {
+		for j := i + 1; j < len(freqs); j++ {
+			if freqs[j] > freqs[i] {
+				freqs[i], freqs[j] = freqs[j], freqs[i]
+			}
+		}
+	}
+	topN := len(freqs) / 10 // top 10%
+	if topN == 0 {
+		topN = 1
+	}
+	covered := 0
+	for _, n := range freqs[:topN] {
+		covered += n
+	}
+	if frac := float64(covered) / float64(total); frac < 0.5 {
+		t.Errorf("top 10%% configs cover %.1f%% of calls, want >= 50%%", 100*frac)
+	}
+}
+
+func TestSeriesRecurrence(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Days = 5 // Mon..Fri
+	g, _ := NewGenerator(cfg)
+	instances := map[uint64]int{}
+	g.EachCall(func(r *model.CallRecord) bool {
+		if r.SeriesID != 0 {
+			instances[r.SeriesID]++
+		}
+		return true
+	})
+	if len(instances) == 0 {
+		t.Fatal("no recurring series instances generated")
+	}
+	recurring := 0
+	for _, n := range instances {
+		if n >= 3 {
+			recurring++
+		}
+	}
+	if recurring < len(instances)/2 {
+		t.Errorf("only %d/%d series recurred >= 3 times over a work week", recurring, len(instances))
+	}
+}
+
+func TestGrowthTrend(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Days = 10
+	cfg.GrowthPerDay = 0.10 // exaggerate for signal
+	g, _ := NewGenerator(cfg)
+	byDay := make([]int, cfg.Days)
+	g.EachCall(func(r *model.CallRecord) bool {
+		byDay[int(r.Start.Sub(cfg.Start).Hours())/24]++
+		return true
+	})
+	// Compare same weekdays a week apart to dodge weekly seasonality.
+	if byDay[8] <= byDay[1] {
+		t.Errorf("no growth: day1=%d day8=%d", byDay[1], byDay[8])
+	}
+}
+
+func TestSurgeDay(t *testing.T) {
+	base := smallConfig()
+	base.Days = 3
+	surged := base
+	surged.SurgeDay = 1
+	surged.SurgeFactor = 3
+	surged.SurgeCountry = "US"
+
+	count := func(cfg Config) (day1US, day1JP int) {
+		g, err := NewGenerator(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.EachCall(func(r *model.CallRecord) bool {
+			if r.SeriesID != 0 {
+				return true
+			}
+			day := int(r.Start.Sub(cfg.Start).Hours()) / 24
+			if day != 1 {
+				return true
+			}
+			switch r.Legs[0].Country {
+			case "US":
+				day1US++
+			case "JP":
+				day1JP++
+			}
+			return true
+		})
+		return
+	}
+	baseUS, baseJP := count(base)
+	surgeUS, surgeJP := count(surged)
+	if surgeUS < 2*baseUS {
+		t.Errorf("US surge day: %d calls vs %d base, want ~3x", surgeUS, baseUS)
+	}
+	// Other countries unaffected (within Poisson noise).
+	if baseJP == 0 || float64(surgeJP) > 1.5*float64(baseJP) {
+		t.Errorf("JP should not surge: %d vs %d", surgeJP, baseJP)
+	}
+}
+
+func TestSurgeValidation(t *testing.T) {
+	cfg := smallConfig()
+	cfg.SurgeFactor = 2
+	cfg.SurgeDay = 99
+	if _, err := NewGenerator(cfg); err == nil {
+		t.Error("surge day outside horizon should error")
+	}
+	cfg = smallConfig()
+	cfg.SurgeFactor = -1
+	if _, err := NewGenerator(cfg); err == nil {
+		t.Error("negative surge factor should error")
+	}
+	cfg = smallConfig()
+	cfg.SurgeFactor = 2
+	cfg.SurgeCountry = "ZZ"
+	if _, err := NewGenerator(cfg); err == nil {
+		t.Error("unknown surge country should error")
+	}
+	cfg = smallConfig()
+	cfg.WeekendFactor = -0.5
+	if _, err := NewGenerator(cfg); err == nil {
+		t.Error("negative weekend factor should error")
+	}
+}
+
+func TestWeekendFactor(t *testing.T) {
+	// Start Monday, 7 days: compare Sunday volume under two factors.
+	quiet := smallConfig()
+	quiet.Days = 7
+	quiet.WeekendFactor = 0.05
+	busy := quiet
+	busy.WeekendFactor = 0.9
+
+	sunday := func(cfg Config) int {
+		g, err := NewGenerator(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		g.EachCall(func(r *model.CallRecord) bool {
+			if r.Start.Weekday() == time.Sunday {
+				n++
+			}
+			return true
+		})
+		return n
+	}
+	q, b := sunday(quiet), sunday(busy)
+	if b < 5*q {
+		t.Errorf("weekend factor ineffective: quiet=%d busy=%d", q, b)
+	}
+}
+
+func TestEachCallEarlyStop(t *testing.T) {
+	g, _ := NewGenerator(smallConfig())
+	n := 0
+	g.EachCall(func(*model.CallRecord) bool {
+		n++
+		return n < 10
+	})
+	if n != 10 {
+		t.Errorf("early stop after %d records, want 10", n)
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	g, _ := NewGenerator(smallConfig())
+	for _, lambda := range []float64{0, 0.5, 3, 50} {
+		var sum, sum2 float64
+		const n = 20000
+		for i := 0; i < n; i++ {
+			v := float64(g.poisson(lambda))
+			sum += v
+			sum2 += v * v
+		}
+		mean := sum / n
+		variance := sum2/n - mean*mean
+		if math.Abs(mean-lambda) > 0.15*(lambda+1) {
+			t.Errorf("poisson(%g) mean = %g", lambda, mean)
+		}
+		if lambda > 0 && math.Abs(variance-lambda) > 0.25*(lambda+1) {
+			t.Errorf("poisson(%g) variance = %g", lambda, variance)
+		}
+	}
+}
+
+func TestDiurnalIntegralNormalized(t *testing.T) {
+	// Riemann check against the Simpson constant.
+	var sum float64
+	const steps = 24 * 60
+	for i := 0; i < steps; i++ {
+		sum += diurnal(float64(i) / 60.0)
+	}
+	sum /= 60
+	if math.Abs(sum-diurnalDayIntegral) > 0.01 {
+		t.Errorf("integral mismatch: riemann %g vs simpson %g", sum, diurnalDayIntegral)
+	}
+}
+
+func TestInterCountryFraction(t *testing.T) {
+	cfg := smallConfig()
+	g, _ := NewGenerator(cfg)
+	inter, total := 0, 0
+	g.EachCall(func(r *model.CallRecord) bool {
+		if r.SeriesID != 0 {
+			return true // series have their own cross-country process
+		}
+		total++
+		if r.Config().InterCountry() {
+			inter++
+		}
+		return true
+	})
+	frac := float64(inter) / float64(total)
+	// Size-1 calls can't be inter-country, so realized fraction is lower
+	// than the nominal 0.15 parameter.
+	if frac < 0.06 || frac > 0.22 {
+		t.Errorf("inter-country fraction %.3f, want ~0.10-0.15", frac)
+	}
+}

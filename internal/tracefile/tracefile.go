@@ -1,0 +1,201 @@
+// Package tracefile reads and writes call traces as JSON Lines, the
+// interchange format between the workload tools: cmd/sbgen exports synthetic
+// traces, cmd/sbplan provisions from them, and third-party traces in the
+// same shape can be fed through the whole pipeline in place of the built-in
+// generator.
+//
+// Each line is one call record:
+//
+//	{"id":1,"start":"2022-09-05T08:11:04Z","duration_s":1800,"dc":8,
+//	 "config":"video|IN:2,JP:1",
+//	 "legs":[{"participant":7,"country":"IN","join_offset_s":0,
+//	          "latency_ms":8.2,"media":"video"}, ...]}
+//
+// The "config" field is advisory (derivable from the legs) and is validated
+// on read when present.
+package tracefile
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"switchboard/internal/geo"
+	"switchboard/internal/model"
+)
+
+// Leg is the JSON shape of one call leg.
+type Leg struct {
+	Participant uint64  `json:"participant"`
+	Country     string  `json:"country"`
+	JoinOffsetS float64 `json:"join_offset_s"`
+	LatencyMs   float64 `json:"latency_ms"`
+	Media       string  `json:"media"`
+}
+
+// Record is the JSON shape of one call record.
+type Record struct {
+	ID        uint64  `json:"id"`
+	Start     string  `json:"start"`
+	DurationS float64 `json:"duration_s"`
+	DC        int     `json:"dc"`
+	SeriesID  uint64  `json:"series_id,omitempty"`
+	ConfigKey string  `json:"config,omitempty"`
+	Legs      []Leg   `json:"legs"`
+}
+
+// Writer streams call records as JSON Lines.
+type Writer struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+	n   int
+}
+
+// NewWriter wraps w with a buffered JSONL encoder. Call Flush when done.
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	return &Writer{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Write encodes one record.
+func (w *Writer) Write(r *model.CallRecord) error {
+	dto := Record{
+		ID:        r.ID,
+		Start:     r.Start.UTC().Format(time.RFC3339Nano),
+		DurationS: r.Duration.Seconds(),
+		DC:        r.DC,
+		SeriesID:  r.SeriesID,
+		ConfigKey: r.Config().Key(),
+	}
+	for _, l := range r.Legs {
+		dto.Legs = append(dto.Legs, Leg{
+			Participant: l.Participant,
+			Country:     string(l.Country),
+			JoinOffsetS: l.JoinOffset.Seconds(),
+			LatencyMs:   l.LatencyMs,
+			Media:       l.Media.String(),
+		})
+	}
+	if err := w.enc.Encode(dto); err != nil {
+		return fmt.Errorf("tracefile: record %d: %w", r.ID, err)
+	}
+	w.n++
+	return nil
+}
+
+// Count returns the number of records written.
+func (w *Writer) Count() int { return w.n }
+
+// Flush drains the buffer to the underlying writer.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// Reader streams call records from JSON Lines.
+type Reader struct {
+	dec  *json.Decoder
+	line int
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{dec: json.NewDecoder(bufio.NewReaderSize(r, 1<<20))}
+}
+
+// Read decodes the next record, returning io.EOF at end of input.
+func (r *Reader) Read() (*model.CallRecord, error) {
+	var dto Record
+	if err := r.dec.Decode(&dto); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("tracefile: record %d: %w", r.line+1, err)
+	}
+	r.line++
+	rec, err := dto.ToModel()
+	if err != nil {
+		return nil, fmt.Errorf("tracefile: record %d: %w", r.line, err)
+	}
+	return rec, nil
+}
+
+// ReadAll decodes every remaining record.
+func (r *Reader) ReadAll() ([]*model.CallRecord, error) {
+	var out []*model.CallRecord
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// Each invokes fn for every remaining record, stopping early when fn returns
+// false.
+func (r *Reader) Each(fn func(*model.CallRecord) bool) error {
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if !fn(rec) {
+			return nil
+		}
+	}
+}
+
+// ToModel validates the DTO and converts it to a model record.
+func (d *Record) ToModel() (*model.CallRecord, error) {
+	if d.ID == 0 {
+		return nil, fmt.Errorf("missing id")
+	}
+	start, err := time.Parse(time.RFC3339Nano, d.Start)
+	if err != nil {
+		return nil, fmt.Errorf("bad start time %q: %w", d.Start, err)
+	}
+	if d.DurationS <= 0 {
+		return nil, fmt.Errorf("non-positive duration %g", d.DurationS)
+	}
+	if len(d.Legs) == 0 {
+		return nil, fmt.Errorf("no legs")
+	}
+	rec := &model.CallRecord{
+		ID:       d.ID,
+		Start:    start,
+		Duration: time.Duration(d.DurationS * float64(time.Second)),
+		DC:       d.DC,
+		SeriesID: d.SeriesID,
+	}
+	for i, l := range d.Legs {
+		media, err := model.ParseMediaType(l.Media)
+		if err != nil {
+			return nil, fmt.Errorf("leg %d: %w", i, err)
+		}
+		if l.Country == "" {
+			return nil, fmt.Errorf("leg %d: missing country", i)
+		}
+		if l.JoinOffsetS < 0 {
+			return nil, fmt.Errorf("leg %d: negative join offset", i)
+		}
+		rec.Legs = append(rec.Legs, model.LegRecord{
+			Participant: l.Participant,
+			Country:     geo.CountryCode(l.Country),
+			JoinOffset:  time.Duration(l.JoinOffsetS * float64(time.Second)),
+			LatencyMs:   l.LatencyMs,
+			Media:       media,
+		})
+	}
+	if d.ConfigKey != "" {
+		if got := rec.Config().Key(); got != d.ConfigKey {
+			return nil, fmt.Errorf("config %q does not match legs (%q)", d.ConfigKey, got)
+		}
+	}
+	return rec, nil
+}

@@ -1,0 +1,119 @@
+package tracefile
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"switchboard/internal/model"
+	"switchboard/internal/trace"
+)
+
+func TestRoundTrip(t *testing.T) {
+	cfg := trace.DefaultConfig()
+	cfg.Days = 1
+	cfg.CallsPerDay = 300
+	g, err := trace.NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := g.GenerateAll()
+
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != len(recs) {
+		t.Fatalf("wrote %d, want %d", w.Count(), len(recs))
+	}
+
+	back, err := NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(recs) {
+		t.Fatalf("read %d, want %d", len(back), len(recs))
+	}
+	for i := range recs {
+		a, b := recs[i], back[i]
+		if a.ID != b.ID || !a.Start.Equal(b.Start) || a.DC != b.DC || a.SeriesID != b.SeriesID {
+			t.Fatalf("record %d header mismatch: %+v vs %+v", i, a, b)
+		}
+		if a.Config().Key() != b.Config().Key() {
+			t.Fatalf("record %d config mismatch", i)
+		}
+		if len(a.Legs) != len(b.Legs) {
+			t.Fatalf("record %d legs %d vs %d", i, len(a.Legs), len(b.Legs))
+		}
+		for j := range a.Legs {
+			la, lb := a.Legs[j], b.Legs[j]
+			if la.Participant != lb.Participant || la.Country != lb.Country || la.Media != lb.Media {
+				t.Fatalf("record %d leg %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestReaderEach(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	cfg := trace.DefaultConfig()
+	cfg.Days = 1
+	cfg.CallsPerDay = 100
+	g, _ := trace.NewGenerator(cfg)
+	g.EachCall(func(r *model.CallRecord) bool { w.Write(r); return true })
+	w.Flush()
+
+	n := 0
+	if err := NewReader(&buf).Each(func(*model.CallRecord) bool { n++; return n < 5 }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("early stop read %d", n)
+	}
+}
+
+func TestReadValidation(t *testing.T) {
+	cases := map[string]string{
+		"missing id":       `{"start":"2022-09-05T00:00:00Z","duration_s":60,"legs":[{"country":"US","media":"audio"}]}`,
+		"bad start":        `{"id":1,"start":"yesterday","duration_s":60,"legs":[{"country":"US","media":"audio"}]}`,
+		"bad duration":     `{"id":1,"start":"2022-09-05T00:00:00Z","duration_s":0,"legs":[{"country":"US","media":"audio"}]}`,
+		"no legs":          `{"id":1,"start":"2022-09-05T00:00:00Z","duration_s":60,"legs":[]}`,
+		"bad media":        `{"id":1,"start":"2022-09-05T00:00:00Z","duration_s":60,"legs":[{"country":"US","media":"morse"}]}`,
+		"missing country":  `{"id":1,"start":"2022-09-05T00:00:00Z","duration_s":60,"legs":[{"media":"audio"}]}`,
+		"negative offset":  `{"id":1,"start":"2022-09-05T00:00:00Z","duration_s":60,"legs":[{"country":"US","media":"audio","join_offset_s":-5}]}`,
+		"config mismatch":  `{"id":1,"start":"2022-09-05T00:00:00Z","duration_s":60,"config":"video|JP:9","legs":[{"country":"US","media":"audio"}]}`,
+		"not json at all":  `this is not json`,
+		"truncated object": `{"id":1,`,
+	}
+	for name, line := range cases {
+		if _, err := NewReader(strings.NewReader(line)).Read(); err == nil || err == io.EOF {
+			t.Errorf("%s: expected validation error, got %v", name, err)
+		}
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	recs, err := NewReader(strings.NewReader("")).ReadAll()
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("got %v, %v", recs, err)
+	}
+}
+
+func TestConfigKeyOptional(t *testing.T) {
+	line := `{"id":1,"start":"2022-09-05T00:00:00Z","duration_s":60,"legs":[{"participant":3,"country":"US","media":"audio"}]}`
+	rec, err := NewReader(strings.NewReader(line)).Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Config().Key() != "audio|US:1" {
+		t.Errorf("config = %q", rec.Config().Key())
+	}
+}
