@@ -1,0 +1,30 @@
+# Tier-1 gate: everything `make check` runs must stay green on every commit
+# (see README.md, "Developing").
+GO ?= go
+
+.PHONY: check build vet fmt test race bench clean
+
+check: build vet fmt test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# gofmt -l prints nonconforming files; fail when it prints anything.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needs running on:"; echo "$$out"; exit 1; fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+clean:
+	$(GO) clean ./...

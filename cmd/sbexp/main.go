@@ -10,7 +10,8 @@
 //
 // Experiments: table1, fig3, fig4, fig7a, fig7b, fig7c, table3, table4,
 // fig8, migration, fig9, fig10, predict, scale, ablation-joint,
-// ablation-backup, simfidelity, predict-migrations, drill.
+// ablation-backup, simfidelity, predict-migrations, drill,
+// forecast-baselines, chaos.
 package main
 
 import (
@@ -53,6 +54,7 @@ var experiments = []struct {
 	{"predict-migrations", "migration reduction via config prediction", true, predictMigrations},
 	{"drill", "DC-failure drill: backup vs serving-only plans", true, drill},
 	{"forecast-baselines", "Holt-Winters vs seasonal-naive and drift", true, forecastBaselines},
+	{"chaos", "fault-injection drill: degraded mode vs clean run", true, chaos},
 }
 
 func main() {
@@ -379,6 +381,23 @@ func forecastBaselines(env *eval.Env) error {
 		res.Configs, res.Wins, 100*float64(res.Wins)/float64(res.Configs), 100*res.MedianSkill)
 	fmt.Printf("mean RMSE: HW %.2f, seasonal-naive %.2f, drift %.2f\n",
 		res.MeanHW, res.MeanSeasonalNaive, res.MeanDrift)
+	return nil
+}
+
+func chaos(env *eval.Env) error {
+	res, err := eval.Chaos(env, 1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replayed %d calls (%d events); store partitioned for the middle third (seed %d)\n",
+		res.Calls, res.Events, res.Seed)
+	fmt.Printf("%-22s %12s %12s\n", "", "clean", "chaos")
+	fmt.Printf("%-22s %12.0f %12.0f\n", "events/s", res.CleanEventsPerSec, res.ChaosEventsPerSec)
+	fmt.Printf("%-22s %12d %12d\n", "migrations", res.CleanMigrated, res.ChaosMigrated)
+	fmt.Printf("max op stall under faults: %s (bounded by client deadlines)\n", res.MaxStall)
+	fmt.Printf("degraded intervals %d, journaled writes replayed %d, dropped %d\n",
+		res.Degraded, res.Replayed, res.Dropped)
+	fmt.Printf("lost transitions after replay: %d (want 0)\n", res.LostTransitions)
 	return nil
 }
 

@@ -12,9 +12,12 @@
 //	POST /v1/call/config {"id": 1, "config": "video|ID:5,JP:3"}
 //	  -> {"dc": 9, "dc_name": "singapore", "migrated": true}
 //	POST /v1/call/end    {"id": 1}
+//	POST /v1/dc/fail     {"dc": 3}
+//	POST /v1/dc/recover  {"dc": 3}
 //	GET  /v1/stats
 //	GET  /v1/world
-//	GET  /healthz
+//	GET  /healthz        (liveness: process is serving)
+//	GET  /readyz         (readiness: 503 while the store path is degraded)
 //
 // Try it:
 //
@@ -41,6 +44,13 @@ func main() {
 	callsPerDay := flag.Int("calls", 4000, "synthetic history calls per day")
 	seed := flag.Int64("seed", 1, "synthetic history seed")
 	worldPath := flag.String("world", "", "JSON world definition (default: the built-in world)")
+	kvDialTimeout := flag.Duration("kv-dial-timeout", 2*time.Second, "store connection attempt timeout")
+	kvTimeout := flag.Duration("kv-timeout", 5*time.Second, "per-command store read/write deadline")
+	kvRetries := flag.Int("kv-retries", 2, "idempotent-command retries after a transport failure (-1 disables)")
+	kvBackoffMin := flag.Duration("kv-backoff-min", 50*time.Millisecond, "minimum store redial backoff")
+	kvBackoffMax := flag.Duration("kv-backoff-max", 2*time.Second, "maximum store redial backoff")
+	journalCap := flag.Int("journal-cap", 8192, "degraded-mode write-behind journal capacity (-1 disables)")
+	probeInterval := flag.Duration("probe-interval", time.Second, "store recovery probe interval while degraded")
 	flag.Parse()
 
 	world := switchboard.DefaultWorld()
@@ -103,7 +113,14 @@ func main() {
 		*kvAddr = l.Addr().String()
 		log.Printf("in-process kvstore on %s", *kvAddr)
 	}
-	kv, err := switchboard.DialKV(*kvAddr)
+	kv, err := switchboard.DialKVOptions(*kvAddr, switchboard.KVOptions{
+		DialTimeout: *kvDialTimeout,
+		IOTimeout:   *kvTimeout,
+		MaxRetries:  *kvRetries,
+		BackoffMin:  *kvBackoffMin,
+		BackoffMax:  *kvBackoffMax,
+		Seed:        *seed,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -112,9 +129,11 @@ func main() {
 	aclOf := func(cfg switchboard.CallConfig, dc int) float64 { return est.ACL(cfg, dc) }
 	placer := switchboard.NewPlanPlacer(lm.Demand().Configs, alloc.Alloc, aclOf, len(world.DCs()))
 	ctrl, err := switchboard.NewController(switchboard.ControllerConfig{
-		World:  world,
-		Placer: placer,
-		Store:  kv,
+		World:         world,
+		Placer:        placer,
+		Store:         kv,
+		JournalCap:    *journalCap,
+		ProbeInterval: *probeInterval,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -10,7 +10,9 @@
 package controller
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -24,6 +26,27 @@ import (
 // known (§6.4 picks 300 s, where ~80% of participants have joined).
 const DefaultFreeze = 300 * time.Second
 
+// DefaultJournalCap bounds the degraded-mode write-behind journal.
+const DefaultJournalCap = 8192
+
+// DefaultProbeInterval is how often a degraded controller probes the store
+// for recovery.
+const DefaultProbeInterval = time.Second
+
+// Sentinel errors, exposed so the HTTP layer can map failures to correct
+// status codes.
+var (
+	// ErrUnknownCall reports an operation on a call the controller does
+	// not know.
+	ErrUnknownCall = errors.New("controller: unknown call")
+	// ErrDuplicateCall reports a second start for a live call ID.
+	ErrDuplicateCall = errors.New("controller: call already started")
+	// ErrNoDC reports that no (surviving) DC can host the call.
+	ErrNoDC = errors.New("controller: no DC available")
+	// ErrInvalidDC reports an out-of-range DC ID.
+	ErrInvalidDC = errors.New("controller: invalid DC")
+)
+
 // Placer decides the planned DC for a call once its config is known.
 // Implementations must be safe under the controller's lock (they are only
 // called while it is held).
@@ -34,6 +57,14 @@ type Placer interface {
 	Place(cfg model.CallConfig, slotOfDay, current int) (dc int, planned bool)
 	// Release returns a previously placed call's slot to the plan.
 	Release(cfg model.CallConfig, slotOfDay, dc int)
+}
+
+// AvoidingPlacer is an optional Placer extension: PlaceAvoiding is Place
+// restricted to DCs for which avoid returns false. The controller uses it
+// to drain a failed DC onto the plan's backup capacity; placers without it
+// fall back to Place plus a latency-ordered surviving-DC scan.
+type AvoidingPlacer interface {
+	PlaceAvoiding(cfg model.CallConfig, slotOfDay, current int, avoid func(dc int) bool) (dc int, planned bool)
 }
 
 // Predictor forecasts a recurring call's configuration before participants
@@ -66,6 +97,19 @@ type Stats struct {
 	// can help.
 	FrozenRecurring   int64
 	MigratedRecurring int64
+	// Degraded counts transitions into store-degraded mode (the store
+	// became unreachable and writes started journaling).
+	Degraded int64
+	// JournalDepth is the current number of buffered call-state writes
+	// awaiting replay.
+	JournalDepth int64
+	// Replayed counts journaled writes successfully replayed after a
+	// reconnect.
+	Replayed int64
+	// Dropped counts journaled writes lost to the journal cap.
+	Dropped int64
+	// FailedOver counts live calls drained off failed DCs by FailDC.
+	FailedOver int64
 }
 
 // RecurringMigrationRate returns MigratedRecurring/FrozenRecurring.
@@ -100,6 +144,13 @@ type Config struct {
 	// Predictor, when non-nil, supplies config predictions for recurring
 	// calls at start time (§8 extension).
 	Predictor Predictor
+	// JournalCap bounds the degraded-mode write-behind journal; zero
+	// means DefaultJournalCap, negative disables journaling (writes are
+	// counted as dropped while the store is unreachable).
+	JournalCap int
+	// ProbeInterval is how often a degraded controller probes the store
+	// for recovery; zero means DefaultProbeInterval.
+	ProbeInterval time.Duration
 }
 
 // Controller is the real-time MP selector. Safe for concurrent use.
@@ -110,9 +161,30 @@ type Controller struct {
 	freeze    time.Duration
 	predictor Predictor
 
-	mu    sync.Mutex
-	calls map[uint64]*callState
-	stats Stats
+	journalCap int
+	probeEvery time.Duration
+
+	mu     sync.Mutex
+	calls  map[uint64]*callState
+	stats  Stats
+	failed map[int]bool // DCs declared down via FailDC
+
+	// storeMu guards the store client and the write-behind journal. It is
+	// strictly ordered after mu: persist() never holds mu, and FailDC/
+	// ConfigKnown release mu before persisting. Keeping store I/O off mu
+	// means a stalled store can never block call admission.
+	storeMu       sync.Mutex
+	journal       []journalEntry
+	degraded      bool
+	degradedCount int64
+	replayed      int64
+	dropped       int64
+	lastProbe     time.Time
+}
+
+// journalEntry is one buffered HSET awaiting replay.
+type journalEntry struct {
+	key, field, value string
 }
 
 type callState struct {
@@ -122,6 +194,7 @@ type callState struct {
 	cfg     model.CallConfig
 	planned bool
 	frozen  bool
+	country geo.CountryCode // first joiner, kept for failover rerouting
 }
 
 // New returns a controller.
@@ -132,13 +205,25 @@ func New(cfg Config) (*Controller, error) {
 	if cfg.Freeze == 0 {
 		cfg.Freeze = DefaultFreeze
 	}
+	if cfg.JournalCap == 0 {
+		cfg.JournalCap = DefaultJournalCap
+	}
+	if cfg.JournalCap < 0 {
+		cfg.JournalCap = 0
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = DefaultProbeInterval
+	}
 	return &Controller{
-		world:     cfg.World,
-		placer:    cfg.Placer,
-		store:     cfg.Store,
-		freeze:    cfg.Freeze,
-		predictor: cfg.Predictor,
-		calls:     make(map[uint64]*callState),
+		world:      cfg.World,
+		placer:     cfg.Placer,
+		store:      cfg.Store,
+		freeze:     cfg.Freeze,
+		predictor:  cfg.Predictor,
+		journalCap: cfg.JournalCap,
+		probeEvery: cfg.ProbeInterval,
+		calls:      make(map[uint64]*callState),
+		failed:     make(map[int]bool),
 	}, nil
 }
 
@@ -161,7 +246,7 @@ func (c *Controller) CallStartedWithSeries(id uint64, firstJoiner geo.CountryCod
 		dc = c.world.NearestDC(firstJoiner, false)
 	}
 	if dc < 0 {
-		return -1, fmt.Errorf("controller: no DC for country %q", firstJoiner)
+		return -1, fmt.Errorf("%w: no DC for country %q", ErrNoDC, firstJoiner)
 	}
 	predicted := false
 	if seriesID != 0 && c.predictor != nil {
@@ -175,9 +260,20 @@ func (c *Controller) CallStartedWithSeries(id uint64, firstJoiner geo.CountryCod
 	c.mu.Lock()
 	if _, dup := c.calls[id]; dup {
 		c.mu.Unlock()
-		return -1, fmt.Errorf("controller: call %d already started", id)
+		return -1, fmt.Errorf("%w: %d", ErrDuplicateCall, id)
 	}
-	c.calls[id] = &callState{dc: dc, slot: model.SlotOfDay(at), series: seriesID}
+	// A failed DC must not admit new calls: reroute to the nearest
+	// surviving one before the call is recorded.
+	if c.failed[dc] {
+		if alt := c.nearestSurvivingLocked(firstJoiner); alt >= 0 {
+			dc = alt
+			predicted = false
+		} else {
+			c.mu.Unlock()
+			return -1, fmt.Errorf("%w: all DCs reachable from %q failed", ErrNoDC, firstJoiner)
+		}
+	}
+	c.calls[id] = &callState{dc: dc, slot: model.SlotOfDay(at), series: seriesID, country: firstJoiner}
 	c.stats.Started++
 	if predicted {
 		c.stats.Predicted++
@@ -212,7 +308,7 @@ func (c *Controller) ConfigKnown(id uint64, cfg model.CallConfig, at time.Time) 
 	st, ok := c.calls[id]
 	if !ok {
 		c.mu.Unlock()
-		return -1, false, fmt.Errorf("controller: unknown call %d", id)
+		return -1, false, fmt.Errorf("%w: %d", ErrUnknownCall, id)
 	}
 	if st.frozen {
 		c.mu.Unlock()
@@ -228,7 +324,7 @@ func (c *Controller) ConfigKnown(id uint64, cfg model.CallConfig, at time.Time) 
 
 	target := st.dc
 	if c.placer != nil {
-		planned, inPlan := c.placer.Place(cfg, st.slot, st.dc)
+		planned, inPlan := c.placePreferringSurvivorsLocked(cfg, st.slot, st.dc)
 		if inPlan {
 			target = planned
 			st.planned = true
@@ -241,6 +337,26 @@ func (c *Controller) ConfigKnown(id uint64, cfg model.CallConfig, at time.Time) 
 					target = closest
 				}
 			}
+		}
+	}
+	// Never migrate onto (or stay on) a DC that has been failed; fall back
+	// to the nearest surviving DC for the call's population.
+	if c.failed[target] {
+		if st.planned {
+			c.placer.Release(cfg, st.slot, target)
+			st.planned = false
+		}
+		alt := -1
+		if maj, _ := cfg.Spread.Majority(); maj != "" {
+			alt = c.nearestSurvivingLocked(maj)
+		}
+		if alt < 0 {
+			alt = c.nearestSurvivingLocked(st.country)
+		}
+		if alt >= 0 {
+			target = alt
+		} else {
+			target = st.dc // nothing survives; keep the old record
 		}
 	}
 	if target != st.dc {
@@ -266,7 +382,7 @@ func (c *Controller) CallEnded(id uint64) error {
 	st, ok := c.calls[id]
 	if !ok {
 		c.mu.Unlock()
-		return fmt.Errorf("controller: unknown call %d", id)
+		return fmt.Errorf("%w: %d", ErrUnknownCall, id)
 	}
 	delete(c.calls, id)
 	c.stats.Ended++
@@ -276,6 +392,12 @@ func (c *Controller) CallEnded(id uint64) error {
 	c.mu.Unlock()
 	c.persist(id, "state", "ended")
 	return nil
+}
+
+// ParticipantJoined records a later participant joining a live call. Joins
+// only matter as state writes in this model — they do not change placement.
+func (c *Controller) ParticipantJoined(id uint64, country geo.CountryCode, media model.MediaType) {
+	c.persist(id, "join:"+string(country), media.String())
 }
 
 // ActiveCalls returns the number of in-flight calls.
@@ -288,17 +410,243 @@ func (c *Controller) ActiveCalls() int {
 // Stats returns a snapshot of the counters.
 func (c *Controller) Stats() Stats {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	s := c.stats
+	c.mu.Unlock()
+	c.storeMu.Lock()
+	s.Degraded = c.degradedCount
+	s.JournalDepth = int64(len(c.journal))
+	s.Replayed = c.replayed
+	s.Dropped = c.dropped
+	c.storeMu.Unlock()
+	return s
 }
 
+// persist writes one call-state transition to the store. The store is an
+// availability optimization, not the source of truth for in-flight
+// decisions, so a write never blocks a worker beyond the client's own I/O
+// deadline: when the store is unreachable the controller enters degraded
+// mode and buffers the write in a bounded journal instead, replaying it once
+// a periodic probe finds the store healthy again.
 func (c *Controller) persist(id uint64, field, value string) {
 	if c.store == nil {
 		return
 	}
-	// Best effort: the store is an availability optimization, not the
-	// source of truth for in-flight decisions.
-	_ = c.store.HSet("call:"+strconv.FormatUint(id, 10), field, value)
+	key := "call:" + strconv.FormatUint(id, 10)
+	c.storeMu.Lock()
+	defer c.storeMu.Unlock()
+	if c.degraded {
+		// Probe at most once per interval; the client's own fail-fast
+		// window (ErrBroken until its redial backoff expires) keeps a
+		// probe cheap even when the store is still down.
+		if time.Since(c.lastProbe) >= c.probeEvery {
+			c.lastProbe = time.Now()
+			if c.store.Ping() == nil {
+				c.replayLocked()
+			}
+		}
+		if c.degraded {
+			c.appendJournalLocked(journalEntry{key, field, value})
+			return
+		}
+	}
+	if err := c.store.HSet(key, field, value); err != nil && !kvstore.IsServerError(err) {
+		c.degraded = true
+		c.degradedCount++
+		c.lastProbe = time.Now()
+		c.appendJournalLocked(journalEntry{key, field, value})
+	}
+}
+
+// appendJournalLocked buffers a write, dropping the oldest entry when the
+// cap is hit. Callers hold storeMu.
+func (c *Controller) appendJournalLocked(e journalEntry) {
+	if c.journalCap <= 0 {
+		c.dropped++
+		return
+	}
+	if len(c.journal) >= c.journalCap {
+		c.journal = c.journal[1:]
+		c.dropped++
+	}
+	c.journal = append(c.journal, e)
+}
+
+// replayLocked drains the journal into a healthy store and clears degraded
+// mode. If a write fails mid-drain the controller stays degraded with the
+// unflushed suffix intact. Callers hold storeMu.
+func (c *Controller) replayLocked() {
+	for len(c.journal) > 0 {
+		e := c.journal[0]
+		if err := c.store.HSet(e.key, e.field, e.value); err != nil && !kvstore.IsServerError(err) {
+			return // still down; keep journaling
+		}
+		c.journal = c.journal[1:]
+		c.replayed++
+	}
+	c.degraded = false
+}
+
+// ReplayJournal forces an immediate probe-and-drain, returning how many
+// journaled writes were flushed. Callers use it to bound recovery latency
+// instead of waiting for the next persist-triggered probe.
+func (c *Controller) ReplayJournal() (int, error) {
+	if c.store == nil {
+		return 0, nil
+	}
+	c.storeMu.Lock()
+	defer c.storeMu.Unlock()
+	if !c.degraded {
+		return 0, nil
+	}
+	c.lastProbe = time.Now()
+	before := c.replayed
+	if err := c.store.Ping(); err != nil {
+		return 0, err
+	}
+	c.replayLocked()
+	n := int(c.replayed - before)
+	if c.degraded {
+		return n, fmt.Errorf("controller: store lost again after replaying %d writes", n)
+	}
+	return n, nil
+}
+
+// Degraded reports whether call-state writes are currently journaled
+// instead of persisted.
+func (c *Controller) Degraded() bool {
+	c.storeMu.Lock()
+	defer c.storeMu.Unlock()
+	return c.degraded
+}
+
+// JournalDepth returns the number of buffered writes awaiting replay.
+func (c *Controller) JournalDepth() int {
+	c.storeMu.Lock()
+	defer c.storeMu.Unlock()
+	return len(c.journal)
+}
+
+// nearestSurvivingLocked returns the closest non-failed DC to code, or -1.
+// Callers hold c.mu.
+func (c *Controller) nearestSurvivingLocked(code geo.CountryCode) int {
+	for _, dc := range c.world.DCsByLatency(code) {
+		if !c.failed[dc] {
+			return dc
+		}
+	}
+	return -1
+}
+
+// placePreferringSurvivorsLocked is Place, but when DCs have been failed it
+// steers the plan away from them — natively via AvoidingPlacer when the
+// placer supports it, otherwise by letting the caller's post-check reroute.
+// Callers hold c.mu.
+func (c *Controller) placePreferringSurvivorsLocked(cfg model.CallConfig, slot, current int) (int, bool) {
+	if len(c.failed) > 0 {
+		if ap, ok := c.placer.(AvoidingPlacer); ok {
+			return ap.PlaceAvoiding(cfg, slot, current, func(dc int) bool { return c.failed[dc] })
+		}
+	}
+	return c.placer.Place(cfg, slot, current)
+}
+
+// drainTargetLocked picks the DC a live call should move to when its host
+// fails: the plan's backup capacity when the placer can avoid failed DCs,
+// else the nearest surviving DC for the call's population. Returns -1 when
+// nothing survives. Callers hold c.mu.
+func (c *Controller) drainTargetLocked(st *callState) int {
+	if c.placer != nil && st.frozen {
+		wasPlanned := st.planned
+		if wasPlanned {
+			c.placer.Release(st.cfg, st.slot, st.dc)
+			st.planned = false
+		}
+		if ap, ok := c.placer.(AvoidingPlacer); ok {
+			if dc, inPlan := ap.PlaceAvoiding(st.cfg, st.slot, st.dc, func(dc int) bool { return c.failed[dc] }); inPlan && !c.failed[dc] {
+				st.planned = true
+				return dc
+			}
+		} else if wasPlanned {
+			if dc, inPlan := c.placer.Place(st.cfg, st.slot, st.dc); inPlan {
+				if !c.failed[dc] {
+					st.planned = true
+					return dc
+				}
+				c.placer.Release(st.cfg, st.slot, dc)
+			}
+		}
+	}
+	// Latency fallback: the call's majority country, else its first joiner.
+	if st.frozen {
+		if maj, _ := st.cfg.Spread.Majority(); maj != "" {
+			if dc := c.nearestSurvivingLocked(maj); dc >= 0 {
+				return dc
+			}
+		}
+	}
+	return c.nearestSurvivingLocked(st.country)
+}
+
+// FailDC declares a DC down and drains its live calls onto surviving
+// capacity, preferring the allocation plan's backup slots. It returns how
+// many calls were moved. Calls with no surviving DC stay recorded on the
+// failed DC (and are counted as moved=0, not dropped — they will reroute at
+// freeze or end normally).
+func (c *Controller) FailDC(dc int) (int, error) {
+	if dc < 0 || len(c.world.DCs()) <= dc {
+		return 0, fmt.Errorf("%w: %d", ErrInvalidDC, dc)
+	}
+	type move struct {
+		id uint64
+		dc int
+	}
+	var moves []move
+	c.mu.Lock()
+	if c.failed[dc] {
+		c.mu.Unlock()
+		return 0, nil
+	}
+	c.failed[dc] = true
+	for id, st := range c.calls {
+		if st.dc != dc {
+			continue
+		}
+		if target := c.drainTargetLocked(st); target >= 0 && target != dc {
+			st.dc = target
+			c.stats.FailedOver++
+			moves = append(moves, move{id, target})
+		}
+	}
+	c.mu.Unlock()
+	// Persist outside c.mu: store I/O must not block call admission.
+	for _, m := range moves {
+		c.persist(m.id, "dc", strconv.Itoa(m.dc))
+	}
+	return len(moves), nil
+}
+
+// RecoverDC marks a failed DC healthy again. Drained calls stay where they
+// are; only new placements may use the DC.
+func (c *Controller) RecoverDC(dc int) error {
+	if dc < 0 || len(c.world.DCs()) <= dc {
+		return fmt.Errorf("%w: %d", ErrInvalidDC, dc)
+	}
+	c.mu.Lock()
+	delete(c.failed, dc)
+	c.mu.Unlock()
+	return nil
+}
+
+// FailedDCs returns the currently failed DC IDs, sorted.
+func (c *Controller) FailedDCs() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]int, 0, len(c.failed))
+	for dc := range c.failed {
+		out = append(out, dc)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // PlanPlacer tracks remaining per-DC slots of an allocation plan
@@ -362,6 +710,16 @@ func (p *PlanPlacer) planSlot(slotOfDay int) int {
 
 // Place implements Placer.
 func (p *PlanPlacer) Place(cfg model.CallConfig, slotOfDay, current int) (int, bool) {
+	return p.place(cfg, slotOfDay, current, nil)
+}
+
+// PlaceAvoiding implements AvoidingPlacer: Place restricted to DCs for
+// which avoid returns false, used to drain failed DCs onto backup capacity.
+func (p *PlanPlacer) PlaceAvoiding(cfg model.CallConfig, slotOfDay, current int, avoid func(dc int) bool) (int, bool) {
+	return p.place(cfg, slotOfDay, current, avoid)
+}
+
+func (p *PlanPlacer) place(cfg model.CallConfig, slotOfDay, current int, avoid func(dc int) bool) (int, bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	key := cfg.Key()
@@ -369,8 +727,9 @@ func (p *PlanPlacer) Place(cfg model.CallConfig, slotOfDay, current int) (int, b
 	if !ok {
 		return current, false
 	}
+	skip := func(x int) bool { return avoid != nil && avoid(x) }
 	// Keep the call where it is if the plan has room there.
-	if current >= 0 && current < len(row) && row[current] >= 1 {
+	if current >= 0 && current < len(row) && row[current] >= 1 && !skip(current) {
 		row[current]--
 		return current, true
 	}
@@ -378,7 +737,7 @@ func (p *PlanPlacer) Place(cfg model.CallConfig, slotOfDay, current int) (int, b
 	acl := p.acl[key]
 	best := -1
 	for x, rem := range row {
-		if rem >= 1 && (best < 0 || acl[x] < acl[best]) {
+		if rem >= 1 && !skip(x) && (best < 0 || acl[x] < acl[best]) {
 			best = x
 		}
 	}
@@ -390,7 +749,7 @@ func (p *PlanPlacer) Place(cfg model.CallConfig, slotOfDay, current int) (int, b
 	// with the largest fractional remainder, keeping the tally honest.
 	bestRem := 0.0
 	for x, rem := range row {
-		if rem > bestRem {
+		if rem > bestRem && !skip(x) {
 			best, bestRem = x, rem
 		}
 	}
@@ -420,8 +779,16 @@ type MinACLPlacer struct {
 
 // Place implements Placer.
 func (p *MinACLPlacer) Place(cfg model.CallConfig, _ int, _ int) (int, bool) {
+	return p.PlaceAvoiding(cfg, 0, 0, nil)
+}
+
+// PlaceAvoiding implements AvoidingPlacer.
+func (p *MinACLPlacer) PlaceAvoiding(cfg model.CallConfig, _ int, _ int, avoid func(dc int) bool) (int, bool) {
 	best, bestACL := -1, 0.0
 	for x := 0; x < p.NDCs; x++ {
+		if avoid != nil && avoid(x) {
+			continue
+		}
 		if a := p.ACLOf(cfg, x); best < 0 || a < bestACL {
 			best, bestACL = x, a
 		}

@@ -133,8 +133,7 @@ func (c *Controller) Replay(events []Event) (Stats, error) {
 		case EventStart:
 			_, err = c.CallStartedWithSeries(e.CallID, e.Country, e.SeriesID, e.Time)
 		case EventJoin:
-			// Joins only matter for state writes in this model.
-			c.persist(e.CallID, "join:"+string(e.Country), e.Media.String())
+			c.ParticipantJoined(e.CallID, e.Country, e.Media)
 		case EventFreeze:
 			_, _, err = c.ConfigKnown(e.CallID, e.Config, e.Time)
 		case EventEnd:

@@ -1,0 +1,200 @@
+package eval
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+	"time"
+
+	"switchboard/internal/controller"
+	"switchboard/internal/faults"
+	"switchboard/internal/kvstore"
+	"switchboard/internal/model"
+)
+
+// chaosMaxCalls bounds the replayed call set so the drill (two full replays
+// plus a per-call audit) stays fast.
+const chaosMaxCalls = 1500
+
+// ChaosResult reports the fault-injection drill: the same event stream
+// replayed twice — once against a healthy store, once through the chaos
+// proxy, which injects latency and severs the store for the middle third of
+// the stream.
+type ChaosResult struct {
+	// Calls and Events describe the replayed stream.
+	Calls, Events int
+	// CleanEventsPerSec and ChaosEventsPerSec are the controller's
+	// sustained rates in the two runs.
+	CleanEventsPerSec, ChaosEventsPerSec float64
+	// CleanMigrated and ChaosMigrated compare placement decisions; faults
+	// must not change where calls are hosted, so these should be equal.
+	CleanMigrated, ChaosMigrated int64
+	// MaxStall is the longest any single controller operation took during
+	// the chaos run — bounded by the client's deadlines, not the outage.
+	MaxStall time.Duration
+	// Degraded / Replayed / Dropped are the chaos run's journal counters.
+	Degraded, Replayed, Dropped int64
+	// LostTransitions counts calls whose final state never reached the
+	// store (must be 0: the journal replays everything on reconnect).
+	LostTransitions int
+	// Seed reproduces the injected fault schedule.
+	Seed int64
+}
+
+// Chaos replays the evaluation window's events through the fault-injection
+// proxy (injected latency plus a full store partition for the middle third
+// of the stream) and audits that graceful degradation lost nothing.
+func Chaos(env *Env, seed int64) (*ChaosResult, error) {
+	if env.EvalRecords == nil {
+		return nil, fmt.Errorf("eval: Chaos needs KeepEvalRecords")
+	}
+	recs := env.EvalRecords
+	if len(recs) > chaosMaxCalls {
+		recs = recs[:chaosMaxCalls]
+	}
+	events := controller.BuildEvents(recs, controller.DefaultFreeze)
+	res := &ChaosResult{Calls: len(recs), Events: len(events), Seed: seed}
+
+	newCtrl := func(addr string) (*controller.Controller, *kvstore.Client, error) {
+		client, err := kvstore.DialOptions(addr, kvstore.Options{
+			DialTimeout: 250 * time.Millisecond,
+			IOTimeout:   250 * time.Millisecond,
+			MaxRetries:  -1,
+			BackoffMin:  10 * time.Millisecond,
+			BackoffMax:  50 * time.Millisecond,
+			Seed:        seed,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		ctrl, err := controller.New(controller.Config{
+			World: env.World,
+			Placer: &controller.MinACLPlacer{
+				ACLOf: func(cfg model.CallConfig, dc int) float64 { return cfg.ACL(env.World, dc) },
+				NDCs:  len(env.World.DCs()),
+			},
+			Store:         client,
+			ProbeInterval: 20 * time.Millisecond,
+		})
+		if err != nil {
+			client.Close()
+			return nil, nil, err
+		}
+		return ctrl, client, nil
+	}
+
+	// replay drives the event stream; when proxy is non-nil the store is
+	// partitioned away for the middle third.
+	replay := func(ctrl *controller.Controller, proxy *faults.Proxy) (time.Duration, time.Duration, error) {
+		cutAt, restoreAt := len(events)/3, 2*len(events)/3
+		var maxStall time.Duration
+		start := time.Now()
+		for i, e := range events {
+			if proxy != nil {
+				if i == cutAt {
+					proxy.Cut()
+				}
+				if i == restoreAt {
+					proxy.Restore()
+				}
+			}
+			opStart := time.Now()
+			var err error
+			switch e.Kind {
+			case controller.EventStart:
+				_, err = ctrl.CallStartedWithSeries(e.CallID, e.Country, e.SeriesID, e.Time)
+			case controller.EventJoin:
+				ctrl.ParticipantJoined(e.CallID, e.Country, e.Media)
+			case controller.EventFreeze:
+				_, _, err = ctrl.ConfigKnown(e.CallID, e.Config, e.Time)
+			case controller.EventEnd:
+				err = ctrl.CallEnded(e.CallID)
+			}
+			if err != nil {
+				return 0, 0, fmt.Errorf("eval: chaos replay %v(%d): %w", e.Kind, e.CallID, err)
+			}
+			if stall := time.Since(opStart); stall > maxStall {
+				maxStall = stall
+			}
+		}
+		return time.Since(start), maxStall, nil
+	}
+
+	// Clean run.
+	srv := kvstore.NewServer()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go srv.Serve(l)
+	ctrl, client, err := newCtrl(l.Addr().String())
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	elapsed, _, err := replay(ctrl, nil)
+	client.Close()
+	srv.Close()
+	if err != nil {
+		return nil, err
+	}
+	res.CleanEventsPerSec = float64(len(events)) / elapsed.Seconds()
+	res.CleanMigrated = ctrl.Stats().Migrated
+
+	// Chaos run: same stream through the proxy, with injected latency on
+	// top of the partition.
+	srv2 := kvstore.NewServer()
+	l2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go srv2.Serve(l2)
+	defer srv2.Close()
+	inj := faults.NewInjector(seed, faults.Rule{Kind: faults.Latency, Prob: 0.02, Delay: time.Millisecond})
+	proxy, err := faults.NewProxy(l2.Addr().String(), inj)
+	if err != nil {
+		return nil, err
+	}
+	defer proxy.Close()
+	ctrl2, client2, err := newCtrl(proxy.Addr())
+	if err != nil {
+		return nil, err
+	}
+	defer client2.Close()
+	elapsed2, maxStall, err := replay(ctrl2, proxy)
+	if err != nil {
+		return nil, err
+	}
+	res.ChaosEventsPerSec = float64(len(events)) / elapsed2.Seconds()
+	res.MaxStall = maxStall
+	res.ChaosMigrated = ctrl2.Stats().Migrated
+
+	// Heal and drain the journal, retrying through the client's backoff.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := ctrl2.ReplayJournal(); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("eval: chaos journal did not drain")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	st := ctrl2.Stats()
+	res.Degraded, res.Replayed, res.Dropped = st.Degraded, st.Replayed, st.Dropped
+
+	// Audit: the store never lost data (only connectivity), so every call
+	// must have reached its terminal state.
+	reader, err := kvstore.Dial(l2.Addr().String())
+	if err != nil {
+		return nil, err
+	}
+	defer reader.Close()
+	for _, r := range recs {
+		v, err := reader.HGet("call:"+strconv.FormatUint(r.ID, 10), "state")
+		if err != nil || v != "ended" {
+			res.LostTransitions++
+		}
+	}
+	return res, nil
+}

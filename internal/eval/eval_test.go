@@ -416,3 +416,33 @@ func TestScaleCheck(t *testing.T) {
 		t.Errorf("controller did not sustain 1.15x peak with 16 threads: %+v", run)
 	}
 }
+
+func TestChaosDrill(t *testing.T) {
+	env := quickEnv(t)
+	res, err := Chaos(env, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Calls == 0 || res.Events == 0 {
+		t.Fatalf("empty drill: %+v", res)
+	}
+	if res.Degraded < 1 {
+		t.Error("chaos run never degraded")
+	}
+	if res.Replayed == 0 {
+		t.Error("no journaled writes replayed")
+	}
+	if res.Dropped != 0 {
+		t.Errorf("dropped %d journaled writes", res.Dropped)
+	}
+	if res.LostTransitions != 0 {
+		t.Errorf("lost %d transitions", res.LostTransitions)
+	}
+	// Faults change timing, never placement.
+	if res.CleanMigrated != res.ChaosMigrated {
+		t.Errorf("migrations diverged under faults: %d vs %d", res.CleanMigrated, res.ChaosMigrated)
+	}
+	if res.MaxStall > 2*time.Second {
+		t.Errorf("an op stalled %v under faults", res.MaxStall)
+	}
+}

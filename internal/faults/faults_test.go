@@ -1,0 +1,232 @@
+package faults
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes bytes back until closed.
+func echoServer(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				buf := make([]byte, 256)
+				for {
+					n, err := c.Read(buf)
+					if err != nil {
+						return
+					}
+					if _, err := c.Write(buf[:n]); err != nil {
+						return
+					}
+				}
+			}(c)
+		}
+	}()
+	return l.Addr().String()
+}
+
+func roundTrip(t *testing.T, c net.Conn, payload string) (string, error) {
+	t.Helper()
+	if _, err := c.Write([]byte(payload)); err != nil {
+		return "", err
+	}
+	buf := make([]byte, 256)
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	n, err := c.Read(buf)
+	return string(buf[:n]), err
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	rules := []Rule{{Kind: Reset, Prob: 0.3}, {Kind: Latency, Prob: 0.5}}
+	a := NewInjector(7, rules...)
+	b := NewInjector(7, rules...)
+	for i := 0; i < 200; i++ {
+		ra, oka := a.pick()
+		rb, okb := b.pick()
+		if oka != okb || ra.Kind != rb.Kind {
+			t.Fatalf("decision %d diverged: (%v,%v) vs (%v,%v)", i, ra.Kind, oka, rb.Kind, okb)
+		}
+	}
+	c := NewInjector(8, rules...)
+	diverged := false
+	d := NewInjector(7, rules...)
+	for i := 0; i < 200; i++ {
+		rc, okc := c.pick()
+		rd, okd := d.pick()
+		if okc != okd || rc.Kind != rd.Kind {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Error("different seeds produced identical decision streams")
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	addr := echoServer(t)
+	inj := NewInjector(1, Rule{Kind: Latency, Delay: 20 * time.Millisecond})
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	c := inj.Conn(raw)
+	start := time.Now()
+	got, err := roundTrip(t, c, "ping")
+	if err != nil || got != "ping" {
+		t.Fatalf("round trip = %q, %v", got, err)
+	}
+	// One write fault + one read fault, 20ms each.
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Errorf("round trip took %v, want >= 40ms of injected latency", elapsed)
+	}
+}
+
+func TestResetInjection(t *testing.T) {
+	addr := echoServer(t)
+	inj := NewInjector(1, Rule{Kind: Reset})
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	c := inj.Conn(raw)
+	if _, err := c.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write err = %v, want ErrInjected", err)
+	}
+	// The underlying conn is closed too.
+	if _, err := raw.Write([]byte("y")); err == nil {
+		t.Error("underlying conn still writable after injected reset")
+	}
+}
+
+func TestPartialWriteInjection(t *testing.T) {
+	addr := echoServer(t)
+	inj := NewInjector(1, Rule{Kind: PartialWrite})
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	c := inj.Conn(raw)
+	n, err := c.Write([]byte("hello world"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if n == 0 || n >= len("hello world") {
+		t.Errorf("partial write wrote %d bytes, want a strict prefix", n)
+	}
+}
+
+func TestBlackholeDiscardsWrites(t *testing.T) {
+	addr := echoServer(t)
+	inj := NewInjector(1, Rule{Kind: Blackhole})
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	c := inj.Conn(raw)
+	if n, err := c.Write([]byte("swallowed")); err != nil || n != len("swallowed") {
+		t.Fatalf("blackholed write = %d, %v", n, err)
+	}
+	// Nothing reached the echo server, so the read must hit its deadline.
+	c.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	buf := make([]byte, 16)
+	if _, err := c.Read(buf); err == nil {
+		t.Error("read returned data through a blackhole")
+	}
+}
+
+func TestRuleWindow(t *testing.T) {
+	inj := NewInjector(1, Rule{Kind: Reset, From: time.Hour})
+	if _, ok := inj.pick(); ok {
+		t.Error("rule fired before its window opened")
+	}
+	inj2 := NewInjector(1, Rule{Kind: Reset, Until: time.Nanosecond})
+	time.Sleep(time.Millisecond)
+	if _, ok := inj2.pick(); ok {
+		t.Error("rule fired after its window closed")
+	}
+}
+
+func TestProxyCutRestore(t *testing.T) {
+	addr := echoServer(t)
+	p, err := NewProxy(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c1, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	if got, err := roundTrip(t, c1, "a"); err != nil || got != "a" {
+		t.Fatalf("pre-cut round trip = %q, %v", got, err)
+	}
+
+	p.Cut()
+	// The live connection dies...
+	c1.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := roundTrip(t, c1, "b"); err == nil {
+		t.Error("round trip survived Cut")
+	}
+	// ...and new connections are refused (accepted then dropped).
+	c2, err := net.Dial("tcp", p.Addr())
+	if err == nil {
+		defer c2.Close()
+		c2.SetReadDeadline(time.Now().Add(time.Second))
+		if _, err := roundTrip(t, c2, "c"); err == nil {
+			t.Error("new connection served during Cut")
+		}
+	}
+
+	p.Restore()
+	c3, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c3.Close()
+	if got, err := roundTrip(t, c3, "d"); err != nil || got != "d" {
+		t.Fatalf("post-restore round trip = %q, %v", got, err)
+	}
+}
+
+func TestProxyWithInjector(t *testing.T) {
+	addr := echoServer(t)
+	inj := NewInjector(1, Rule{Kind: Latency, Delay: 10 * time.Millisecond, Prob: 1})
+	p, err := NewProxy(addr, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	if got, err := roundTrip(t, c, "z"); err != nil || got != "z" {
+		t.Fatalf("round trip = %q, %v", got, err)
+	}
+	if time.Since(start) < 10*time.Millisecond {
+		t.Error("proxy did not apply injected latency")
+	}
+}

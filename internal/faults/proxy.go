@@ -1,0 +1,122 @@
+package faults
+
+import (
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Proxy is a TCP chaos proxy: clients dial Proxy.Addr instead of the
+// upstream, and every byte flows through the injector (when one is set).
+// Cut partitions the client side — all live connections are severed and new
+// ones are refused — and Restore heals the partition, which is how tests and
+// the `sbexp -exp chaos` drill emulate killing (and reviving) the state
+// store without losing its contents.
+type Proxy struct {
+	upstream string
+	inj      *Injector
+	l        net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	cut    bool
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewProxy listens on a fresh loopback port and forwards to upstream. inj
+// may be nil for a transparent proxy that only supports Cut/Restore.
+func NewProxy(upstream string, inj *Injector) (*Proxy, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{upstream: upstream, inj: inj, l: l, conns: make(map[net.Conn]struct{})}
+	go p.serve()
+	return p, nil
+}
+
+// Addr returns the proxy's dial address.
+func (p *Proxy) Addr() string { return p.l.Addr().String() }
+
+// Cut severs every live connection and refuses new ones until Restore. The
+// upstream stays untouched: this is a network partition, not a data loss.
+func (p *Proxy) Cut() {
+	p.mu.Lock()
+	p.cut = true
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+}
+
+// Restore heals a Cut partition; new connections flow again.
+func (p *Proxy) Restore() {
+	p.mu.Lock()
+	p.cut = false
+	p.mu.Unlock()
+}
+
+// Close shuts the proxy down and waits for its relay goroutines to drain.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	err := p.l.Close()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) serve() {
+	for {
+		down, err := p.l.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		if p.cut || p.closed {
+			p.mu.Unlock()
+			down.Close()
+			continue
+		}
+		up, err := net.DialTimeout("tcp", p.upstream, 2*time.Second)
+		if err != nil {
+			p.mu.Unlock()
+			down.Close()
+			continue
+		}
+		p.conns[down] = struct{}{}
+		p.conns[up] = struct{}{}
+		p.wg.Add(2)
+		p.mu.Unlock()
+
+		// Faults apply on the client-facing side in both directions.
+		src := net.Conn(down)
+		if p.inj != nil {
+			src = p.inj.Conn(down)
+		}
+		go p.relay(up, src, down, up)
+		go p.relay(src, up, down, up)
+	}
+}
+
+// relay copies src into dst until either side dies, then tears down both
+// raw connections.
+func (p *Proxy) relay(dst io.Writer, src io.Reader, a, b net.Conn) {
+	defer p.wg.Done()
+	io.Copy(dst, src)
+	a.Close()
+	b.Close()
+	p.mu.Lock()
+	delete(p.conns, a)
+	delete(p.conns, b)
+	p.mu.Unlock()
+}

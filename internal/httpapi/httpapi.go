@@ -5,6 +5,7 @@ package httpapi
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"time"
@@ -13,6 +14,10 @@ import (
 	"switchboard/internal/geo"
 	"switchboard/internal/model"
 )
+
+// maxRequestBody caps request bodies; call-control messages are tiny, so
+// anything larger is hostile or broken.
+const maxRequestBody = 64 << 10
 
 // Server wires the controller to HTTP routes.
 type Server struct {
@@ -32,20 +37,44 @@ func New(world *geo.World, ctrl *controller.Controller) *Server {
 //	POST /v1/call/start  {"id":1,"country":"JP","series_id":7}
 //	POST /v1/call/config {"id":1,"config":"video|ID:5,JP:3"}
 //	POST /v1/call/end    {"id":1}
+//	POST /v1/dc/fail     {"dc":3}
+//	POST /v1/dc/recover  {"dc":3}
 //	GET  /v1/stats
 //	GET  /v1/world
 //	GET  /healthz
+//	GET  /readyz
+//
+// /healthz answers 200 whenever the process serves requests (liveness).
+// /readyz additionally demands the store path be healthy: while the
+// controller runs degraded (journaling writes) it answers 503, so load
+// balancers stop steering new call-control traffic at this replica without
+// killing it — the journal still needs to drain.
 func (s *Server) Mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/call/start", s.handleStart)
 	mux.HandleFunc("POST /v1/call/config", s.handleConfig)
 	mux.HandleFunc("POST /v1/call/end", s.handleEnd)
+	mux.HandleFunc("POST /v1/dc/fail", s.handleDCFail)
+	mux.HandleFunc("POST /v1/dc/recover", s.handleDCRecover)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/world", s.handleWorld)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return mux
+}
+
+// statusFor maps controller errors onto HTTP statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, controller.ErrUnknownCall):
+		return http.StatusNotFound
+	case errors.Is(err, controller.ErrDuplicateCall):
+		return http.StatusConflict
+	default:
+		return http.StatusBadRequest
+	}
 }
 
 // StartRequest is the body of POST /v1/call/start.
@@ -68,7 +97,7 @@ func (s *Server) handleStart(w http.ResponseWriter, r *http.Request) {
 	}
 	dc, err := s.ctrl.CallStartedWithSeries(req.ID, geo.CountryCode(req.Country), req.SeriesID, s.Now())
 	if err != nil {
-		httpError(w, http.StatusConflict, err)
+		httpError(w, statusFor(err), err)
 		return
 	}
 	s.reply(w, StartResponse{DC: dc, DCName: s.world.DCs()[dc].Name})
@@ -99,7 +128,7 @@ func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
 	}
 	dc, migrated, err := s.ctrl.ConfigKnown(req.ID, cfg, s.Now())
 	if err != nil {
-		httpError(w, http.StatusConflict, err)
+		httpError(w, statusFor(err), err)
 		return
 	}
 	s.reply(w, ConfigResponse{DC: dc, DCName: s.world.DCs()[dc].Name, Migrated: migrated})
@@ -116,10 +145,54 @@ func (s *Server) handleEnd(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.ctrl.CallEnded(req.ID); err != nil {
-		httpError(w, http.StatusConflict, err)
+		httpError(w, statusFor(err), err)
 		return
 	}
 	s.reply(w, map[string]bool{"ok": true})
+}
+
+// DCRequest is the body of POST /v1/dc/fail and /v1/dc/recover.
+type DCRequest struct {
+	DC int `json:"dc"`
+}
+
+func (s *Server) handleDCFail(w http.ResponseWriter, r *http.Request) {
+	var req DCRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	moved, err := s.ctrl.FailDC(req.DC)
+	if err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	s.reply(w, map[string]any{"failed": req.DC, "drained": moved})
+}
+
+func (s *Server) handleDCRecover(w http.ResponseWriter, r *http.Request) {
+	var req DCRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if err := s.ctrl.RecoverDC(req.DC); err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	s.reply(w, map[string]any{"recovered": req.DC})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.ctrl.Degraded() {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]any{
+			"ready":         false,
+			"reason":        "store degraded; journaling call-state writes",
+			"journal_depth": s.ctrl.JournalDepth(),
+		})
+		return
+	}
+	s.reply(w, map[string]any{"ready": true})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -134,6 +207,12 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"migration_rate":           st.MigrationRate(),
 		"recurring_migration_rate": st.RecurringMigrationRate(),
 		"active_calls":             s.ctrl.ActiveCalls(),
+		"degraded":                 st.Degraded,
+		"journal_depth":            st.JournalDepth,
+		"replayed":                 st.Replayed,
+		"dropped":                  st.Dropped,
+		"failed_over":              st.FailedOver,
+		"failed_dcs":               s.ctrl.FailedDCs(),
 	})
 }
 
@@ -156,10 +235,22 @@ func (s *Server) handleWorld(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge, err)
+		} else {
+			httpError(w, http.StatusBadRequest, err)
+		}
+		return false
+	}
+	// Exactly one JSON document per request: trailing garbage is a client
+	// bug we refuse rather than silently ignore.
+	if dec.More() {
+		httpError(w, http.StatusBadRequest, errors.New("trailing data after JSON body"))
 		return false
 	}
 	return true

@@ -3,12 +3,15 @@ package httpapi
 import (
 	"bytes"
 	"encoding/json"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"switchboard/internal/controller"
 	"switchboard/internal/geo"
+	"switchboard/internal/kvstore"
 	"switchboard/internal/model"
 )
 
@@ -85,10 +88,10 @@ func TestCallLifecycle(t *testing.T) {
 
 func TestErrorPaths(t *testing.T) {
 	_, ts := newTestServer(t)
-	// Unknown country.
+	// Unknown country: a bad request, not a conflict.
 	resp, _ := post(t, ts, "/v1/call/start", StartRequest{ID: 9, Country: "ZZ"})
-	if resp.StatusCode != http.StatusConflict {
-		t.Errorf("unknown country -> %d, want 409", resp.StatusCode)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown country -> %d, want 400", resp.StatusCode)
 	}
 	// Malformed config string.
 	post(t, ts, "/v1/call/start", StartRequest{ID: 2, Country: "US"})
@@ -96,10 +99,15 @@ func TestErrorPaths(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("bad config -> %d, want 400", resp.StatusCode)
 	}
-	// Unknown call ID.
-	resp, _ = post(t, ts, "/v1/call/end", EndRequest{ID: 777})
+	// Duplicate start: conflict.
+	resp, _ = post(t, ts, "/v1/call/start", StartRequest{ID: 2, Country: "US"})
 	if resp.StatusCode != http.StatusConflict {
-		t.Errorf("unknown call end -> %d, want 409", resp.StatusCode)
+		t.Errorf("duplicate start -> %d, want 409", resp.StatusCode)
+	}
+	// Unknown call ID: not found.
+	resp, _ = post(t, ts, "/v1/call/end", EndRequest{ID: 777})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown call end -> %d, want 404", resp.StatusCode)
 	}
 	// Unknown JSON field rejected.
 	resp, err := http.Post(ts.URL+"/v1/call/start", "application/json",
@@ -119,6 +127,139 @@ func TestErrorPaths(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("GET on POST route -> %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	big := bytes.Repeat([]byte("x"), maxRequestBody+1024)
+	cases := []struct {
+		name string
+		path string
+		body string
+		want int
+	}{
+		{"malformed json", "/v1/call/start", `{"id":`, http.StatusBadRequest},
+		{"wrong type", "/v1/call/start", `{"id":"one","country":"US"}`, http.StatusBadRequest},
+		{"unknown field", "/v1/call/start", `{"id":3,"country":"US","bogus":1}`, http.StatusBadRequest},
+		{"trailing garbage", "/v1/call/start", `{"id":3,"country":"US"} extra`, http.StatusBadRequest},
+		{"oversized body", "/v1/call/start", `{"id":3,"country":"` + string(big) + `"}`, http.StatusRequestEntityTooLarge},
+		{"unknown call config", "/v1/call/config", `{"id":555,"config":"audio|US:2"}`, http.StatusNotFound},
+		{"unknown call end", "/v1/call/end", `{"id":556}`, http.StatusNotFound},
+		{"bad dc fail", "/v1/dc/fail", `{"dc":-3}`, http.StatusBadRequest},
+		{"bad dc recover", "/v1/dc/recover", `{"dc":9999}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+tc.path, "application/json", bytes.NewReader([]byte(tc.body)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Errorf("%s %s -> %d, want %d", tc.path, tc.name, resp.StatusCode, tc.want)
+			}
+			var out map[string]any
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil || out["error"] == "" {
+				t.Errorf("error body = %v, %v; want an error field", out, err)
+			}
+		})
+	}
+}
+
+func TestReadyzTracksDegradation(t *testing.T) {
+	world := geo.DefaultWorld()
+	srv := kvstore.NewServer()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	client, err := kvstore.DialOptions(l.Addr().String(), kvstore.Options{
+		DialTimeout: 250 * time.Millisecond,
+		IOTimeout:   250 * time.Millisecond,
+		MaxRetries:  -1,
+		BackoffMin:  10 * time.Millisecond,
+		BackoffMax:  50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	ctrl, err := controller.New(controller.Config{World: world, Store: client, ProbeInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(world, ctrl).Mux())
+	defer ts.Close()
+
+	// Healthy: both probes pass.
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s while healthy: %v %v", path, err, resp)
+		}
+		resp.Body.Close()
+	}
+
+	// Kill the store and force a degraded write.
+	srv.Close()
+	post(t, ts, "/v1/call/start", StartRequest{ID: 1, Country: "JP"})
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz while degraded: %v %v", err, resp)
+	}
+	resp.Body.Close()
+	resp, out := get(t, ts, "/readyz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("readyz while degraded -> %d, want 503", resp.StatusCode)
+	}
+	if out["ready"] != false || out["journal_depth"].(float64) < 1 {
+		t.Errorf("readyz body = %v", out)
+	}
+	_, stats := get(t, ts, "/v1/stats")
+	if stats["degraded"].(float64) < 1 || stats["journal_depth"].(float64) < 1 {
+		t.Errorf("stats while degraded = %v", stats)
+	}
+}
+
+func TestDCFailEndpointDrains(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, out := post(t, ts, "/v1/call/start", StartRequest{ID: 1, Country: "JP"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("start: %d", resp.StatusCode)
+	}
+	dc := int(out["dc"].(float64))
+
+	resp, out = post(t, ts, "/v1/dc/fail", DCRequest{DC: dc})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fail: %d %v", resp.StatusCode, out)
+	}
+	if out["drained"].(float64) != 1 {
+		t.Errorf("drained = %v, want 1", out["drained"])
+	}
+	_, stats := get(t, ts, "/v1/stats")
+	if stats["failed_over"].(float64) != 1 {
+		t.Errorf("failed_over = %v", stats["failed_over"])
+	}
+	dcs, ok := stats["failed_dcs"].([]any)
+	if !ok || len(dcs) != 1 || int(dcs[0].(float64)) != dc {
+		t.Errorf("failed_dcs = %v", stats["failed_dcs"])
+	}
+	// A new JP call avoids the failed DC.
+	resp, out = post(t, ts, "/v1/call/start", StartRequest{ID: 2, Country: "JP"})
+	if resp.StatusCode != http.StatusOK || int(out["dc"].(float64)) == dc {
+		t.Errorf("post-fail start: %d %v", resp.StatusCode, out)
+	}
+
+	resp, _ = post(t, ts, "/v1/dc/recover", DCRequest{DC: dc})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("recover: %d", resp.StatusCode)
+	}
+	_, stats = get(t, ts, "/v1/stats")
+	if dcs, _ := stats["failed_dcs"].([]any); len(dcs) != 0 {
+		t.Errorf("failed_dcs after recover = %v", stats["failed_dcs"])
 	}
 }
 

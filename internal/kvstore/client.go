@@ -7,16 +7,89 @@ import (
 	"io"
 	"net"
 	"strconv"
+	"strings"
 	"time"
 )
+
+// Options tunes the client's deadlines and redial policy. The zero value
+// gives the production defaults; negative IOTimeout or MaxRetries disable
+// the corresponding behavior.
+type Options struct {
+	// DialTimeout bounds each connection attempt (default 2s).
+	DialTimeout time.Duration
+	// IOTimeout is the per-command read/write deadline (default 5s;
+	// negative disables deadlines).
+	IOTimeout time.Duration
+	// MaxRetries is how many times an idempotent command is retried after
+	// a transport failure, each retry preceded by a backoff sleep and a
+	// redial (default 2; negative disables retries).
+	MaxRetries int
+	// BackoffMin and BackoffMax bound the capped exponential redial
+	// backoff (defaults 50ms and 2s).
+	BackoffMin, BackoffMax time.Duration
+	// Seed drives the deterministic backoff jitter (default 1).
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 2 * time.Second
+	}
+	switch {
+	case o.IOTimeout == 0:
+		o.IOTimeout = 5 * time.Second
+	case o.IOTimeout < 0:
+		o.IOTimeout = 0
+	}
+	switch {
+	case o.MaxRetries == 0:
+		o.MaxRetries = 2
+	case o.MaxRetries < 0:
+		o.MaxRetries = 0
+	}
+	if o.BackoffMin <= 0 {
+		o.BackoffMin = 50 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 2 * time.Second
+	}
+	if o.BackoffMax < o.BackoffMin {
+		o.BackoffMax = o.BackoffMin
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
 
 // Client is a RESP client over one TCP connection. It is safe for a single
 // goroutine; controller workers each own one client, mirroring the paper's
 // per-thread Redis connections.
+//
+// A transport failure (timeout, reset, short read) mid-command leaves the
+// RESP stream in an undefined position, so the client poisons the
+// connection: it is closed immediately and every later command either
+// redials (once the backoff window passes) or fails fast with ErrBroken.
+// Only idempotent commands are retried automatically — a command that died
+// in flight may or may not have executed, and INCR-style commands must not
+// run twice.
 type Client struct {
+	addr string
+	opts Options
+
 	conn net.Conn
 	r    *bufio.Reader
 	w    *bufio.Writer
+
+	// broken is the transport error that poisoned the connection; nil
+	// while healthy. nextRedial gates fail-fast: before it, calls return
+	// ErrBroken without touching the network.
+	broken     error
+	failures   int
+	nextRedial time.Time
+	rng        uint64
+	redials    int64
+	closed     bool
 
 	// lastRTT is the duration of the most recent round trip, exposed so
 	// the controller benchmark can report write latencies (§6.6).
@@ -26,71 +99,223 @@ type Client struct {
 // ErrNil is returned by Get/HGet when the key or field does not exist.
 var ErrNil = errors.New("kvstore: nil reply")
 
-// Dial connects to a kvstore (or Redis) server.
+// ErrBroken is wrapped into errors returned while the client's connection
+// is poisoned and the redial backoff window has not yet passed.
+var ErrBroken = errors.New("kvstore: connection broken")
+
+// errClosed is returned after Close.
+var errClosed = errors.New("kvstore: client closed")
+
+// Protocol sanity caps: frames beyond these are rejected rather than
+// allocated, so a corrupt or hostile peer cannot force huge allocations.
+const (
+	maxBulkLen  = 8 << 20
+	maxArrayLen = 1 << 20
+)
+
+// Dial connects to a kvstore (or Redis) server with default Options.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
+	return DialOptions(addr, Options{})
+}
+
+// DialOptions connects with explicit robustness options.
+func DialOptions(addr string, opts Options) (*Client, error) {
+	c := &Client{addr: addr, opts: opts.withDefaults()}
+	c.rng = uint64(c.opts.Seed)
+	if err := c.connect(); err != nil {
 		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Client) connect() error {
+	conn, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+	if err != nil {
+		return err
 	}
 	if tc, ok := conn.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
-	return &Client{
-		conn: conn,
-		r:    bufio.NewReaderSize(conn, 16<<10),
-		w:    bufio.NewWriterSize(conn, 16<<10),
-	}, nil
+	c.conn = conn
+	c.r = bufio.NewReaderSize(conn, 16<<10)
+	c.w = bufio.NewWriterSize(conn, 16<<10)
+	c.broken = nil
+	c.failures = 0
+	return nil
 }
 
 // Close releases the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+func (c *Client) Close() error {
+	c.closed = true
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
 
 // LastRTT returns the duration of the most recent command round trip.
 func (c *Client) LastRTT() time.Duration { return c.lastRTT }
 
-// Do sends one command and reads its reply. Integer replies are returned as
-// int64, simple and bulk strings as string, nil replies as ErrNil.
-func (c *Client) Do(args ...string) (interface{}, error) {
-	start := time.Now()
+// Broken reports whether the connection is currently poisoned.
+func (c *Client) Broken() bool { return !c.closed && c.conn == nil && c.broken != nil }
+
+// Redials returns how many times the client successfully reconnected after
+// a transport failure.
+func (c *Client) Redials() int64 { return c.redials }
+
+// Idempotent reports whether cmd can be retried after an ambiguous
+// transport failure (the in-flight command may or may not have executed
+// server-side). Counter mutations are the only non-idempotent commands in
+// the supported subset.
+func Idempotent(cmd string) bool {
+	switch strings.ToUpper(cmd) {
+	case "INCR", "INCRBY":
+		return false
+	}
+	return true
+}
+
+// poison marks the connection unusable after a transport error. The stream
+// position is undefined (a reply may be half-read), so the connection is
+// closed rather than resynchronized.
+func (c *Client) poison(err error) {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	c.broken = err
+	// The first redial may happen immediately; only failed redials grow
+	// the backoff window.
+	c.nextRedial = time.Now()
+}
+
+// ensureConn returns with a live connection, or an error. A poisoned client
+// redials once its backoff window passed (always, when force is set); until
+// then it fails fast with ErrBroken.
+func (c *Client) ensureConn(force bool) error {
+	if c.closed {
+		return errClosed
+	}
+	if c.conn != nil {
+		return nil
+	}
+	if !force && time.Now().Before(c.nextRedial) {
+		return fmt.Errorf("%w: %v", ErrBroken, c.broken)
+	}
+	if err := c.connect(); err != nil {
+		c.failures++
+		c.nextRedial = time.Now().Add(c.backoff(c.failures - 1))
+		c.broken = err
+		return fmt.Errorf("%w: redial: %v", ErrBroken, err)
+	}
+	c.redials++
+	return nil
+}
+
+// backoff returns the nth capped exponential backoff with deterministic
+// ±25% jitter.
+func (c *Client) backoff(n int) time.Duration {
+	d := c.opts.BackoffMin
+	for i := 0; i < n && d < c.opts.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > c.opts.BackoffMax {
+		d = c.opts.BackoffMax
+	}
+	c.rng ^= c.rng << 13
+	c.rng ^= c.rng >> 7
+	c.rng ^= c.rng << 17
+	j := float64(c.rng%1000)/1000 - 0.5 // uniform in [-0.5, 0.5)
+	return d + time.Duration(float64(d)*0.5*j)
+}
+
+// doOnce runs one command over the live connection under the per-command
+// deadline.
+func (c *Client) doOnce(args []string) (interface{}, error) {
+	if c.opts.IOTimeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.opts.IOTimeout))
+	}
 	if err := c.writeCommand(args); err != nil {
 		return nil, err
 	}
 	if err := c.w.Flush(); err != nil {
 		return nil, err
 	}
-	reply, err := c.readReply()
-	c.lastRTT = time.Since(start)
-	return reply, err
+	return c.readReply()
+}
+
+// Do sends one command and reads its reply. Integer replies are returned as
+// int64, simple and bulk strings as string, nil replies as ErrNil. After a
+// transport failure, idempotent commands are transparently retried against
+// a fresh connection (up to Options.MaxRetries times).
+func (c *Client) Do(args ...string) (interface{}, error) {
+	if len(args) == 0 {
+		return nil, errors.New("kvstore: empty command")
+	}
+	retriable := Idempotent(args[0])
+	start := time.Now()
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if err := c.ensureConn(attempt > 0); err != nil {
+			lastErr = err
+			if errors.Is(err, errClosed) {
+				return nil, err
+			}
+		} else {
+			reply, err := c.doOnce(args)
+			if err == nil || errors.Is(err, ErrNil) || IsServerError(err) {
+				c.lastRTT = time.Since(start)
+				return reply, err
+			}
+			c.poison(err)
+			lastErr = err
+		}
+		if !retriable || attempt >= c.opts.MaxRetries {
+			return nil, lastErr
+		}
+		time.Sleep(c.backoff(attempt))
+	}
 }
 
 // Pipeline sends several commands in one batch and returns all replies; a
-// per-command nil reply appears as ErrNil in errs.
+// per-command nil reply appears as ErrNil in errs, a server-reported error
+// as a server error. A transport failure mid-pipeline poisons the
+// connection and is returned as err — the remaining replies are
+// unrecoverable because the stream position is lost, and the pipeline is
+// never retried automatically (it may mix idempotent and non-idempotent
+// commands).
 func (c *Client) Pipeline(cmds [][]string) (replies []interface{}, errs []error, err error) {
+	if err := c.ensureConn(false); err != nil {
+		return nil, nil, err
+	}
+	if c.opts.IOTimeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.opts.IOTimeout))
+	}
 	for _, cmd := range cmds {
 		if err := c.writeCommand(cmd); err != nil {
+			c.poison(err)
 			return nil, nil, err
 		}
 	}
 	if err := c.w.Flush(); err != nil {
+		c.poison(err)
 		return nil, nil, err
 	}
 	replies = make([]interface{}, len(cmds))
 	errs = make([]error, len(cmds))
 	for i := range cmds {
+		if c.opts.IOTimeout > 0 {
+			c.conn.SetReadDeadline(time.Now().Add(c.opts.IOTimeout))
+		}
 		replies[i], errs[i] = c.readReply()
-		if errs[i] != nil && !errors.Is(errs[i], ErrNil) {
-			// Protocol-level failure: the connection is unusable.
-			if isProtocolErr(errs[i]) {
-				return replies, errs, errs[i]
-			}
+		if errs[i] != nil && !errors.Is(errs[i], ErrNil) && !IsServerError(errs[i]) {
+			c.poison(errs[i])
+			return replies, errs, errs[i]
 		}
 	}
 	return replies, errs, nil
-}
-
-func isProtocolErr(err error) bool {
-	var re respError
-	return !errors.As(err, &re)
 }
 
 // respError is a server-reported error (-ERR ...), distinct from transport
@@ -98,6 +323,26 @@ func isProtocolErr(err error) bool {
 type respError string
 
 func (e respError) Error() string { return string(e) }
+
+// IsServerError reports whether err is a server-reported RESP error (-ERR
+// ...) rather than a transport or protocol failure. Server errors leave the
+// connection healthy.
+func IsServerError(err error) bool {
+	var re respError
+	return errors.As(err, &re)
+}
+
+// Ping round-trips a PING.
+func (c *Client) Ping() error {
+	r, err := c.Do("PING")
+	if err != nil {
+		return err
+	}
+	if s, ok := r.(string); !ok || s != "PONG" {
+		return fmt.Errorf("kvstore: unexpected PING reply %v", r)
+	}
+	return nil
+}
 
 // Set stores a string value.
 func (c *Client) Set(key, value string) error {
@@ -234,7 +479,7 @@ func (c *Client) readReply() (interface{}, error) {
 		return n, nil
 	case '$':
 		n, err := strconv.Atoi(line[1:])
-		if err != nil {
+		if err != nil || n > maxBulkLen {
 			return nil, fmt.Errorf("kvstore: bad bulk header %q", line)
 		}
 		if n < 0 {
@@ -247,7 +492,7 @@ func (c *Client) readReply() (interface{}, error) {
 		return string(buf[:n]), nil
 	case '*':
 		n, err := strconv.Atoi(line[1:])
-		if err != nil {
+		if err != nil || n > maxArrayLen {
 			return nil, fmt.Errorf("kvstore: bad array header %q", line)
 		}
 		if n < 0 {

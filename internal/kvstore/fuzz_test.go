@@ -16,6 +16,17 @@ func FuzzReadCommand(f *testing.F) {
 	f.Add("$5\r\nhello\r\n")
 	f.Add("\r\n")
 	f.Add("*2\r\n$3\r\nGET\r\n$100\r\nshort\r\n")
+	// Truncated frames: headers promising bytes that never arrive.
+	f.Add("*2\r\n$3\r\nGE")
+	f.Add("*3\r\n$4\r\nHSET\r\n$2\r\nab")
+	f.Add("$10\r\nabc")
+	// Oversized frames: headers beyond the sanity caps must be rejected,
+	// not allocated.
+	f.Add("*1048577\r\n")
+	f.Add("*2\r\n$3\r\nSET\r\n$999999999\r\n")
+	f.Add("$8388609\r\n")
+	f.Add("*-100\r\n")
+	f.Add("$-100\r\n")
 	f.Fuzz(func(t *testing.T, input string) {
 		r := bufio.NewReader(strings.NewReader(input))
 		for i := 0; i < 4; i++ {
@@ -25,6 +36,34 @@ func FuzzReadCommand(f *testing.F) {
 			}
 			if args == nil {
 				t.Fatal("nil args without error")
+			}
+		}
+	})
+}
+
+// FuzzReadReply: the client-side RESP parser must never panic or allocate
+// unboundedly on hostile or truncated reply streams.
+func FuzzReadReply(f *testing.F) {
+	f.Add("+OK\r\n")
+	f.Add("-ERR boom\r\n")
+	f.Add(":42\r\n")
+	f.Add("$-1\r\n")
+	f.Add("$5\r\nhello\r\n")
+	f.Add("*2\r\n+a\r\n:1\r\n")
+	f.Add("*-1\r\n")
+	// Truncated and oversized frames.
+	f.Add("$10\r\nabc")
+	f.Add("*3\r\n+a\r\n")
+	f.Add("$999999999\r\n")
+	f.Add("*999999999\r\n")
+	f.Add(":not-a-number\r\n")
+	f.Add("?what\r\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		c := &Client{r: bufio.NewReader(strings.NewReader(input))}
+		for i := 0; i < 4; i++ {
+			if _, err := c.readReply(); err != nil {
+				return
 			}
 		}
 	})

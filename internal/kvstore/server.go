@@ -37,6 +37,7 @@ type Server struct {
 	listener  net.Listener
 	conns     map[net.Conn]struct{}
 	closed    bool
+	handlers  sync.WaitGroup
 	opsServed atomic.Int64
 
 	// simLatency, when positive, is the minimum per-command latency; a
@@ -124,7 +125,9 @@ func (s *Server) ListenAndServe(addr string) error {
 	return s.Serve(l)
 }
 
-// Serve accepts connections on l until Close is called.
+// Serve accepts connections on l until Close is called. It returns only
+// after every per-connection handler goroutine has drained, so a returned
+// Serve means no server goroutine still touches the store.
 func (s *Server) Serve(l net.Listener) error {
 	s.mu.Lock()
 	if s.closed {
@@ -140,15 +143,27 @@ func (s *Server) Serve(l net.Listener) error {
 			s.mu.Lock()
 			closed := s.closed
 			s.mu.Unlock()
+			s.handlers.Wait()
 			if closed {
 				return nil
 			}
 			return err
 		}
 		s.mu.Lock()
+		if s.closed {
+			// Close raced the accept: drop the connection; the next
+			// Accept fails and the loop exits above.
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
 		s.conns[conn] = struct{}{}
+		s.handlers.Add(1)
 		s.mu.Unlock()
-		go s.handle(conn)
+		go func() {
+			defer s.handlers.Done()
+			s.handle(conn)
+		}()
 	}
 }
 
@@ -162,11 +177,12 @@ func (s *Server) Addr() net.Addr {
 	return s.listener.Addr()
 }
 
-// Close stops accepting connections and closes all active ones.
+// Close stops accepting connections, severs all active ones, and waits for
+// the per-connection handler goroutines to drain before returning.
 func (s *Server) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return nil
 	}
 	s.closed = true
@@ -177,6 +193,8 @@ func (s *Server) Close() error {
 	for c := range s.conns {
 		c.Close()
 	}
+	s.mu.Unlock()
+	s.handlers.Wait()
 	return err
 }
 
@@ -233,7 +251,7 @@ func readCommand(r *bufio.Reader) ([]string, error) {
 		return strings.Fields(line), nil
 	}
 	n, err := strconv.Atoi(line[1:])
-	if err != nil || n < 0 {
+	if err != nil || n < 0 || n > maxArrayLen {
 		return nil, fmt.Errorf("kvstore: bad array header %q", line)
 	}
 	args := make([]string, 0, n)
@@ -246,7 +264,7 @@ func readCommand(r *bufio.Reader) ([]string, error) {
 			return nil, fmt.Errorf("kvstore: expected bulk string, got %q", hdr)
 		}
 		ln, err := strconv.Atoi(hdr[1:])
-		if err != nil || ln < 0 {
+		if err != nil || ln < 0 || ln > maxBulkLen {
 			return nil, fmt.Errorf("kvstore: bad bulk length %q", hdr)
 		}
 		buf := make([]byte, ln+2)

@@ -327,6 +327,8 @@ type (
 	KVServer = kvstore.Server
 	// KVClient is a pipelining kvstore client.
 	KVClient = kvstore.Client
+	// KVOptions tunes the client's deadlines and redial/backoff policy.
+	KVOptions = kvstore.Options
 )
 
 // NewKVServer returns an empty store.
@@ -334,6 +336,11 @@ func NewKVServer() *KVServer { return kvstore.NewServer() }
 
 // DialKV connects a client to a kvstore (or Redis) server.
 func DialKV(addr string) (*KVClient, error) { return kvstore.Dial(addr) }
+
+// DialKVOptions connects a client with explicit robustness options.
+func DialKVOptions(addr string, opts KVOptions) (*KVClient, error) {
+	return kvstore.DialOptions(addr, opts)
+}
 
 // Config prediction (§8).
 type (
