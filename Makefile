@@ -2,9 +2,11 @@
 # (see README.md, "Developing").
 GO ?= go
 
-.PHONY: check build vet fmt test race bench clean
+.PHONY: check check-race build vet fmt lint test race bench clean
 
-check: build vet fmt test
+check: build vet fmt lint test
+
+check-race: race
 
 build:
 	$(GO) build ./...
@@ -17,11 +19,19 @@ fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needs running on:"; echo "$$out"; exit 1; fi
 
+# Project-specific static analysis (determinism, lock-discipline,
+# float-compare, error-sink); see DESIGN.md "Static analysis".
+lint:
+	$(GO) run ./cmd/sblint ./...
+
 test:
 	$(GO) test ./...
 
+# -short skips the minutes-long single-threaded LP replays (they exercise
+# no concurrency; the plain `test` target still runs them in full) so the
+# race gate finishes in CI-friendly time.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -short -timeout 20m ./...
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...

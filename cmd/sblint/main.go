@@ -1,0 +1,70 @@
+// Command sblint runs Switchboard's project-specific static-analysis suite
+// (internal/lint) over the module and prints findings as
+//
+//	file:line:col: [analyzer] message
+//
+// It exits 0 when clean, 1 when there are findings, and 2 on load errors.
+// `make check` runs it as part of the tier-1 gate; see DESIGN.md ("Static
+// analysis") for the analyzer contracts, the //sblint:allow escape hatch,
+// and the "// guarded by <mu>" annotation convention.
+//
+// Usage:
+//
+//	sblint [-v] [packages]
+//
+// where packages are module-relative patterns like ./... (the default),
+// ./internal/... or ./internal/lp.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"switchboard/internal/lint"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "print analyzer names and type-check warnings")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: sblint [-v] [packages]\n\nanalyzers:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	pkgs, err := lint.Load(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sblint:", err)
+		os.Exit(2)
+	}
+	if *verbose {
+		for _, p := range pkgs {
+			for _, terr := range p.TypeErrors {
+				fmt.Fprintf(os.Stderr, "sblint: typecheck %s: %v\n", p.Path, terr)
+			}
+		}
+	}
+	selected := lint.Select(pkgs, flag.Args())
+	if len(selected) == 0 {
+		fmt.Fprintln(os.Stderr, "sblint: no packages match", strings.Join(flag.Args(), " "))
+		os.Exit(2)
+	}
+	findings := lint.Run(selected, lint.Analyzers())
+	wd, _ := os.Getwd()
+	for _, f := range findings {
+		if wd != "" {
+			if rel, err := filepath.Rel(wd, f.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				f.Pos.Filename = rel
+			}
+		}
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "sblint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

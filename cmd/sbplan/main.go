@@ -63,7 +63,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
+		defer func() { _ = f.Close() }()
 		src = f
 	}
 
@@ -74,7 +74,7 @@ func main() {
 			log.Fatal(err)
 		}
 		world, err = switchboard.ReadWorld(f)
-		f.Close()
+		_ = f.Close()
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -60,7 +60,7 @@ func main() {
 			log.Fatal(err)
 		}
 		world, err = switchboard.ReadWorld(f)
-		f.Close()
+		_ = f.Close()
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -109,7 +109,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		go srv.Serve(l)
+		go func() { _ = srv.Serve(l) }()
 		*kvAddr = l.Addr().String()
 		log.Printf("in-process kvstore on %s", *kvAddr)
 	}
@@ -124,7 +124,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer kv.Close()
+	defer func() { _ = kv.Close() }()
 
 	aclOf := func(cfg switchboard.CallConfig, dc int) float64 { return est.ACL(cfg, dc) }
 	placer := switchboard.NewPlanPlacer(lm.Demand().Configs, alloc.Alloc, aclOf, len(world.DCs()))

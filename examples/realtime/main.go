@@ -64,13 +64,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	go srv.Serve(l)
-	defer srv.Close()
+	go func() { _ = srv.Serve(l) }()
+	defer func() { _ = srv.Close() }()
 	client, err := switchboard.DialKV(l.Addr().String())
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer client.Close()
+	defer func() { _ = client.Close() }()
 	fmt.Printf("kvstore listening on %s\n", l.Addr())
 
 	// Replay the day through the controller following the plan.

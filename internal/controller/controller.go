@@ -165,21 +165,21 @@ type Controller struct {
 	probeEvery time.Duration
 
 	mu     sync.Mutex
-	calls  map[uint64]*callState
-	stats  Stats
-	failed map[int]bool // DCs declared down via FailDC
+	calls  map[uint64]*callState // guarded by mu
+	stats  Stats                 // guarded by mu
+	failed map[int]bool          // guarded by mu; DCs declared down via FailDC
 
 	// storeMu guards the store client and the write-behind journal. It is
 	// strictly ordered after mu: persist() never holds mu, and FailDC/
 	// ConfigKnown release mu before persisting. Keeping store I/O off mu
 	// means a stalled store can never block call admission.
 	storeMu       sync.Mutex
-	journal       []journalEntry
-	degraded      bool
-	degradedCount int64
-	replayed      int64
-	dropped       int64
-	lastProbe     time.Time
+	journal       []journalEntry // guarded by storeMu
+	degraded      bool           // guarded by storeMu
+	degradedCount int64          // guarded by storeMu
+	replayed      int64          // guarded by storeMu
+	dropped       int64          // guarded by storeMu
+	lastProbe     time.Time      // guarded by storeMu
 }
 
 // journalEntry is one buffered HSET awaiting replay.
@@ -459,6 +459,8 @@ func (c *Controller) persist(id uint64, field, value string) {
 
 // appendJournalLocked buffers a write, dropping the oldest entry when the
 // cap is hit. Callers hold storeMu.
+//
+//sblint:holds storeMu
 func (c *Controller) appendJournalLocked(e journalEntry) {
 	if c.journalCap <= 0 {
 		c.dropped++
@@ -474,6 +476,8 @@ func (c *Controller) appendJournalLocked(e journalEntry) {
 // replayLocked drains the journal into a healthy store and clears degraded
 // mode. If a write fails mid-drain the controller stays degraded with the
 // unflushed suffix intact. Callers hold storeMu.
+//
+//sblint:holds storeMu
 func (c *Controller) replayLocked() {
 	for len(c.journal) > 0 {
 		e := c.journal[0]
@@ -528,6 +532,8 @@ func (c *Controller) JournalDepth() int {
 
 // nearestSurvivingLocked returns the closest non-failed DC to code, or -1.
 // Callers hold c.mu.
+//
+//sblint:holds mu
 func (c *Controller) nearestSurvivingLocked(code geo.CountryCode) int {
 	for _, dc := range c.world.DCsByLatency(code) {
 		if !c.failed[dc] {
@@ -541,6 +547,8 @@ func (c *Controller) nearestSurvivingLocked(code geo.CountryCode) int {
 // steers the plan away from them — natively via AvoidingPlacer when the
 // placer supports it, otherwise by letting the caller's post-check reroute.
 // Callers hold c.mu.
+//
+//sblint:holds mu
 func (c *Controller) placePreferringSurvivorsLocked(cfg model.CallConfig, slot, current int) (int, bool) {
 	if len(c.failed) > 0 {
 		if ap, ok := c.placer.(AvoidingPlacer); ok {
@@ -554,6 +562,8 @@ func (c *Controller) placePreferringSurvivorsLocked(cfg model.CallConfig, slot, 
 // fails: the plan's backup capacity when the placer can avoid failed DCs,
 // else the nearest surviving DC for the call's population. Returns -1 when
 // nothing survives. Callers hold c.mu.
+//
+//sblint:holds mu
 func (c *Controller) drainTargetLocked(st *callState) int {
 	if c.placer != nil && st.frozen {
 		wasPlanned := st.planned
@@ -655,9 +665,9 @@ func (c *Controller) FailedDCs() []int {
 // lowest-ACL DC with room, otherwise the DC with the most headroom.
 type PlanPlacer struct {
 	mu    sync.Mutex
-	slots []map[string][]float64 // [planSlot][configKey] -> remaining per DC
+	slots []map[string][]float64 // guarded by mu; [planSlot][configKey] -> remaining per DC
 	nT    int
-	acl   map[string][]float64 // configKey -> per-DC ACL (for preference order)
+	acl   map[string][]float64 // configKey -> per-DC ACL (immutable after NewPlanPlacer)
 }
 
 // NewPlanPlacer indexes an allocation plan. configs must match alloc's

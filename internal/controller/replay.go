@@ -177,7 +177,7 @@ func BenchThroughput(addr string, workers int, events []Event, targetRate float6
 		if err != nil {
 			return ThroughputResult{}, err
 		}
-		defer c.Close()
+		defer func() { _ = c.Close() }()
 		clients[i] = c
 	}
 	queues := make([][]Event, workers)

@@ -77,7 +77,7 @@ func Chaos(env *Env, seed int64) (*ChaosResult, error) {
 			ProbeInterval: 20 * time.Millisecond,
 		})
 		if err != nil {
-			client.Close()
+			_ = client.Close()
 			return nil, nil, err
 		}
 		return ctrl, client, nil
@@ -88,7 +88,10 @@ func Chaos(env *Env, seed int64) (*ChaosResult, error) {
 	replay := func(ctrl *controller.Controller, proxy *faults.Proxy) (time.Duration, time.Duration, error) {
 		cutAt, restoreAt := len(events)/3, 2*len(events)/3
 		var maxStall time.Duration
-		start := time.Now()
+		// The chaos drill measures real wall-clock throughput and stalls of a
+		// live controller+kvstore under injected faults; the clock IS the
+		// measurement, not hidden state leaking into replayed outputs.
+		start := time.Now() //sblint:allow nondeterminism -- measuring real elapsed time
 		for i, e := range events {
 			if proxy != nil {
 				if i == cutAt {
@@ -98,7 +101,7 @@ func Chaos(env *Env, seed int64) (*ChaosResult, error) {
 					proxy.Restore()
 				}
 			}
-			opStart := time.Now()
+			opStart := time.Now() //sblint:allow nondeterminism -- measuring real per-op stall
 			var err error
 			switch e.Kind {
 			case controller.EventStart:
@@ -113,11 +116,11 @@ func Chaos(env *Env, seed int64) (*ChaosResult, error) {
 			if err != nil {
 				return 0, 0, fmt.Errorf("eval: chaos replay %v(%d): %w", e.Kind, e.CallID, err)
 			}
-			if stall := time.Since(opStart); stall > maxStall {
+			if stall := time.Since(opStart); stall > maxStall { //sblint:allow nondeterminism -- measuring real per-op stall
 				maxStall = stall
 			}
 		}
-		return time.Since(start), maxStall, nil
+		return time.Since(start), maxStall, nil //sblint:allow nondeterminism -- measuring real elapsed time
 	}
 
 	// Clean run.
@@ -126,15 +129,15 @@ func Chaos(env *Env, seed int64) (*ChaosResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	go srv.Serve(l)
+	go func() { _ = srv.Serve(l) }()
 	ctrl, client, err := newCtrl(l.Addr().String())
 	if err != nil {
-		srv.Close()
+		_ = srv.Close()
 		return nil, err
 	}
 	elapsed, _, err := replay(ctrl, nil)
-	client.Close()
-	srv.Close()
+	_ = client.Close()
+	_ = srv.Close()
 	if err != nil {
 		return nil, err
 	}
@@ -148,19 +151,19 @@ func Chaos(env *Env, seed int64) (*ChaosResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	go srv2.Serve(l2)
-	defer srv2.Close()
+	go func() { _ = srv2.Serve(l2) }()
+	defer func() { _ = srv2.Close() }()
 	inj := faults.NewInjector(seed, faults.Rule{Kind: faults.Latency, Prob: 0.02, Delay: time.Millisecond})
 	proxy, err := faults.NewProxy(l2.Addr().String(), inj)
 	if err != nil {
 		return nil, err
 	}
-	defer proxy.Close()
+	defer func() { _ = proxy.Close() }()
 	ctrl2, client2, err := newCtrl(proxy.Addr())
 	if err != nil {
 		return nil, err
 	}
-	defer client2.Close()
+	defer func() { _ = client2.Close() }()
 	elapsed2, maxStall, err := replay(ctrl2, proxy)
 	if err != nil {
 		return nil, err
@@ -170,12 +173,12 @@ func Chaos(env *Env, seed int64) (*ChaosResult, error) {
 	res.ChaosMigrated = ctrl2.Stats().Migrated
 
 	// Heal and drain the journal, retrying through the client's backoff.
-	deadline := time.Now().Add(10 * time.Second)
+	deadline := time.Now().Add(10 * time.Second) //sblint:allow nondeterminism -- real-time retry deadline
 	for {
 		if _, err := ctrl2.ReplayJournal(); err == nil {
 			break
 		}
-		if time.Now().After(deadline) {
+		if time.Now().After(deadline) { //sblint:allow nondeterminism -- real-time retry deadline
 			return nil, fmt.Errorf("eval: chaos journal did not drain")
 		}
 		time.Sleep(20 * time.Millisecond)
@@ -189,7 +192,7 @@ func Chaos(env *Env, seed int64) (*ChaosResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer reader.Close()
+	defer func() { _ = reader.Close() }()
 	for _, r := range recs {
 		v, err := reader.HGet("call:"+strconv.FormatUint(r.ID, 10), "state")
 		if err != nil || v != "ended" {

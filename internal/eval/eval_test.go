@@ -14,6 +14,17 @@ var (
 	envErr  error
 )
 
+// skipUnderShort marks the single-threaded LP-replay experiments that take
+// tens of seconds each (minutes under -race) and exercise no concurrency.
+// The race gate (make check-race) runs with -short; the plain gate still
+// runs them in full.
+func skipUnderShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() || raceEnabled {
+		t.Skip("heavy deterministic replay; skipped under -short and -race")
+	}
+}
+
 func quickEnv(t *testing.T) *Env {
 	t.Helper()
 	envOnce.Do(func() {
@@ -48,6 +59,7 @@ func TestEnvSplit(t *testing.T) {
 }
 
 func TestTable3Shape(t *testing.T) {
+	skipUnderShort(t)
 	env := quickEnv(t)
 	res, err := Table3(env)
 	if err != nil {
@@ -94,6 +106,7 @@ func TestTable3Shape(t *testing.T) {
 }
 
 func TestTable4Reasonable(t *testing.T) {
+	skipUnderShort(t)
 	env := quickEnv(t)
 	res, err := Table4(env)
 	if err != nil {
@@ -320,6 +333,7 @@ func TestPredictExperiment(t *testing.T) {
 }
 
 func TestAblations(t *testing.T) {
+	skipUnderShort(t)
 	env := quickEnv(t)
 	joint, err := AblationJoint(env)
 	if err != nil {

@@ -248,8 +248,8 @@ func fig10Setup(env *Env) ([]controller.Event, net.Listener, func(), error) {
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	go srv.Serve(l)
-	return events, l, func() { srv.Close() }, nil
+	go func() { _ = srv.Serve(l) }()
+	return events, l, func() { _ = srv.Close() }, nil
 }
 
 // PredictResult compares the §8 MOMC+logistic-regression config predictor

@@ -79,9 +79,9 @@ type Rule struct {
 // wall clock, as a scenario schedule must).
 type Injector struct {
 	mu    sync.Mutex
-	rules []Rule
-	start time.Time
-	rng   uint64
+	rules []Rule    // guarded by mu
+	start time.Time // guarded by mu
+	rng   uint64    // guarded by mu
 }
 
 // NewInjector returns an injector with the given seed and scenario schedule.
@@ -93,6 +93,9 @@ func NewInjector(seed int64, rules ...Rule) *Injector {
 }
 
 // next steps the xorshift64 generator and returns a uniform value in [0,1).
+// Callers (pick) hold mu.
+//
+//sblint:holds mu
 func (in *Injector) next() float64 {
 	in.rng ^= in.rng << 13
 	in.rng ^= in.rng >> 7
@@ -141,7 +144,7 @@ func (c *faultConn) Read(p []byte) (int, error) {
 		case Latency, Stall:
 			time.Sleep(r.Delay)
 		case Reset, PartialWrite:
-			c.Conn.Close()
+			_ = c.Conn.Close()
 			return 0, ErrInjected
 		case Blackhole:
 			// Writes were discarded, so this read blocks on the
@@ -158,11 +161,11 @@ func (c *faultConn) Write(p []byte) (int, error) {
 		case Latency, Stall:
 			time.Sleep(r.Delay)
 		case Reset:
-			c.Conn.Close()
+			_ = c.Conn.Close()
 			return 0, ErrInjected
 		case PartialWrite:
 			n, _ := c.Conn.Write(p[:(len(p)+1)/2])
-			c.Conn.Close()
+			_ = c.Conn.Close()
 			return n, ErrInjected
 		case Blackhole:
 			return len(p), nil

@@ -19,9 +19,9 @@ type Proxy struct {
 	l        net.Listener
 
 	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
-	cut    bool
-	closed bool
+	conns  map[net.Conn]struct{} // guarded by mu
+	cut    bool                  // guarded by mu
+	closed bool                  // guarded by mu
 	wg     sync.WaitGroup
 }
 
@@ -46,7 +46,7 @@ func (p *Proxy) Cut() {
 	p.mu.Lock()
 	p.cut = true
 	for c := range p.conns {
-		c.Close()
+		_ = c.Close()
 	}
 	p.mu.Unlock()
 }
@@ -68,7 +68,7 @@ func (p *Proxy) Close() error {
 	p.closed = true
 	err := p.l.Close()
 	for c := range p.conns {
-		c.Close()
+		_ = c.Close()
 	}
 	p.mu.Unlock()
 	p.wg.Wait()
@@ -84,13 +84,13 @@ func (p *Proxy) serve() {
 		p.mu.Lock()
 		if p.cut || p.closed {
 			p.mu.Unlock()
-			down.Close()
+			_ = down.Close()
 			continue
 		}
 		up, err := net.DialTimeout("tcp", p.upstream, 2*time.Second)
 		if err != nil {
 			p.mu.Unlock()
-			down.Close()
+			_ = down.Close()
 			continue
 		}
 		p.conns[down] = struct{}{}
@@ -112,9 +112,9 @@ func (p *Proxy) serve() {
 // raw connections.
 func (p *Proxy) relay(dst io.Writer, src io.Reader, a, b net.Conn) {
 	defer p.wg.Done()
-	io.Copy(dst, src)
-	a.Close()
-	b.Close()
+	_, _ = io.Copy(dst, src)
+	_ = a.Close()
+	_ = b.Close()
 	p.mu.Lock()
 	delete(p.conns, a)
 	delete(p.conns, b)

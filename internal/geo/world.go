@@ -110,7 +110,7 @@ type World struct {
 	adj       [][]halfEdge // adjacency by country index
 
 	mu      sync.Mutex
-	pathsOK map[pathKey][]int // cached link-ID paths
+	pathsOK map[pathKey][]int // guarded by mu; cached link-ID paths
 }
 
 type halfEdge struct {

@@ -59,7 +59,7 @@ func (s *Server) Mux() *http.ServeMux {
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/world", s.handleWorld)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
+		_, _ = fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return mux
@@ -185,7 +185,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if s.ctrl.Degraded() {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusServiceUnavailable)
-		json.NewEncoder(w).Encode(map[string]any{
+		_ = json.NewEncoder(w).Encode(map[string]any{
 			"ready":         false,
 			"reason":        "store degraded; journaling call-state writes",
 			"journal_depth": s.ctrl.JournalDepth(),
@@ -259,10 +259,10 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 func httpError(w http.ResponseWriter, code int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
 }
 
 func (s *Server) reply(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(v)
+	_ = json.NewEncoder(w).Encode(v)
 }

@@ -134,7 +134,7 @@ func (c *Client) connect() error {
 		return err
 	}
 	if tc, ok := conn.(*net.TCPConn); ok {
-		tc.SetNoDelay(true)
+		_ = tc.SetNoDelay(true)
 	}
 	c.conn = conn
 	c.r = bufio.NewReaderSize(conn, 16<<10)
@@ -182,7 +182,7 @@ func Idempotent(cmd string) bool {
 // closed rather than resynchronized.
 func (c *Client) poison(err error) {
 	if c.conn != nil {
-		c.conn.Close()
+		_ = c.conn.Close()
 		c.conn = nil
 	}
 	c.broken = err
@@ -235,7 +235,7 @@ func (c *Client) backoff(n int) time.Duration {
 // deadline.
 func (c *Client) doOnce(args []string) (interface{}, error) {
 	if c.opts.IOTimeout > 0 {
-		c.conn.SetDeadline(time.Now().Add(c.opts.IOTimeout))
+		_ = c.conn.SetDeadline(time.Now().Add(c.opts.IOTimeout))
 	}
 	if err := c.writeCommand(args); err != nil {
 		return nil, err
@@ -291,7 +291,7 @@ func (c *Client) Pipeline(cmds [][]string) (replies []interface{}, errs []error,
 		return nil, nil, err
 	}
 	if c.opts.IOTimeout > 0 {
-		c.conn.SetDeadline(time.Now().Add(c.opts.IOTimeout))
+		_ = c.conn.SetDeadline(time.Now().Add(c.opts.IOTimeout))
 	}
 	for _, cmd := range cmds {
 		if err := c.writeCommand(cmd); err != nil {
@@ -307,7 +307,7 @@ func (c *Client) Pipeline(cmds [][]string) (replies []interface{}, errs []error,
 	errs = make([]error, len(cmds))
 	for i := range cmds {
 		if c.opts.IOTimeout > 0 {
-			c.conn.SetReadDeadline(time.Now().Add(c.opts.IOTimeout))
+			_ = c.conn.SetReadDeadline(time.Now().Add(c.opts.IOTimeout))
 		}
 		replies[i], errs[i] = c.readReply()
 		if errs[i] != nil && !errors.Is(errs[i], ErrNil) && !IsServerError(errs[i]) {

@@ -2,6 +2,8 @@ package kvstore
 
 import (
 	"bufio"
+	"bytes"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -65,6 +67,70 @@ func FuzzReadReply(f *testing.F) {
 			if _, err := c.readReply(); err != nil {
 				return
 			}
+		}
+	})
+}
+
+// FuzzReplyRoundTrip closes the protocol loop: whatever commands the fuzzer
+// invents (one per line, space-separated, the inline command form), the
+// server's reply stream must parse cleanly through the client's readReply —
+// one reply per command, no leftover bytes, and no transport-level error.
+// Server-reported errors (-ERR ...) and nil replies are valid outcomes; a
+// parser error or a desynchronized stream is a bug in whichever side framed
+// it.
+func FuzzReplyRoundTrip(f *testing.F) {
+	// Seed with the server's full command corpus, exercising every reply
+	// shape it can emit (simple, integer, bulk, nil, array, error).
+	for _, cmds := range [][]string{
+		{"PING"},
+		{"SET k v", "GET k", "DEL k", "GET k"},
+		{"EXISTS k", "SET k v", "EXISTS k"},
+		{"INCR n", "INCRBY n 41", "INCR n"},
+		{"HSET h f v", "HGET h f", "HGETALL h", "HLEN h"},
+		{"HSET h a 1", "HSET h b 2", "KEYS *", "DBSIZE"},
+		{"SET k v", "EXPIRE k 100", "TTL k", "PERSIST k", "TTL k"},
+		{"FLUSHALL", "DBSIZE"},
+		{"GET"},               // arity error
+		{"NOSUCHCOMMAND x"},   // unknown command error
+		{"SET k v", "INCR k"}, // type error
+		{"HGET h missing", "GET missing"},
+	} {
+		f.Add(strings.Join(cmds, "\n"))
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		var cmds [][]string
+		for _, line := range strings.Split(input, "\n") {
+			args := strings.Fields(line)
+			if len(args) == 0 {
+				continue
+			}
+			// SHUTDOWN-style meta commands do not exist; every parsed
+			// line goes straight to execute, exactly as handle() would
+			// after readCommand.
+			cmds = append(cmds, args)
+		}
+		if len(cmds) == 0 {
+			return
+		}
+		srv := NewServer()
+		var buf bytes.Buffer
+		w := bufio.NewWriter(&buf)
+		for _, args := range cmds {
+			srv.execute(args, w)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		c := &Client{r: bufio.NewReader(bytes.NewReader(buf.Bytes()))}
+		for i, args := range cmds {
+			_, err := c.readReply()
+			if err != nil && !errors.Is(err, ErrNil) && !IsServerError(err) {
+				t.Fatalf("reply %d to %q: transport error %v\nstream: %q", i, args, err, buf.String())
+			}
+		}
+		if n := c.r.Buffered(); n != 0 {
+			rest, _ := c.r.Peek(n)
+			t.Fatalf("%d leftover bytes after %d replies: %q", n, len(cmds), rest)
 		}
 	})
 }

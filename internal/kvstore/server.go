@@ -34,9 +34,9 @@ type Server struct {
 	shards [numShards]shard
 
 	mu        sync.Mutex
-	listener  net.Listener
-	conns     map[net.Conn]struct{}
-	closed    bool
+	listener  net.Listener          // guarded by mu
+	conns     map[net.Conn]struct{} // guarded by mu
+	closed    bool                  // guarded by mu
 	handlers  sync.WaitGroup
 	opsServed atomic.Int64
 
@@ -50,7 +50,7 @@ type Server struct {
 
 type shard struct {
 	mu sync.RWMutex
-	m  map[string]*entry
+	m  map[string]*entry // guarded by mu
 }
 
 type entry struct {
@@ -70,6 +70,8 @@ func (e *entry) expired(now time.Time) bool {
 // Callers must hold the shard lock (read lock is insufficient when the key
 // may be deleted, so lookup is used under the write lock; read paths call
 // lookupRead).
+//
+//sblint:holds mu
 func (sh *shard) lookup(key string, now time.Time) *entry {
 	e := sh.m[key]
 	if e.expired(now) {
@@ -82,6 +84,8 @@ func (sh *shard) lookup(key string, now time.Time) *entry {
 // lookupRead returns the live entry without mutating (expired entries are
 // simply treated as absent; they get collected on the next write-path
 // touch).
+//
+//sblint:holds mu
 func (sh *shard) lookupRead(key string, now time.Time) *entry {
 	e := sh.m[key]
 	if e.expired(now) {
@@ -109,7 +113,7 @@ func (s *Server) SetSimulatedLatency(d time.Duration) { s.simLatency = d }
 
 func (s *Server) shardOf(key string) *shard {
 	h := fnv.New32a()
-	io.WriteString(h, key)
+	_, _ = io.WriteString(h, key) // fnv.Write never fails
 	return &s.shards[h.Sum32()%numShards]
 }
 
@@ -132,7 +136,7 @@ func (s *Server) Serve(l net.Listener) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		l.Close()
+		_ = l.Close()
 		return errors.New("kvstore: server closed")
 	}
 	s.listener = l
@@ -154,7 +158,7 @@ func (s *Server) Serve(l net.Listener) error {
 			// Close raced the accept: drop the connection; the next
 			// Accept fails and the loop exits above.
 			s.mu.Unlock()
-			conn.Close()
+			_ = conn.Close()
 			continue
 		}
 		s.conns[conn] = struct{}{}
@@ -191,7 +195,7 @@ func (s *Server) Close() error {
 		err = s.listener.Close()
 	}
 	for c := range s.conns {
-		c.Close()
+		_ = c.Close()
 	}
 	s.mu.Unlock()
 	s.handlers.Wait()
@@ -200,7 +204,7 @@ func (s *Server) Close() error {
 
 func (s *Server) handle(conn net.Conn) {
 	defer func() {
-		conn.Close()
+		_ = conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()

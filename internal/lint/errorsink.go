@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrorSinkAnalyzer flags calls at statement position (including go/defer)
+// that return an error which nothing receives. Stock `go vet` only checks a
+// fixed list of stdlib functions; this covers every call with an error in
+// its result tuple.
+//
+// An explicit discard (`_ = f()` / `x, _ := f()`) is a deliberate,
+// greppable decision and is not flagged. Writers with sticky error
+// semantics whose failures surface at a later checked call are exempt:
+// methods on *bufio.Writer, *bytes.Buffer, and *strings.Builder (the
+// first's errors resurface at Flush; the latter two cannot fail), and
+// fmt.Print/Printf/Println to stdout, matching vet's own tolerance.
+func ErrorSinkAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "errorsink",
+		Doc:  "error results must be checked or explicitly discarded",
+		Run:  runErrorSink,
+	}
+}
+
+func runErrorSink(p *Package) []Finding {
+	var out []Finding
+	report := func(call *ast.CallExpr, how string) {
+		if !returnsError(p, call) || exemptSink(p, call) {
+			return
+		}
+		out = append(out, Finding{
+			Pos:     p.Fset.Position(call.Pos()),
+			Message: how + " (check it or discard explicitly with _ =)",
+		})
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					report(call, "error result dropped")
+				}
+			case *ast.DeferStmt:
+				report(n.Call, "deferred call drops its error")
+			case *ast.GoStmt:
+				report(n.Call, "goroutine call drops its error")
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// returnsError reports whether the call's result tuple contains an error.
+func returnsError(p *Package, call *ast.CallExpr) bool {
+	tv, ok := p.Info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return false // type conversion or builtin
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if isErrorType(res.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// exemptReceivers are types whose dropped write errors are, by design,
+// either impossible or deferred to a later checked call (matched with the
+// pointer star stripped, so value and pointer receivers both hit).
+var exemptReceivers = map[string]bool{
+	"bufio.Writer":    true,
+	"bytes.Buffer":    true,
+	"strings.Builder": true,
+}
+
+// exemptFuncs are package-level functions whose error is conventionally
+// ignored (terminal output).
+var exemptFuncs = map[string]bool{
+	"fmt.Print":   true,
+	"fmt.Printf":  true,
+	"fmt.Println": true,
+}
+
+func exemptSink(p *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// Method with an exempt receiver type.
+	if s, ok := p.Info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+		return exemptReceivers[strings.TrimPrefix(s.Recv().String(), "*")]
+	}
+	// Package function on the exempt list.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := p.Info.Uses[id].(*types.PkgName); ok {
+			qual := pn.Imported().Path() + "." + sel.Sel.Name
+			if exemptFuncs[qual] {
+				return true
+			}
+			// fmt.Fprint* to the terminal is Print* in disguise, and to a
+			// sticky-error writer the failure resurfaces at the checked
+			// Flush — both mirror the direct-call exemptions above.
+			switch qual {
+			case "fmt.Fprint", "fmt.Fprintf", "fmt.Fprintln":
+				return len(call.Args) > 0 &&
+					(isStdStream(p, call.Args[0]) || isExemptWriter(p, call.Args[0]))
+			}
+		}
+	}
+	return false
+}
+
+// isExemptWriter reports whether e's static type is one of the
+// sticky/never-fail writer types.
+func isExemptWriter(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return exemptReceivers[strings.TrimPrefix(tv.Type.String(), "*")]
+}
+
+// isStdStream reports whether e is os.Stdout or os.Stderr.
+func isStdStream(p *Package, e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Stdout" && sel.Sel.Name != "Stderr") {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if pn, ok := p.Info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path() == "os"
+	}
+	return id.Name == "os"
+}

@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// floatComparePackages hold the LP pivoting and capacity-packing math where
+// exact float equality silently hides NaN and accumulated-roundoff bugs.
+var floatComparePackages = []string{
+	"internal/lp",
+	"internal/allocate",
+	"internal/provision",
+}
+
+// FloatCompareAnalyzer flags == and != between floating-point operands in
+// the numeric packages unless one side is an exact-zero sentinel (constant
+// 0, the one value float arithmetic can test exactly against when used as
+// an "unset" marker) or a named epsilon/tolerance. Everything else should
+// compare through an epsilon: math.Abs(a-b) <= eps.
+func FloatCompareAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name:    "floatcompare",
+		Doc:     "floats compare via epsilon, not ==/!=",
+		Applies: func(rel string) bool { return pathIn(rel, floatComparePackages...) },
+		Run:     runFloatCompare,
+	}
+}
+
+func runFloatCompare(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(p, be.X) && !isFloat(p, be.Y) {
+				return true
+			}
+			if isZeroConst(p, be.X) || isZeroConst(p, be.Y) ||
+				isEpsilonName(be.X) || isEpsilonName(be.Y) {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:     p.Fset.Position(be.OpPos),
+				Message: "float " + be.Op.String() + " comparison (use an epsilon, compare to a constant zero sentinel, or name the tolerance)",
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// isFloat reports whether e's type is a floating-point kind. Missing type
+// information degrades to false (no finding), never to a false positive.
+func isFloat(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isZeroConst reports whether e is a compile-time constant equal to zero
+// (the literal 0, a named zero constant, or an expression folding to 0).
+func isZeroConst(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}
+
+// isEpsilonName reports whether e is an identifier (or selector) whose name
+// declares a tolerance: eps, epsilon, tol, tolerance, in any case, as a
+// whole word or prefix/suffix ("pivotEps", "TolPrimal").
+func isEpsilonName(e ast.Expr) bool {
+	var name string
+	switch e := e.(type) {
+	case *ast.Ident:
+		name = e.Name
+	case *ast.SelectorExpr:
+		name = e.Sel.Name
+	default:
+		return false
+	}
+	lower := strings.ToLower(name)
+	for _, marker := range []string{"eps", "epsilon", "tol", "tolerance"} {
+		if strings.Contains(lower, marker) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,318 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// runFixture materializes files (module-relative path -> source) as a
+// throwaway module, loads it, and runs the single named analyzer. Expected
+// findings are declared in the fixture sources themselves with analysistest
+// style comments: `// want "substring"` on the offending line (several
+// quoted substrings may follow one want). The test fails on any missed or
+// unexpected finding.
+func runFixture(t *testing.T, analyzer *Analyzer, files map[string]string) {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module fixture\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for rel, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pkgs, err := Load(dir)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	for _, p := range pkgs {
+		for _, terr := range p.TypeErrors {
+			t.Errorf("fixture does not typecheck: %v", terr)
+		}
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	want := make(map[key][]string)
+	wantRe := regexp.MustCompile(`//\s*want\s+(.*)$`)
+	quoted := regexp.MustCompile(`"([^"]*)"`)
+	for rel, src := range files {
+		for i, line := range strings.Split(src, "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			k := key{filepath.Join(dir, filepath.FromSlash(rel)), i + 1}
+			for _, q := range quoted.FindAllStringSubmatch(m[1], -1) {
+				want[k] = append(want[k], q[1])
+			}
+		}
+	}
+
+	got := Run(pkgs, []*Analyzer{analyzer})
+	for _, f := range got {
+		k := key{f.Pos.Filename, f.Pos.Line}
+		subs := want[k]
+		matched := -1
+		for i, s := range subs {
+			if strings.Contains(f.Message, s) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("unexpected finding: %s", f)
+			continue
+		}
+		want[k] = append(subs[:matched], subs[matched+1:]...)
+		if len(want[k]) == 0 {
+			delete(want, k)
+		}
+	}
+	for k, subs := range want {
+		for _, s := range subs {
+			t.Errorf("missing finding at %s:%d matching %q", filepath.Base(k.file), k.line, s)
+		}
+	}
+}
+
+func TestDeterminismAnalyzer(t *testing.T) {
+	runFixture(t, DeterminismAnalyzer(), map[string]string{
+		"internal/trace/fixture.go": `package trace
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func clock() int64 {
+	t := time.Now()          // want "wall-clock read time.Now"
+	d := time.Since(t)       // want "wall-clock read time.Since"
+	_ = time.Until(t)        // want "wall-clock read time.Until"
+	return d.Nanoseconds()
+}
+
+func allowed() time.Time {
+	//sblint:allow nondeterminism -- test fixture justification
+	return time.Now()
+}
+
+func globalRand() (int, float64) {
+	return rand.Intn(10), rand.Float64() // want "global math/rand.Intn" "global math/rand.Float64"
+}
+
+func seeded(seed int64) *rand.Rand { // rand.Rand is a type, not a global read
+	return rand.New(rand.NewSource(seed)) // constructors are fine
+}
+
+func mapOrder(m map[string]int) ([]string, []string) {
+	var leak []string
+	for k := range m { // iteration order is randomized
+		leak = append(leak, k) // want "append to leak while ranging over a map"
+	}
+	var sorted []string
+	for k := range m {
+		sorted = append(sorted, k) // collect-then-sort is the blessed idiom
+	}
+	sort.Strings(sorted)
+	return leak, sorted
+}
+`,
+		"internal/web/fixture.go": `package web
+
+import "time"
+
+// Not a deterministic package: wall clock is fine here.
+func Uptime(start time.Time) time.Duration { return time.Since(start) }
+`,
+	})
+}
+
+func TestLockDisciplineAnalyzer(t *testing.T) {
+	runFixture(t, LockDisciplineAnalyzer(), map[string]string{
+		"internal/controller/fixture.go": `package controller
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+	hi int // guarded by mu
+
+	free int // unannotated fields are not checked
+}
+
+func (c *counter) Inc() {
+	c.mu.Lock()
+	c.n++ // held: fine
+	if c.n > c.hi {
+		c.hi = c.n
+	}
+	c.mu.Unlock()
+	c.free++
+}
+
+func (c *counter) Racy() int {
+	return c.n // want "without holding mu"
+}
+
+func (c *counter) UnlockedAfter() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	c.n++ // want "without holding mu"
+}
+
+func (c *counter) Deferred() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n // deferred unlock keeps the lock held to the end
+}
+
+//sblint:holds mu
+func (c *counter) bumpLocked() {
+	c.n++ // caller holds mu by contract
+}
+
+func (c *counter) Escapes() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.n++ // want "without holding mu"
+	}()
+}
+`,
+	})
+}
+
+func TestFloatCompareAnalyzer(t *testing.T) {
+	runFixture(t, FloatCompareAnalyzer(), map[string]string{
+		"internal/lp/fixture.go": `package lp
+
+const pivotEps = 1e-9
+
+func compare(a, b float64) bool {
+	if a == b { // want "float == comparison"
+		return true
+	}
+	if a != b { // want "float != comparison"
+		return false
+	}
+	if a == 0 { // constant-zero sentinel is allowed
+		return true
+	}
+	if b == pivotEps { // named epsilon is allowed
+		return true
+	}
+	return a < b // ordering comparisons are fine
+}
+`,
+		"internal/model/fixture.go": `package model
+
+// Not a numeric package: exact compares are not flagged here.
+func Same(a, b float64) bool { return a == b }
+`,
+	})
+}
+
+func TestErrorSinkAnalyzer(t *testing.T) {
+	runFixture(t, ErrorSinkAnalyzer(), map[string]string{
+		"internal/web/fixture.go": `package web
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func open(name string) error {
+	f, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	f.Close()                   // want "error result dropped"
+	defer f.Close()             // want "deferred call drops its error"
+	go f.Close()                // want "goroutine call drops its error"
+	_ = f.Close()               // explicit discard is a decision
+	fmt.Println("checked:", f)  // terminal output is exempt
+	fmt.Fprintln(os.Stderr, "") // std streams are exempt
+	var b strings.Builder
+	b.WriteString("x")    // sticky writers are exempt
+	fmt.Fprintf(&b, "%d", 1)
+	return nil
+}
+
+func fine() { println("no error in the tuple") }
+`,
+	})
+}
+
+// TestFindingString pins the canonical output format the Makefile gate and
+// editors parse.
+func TestFindingString(t *testing.T) {
+	f := Finding{Analyzer: "errorsink", Message: "boom"}
+	f.Pos.Filename = "a/b.go"
+	f.Pos.Line = 3
+	f.Pos.Column = 7
+	if got, want := f.String(), "a/b.go:3:7: [errorsink] boom"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+// TestSeededViolationFails proves the gate property end to end: a package
+// with a seeded violation must produce at least one finding through the
+// same Load/Run path `sblint ./...` uses.
+func TestSeededViolationFails(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module fixture\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src := "package trace\n\nimport \"time\"\n\nfunc Stamp() int64 { return time.Now().UnixNano() }\n"
+	if err := os.MkdirAll(filepath.Join(dir, "internal", "trace"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "internal", "trace", "stamp.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := Run(Select(pkgs, []string{"./..."}), Analyzers())
+	if len(findings) == 0 {
+		t.Fatal("seeded time.Now violation produced no findings")
+	}
+	for _, f := range findings {
+		if f.Analyzer == "determinism" && strings.Contains(f.Message, "time.Now") {
+			return
+		}
+	}
+	t.Fatalf("no determinism finding among %v", findings)
+}
+
+// TestAllowRequiresMatchingKey ensures an allow for one analyzer does not
+// silence another.
+func TestAllowRequiresMatchingKey(t *testing.T) {
+	runFixture(t, DeterminismAnalyzer(), map[string]string{
+		"internal/sim/fixture.go": `package sim
+
+import "time"
+
+func wrongKey() time.Time {
+	//sblint:allow errorsink -- wrong key must not suppress determinism
+	return time.Now() // want "wall-clock read time.Now"
+}
+`,
+	})
+}

@@ -1,0 +1,293 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the full import path ("switchboard/internal/lp").
+	Path string
+	// RelPath is the module-relative path ("internal/lp", "" for the
+	// module root package). Analyzer scoping matches on RelPath so the
+	// suite is testable against fixture packages.
+	RelPath string
+	// Dir is the package directory on disk ("" for fixtures).
+	Dir string
+
+	Fset  *token.FileSet
+	Files []*ast.File
+
+	// TypesPkg and Info hold go/types results. Type-checking is tolerant:
+	// when it fails partway (TypeErrors non-empty) the analyzers still run
+	// on whatever type information exists, degrading conservatively.
+	TypesPkg   *types.Package
+	Info       *types.Info
+	TypeErrors []error
+}
+
+// Module locates the enclosing Go module: it walks up from dir to the first
+// go.mod and returns the module root directory and module path.
+func Module(dir string) (root, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: no module line in %s/go.mod", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// skipDir names directories never descended into during package discovery.
+func skipDir(name string) bool {
+	switch name {
+	case "testdata", "vendor", "node_modules":
+		return true
+	}
+	return strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")
+}
+
+// packageDirs returns every directory under root holding at least one
+// non-test .go file, as module-relative slash paths ("" for the root).
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if path != root && skipDir(d.Name()) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") || strings.HasSuffix(d.Name(), "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			rel = ""
+		}
+		dirs = append(dirs, filepath.ToSlash(rel))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	// Deduplicate (one entry per .go file was appended).
+	out := dirs[:0]
+	for i, d := range dirs {
+		if i == 0 || dirs[i-1] != d {
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}
+
+// srcPackage is a parsed-but-not-yet-checked package during loading.
+type srcPackage struct {
+	rel     string
+	dir     string
+	files   []*ast.File
+	imports []string // local (in-module) import paths
+}
+
+// Load parses and type-checks every package in the module containing dir.
+// Only non-test files are loaded: the analyzers' contracts (determinism,
+// lock discipline, float compares, error sinks) are about production code,
+// and test files are free to use wall clocks and drop errors.
+//
+// Stdlib imports resolve through the go/importer source importer, so the
+// loader needs a working GOROOT but no external dependencies.
+func Load(dir string) ([]*Package, error) {
+	root, modPath, err := Module(dir)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	srcs := make(map[string]*srcPackage, len(dirs)) // by full import path
+	for _, rel := range dirs {
+		abs := root
+		if rel != "" {
+			abs = filepath.Join(root, filepath.FromSlash(rel))
+		}
+		entries, err := os.ReadDir(abs)
+		if err != nil {
+			return nil, err
+		}
+		sp := &srcPackage{rel: rel, dir: abs}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(abs, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("lint: parse %s: %w", filepath.Join(abs, name), err)
+			}
+			sp.files = append(sp.files, f)
+		}
+		if len(sp.files) == 0 {
+			continue
+		}
+		for _, f := range sp.files {
+			for _, imp := range f.Imports {
+				p := strings.Trim(imp.Path.Value, `"`)
+				if p == modPath || strings.HasPrefix(p, modPath+"/") {
+					sp.imports = append(sp.imports, p)
+				}
+			}
+		}
+		path := modPath
+		if rel != "" {
+			path = modPath + "/" + rel
+		}
+		srcs[path] = sp
+	}
+
+	// Type-check in dependency order so in-module imports resolve from the
+	// cache; everything else falls through to the stdlib source importer.
+	chain := &chainImporter{
+		std:   importer.ForCompiler(fset, "source", nil),
+		local: make(map[string]*types.Package),
+	}
+	checked := make(map[string]*Package, len(srcs))
+	var order []string
+	for path := range srcs {
+		order = append(order, path)
+	}
+	sort.Strings(order)
+	visiting := make(map[string]bool)
+	var check func(path string) error
+	check = func(path string) error {
+		if _, done := checked[path]; done {
+			return nil
+		}
+		if visiting[path] {
+			return fmt.Errorf("lint: import cycle through %s", path)
+		}
+		visiting[path] = true
+		defer delete(visiting, path)
+		sp := srcs[path]
+		for _, dep := range sp.imports {
+			if srcs[dep] != nil {
+				if err := check(dep); err != nil {
+					return err
+				}
+			}
+		}
+		pkg := typecheck(fset, path, sp.rel, sp.files, chain)
+		pkg.Dir = sp.dir
+		checked[path] = pkg
+		chain.local[path] = pkg.TypesPkg
+		return nil
+	}
+	for _, path := range order {
+		if err := check(path); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]*Package, 0, len(checked))
+	for _, path := range order {
+		out = append(out, checked[path])
+	}
+	return out, nil
+}
+
+// typecheck runs the tolerant go/types pass over one package.
+func typecheck(fset *token.FileSet, path, rel string, files []*ast.File, imp types.Importer) *Package {
+	pkg := &Package{
+		Path:    path,
+		RelPath: rel,
+		Fset:    fset,
+		Files:   files,
+		Info: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		},
+	}
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	// Check never returns a useful error beyond what the Error hook saw;
+	// the partially filled Info is what the analyzers consume.
+	tp, _ := conf.Check(path, fset, files, pkg.Info)
+	pkg.TypesPkg = tp
+	return pkg
+}
+
+// chainImporter serves in-module packages from the loader's cache and
+// everything else (the stdlib) from the source importer.
+type chainImporter struct {
+	std   types.Importer
+	local map[string]*types.Package
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if p, ok := c.local[path]; ok && p != nil {
+		return p, nil
+	}
+	return c.std.Import(path)
+}
+
+// Select filters pkgs by command-line patterns relative to the module root:
+// "" or "./..." selects everything, "dir/..." selects a subtree, and a
+// plain directory selects that one package.
+func Select(pkgs []*Package, patterns []string) []*Package {
+	if len(patterns) == 0 {
+		return pkgs
+	}
+	var out []*Package
+	for _, p := range pkgs {
+		for _, pat := range patterns {
+			pat = strings.TrimPrefix(filepath.ToSlash(pat), "./")
+			var ok bool
+			if pat == "..." || pat == "" {
+				ok = true
+			} else if sub, rec := strings.CutSuffix(pat, "/..."); rec {
+				ok = pathIn(p.RelPath, sub)
+			} else {
+				ok = p.RelPath == pat
+			}
+			if ok {
+				out = append(out, p)
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,366 @@
+package lint
+
+import (
+	"go/ast"
+	"regexp"
+	"strings"
+)
+
+// LockDisciplineAnalyzer enforces "// guarded by <mu>" field annotations:
+// any access to an annotated field from a method of the owning struct must
+// be dominated by a Lock/RLock of that mutex (a field of the same struct).
+//
+// The analysis is deliberately conservative and annotation-driven:
+//
+//   - Only fields carrying "// guarded by <mu>" in their comment are
+//     tracked; unannotated structs produce no findings.
+//   - Lock state is tracked linearly through a method body. A Lock taken
+//     inside a branch, loop, or closure does not count as held after it —
+//     a mutex "dominates" an access only if it is locked on every path
+//     reaching it.
+//   - `defer recv.mu.Unlock()` keeps the mutex held for the rest of the
+//     body; an inline Unlock releases it at that point.
+//   - Function literals run where they are written (the synchronous
+//     callback case) and inherit the current lock state — except bodies of
+//     `go` and `defer` statements, which run later and start unlocked.
+//   - A method whose contract is "caller holds mu" declares it with a
+//     "//sblint:holds <mu>" line in its doc comment; the analyzer then
+//     also checks that annotated helpers are not themselves re-locking.
+//
+// Accesses through anything but the receiver identifier (aliases, other
+// instances) are out of scope, as are plain functions: the annotation
+// convention is for methods of the synchronized type.
+func LockDisciplineAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "lockdiscipline",
+		Doc:  "accesses to '// guarded by <mu>' fields must hold that mutex",
+		Run:  runLockDiscipline,
+	}
+}
+
+var (
+	guardedRe = regexp.MustCompile(`guarded by (\w+)`)
+	holdsRe   = regexp.MustCompile(`^//\s*sblint:holds\s+(\w+(?:\s+\w+)*)\s*$`)
+)
+
+// guardedFields maps struct type name -> field name -> guarding mutex name.
+type guardedFields map[string]map[string]string
+
+// collectGuarded finds "// guarded by <mu>" annotations on struct fields.
+// The annotation may sit in the field's doc comment or its trailing
+// same-line comment.
+func collectGuarded(p *Package) guardedFields {
+	g := make(guardedFields)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := guardAnnotation(field.Doc)
+				if mu == "" {
+					mu = guardAnnotation(field.Comment)
+				}
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if g[ts.Name.Name] == nil {
+						g[ts.Name.Name] = make(map[string]string)
+					}
+					g[ts.Name.Name][name.Name] = mu
+				}
+			}
+			return true
+		})
+	}
+	return g
+}
+
+func guardAnnotation(cg *ast.CommentGroup) string {
+	if cg == nil {
+		return ""
+	}
+	if m := guardedRe.FindStringSubmatch(cg.Text()); m != nil {
+		return m[1]
+	}
+	return ""
+}
+
+// holdsAnnotations returns the mutexes a method's doc comment declares as
+// held by the caller.
+func holdsAnnotations(fd *ast.FuncDecl) []string {
+	if fd.Doc == nil {
+		return nil
+	}
+	var out []string
+	for _, c := range fd.Doc.List {
+		if m := holdsRe.FindStringSubmatch(c.Text); m != nil {
+			out = append(out, strings.Fields(m[1])...)
+		}
+	}
+	return out
+}
+
+func runLockDiscipline(p *Package) []Finding {
+	guarded := collectGuarded(p)
+	if len(guarded) == 0 {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			recv, typeName := receiverName(fd)
+			fields := guarded[typeName]
+			if recv == "" || len(fields) == 0 {
+				continue
+			}
+			w := &lockWalker{p: p, recv: recv, fields: fields}
+			held := make(map[string]bool)
+			for _, mu := range holdsAnnotations(fd) {
+				held[mu] = true
+			}
+			w.stmts(fd.Body.List, held)
+			out = append(out, w.findings...)
+		}
+	}
+	return out
+}
+
+// lockWalker tracks, per statement, which receiver mutexes are held.
+type lockWalker struct {
+	p        *Package
+	recv     string
+	fields   map[string]string // guarded field -> mutex
+	findings []Finding
+}
+
+// copyHeld snapshots the lock state for a branch: state changes inside the
+// branch must not leak to the code after it.
+func copyHeld(held map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(held))
+	for k, v := range held {
+		c[k] = v
+	}
+	return c
+}
+
+// recvMutexCall matches recv.<mu>.<method>() and returns (mu, method).
+func (w *lockWalker) recvMutexCall(call *ast.CallExpr) (string, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	inner, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	id, ok := inner.X.(*ast.Ident)
+	if !ok || id.Name != w.recv {
+		return "", ""
+	}
+	return inner.Sel.Name, sel.Sel.Name
+}
+
+func (w *lockWalker) stmts(list []ast.Stmt, held map[string]bool) {
+	for _, s := range list {
+		w.stmt(s, held)
+	}
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, held map[string]bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if mu, method := w.recvMutexCall(call); mu != "" {
+				switch method {
+				case "Lock", "RLock":
+					held[mu] = true
+					return
+				case "Unlock", "RUnlock":
+					held[mu] = false
+					return
+				}
+			}
+		}
+		w.expr(s.X, held)
+	case *ast.DeferStmt:
+		if mu, method := w.recvMutexCall(s.Call); mu != "" && (method == "Unlock" || method == "RUnlock") {
+			return // releases at return; held for the rest of the body
+		}
+		// The deferred call runs at return time: its body (for a literal)
+		// starts with no locks assumed, its arguments evaluate now.
+		for _, arg := range s.Call.Args {
+			w.expr(arg, held)
+		}
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.stmts(fl.Body.List, make(map[string]bool))
+		} else {
+			w.expr(s.Call.Fun, held)
+		}
+	case *ast.GoStmt:
+		for _, arg := range s.Call.Args {
+			w.expr(arg, held)
+		}
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.stmts(fl.Body.List, make(map[string]bool))
+		} else {
+			w.expr(s.Call.Fun, held)
+		}
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e, held)
+		}
+	case *ast.IncDecStmt:
+		w.expr(s.X, held)
+	case *ast.SendStmt:
+		w.expr(s.Chan, held)
+		w.expr(s.Value, held)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v, held)
+					}
+				}
+			}
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.expr(s.Cond, held)
+		w.stmts(s.Body.List, copyHeld(held))
+		if s.Else != nil {
+			w.stmt(s.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond, held)
+		}
+		body := copyHeld(held)
+		w.stmts(s.Body.List, body)
+		if s.Post != nil {
+			w.stmt(s.Post, body)
+		}
+	case *ast.RangeStmt:
+		w.expr(s.X, held)
+		w.stmts(s.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					w.expr(e, held)
+				}
+				w.stmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.stmt(s.Assign, held)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				if cc.Comm != nil {
+					w.stmt(cc.Comm, copyHeld(held))
+				}
+				w.stmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.BlockStmt:
+		w.stmts(s.List, held)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, held)
+	}
+}
+
+// expr flags guarded-field accesses and descends into nested expressions.
+func (w *lockWalker) expr(e ast.Expr, held map[string]bool) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.SelectorExpr:
+		if id, ok := e.X.(*ast.Ident); ok && id.Name == w.recv {
+			if mu, guarded := w.fields[e.Sel.Name]; guarded && !held[mu] {
+				w.findings = append(w.findings, Finding{
+					Pos:     w.p.Fset.Position(e.Pos()),
+					Message: "access to " + w.recv + "." + e.Sel.Name + " (guarded by " + mu + ") without holding " + mu,
+				})
+			}
+			return
+		}
+		w.expr(e.X, held)
+	case *ast.CallExpr:
+		w.expr(e.Fun, held)
+		for _, a := range e.Args {
+			w.expr(a, held)
+		}
+	case *ast.FuncLit:
+		// Runs where it is written (synchronous callback); go/defer
+		// literals are handled at statement level.
+		w.stmts(e.Body.List, copyHeld(held))
+	case *ast.UnaryExpr:
+		w.expr(e.X, held)
+	case *ast.BinaryExpr:
+		w.expr(e.X, held)
+		w.expr(e.Y, held)
+	case *ast.ParenExpr:
+		w.expr(e.X, held)
+	case *ast.StarExpr:
+		w.expr(e.X, held)
+	case *ast.IndexExpr:
+		w.expr(e.X, held)
+		w.expr(e.Index, held)
+	case *ast.IndexListExpr:
+		w.expr(e.X, held)
+		for _, i := range e.Indices {
+			w.expr(i, held)
+		}
+	case *ast.SliceExpr:
+		w.expr(e.X, held)
+		w.expr(e.Low, held)
+		w.expr(e.High, held)
+		w.expr(e.Max, held)
+	case *ast.TypeAssertExpr:
+		w.expr(e.X, held)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			w.expr(el, held)
+		}
+	case *ast.KeyValueExpr:
+		w.expr(e.Key, held)
+		w.expr(e.Value, held)
+	}
+}

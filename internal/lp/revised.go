@@ -202,7 +202,7 @@ func (rv *revised) ftran(j int) []float64 {
 	rv.lu.solve(x)
 	for _, e := range rv.etas {
 		xr := x[e.r] / e.d[e.r]
-		if xr == x[e.r] && xr == 0 {
+		if xr == 0 && x[e.r] == 0 {
 			continue
 		}
 		for i, di := range e.d {

@@ -8,6 +8,9 @@ import (
 )
 
 func TestDrillValidation(t *testing.T) {
+	if testing.Short() || raceEnabled {
+		t.Skip("minutes-long single-threaded replay; skipped under -short and -race")
+	}
 	f := buildFixture(t)
 	s, err := New(f.lm, f.est, f.plan.Cores, f.plan.LinkGbps)
 	if err != nil {

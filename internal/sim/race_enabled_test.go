@@ -1,0 +1,8 @@
+//go:build race
+
+package sim
+
+// raceEnabled mirrors whether the race detector is compiled in; the heavy
+// single-threaded replay tests skip themselves under it (they exercise no
+// concurrency and would multiply the suite's runtime past CI timeouts).
+const raceEnabled = true
