@@ -2,7 +2,7 @@
 # (see README.md, "Developing").
 GO ?= go
 
-.PHONY: check check-race build vet fmt lint test race bench clean
+.PHONY: check check-race build vet fmt lint test race bench bench-core clean
 
 check: build vet fmt lint test
 
@@ -35,6 +35,12 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# Core hot-path perf trajectory: controller placement + kvstore round-trip,
+# written to BENCH_core.json (see cmd/sbbench). CI runs this non-gating.
+bench-core:
+	$(GO) run ./cmd/sbbench -o BENCH_core.json
+	@cat BENCH_core.json
 
 clean:
 	$(GO) clean ./...

@@ -6,9 +6,12 @@
 package switchboard_test
 
 import (
+	"net"
 	"sync"
 	"testing"
+	"time"
 
+	"switchboard"
 	"switchboard/internal/eval"
 	"switchboard/internal/lp"
 	"switchboard/internal/model"
@@ -46,6 +49,55 @@ func benchEnv(b *testing.B) *eval.Env {
 		b.Fatal(benchErr)
 	}
 	return benchVal
+}
+
+// BenchmarkCorePlacement measures the controller's in-memory placement hot
+// path (CallStarted + CallEnded, no store attached) — the latency floor every
+// realtime request pays before any persistence. cmd/sbbench runs the same
+// loop to emit BENCH_core.json.
+func BenchmarkCorePlacement(b *testing.B) {
+	ctrl, err := switchboard.NewController(switchboard.ControllerConfig{
+		World: switchboard.DefaultWorld(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	now := time.Now()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := uint64(i + 1)
+		if _, err := ctrl.CallStarted(id, "JP", now); err != nil {
+			b.Fatal(err)
+		}
+		if err := ctrl.CallEnded(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCoreKVRoundTrip measures one kvstore HSET over loopback TCP — the
+// synchronous store write on the controller's persistence path.
+func BenchmarkCoreKVRoundTrip(b *testing.B) {
+	srv := switchboard.NewKVServer()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go func() { _ = srv.Serve(l) }()
+	defer func() { _ = srv.Close() }()
+	client, err := switchboard.DialKV(l.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = client.Close() }()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := client.HSet("call:1", "state", "active"); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkEnvBuild measures the trace-generation + ingestion pipeline that

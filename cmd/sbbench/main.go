@@ -1,0 +1,136 @@
+// Command sbbench measures the two core hot paths of the realtime service —
+// the controller's in-memory placement decision and one kvstore round-trip
+// over loopback TCP — and writes the results as BENCH_core.json, the repo's
+// perf trajectory file. CI runs it non-gating on every push; compare the
+// committed point against a fresh run before and after touching the
+// controller or kvstore.
+//
+// Usage:
+//
+//	sbbench                 # print JSON to stdout
+//	sbbench -o BENCH_core.json
+//	sbbench -benchtime 2s   # longer sampling for quieter numbers
+//
+// The same loops exist as BenchmarkCorePlacement / BenchmarkCoreKVRoundTrip
+// in bench_test.go for `make bench` and profiling runs.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"switchboard"
+)
+
+// result is one benchmark point. ns/op is the headline; allocs and bytes
+// catch regressions the timer hides (a stray allocation on a 700ns path).
+type result struct {
+	Name       string  `json:"name"`
+	Iterations int     `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	AllocsOp   int64   `json:"allocs_per_op"`
+	BytesOp    int64   `json:"bytes_per_op"`
+}
+
+type report struct {
+	GoOS    string   `json:"goos"`
+	GoArch  string   `json:"goarch"`
+	NumCPU  int      `json:"num_cpu"`
+	Results []result `json:"results"`
+}
+
+func main() {
+	out := flag.String("o", "", "output path (empty prints to stdout)")
+	benchtime := flag.Duration("benchtime", time.Second, "target sampling time per benchmark")
+	flag.Parse()
+
+	// testing.Benchmark honours -test.benchtime only via the testing flags,
+	// which a plain main cannot set after flag.Parse; approximate it by
+	// running until the measured time crosses the target.
+	run := func(name string, fn func(b *testing.B)) result {
+		var r testing.BenchmarkResult
+		for n := 1; ; n *= 4 {
+			r = testing.Benchmark(fn)
+			if r.T >= *benchtime || n > 64 {
+				break
+			}
+		}
+		return result{
+			Name:       name,
+			Iterations: r.N,
+			NsPerOp:    float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsOp:   r.AllocsPerOp(),
+			BytesOp:    r.AllocedBytesPerOp(),
+		}
+	}
+
+	placement := run("core_placement", func(b *testing.B) {
+		ctrl, err := switchboard.NewController(switchboard.ControllerConfig{
+			World: switchboard.DefaultWorld(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		now := time.Now()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			id := uint64(i + 1)
+			if _, err := ctrl.CallStarted(id, "JP", now); err != nil {
+				b.Fatal(err)
+			}
+			if err := ctrl.CallEnded(id); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	srv := switchboard.NewKVServer()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() { _ = srv.Serve(l) }()
+	client, err := switchboard.DialKV(l.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	kvRoundTrip := run("core_kv_round_trip", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := client.HSet("call:1", "state", "active"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	_ = client.Close()
+	_ = srv.Close()
+
+	rep := report{
+		GoOS:    runtime.GOOS,
+		GoArch:  runtime.GOARCH,
+		NumCPU:  runtime.NumCPU(),
+		Results: []result{placement, kvRoundTrip},
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		fmt.Print(string(buf))
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", *out)
+}

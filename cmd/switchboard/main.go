@@ -19,10 +19,18 @@
 //	GET  /healthz        (liveness: process is serving)
 //	GET  /readyz         (readiness: 503 while the store path is degraded)
 //
+// With -debug-addr a second listener serves operator endpoints (see
+// internal/obs and DESIGN.md "Observability"):
+//
+//	GET  /metrics        (Prometheus text exposition 0.0.4)
+//	GET  /debug/trace    (last N placement/migration/failover decisions)
+//	GET  /debug/pprof/*  (net/http/pprof)
+//
 // Try it:
 //
-//	switchboard -addr 127.0.0.1:8077 &
+//	switchboard -addr 127.0.0.1:8077 -debug-addr 127.0.0.1:8078 &
 //	curl -s -d '{"id":1,"country":"JP"}' localhost:8077/v1/call/start
+//	curl -s localhost:8078/metrics | grep sb_controller
 package main
 
 import (
@@ -34,7 +42,11 @@ import (
 	"time"
 
 	"switchboard"
+	"switchboard/internal/controller"
+	"switchboard/internal/faults"
 	"switchboard/internal/httpapi"
+	"switchboard/internal/kvstore"
+	"switchboard/internal/obs"
 )
 
 func main() {
@@ -51,7 +63,17 @@ func main() {
 	kvBackoffMax := flag.Duration("kv-backoff-max", 2*time.Second, "maximum store redial backoff")
 	journalCap := flag.Int("journal-cap", 8192, "degraded-mode write-behind journal capacity (-1 disables)")
 	probeInterval := flag.Duration("probe-interval", time.Second, "store recovery probe interval while degraded")
+	debugAddr := flag.String("debug-addr", "", "debug HTTP listen address serving /metrics, /debug/trace, and pprof (empty disables)")
+	traceCap := flag.Int("trace-cap", obs.DefaultRingCapacity, "decision trace ring capacity")
+	chaosProb := flag.Float64("chaos-prob", 0, "per-operation probability of an injected store-path latency fault (0 disables; a live resilience drill, see internal/faults)")
+	chaosDelay := flag.Duration("chaos-latency", time.Millisecond, "injected latency per chaos fault")
 	flag.Parse()
+
+	// Telemetry. The registry and decision ring are always built — the serve
+	// path's instrumentation is a few atomic ops per request — but the debug
+	// listener only starts when -debug-addr is set.
+	reg := obs.NewRegistry()
+	ring := obs.NewDecisionRing(*traceCap)
 
 	world := switchboard.DefaultWorld()
 	if *worldPath != "" {
@@ -105,6 +127,7 @@ func main() {
 	// State store.
 	if *kvAddr == "" {
 		srv := switchboard.NewKVServer()
+		srv.SetMetrics(kvstore.NewServerMetrics(reg))
 		l, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			log.Fatal(err)
@@ -113,6 +136,20 @@ func main() {
 		*kvAddr = l.Addr().String()
 		log.Printf("in-process kvstore on %s", *kvAddr)
 	}
+	// The injection family is registered up front (zero-valued when the drill
+	// is off) so scrapers and dashboards always see it.
+	injections := faults.NewInjectionCounter(reg)
+	if *chaosProb > 0 {
+		inj := faults.NewInjector(*seed, faults.Rule{Kind: faults.Latency, Prob: *chaosProb, Delay: *chaosDelay})
+		inj.SetMetrics(injections)
+		proxy, err := faults.NewProxy(*kvAddr, inj)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() { _ = proxy.Close() }()
+		log.Printf("chaos drill: store traffic via %s (p=%.3f latency %v)", proxy.Addr(), *chaosProb, *chaosDelay)
+		*kvAddr = proxy.Addr()
+	}
 	kv, err := switchboard.DialKVOptions(*kvAddr, switchboard.KVOptions{
 		DialTimeout: *kvDialTimeout,
 		IOTimeout:   *kvTimeout,
@@ -120,6 +157,7 @@ func main() {
 		BackoffMin:  *kvBackoffMin,
 		BackoffMax:  *kvBackoffMax,
 		Seed:        *seed,
+		Metrics:     kvstore.NewClientMetrics(reg),
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -134,12 +172,26 @@ func main() {
 		Store:         kv,
 		JournalCap:    *journalCap,
 		ProbeInterval: *probeInterval,
+		Metrics:       controller.NewMetrics(reg),
+		Decisions:     ring,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
+	if *debugAddr != "" {
+		debug := &http.Server{
+			Addr:              *debugAddr,
+			Handler:           obs.DebugMux(reg, ring),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		log.Printf("debug endpoints on http://%s (/metrics, /debug/trace, /debug/pprof)", *debugAddr)
+		go func() { log.Fatal(debug.ListenAndServe()) }()
+	}
+
 	api := httpapi.New(world, ctrl)
+	api.HTTP = obs.NewHTTPMetrics(reg)
+	api.KV = kv
 	server := &http.Server{
 		Addr:              *addr,
 		Handler:           api.Mux(),

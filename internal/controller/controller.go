@@ -20,6 +20,7 @@ import (
 	"switchboard/internal/geo"
 	"switchboard/internal/kvstore"
 	"switchboard/internal/model"
+	"switchboard/internal/obs"
 )
 
 // DefaultFreeze is A, the time into a call when its config is considered
@@ -151,6 +152,13 @@ type Config struct {
 	// ProbeInterval is how often a degraded controller probes the store
 	// for recovery; zero means DefaultProbeInterval.
 	ProbeInterval time.Duration
+	// Metrics, when non-nil, receives controller telemetry (build with
+	// NewMetrics over an obs.Registry). Nil disables metric updates and
+	// their clock reads entirely.
+	Metrics *Metrics
+	// Decisions, when non-nil, records every placement/migration/failover
+	// decision into a bounded ring for /debug/trace.
+	Decisions *obs.DecisionRing
 }
 
 // Controller is the real-time MP selector. Safe for concurrent use.
@@ -163,6 +171,13 @@ type Controller struct {
 
 	journalCap int
 	probeEvery time.Duration
+
+	// metrics is never nil (a zero-value Metrics when telemetry is off);
+	// decisions may be nil. obsOn gates the wall-clock reads that only
+	// telemetry needs, so the uninstrumented hot path stays clock-free.
+	metrics   *Metrics
+	decisions *obs.DecisionRing
+	obsOn     bool
 
 	mu     sync.Mutex
 	calls  map[uint64]*callState // guarded by mu
@@ -214,6 +229,10 @@ func New(cfg Config) (*Controller, error) {
 	if cfg.ProbeInterval <= 0 {
 		cfg.ProbeInterval = DefaultProbeInterval
 	}
+	m := cfg.Metrics
+	if m == nil {
+		m = &Metrics{}
+	}
 	return &Controller{
 		world:      cfg.World,
 		placer:     cfg.Placer,
@@ -222,9 +241,37 @@ func New(cfg Config) (*Controller, error) {
 		predictor:  cfg.Predictor,
 		journalCap: cfg.JournalCap,
 		probeEvery: cfg.ProbeInterval,
+		metrics:    m,
+		decisions:  cfg.Decisions,
+		obsOn:      cfg.Metrics != nil || cfg.Decisions != nil,
 		calls:      make(map[uint64]*callState),
 		failed:     make(map[int]bool),
 	}, nil
+}
+
+// storeSnapshot reads the degraded flag and journal depth for decision
+// records; only called when the decision ring is enabled. Without a store
+// both are trivially zero, so the hot path skips storeMu entirely.
+func (c *Controller) storeSnapshot() (bool, int) {
+	if c.store == nil {
+		return false, 0
+	}
+	c.storeMu.Lock()
+	defer c.storeMu.Unlock()
+	return c.degraded, len(c.journal)
+}
+
+// record stamps store-path state onto a decision and appends it to the ring.
+// No-op when tracing is off. The caller supplies the timing it already
+// measured so the trace costs no extra clock reads.
+func (c *Controller) record(d obs.Decision, start time.Time, dur time.Duration) {
+	if c.decisions == nil {
+		return
+	}
+	d.Time = start
+	d.Duration = dur
+	d.Degraded, d.JournalDepth = c.storeSnapshot()
+	c.decisions.Record(d)
 }
 
 // Freeze returns the configured config-freeze delay A.
@@ -241,6 +288,7 @@ func (c *Controller) CallStarted(id uint64, firstJoiner geo.CountryCode, at time
 // prediction, the call is placed for the predicted config immediately (§8),
 // which avoids a migration at freeze time if the prediction holds.
 func (c *Controller) CallStartedWithSeries(id uint64, firstJoiner geo.CountryCode, seriesID uint64, at time.Time) (int, error) {
+	obsT := c.obsStart()
 	dc := c.world.NearestDC(firstJoiner, true)
 	if dc < 0 {
 		dc = c.world.NearestDC(firstJoiner, false)
@@ -264,10 +312,12 @@ func (c *Controller) CallStartedWithSeries(id uint64, firstJoiner geo.CountryCod
 	}
 	// A failed DC must not admit new calls: reroute to the nearest
 	// surviving one before the call is recorded.
+	rerouted := false
 	if c.failed[dc] {
 		if alt := c.nearestSurvivingLocked(firstJoiner); alt >= 0 {
 			dc = alt
 			predicted = false
+			rerouted = true
 		} else {
 			c.mu.Unlock()
 			return -1, fmt.Errorf("%w: all DCs reachable from %q failed", ErrNoDC, firstJoiner)
@@ -279,6 +329,37 @@ func (c *Controller) CallStartedWithSeries(id uint64, firstJoiner geo.CountryCod
 		c.stats.Predicted++
 	}
 	c.mu.Unlock()
+	c.metrics.Started.Inc()
+	if predicted {
+		c.metrics.Predicted.Inc()
+	}
+	c.metrics.ActiveCalls.Add(1)
+	dur, secs := sinceObs(obsT)
+	if secs > 0 {
+		c.metrics.PlaceSeconds.Observe(secs)
+	}
+	if c.decisions != nil {
+		reason := "first-joiner"
+		// Candidates are recorded only on the reroute path, where the
+		// latency-ordered scan already ran; computing the full ordering
+		// just for the trace would put a sort on the admission hot path.
+		var candidates []int
+		if predicted {
+			reason = "predicted"
+		} else if rerouted {
+			reason = "reroute-failed-dc"
+			candidates = c.world.DCsByLatency(firstJoiner)
+		}
+		c.record(obs.Decision{
+			Kind:       "start",
+			Call:       id,
+			Candidates: candidates,
+			Chosen:     dc,
+			Prev:       -1,
+			Planned:    predicted,
+			Reason:     reason,
+		}, obsT, dur)
+	}
 	c.persist(id, "dc", strconv.Itoa(dc))
 	return dc, nil
 }
@@ -304,6 +385,7 @@ func (c *Controller) placeFor(cfg model.CallConfig, at time.Time, current int) i
 // call against the allocation plan, and returns the (possibly new) DC and
 // whether the call migrated.
 func (c *Controller) ConfigKnown(id uint64, cfg model.CallConfig, at time.Time) (dc int, migrated bool, err error) {
+	obsT := c.obsStart()
 	c.mu.Lock()
 	st, ok := c.calls[id]
 	if !ok {
@@ -322,14 +404,20 @@ func (c *Controller) ConfigKnown(id uint64, cfg model.CallConfig, at time.Time) 
 		c.stats.FrozenRecurring++
 	}
 
+	prev := st.dc
+	reason := "keep"
+	unplanned := false
 	target := st.dc
 	if c.placer != nil {
 		planned, inPlan := c.placePreferringSurvivorsLocked(cfg, st.slot, st.dc)
 		if inPlan {
 			target = planned
 			st.planned = true
+			reason = "plan"
 		} else {
 			c.stats.Unplanned++
+			unplanned = true
+			reason = "unplanned-majority"
 			// Unanticipated config: host at the closest DC to the
 			// majority of participants (§5.4(b), last paragraph).
 			if maj, _ := cfg.Spread.Majority(); maj != "" {
@@ -355,6 +443,7 @@ func (c *Controller) ConfigKnown(id uint64, cfg model.CallConfig, at time.Time) 
 		}
 		if alt >= 0 {
 			target = alt
+			reason = "reroute-failed-dc"
 		} else {
 			target = st.dc // nothing survives; keep the old record
 		}
@@ -368,7 +457,29 @@ func (c *Controller) ConfigKnown(id uint64, cfg model.CallConfig, at time.Time) 
 		migrated = true
 	}
 	dc = st.dc
+	planned := st.planned
 	c.mu.Unlock()
+	c.metrics.Frozen.Inc()
+	if migrated {
+		c.metrics.Migrated.Inc()
+	}
+	if unplanned {
+		c.metrics.Unplanned.Inc()
+	}
+	dur, secs := sinceObs(obsT)
+	if secs > 0 {
+		c.metrics.PlaceSeconds.Observe(secs)
+	}
+	c.record(obs.Decision{
+		Kind:     "freeze",
+		Call:     id,
+		Config:   cfg.Key(),
+		Chosen:   dc,
+		Prev:     prev,
+		Planned:  planned,
+		Migrated: migrated,
+		Reason:   reason,
+	}, obsT, dur)
 	c.persist(id, "config", cfg.Key())
 	if migrated {
 		c.persist(id, "dc", strconv.Itoa(dc))
@@ -390,6 +501,8 @@ func (c *Controller) CallEnded(id uint64) error {
 		c.placer.Release(st.cfg, st.slot, st.dc)
 	}
 	c.mu.Unlock()
+	c.metrics.Ended.Inc()
+	c.metrics.ActiveCalls.Add(-1)
 	c.persist(id, "state", "ended")
 	return nil
 }
@@ -421,6 +534,19 @@ func (c *Controller) Stats() Stats {
 	return s
 }
 
+// persistDone finishes one persist: it publishes the post-write journal
+// depth, releases storeMu, and then records the persist latency outside the
+// lock.
+//
+//sblint:holds storeMu
+func (c *Controller) persistDone(obsT time.Time) {
+	c.metrics.JournalDepth.Set(float64(len(c.journal)))
+	c.storeMu.Unlock()
+	if _, secs := sinceObs(obsT); secs > 0 {
+		c.metrics.PersistSeconds.Observe(secs)
+	}
+}
+
 // persist writes one call-state transition to the store. The store is an
 // availability optimization, not the source of truth for in-flight
 // decisions, so a write never blocks a worker beyond the client's own I/O
@@ -432,8 +558,9 @@ func (c *Controller) persist(id uint64, field, value string) {
 		return
 	}
 	key := "call:" + strconv.FormatUint(id, 10)
+	obsT := c.obsStart()
 	c.storeMu.Lock()
-	defer c.storeMu.Unlock()
+	defer c.persistDone(obsT)
 	if c.degraded {
 		// Probe at most once per interval; the client's own fail-fast
 		// window (ErrBroken until its redial backoff expires) keeps a
@@ -452,6 +579,7 @@ func (c *Controller) persist(id uint64, field, value string) {
 	if err := c.store.HSet(key, field, value); err != nil && !kvstore.IsServerError(err) {
 		c.degraded = true
 		c.degradedCount++
+		c.metrics.Degraded.Inc()
 		c.lastProbe = time.Now()
 		c.appendJournalLocked(journalEntry{key, field, value})
 	}
@@ -464,11 +592,13 @@ func (c *Controller) persist(id uint64, field, value string) {
 func (c *Controller) appendJournalLocked(e journalEntry) {
 	if c.journalCap <= 0 {
 		c.dropped++
+		c.metrics.Dropped.Inc()
 		return
 	}
 	if len(c.journal) >= c.journalCap {
 		c.journal = c.journal[1:]
 		c.dropped++
+		c.metrics.Dropped.Inc()
 	}
 	c.journal = append(c.journal, e)
 }
@@ -486,8 +616,10 @@ func (c *Controller) replayLocked() {
 		}
 		c.journal = c.journal[1:]
 		c.replayed++
+		c.metrics.Replayed.Inc()
 	}
 	c.degraded = false
+	c.metrics.JournalDepth.Set(float64(len(c.journal)))
 }
 
 // ReplayJournal forces an immediate probe-and-drain, returning how many
@@ -606,6 +738,7 @@ func (c *Controller) FailDC(dc int) (int, error) {
 	if dc < 0 || len(c.world.DCs()) <= dc {
 		return 0, fmt.Errorf("%w: %d", ErrInvalidDC, dc)
 	}
+	obsT := c.obsStart()
 	type move struct {
 		id uint64
 		dc int
@@ -628,8 +761,17 @@ func (c *Controller) FailDC(dc int) (int, error) {
 		}
 	}
 	c.mu.Unlock()
+	c.metrics.FailedOver.Add(uint64(len(moves)))
 	// Persist outside c.mu: store I/O must not block call admission.
 	for _, m := range moves {
+		c.record(obs.Decision{
+			Kind:     "failover",
+			Call:     m.id,
+			Chosen:   m.dc,
+			Prev:     dc,
+			Migrated: true,
+			Reason:   "drain-failed-dc",
+		}, obsT, 0)
 		c.persist(m.id, "dc", strconv.Itoa(m.dc))
 	}
 	return len(moves), nil

@@ -1,0 +1,76 @@
+package controller
+
+import (
+	"time"
+
+	"switchboard/internal/obs"
+)
+
+// Metrics is the controller's telemetry bundle. Every field is nil-safe, so
+// a zero-value Metrics (telemetry off) costs one nil check per sink call on
+// the hot path — measured at well under 5% of placement cost even when on
+// (see TestObsOverheadOnPlacement).
+type Metrics struct {
+	Started    *obs.Counter
+	Frozen     *obs.Counter
+	Migrated   *obs.Counter
+	Unplanned  *obs.Counter
+	Ended      *obs.Counter
+	Predicted  *obs.Counter
+	FailedOver *obs.Counter
+	Degraded   *obs.Counter // transitions into store-degraded mode
+	Replayed   *obs.Counter
+	Dropped    *obs.Counter
+
+	JournalDepth *obs.Gauge
+	ActiveCalls  *obs.Gauge
+
+	// PlaceSeconds times the placement decisions (CallStarted and
+	// ConfigKnown, excluding store I/O); PersistSeconds times the store
+	// write path including journaling.
+	PlaceSeconds   *obs.Histogram
+	PersistSeconds *obs.Histogram
+}
+
+// NewMetrics registers the controller metric families on r (nil r yields a
+// usable all-nil Metrics).
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		Started:    r.Counter("sb_controller_calls_started_total", "Calls assigned on first join."),
+		Frozen:     r.Counter("sb_controller_calls_frozen_total", "Calls whose config became known."),
+		Migrated:   r.Counter("sb_controller_calls_migrated_total", "Calls moved to a different DC at freeze time."),
+		Unplanned:  r.Counter("sb_controller_calls_unplanned_total", "Frozen calls whose config was not in the allocation plan."),
+		Ended:      r.Counter("sb_controller_calls_ended_total", "Completed calls."),
+		Predicted:  r.Counter("sb_controller_calls_predicted_total", "Calls placed from a series-config prediction at start."),
+		FailedOver: r.Counter("sb_controller_calls_failed_over_total", "Live calls drained off failed DCs."),
+		Degraded:   r.Counter("sb_controller_degraded_transitions_total", "Transitions into store-degraded (journaling) mode."),
+		Replayed:   r.Counter("sb_controller_journal_replayed_total", "Journaled writes replayed after a reconnect."),
+		Dropped:    r.Counter("sb_controller_journal_dropped_total", "Journaled writes lost to the journal cap."),
+		JournalDepth: r.Gauge("sb_controller_journal_depth",
+			"Buffered call-state writes awaiting replay."),
+		ActiveCalls: r.Gauge("sb_controller_active_calls", "In-flight calls."),
+		PlaceSeconds: r.Histogram("sb_controller_place_seconds",
+			"Placement decision time (start and freeze), excluding store I/O.", nil),
+		PersistSeconds: r.Histogram("sb_controller_persist_seconds",
+			"Call-state persist time, including journaling when degraded.", nil),
+	}
+}
+
+// obsStart returns the wall-clock start for a timed section, or the zero
+// time when neither metrics timing nor decision tracing is enabled, keeping
+// the uninstrumented hot path free of clock reads.
+func (c *Controller) obsStart() time.Time {
+	if c.obsOn {
+		return time.Now()
+	}
+	return time.Time{}
+}
+
+// sinceObs converts an obsStart time into seconds (0 when timing is off).
+func sinceObs(start time.Time) (time.Duration, float64) {
+	if start.IsZero() {
+		return 0, 0
+	}
+	d := time.Since(start)
+	return d, d.Seconds()
+}

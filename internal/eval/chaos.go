@@ -199,5 +199,14 @@ func Chaos(env *Env, seed int64) (*ChaosResult, error) {
 			res.LostTransitions++
 		}
 	}
+	env.countRun("chaos")
+	if env.Obs != nil {
+		env.Obs.Counter("sb_eval_chaos_replayed_total",
+			"Journaled writes replayed across chaos drills.").Add(uint64(res.Replayed))
+		env.Obs.Counter("sb_eval_chaos_dropped_total",
+			"Journaled writes dropped across chaos drills.").Add(uint64(res.Dropped))
+		env.Obs.Counter("sb_eval_chaos_lost_total",
+			"Call transitions lost across chaos drills (must stay 0).").Add(uint64(res.LostTransitions))
+	}
 	return res, nil
 }

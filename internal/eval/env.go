@@ -13,6 +13,7 @@ import (
 	"switchboard/internal/allocate"
 	"switchboard/internal/geo"
 	"switchboard/internal/model"
+	"switchboard/internal/obs"
 	"switchboard/internal/provision"
 	"switchboard/internal/records"
 	"switchboard/internal/trace"
@@ -89,6 +90,14 @@ type Env struct {
 	// EvalStart is the first instant of the evaluation window.
 	EvalStart time.Time
 
+	// Obs, when non-nil, receives experiment telemetry: one completed-run
+	// counter per experiment plus the chaos drill's journal tallies.
+	Obs *obs.Registry
+
+	// experiments is the lazily registered completed-run counter family.
+	expOnce sync.Once
+	expRuns *obs.CounterVec
+
 	// Memoized heavy artifacts shared by experiments (several experiments
 	// provision Switchboard-with-backup over the same ground-truth
 	// demand; solving those scenario LPs once saves most of a full-run's
@@ -98,6 +107,19 @@ type Env struct {
 	sbPlan  *provision.Plan
 	sbAlloc *allocate.Result
 	sbErr   error
+}
+
+// countRun counts one completed experiment under
+// sb_eval_experiments_total{name=...}. No-op without an Obs registry.
+func (env *Env) countRun(name string) {
+	if env.Obs == nil {
+		return
+	}
+	env.expOnce.Do(func() {
+		env.expRuns = env.Obs.CounterVec("sb_eval_experiments_total",
+			"Completed evaluation experiments, by name.", "name")
+	})
+	env.expRuns.With(name).Inc()
 }
 
 // SBWithBackup returns the memoized Switchboard-with-backup plan over the

@@ -50,6 +50,7 @@ func Fig3(env *Env) *Fig3Result {
 		}
 		res.PeakSlot = append(res.PeakSlot, peak)
 	}
+	env.countRun("fig3")
 	return res
 }
 
@@ -108,6 +109,7 @@ func Fig8(env *Env) *Fig8Result {
 	if len(cdf) > 5 {
 		res.At300s = cdf[5]
 	}
+	env.countRun("fig8")
 	return res
 }
 
@@ -166,6 +168,7 @@ func Migration(env *Env) (*MigrationResult, error) {
 		return nil, err
 	}
 
+	env.countRun("migration")
 	return &MigrationResult{
 		SB: Stats{Calls: sbStats.Frozen, Migrated: sbStats.Migrated, Rate: sbStats.MigrationRate(), Unplanned: sbStats.Unplanned},
 		LF: Stats{Calls: lfStats.Frozen, Migrated: lfStats.Migrated, Rate: lfStats.MigrationRate(), Unplanned: lfStats.Unplanned},
@@ -231,6 +234,7 @@ func Fig10(env *Env, workers []int) (*Fig10Result, error) {
 		}
 		res.Runs = append(res.Runs, run)
 	}
+	env.countRun("fig10")
 	return res, nil
 }
 
@@ -280,6 +284,7 @@ func Predict(env *Env) (*PredictResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	env.countRun("predict")
 	return &PredictResult{Model: acc, Baseline: base, Series: len(ds.Series)}, nil
 }
 

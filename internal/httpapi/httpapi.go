@@ -12,7 +12,9 @@ import (
 
 	"switchboard/internal/controller"
 	"switchboard/internal/geo"
+	"switchboard/internal/kvstore"
 	"switchboard/internal/model"
+	"switchboard/internal/obs"
 )
 
 // maxRequestBody caps request bodies; call-control messages are tiny, so
@@ -25,6 +27,12 @@ type Server struct {
 	ctrl  *controller.Controller
 	// Now returns the current time; overridable for tests.
 	Now func() time.Time
+	// HTTP, when non-nil, wraps every route in request-count/latency/status
+	// middleware (see obs.NewHTTPMetrics). Set before calling Mux.
+	HTTP *obs.HTTPMetrics
+	// KV, when non-nil, contributes the store client's retry/redial/poison
+	// counters to /v1/stats. Set before serving.
+	KV *kvstore.Client
 }
 
 // New returns a Server for the given world and controller.
@@ -51,17 +59,22 @@ func New(world *geo.World, ctrl *controller.Controller) *Server {
 // killing it — the journal still needs to drain.
 func (s *Server) Mux() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/call/start", s.handleStart)
-	mux.HandleFunc("POST /v1/call/config", s.handleConfig)
-	mux.HandleFunc("POST /v1/call/end", s.handleEnd)
-	mux.HandleFunc("POST /v1/dc/fail", s.handleDCFail)
-	mux.HandleFunc("POST /v1/dc/recover", s.handleDCRecover)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("GET /v1/world", s.handleWorld)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+	// handle routes through the metrics middleware; the route pattern
+	// doubles as the metric label. A nil s.HTTP wraps to the bare handler.
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.Handle(pattern, s.HTTP.Wrap(pattern, h))
+	}
+	handle("POST /v1/call/start", s.handleStart)
+	handle("POST /v1/call/config", s.handleConfig)
+	handle("POST /v1/call/end", s.handleEnd)
+	handle("POST /v1/dc/fail", s.handleDCFail)
+	handle("POST /v1/dc/recover", s.handleDCRecover)
+	handle("GET /v1/stats", s.handleStats)
+	handle("GET /v1/world", s.handleWorld)
+	handle("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		_, _ = fmt.Fprintln(w, "ok")
 	})
-	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	handle("GET /readyz", s.handleReadyz)
 	return mux
 }
 
@@ -197,7 +210,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st := s.ctrl.Stats()
-	s.reply(w, map[string]any{
+	out := map[string]any{
 		"started":                  st.Started,
 		"frozen":                   st.Frozen,
 		"migrated":                 st.Migrated,
@@ -213,7 +226,13 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"dropped":                  st.Dropped,
 		"failed_over":              st.FailedOver,
 		"failed_dcs":               s.ctrl.FailedDCs(),
-	})
+	}
+	if s.KV != nil {
+		out["kv_redials"] = s.KV.Redials()
+		out["kv_retries"] = s.KV.Retries()
+		out["kv_poisonings"] = s.KV.Poisonings()
+	}
+	s.reply(w, out)
 }
 
 func (s *Server) handleWorld(w http.ResponseWriter, _ *http.Request) {

@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -13,6 +14,7 @@ import (
 	"switchboard/internal/geo"
 	"switchboard/internal/kvstore"
 	"switchboard/internal/model"
+	"switchboard/internal/obs"
 )
 
 func newTestServer(t *testing.T) (*Server, *httptest.Server) {
@@ -221,6 +223,127 @@ func TestReadyzTracksDegradation(t *testing.T) {
 	_, stats := get(t, ts, "/v1/stats")
 	if stats["degraded"].(float64) < 1 || stats["journal_depth"].(float64) < 1 {
 		t.Errorf("stats while degraded = %v", stats)
+	}
+
+	// Recover: restart the store on the same address, drain the journal, and
+	// readiness must flip back to 200.
+	srv2 := kvstore.NewServer()
+	addr := l.Addr().String()
+	var l2 net.Listener
+	for i := 0; ; i++ {
+		l2, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if i > 50 {
+			t.Fatalf("could not rebind %s: %v", addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	go srv2.Serve(l2)
+	defer srv2.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := ctrl.ReplayJournal(); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("journal did not drain after store restart")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	resp, out = get(t, ts, "/readyz")
+	if resp.StatusCode != http.StatusOK || out["ready"] != true {
+		t.Errorf("readyz after recovery -> %d %v, want 200 ready", resp.StatusCode, out)
+	}
+	_, stats = get(t, ts, "/v1/stats")
+	if stats["journal_depth"].(float64) != 0 {
+		t.Errorf("journal_depth after drain = %v, want 0", stats["journal_depth"])
+	}
+}
+
+// TestStatsKVCounters checks that the client's robustness counters surface
+// in /v1/stats once the API is handed the store client, and that a store
+// outage actually moves them.
+func TestStatsKVCounters(t *testing.T) {
+	world := geo.DefaultWorld()
+	srv := kvstore.NewServer()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	client, err := kvstore.DialOptions(l.Addr().String(), kvstore.Options{
+		DialTimeout: 250 * time.Millisecond,
+		IOTimeout:   250 * time.Millisecond,
+		MaxRetries:  -1,
+		BackoffMin:  10 * time.Millisecond,
+		BackoffMax:  50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	ctrl, err := controller.New(controller.Config{World: world, Store: client, ProbeInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(world, ctrl)
+	s.KV = client
+	ts := httptest.NewServer(s.Mux())
+	defer ts.Close()
+
+	_, stats := get(t, ts, "/v1/stats")
+	for _, k := range []string{"kv_redials", "kv_retries", "kv_poisonings"} {
+		if _, ok := stats[k].(float64); !ok {
+			t.Fatalf("stats missing %s: %v", k, stats)
+		}
+	}
+
+	// Sever the store: the degraded write poisons the connection.
+	srv.Close()
+	post(t, ts, "/v1/call/start", StartRequest{ID: 1, Country: "JP"})
+	_, stats = get(t, ts, "/v1/stats")
+	if stats["kv_poisonings"].(float64) < 1 {
+		t.Errorf("kv_poisonings after outage = %v, want >= 1", stats["kv_poisonings"])
+	}
+}
+
+// TestMuxMetrics routes requests through the obs middleware and checks the
+// per-route counters and latency histograms in the exposition, including a
+// 4xx outcome.
+func TestMuxMetrics(t *testing.T) {
+	s, _ := newTestServer(t)
+	reg := obs.NewRegistry()
+	s.HTTP = obs.NewHTTPMetrics(reg)
+	ts := httptest.NewServer(s.Mux())
+	defer ts.Close()
+
+	if resp, _ := post(t, ts, "/v1/call/start", StartRequest{ID: 1, Country: "JP"}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("start: %d", resp.StatusCode)
+	}
+	if resp, _ := post(t, ts, "/v1/call/start", StartRequest{ID: 2, Country: "ZZ"}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad start: %d", resp.StatusCode)
+	}
+	if resp, _ := get(t, ts, "/v1/stats"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: %d", resp.StatusCode)
+	}
+
+	var sb strings.Builder
+	if _, err := reg.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`sb_http_requests_total{route="POST /v1/call/start",code="2xx"} 1`,
+		`sb_http_requests_total{route="POST /v1/call/start",code="4xx"} 1`,
+		`sb_http_requests_total{route="GET /v1/stats",code="2xx"} 1`,
+		`sb_http_request_seconds_count{route="POST /v1/call/start"} 2`,
+		"sb_http_inflight_requests 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
 	}
 }
 

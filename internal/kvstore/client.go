@@ -8,6 +8,7 @@ import (
 	"net"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 )
 
@@ -29,6 +30,10 @@ type Options struct {
 	BackoffMin, BackoffMax time.Duration
 	// Seed drives the deterministic backoff jitter (default 1).
 	Seed int64
+	// Metrics, when non-nil, receives client telemetry (dials, redials,
+	// retries, poisonings, per-command latency). Typically shared across
+	// every client talking to the same store.
+	Metrics *ClientMetrics
 }
 
 func (o Options) withDefaults() Options {
@@ -88,8 +93,14 @@ type Client struct {
 	failures   int
 	nextRedial time.Time
 	rng        uint64
-	redials    int64
 	closed     bool
+
+	// Robustness counters. The client itself is single-goroutine, but these
+	// are read by stats/metrics endpoints from other goroutines, so they are
+	// atomic.
+	redials    atomic.Int64
+	retries    atomic.Int64
+	poisonings atomic.Int64
 
 	// lastRTT is the duration of the most recent round trip, exposed so
 	// the controller benchmark can report write latencies (§6.6).
@@ -141,6 +152,7 @@ func (c *Client) connect() error {
 	c.w = bufio.NewWriterSize(conn, 16<<10)
 	c.broken = nil
 	c.failures = 0
+	c.opts.Metrics.dialed()
 	return nil
 }
 
@@ -163,7 +175,15 @@ func (c *Client) Broken() bool { return !c.closed && c.conn == nil && c.broken !
 
 // Redials returns how many times the client successfully reconnected after
 // a transport failure.
-func (c *Client) Redials() int64 { return c.redials }
+func (c *Client) Redials() int64 { return c.redials.Load() }
+
+// Retries returns how many idempotent commands were retried after a
+// transport failure.
+func (c *Client) Retries() int64 { return c.retries.Load() }
+
+// Poisonings returns how many times a transport error poisoned the
+// connection.
+func (c *Client) Poisonings() int64 { return c.poisonings.Load() }
 
 // Idempotent reports whether cmd can be retried after an ambiguous
 // transport failure (the in-flight command may or may not have executed
@@ -186,6 +206,8 @@ func (c *Client) poison(err error) {
 		c.conn = nil
 	}
 	c.broken = err
+	c.poisonings.Add(1)
+	c.opts.Metrics.poisoned()
 	// The first redial may happen immediately; only failed redials grow
 	// the backoff window.
 	c.nextRedial = time.Now()
@@ -210,7 +232,8 @@ func (c *Client) ensureConn(force bool) error {
 		c.broken = err
 		return fmt.Errorf("%w: redial: %v", ErrBroken, err)
 	}
-	c.redials++
+	c.redials.Add(1)
+	c.opts.Metrics.redialed()
 	return nil
 }
 
@@ -267,6 +290,7 @@ func (c *Client) Do(args ...string) (interface{}, error) {
 			reply, err := c.doOnce(args)
 			if err == nil || errors.Is(err, ErrNil) || IsServerError(err) {
 				c.lastRTT = time.Since(start)
+				c.opts.Metrics.observe(args[0], c.lastRTT.Seconds())
 				return reply, err
 			}
 			c.poison(err)
@@ -275,6 +299,8 @@ func (c *Client) Do(args ...string) (interface{}, error) {
 		if !retriable || attempt >= c.opts.MaxRetries {
 			return nil, lastErr
 		}
+		c.retries.Add(1)
+		c.opts.Metrics.retried()
 		time.Sleep(c.backoff(attempt))
 	}
 }

@@ -1,0 +1,88 @@
+package kvstore
+
+import "switchboard/internal/obs"
+
+// ClientMetrics is the client-side telemetry bundle, shared by every client
+// built from the same Options. All methods are nil-safe so an uninstrumented
+// client pays one nil check per event.
+type ClientMetrics struct {
+	Dials    *obs.Counter
+	Redials  *obs.Counter
+	Retries  *obs.Counter
+	Poisoned *obs.Counter
+	// Latency is per-command round-trip time, labeled by command name.
+	Latency *obs.HistogramVec
+}
+
+// NewClientMetrics registers the client metric families on r (nil r yields a
+// usable all-nil bundle).
+func NewClientMetrics(r *obs.Registry) *ClientMetrics {
+	return &ClientMetrics{
+		Dials:    r.Counter("sb_kvstore_client_dials_total", "Connection attempts that succeeded."),
+		Redials:  r.Counter("sb_kvstore_client_redials_total", "Successful reconnects after a transport failure."),
+		Retries:  r.Counter("sb_kvstore_client_retries_total", "Idempotent commands retried after a transport failure."),
+		Poisoned: r.Counter("sb_kvstore_client_poisonings_total", "Connections poisoned by a mid-command transport error."),
+		Latency: r.HistogramVec("sb_kvstore_client_command_seconds",
+			"Round-trip time per command, including retries.", obs.LatencyBuckets, "cmd"),
+	}
+}
+
+func (m *ClientMetrics) dialed() {
+	if m != nil {
+		m.Dials.Inc()
+	}
+}
+
+func (m *ClientMetrics) redialed() {
+	if m != nil {
+		m.Redials.Inc()
+	}
+}
+
+func (m *ClientMetrics) retried() {
+	if m != nil {
+		m.Retries.Inc()
+	}
+}
+
+func (m *ClientMetrics) poisoned() {
+	if m != nil {
+		m.Poisoned.Inc()
+	}
+}
+
+func (m *ClientMetrics) observe(cmd string, secs float64) {
+	if m != nil {
+		m.Latency.With(cmd).Observe(secs)
+	}
+}
+
+// ServerMetrics is the server-side telemetry bundle.
+type ServerMetrics struct {
+	// Commands counts executed commands by name.
+	Commands *obs.CounterVec
+	// InFlight tracks the number of live client connections.
+	InFlight *obs.Gauge
+}
+
+// NewServerMetrics registers the server metric families on r (nil r yields a
+// usable all-nil bundle).
+func NewServerMetrics(r *obs.Registry) *ServerMetrics {
+	return &ServerMetrics{
+		Commands: r.CounterVec("sb_kvstore_server_commands_total",
+			"Commands executed, by command name.", "cmd"),
+		InFlight: r.Gauge("sb_kvstore_server_inflight_conns", "Live client connections."),
+	}
+}
+
+func (m *ServerMetrics) command(cmd string) {
+	if m != nil {
+		m.Commands.With(cmd).Inc()
+	}
+}
+
+func (m *ServerMetrics) connDelta(d float64) {
+	if m != nil {
+		m.InFlight.Add(d)
+	}
+}

@@ -46,6 +46,9 @@ type Server struct {
 	// writes against Azure Redis; an in-process loopback store is ~100x
 	// faster, which would make thread-scaling (Fig 10) invisible.
 	simLatency time.Duration
+
+	// metrics receives server telemetry; nil-safe, set before Serve.
+	metrics *ServerMetrics
 }
 
 type shard struct {
@@ -110,6 +113,10 @@ func (s *Server) OpsServed() int64 { return s.opsServed.Load() }
 // deterministic heavy tail up to 14x d (mean ~2.4x d), emulating a remote
 // cloud store. Call before Serve.
 func (s *Server) SetSimulatedLatency(d time.Duration) { s.simLatency = d }
+
+// SetMetrics attaches a telemetry bundle (see NewServerMetrics). Call before
+// Serve.
+func (s *Server) SetMetrics(m *ServerMetrics) { s.metrics = m }
 
 func (s *Server) shardOf(key string) *shard {
 	h := fnv.New32a()
@@ -203,11 +210,13 @@ func (s *Server) Close() error {
 }
 
 func (s *Server) handle(conn net.Conn) {
+	s.metrics.connDelta(1)
 	defer func() {
 		_ = conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
+		s.metrics.connDelta(-1)
 	}()
 	r := bufio.NewReaderSize(conn, 16<<10)
 	w := bufio.NewWriterSize(conn, 16<<10)
@@ -296,6 +305,7 @@ func (s *Server) execute(args []string, w *bufio.Writer) {
 	}
 	s.opsServed.Add(1)
 	cmd := strings.ToUpper(args[0])
+	s.metrics.command(cmd)
 	switch cmd {
 	case "PING":
 		writeSimple(w, "PONG")

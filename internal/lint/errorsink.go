@@ -17,6 +17,9 @@ import (
 // methods on *bufio.Writer, *bytes.Buffer, and *strings.Builder (the
 // first's errors resurface at Flush; the latter two cannot fail), and
 // fmt.Print/Printf/Println to stdout, matching vet's own tolerance.
+// Metric sinks from internal/obs (Inc/Add/Observe/Set) are exempt too:
+// telemetry is fire-and-forget by contract, and instrumentation sites
+// must not need `_ =` noise.
 func ErrorSinkAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "errorsink",
@@ -95,6 +98,36 @@ var exemptFuncs = map[string]bool{
 	"fmt.Println": true,
 }
 
+// obsSinkMethods are the fire-and-forget metric sink methods on internal/obs
+// types. Instrumentation calls them at statement position everywhere;
+// telemetry failure is not an error the caller can act on, so the sink
+// contract is "never report" and the sites stay free of `_ =` noise. Today's
+// sinks return nothing (the exemption is vacuous for them); it pins the
+// contract so an error-returning sink variant cannot sneak that noise in.
+var obsSinkMethods = map[string]bool{
+	"Inc":     true,
+	"Add":     true,
+	"Observe": true,
+	"Set":     true,
+}
+
+// isObsSink reports whether the selection is a fire-and-forget metric sink
+// method on a type declared in an internal/obs package.
+func isObsSink(s *types.Selection, name string) bool {
+	if !obsSinkMethods[name] {
+		return false
+	}
+	t := s.Recv()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return strings.HasSuffix(named.Obj().Pkg().Path(), "internal/obs")
+}
+
 func exemptSink(p *Package, call *ast.CallExpr) bool {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
@@ -102,7 +135,8 @@ func exemptSink(p *Package, call *ast.CallExpr) bool {
 	}
 	// Method with an exempt receiver type.
 	if s, ok := p.Info.Selections[sel]; ok && s.Kind() == types.MethodVal {
-		return exemptReceivers[strings.TrimPrefix(s.Recv().String(), "*")]
+		return exemptReceivers[strings.TrimPrefix(s.Recv().String(), "*")] ||
+			isObsSink(s, sel.Sel.Name)
 	}
 	// Package function on the exempt list.
 	if id, ok := sel.X.(*ast.Ident); ok {

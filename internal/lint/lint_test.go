@@ -258,6 +258,49 @@ func fine() { println("no error in the tuple") }
 	})
 }
 
+// TestErrorSinkObsExemption pins the telemetry-sink carve-out: Inc/Add/
+// Observe/Set on internal/obs types are fire-and-forget even when a sink
+// variant returns an error, while non-sink obs methods and same-named
+// methods on other packages' types stay flagged.
+func TestErrorSinkObsExemption(t *testing.T) {
+	runFixture(t, ErrorSinkAnalyzer(), map[string]string{
+		"internal/obs/fixture.go": `package obs
+
+// A hypothetical remote-write sink whose methods report transport errors;
+// the sink contract says call sites still fire and forget.
+type Counter struct{}
+
+func (c *Counter) Inc() error            { return nil }
+func (c *Counter) Add(n uint64) error    { return nil }
+func (c *Counter) Flush() error          { return nil }
+
+type Gauge struct{}
+
+func (g Gauge) Set(v float64) error     { return nil }
+func (g Gauge) Observe(v float64) error { return nil }
+`,
+		"internal/web/fixture.go": `package web
+
+import "fixture/internal/obs"
+
+type impostor struct{}
+
+func (impostor) Inc() error { return nil }
+
+func instrument(c *obs.Counter, g obs.Gauge) {
+	c.Inc()             // obs sink: exempt
+	c.Add(2)            // obs sink: exempt
+	g.Set(1.5)          // obs sink: exempt
+	g.Observe(0.1)      // obs sink: exempt
+	defer c.Inc()       // sinks stay exempt under defer
+	go c.Add(1)         // ... and in goroutines
+	c.Flush()           // want "error result dropped"
+	impostor{}.Inc()    // want "error result dropped"
+}
+`,
+	})
+}
+
 // TestFindingString pins the canonical output format the Makefile gate and
 // editors parse.
 func TestFindingString(t *testing.T) {

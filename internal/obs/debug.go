@@ -1,0 +1,31 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugMux assembles the operator-facing debug surface cmd/switchboard
+// serves on -debug-addr, deliberately separate from the service API so
+// telemetry and profiling are never exposed on the call-control port:
+//
+//	GET /metrics        Prometheus text exposition of reg
+//	GET /debug/trace    JSON dump of the decision ring (?n= limits)
+//	GET /debug/pprof/*  net/http/pprof profiles (CPU, heap, goroutine, ...)
+//
+// reg and ring may be nil; the corresponding endpoints then serve empty
+// output rather than 404, keeping scrapers and dashboards happy during
+// partial rollouts.
+func DebugMux(reg *Registry, ring *DecisionRing) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", reg.Handler())
+	mux.Handle("GET /debug/trace", ring.Handler())
+	// net/http/pprof self-registers on DefaultServeMux only; mount the
+	// handlers explicitly so the debug mux stays self-contained.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

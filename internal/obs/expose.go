@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// WriteTo renders every registered family in Prometheus text exposition
+// format (version 0.0.4), families sorted by name and vec children sorted by
+// label values, so output is deterministic for a given metric state.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	if r == nil {
+		return 0, nil
+	}
+	bw := bufio.NewWriter(w)
+	cw := &countingWriter{w: bw}
+
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	fams := make([]*family, 0, len(names))
+	for _, n := range names {
+		fams = append(fams, r.families[n])
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	for _, f := range fams {
+		f.render(cw)
+		if cw.err != nil {
+			return cw.n, cw.err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// Handler returns an http.Handler serving the exposition (the /metrics
+// endpoint).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = r.WriteTo(w)
+	})
+}
+
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (cw *countingWriter) WriteString(s string) {
+	if cw.err != nil {
+		return
+	}
+	n, err := io.WriteString(cw.w, s)
+	cw.n += int64(n)
+	cw.err = err
+}
+
+func (f *family) render(w *countingWriter) {
+	w.WriteString("# HELP " + f.name + " " + escapeHelp(f.help) + "\n")
+	w.WriteString("# TYPE " + f.name + " " + f.kind.String() + "\n")
+	if f.labels == nil {
+		switch f.kind {
+		case kindCounter:
+			w.WriteString(f.name + " " + formatUint(f.counter.Value()) + "\n")
+		case kindGauge:
+			w.WriteString(f.name + " " + formatFloat(f.gauge.Value()) + "\n")
+		case kindHistogram:
+			renderHistogram(w, f.name, "", f.hist)
+		}
+		return
+	}
+
+	f.mu.RLock()
+	children := make([]*child, 0, len(f.children))
+	for _, c := range f.children {
+		children = append(children, c)
+	}
+	f.mu.RUnlock()
+	sort.Slice(children, func(i, j int) bool {
+		return labelKey(children[i].labelVals) < labelKey(children[j].labelVals)
+	})
+	for _, c := range children {
+		lbl := renderLabels(f.labels, c.labelVals)
+		switch f.kind {
+		case kindCounter:
+			w.WriteString(f.name + "{" + lbl + "} " + formatUint(c.counter.Value()) + "\n")
+		case kindGauge:
+			w.WriteString(f.name + "{" + lbl + "} " + formatFloat(c.gauge.Value()) + "\n")
+		case kindHistogram:
+			renderHistogram(w, f.name, lbl, c.hist)
+		}
+	}
+}
+
+// renderHistogram emits the cumulative _bucket series plus _sum and _count.
+// extraLabels is a pre-rendered `k="v",...` fragment or "".
+func renderHistogram(w *countingWriter, name, extraLabels string, h *Histogram) {
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		w.WriteString(name + "_bucket{" + joinLabels(extraLabels, `le="`+formatFloat(b)+`"`) + "} " + formatUint(cum) + "\n")
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	w.WriteString(name + "_bucket{" + joinLabels(extraLabels, `le="+Inf"`) + "} " + formatUint(cum) + "\n")
+	suffix := ""
+	if extraLabels != "" {
+		suffix = "{" + extraLabels + "}"
+	}
+	w.WriteString(name + "_sum" + suffix + " " + formatFloat(h.Sum()) + "\n")
+	w.WriteString(name + "_count" + suffix + " " + formatUint(h.Count()) + "\n")
+}
+
+func joinLabels(extra, le string) string {
+	if extra == "" {
+		return le
+	}
+	return extra + "," + le
+}
+
+func renderLabels(names, vals []string) string {
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += ","
+		}
+		v := vals[i]
+		out += n + `="` + escapeLabel(v) + `"`
+	}
+	return out
+}
+
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslash and newline per the exposition format.
+func escapeHelp(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}
+
+// escapeLabel escapes backslash, quote, and newline in label values.
+func escapeLabel(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '"':
+			out = append(out, '\\', '"')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"net/http"
+	"time"
+)
+
+// HTTPMetrics instruments HTTP routes with request counts (by route and
+// status class), latency histograms (by route), and an in-flight gauge.
+// Children are resolved once per route at wrap time, so the per-request cost
+// is two atomic ops and one histogram observe — no label lookups, no
+// allocations beyond the status-recording writer.
+type HTTPMetrics struct {
+	requests *CounterVec   // labels: route, code (status class: "2xx"...)
+	latency  *HistogramVec // labels: route
+	inflight *Gauge
+}
+
+// NewHTTPMetrics registers the HTTP metric families on r. Nil-safe: a nil
+// registry yields nil, and (*HTTPMetrics)(nil).Wrap returns the handler
+// unchanged.
+func NewHTTPMetrics(r *Registry) *HTTPMetrics {
+	if r == nil {
+		return nil
+	}
+	return &HTTPMetrics{
+		requests: r.CounterVec("sb_http_requests_total",
+			"HTTP requests served, by route pattern and status class.", "route", "code"),
+		latency: r.HistogramVec("sb_http_request_seconds",
+			"HTTP request service time in seconds, by route pattern.", nil, "route"),
+		inflight: r.Gauge("sb_http_inflight_requests",
+			"HTTP requests currently being served."),
+	}
+}
+
+// statusClasses cover every valid status code bucket; resolved per route at
+// wrap time so the serve path never touches the vec maps.
+var statusClasses = [...]string{"1xx", "2xx", "3xx", "4xx", "5xx"}
+
+// Wrap instruments h under the given route label (typically the mux pattern,
+// e.g. "POST /v1/call/start").
+func (m *HTTPMetrics) Wrap(route string, h http.Handler) http.Handler {
+	if m == nil {
+		return h
+	}
+	var byClass [len(statusClasses)]*Counter
+	for i, c := range statusClasses {
+		byClass[i] = m.requests.With(route, c)
+	}
+	lat := m.latency.With(route)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		m.inflight.Add(1)
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h.ServeHTTP(sw, r)
+		lat.Observe(time.Since(start).Seconds())
+		m.inflight.Add(-1)
+		if i := sw.code/100 - 1; i >= 0 && i < len(byClass) {
+			byClass[i].Inc()
+		}
+	})
+}
+
+// statusWriter captures the response status code. It deliberately implements
+// only http.ResponseWriter: the API serves small JSON bodies, so Flusher/
+// Hijacker passthrough is not needed on these routes.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}

@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHTTPMiddleware(t *testing.T) {
+	reg := NewRegistry()
+	m := NewHTTPMetrics(reg)
+	ok := m.Wrap("POST /v1/call/start", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	conflict := m.Wrap("POST /v1/call/start", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "dup", http.StatusConflict)
+	}))
+	boom := m.Wrap("GET /v1/stats", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	implicit := m.Wrap("GET /healthz", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		// No explicit WriteHeader: implicit 200 must still be counted.
+		_, _ = w.Write([]byte("ok"))
+	}))
+
+	for _, h := range []http.Handler{ok, ok, conflict, boom, implicit} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	}
+
+	var sb strings.Builder
+	if _, err := reg.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`sb_http_requests_total{route="POST /v1/call/start",code="2xx"} 2`,
+		`sb_http_requests_total{route="POST /v1/call/start",code="4xx"} 1`,
+		`sb_http_requests_total{route="GET /v1/stats",code="5xx"} 1`,
+		`sb_http_requests_total{route="GET /healthz",code="2xx"} 1`,
+		`sb_http_request_seconds_count{route="POST /v1/call/start"} 3`,
+		`sb_http_inflight_requests 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

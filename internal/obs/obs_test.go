@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"math"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("sb_test_ops_total", "ops")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("sb_test_depth", "depth")
+	g.Set(3)
+	g.Add(-1.5)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+	// Re-registering the same name returns the same metric.
+	if r.Counter("sb_test_ops_total", "ops") != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	// Every sink must be a no-op on nil: instrumented code never guards.
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var ring *DecisionRing
+	var reg *Registry
+	c.Inc()
+	c.Add(2)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	ring.Record(Decision{})
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || ring.Total() != 0 {
+		t.Fatal("nil metrics must read as zero")
+	}
+	if reg.Counter("x", "") != nil || reg.CounterVec("x", "", "l") != nil {
+		t.Fatal("nil registry must hand out nil metrics")
+	}
+	var hv *HistogramVec
+	var cv *CounterVec
+	hv.With("a").Observe(1)
+	cv.With("a").Inc()
+	var hm *HTTPMetrics
+	if got := hm.Wrap("r", nil); got != nil {
+		t.Fatal("nil HTTPMetrics.Wrap must return the handler unchanged")
+	}
+	if n, err := reg.WriteTo(&strings.Builder{}); n != 0 || err != nil {
+		t.Fatalf("nil registry WriteTo = %d, %v", n, err)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("sb_test_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-56.05) > 1e-9 {
+		t.Fatalf("sum = %v, want 56.05", h.Sum())
+	}
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// Cumulative buckets: 1, 3, 4, 5(+Inf).
+	for _, want := range []string{
+		`sb_test_seconds_bucket{le="0.1"} 1`,
+		`sb_test_seconds_bucket{le="1"} 3`,
+		`sb_test_seconds_bucket{le="10"} 4`,
+		`sb_test_seconds_bucket{le="+Inf"} 5`,
+		`sb_test_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestVecChildrenAndLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("sb_test_cmds_total", "commands", "cmd")
+	v.With("HSET").Add(2)
+	v.With("GET").Inc()
+	if v.With("HSET") != v.With("HSET") {
+		t.Fatal("vec must cache children")
+	}
+	hv := r.HistogramVec("sb_test_cmd_seconds", "per-command latency", []float64{1}, "cmd")
+	hv.With("HSET").Observe(0.5)
+	esc := r.CounterVec("sb_test_weird_total", "escaping", "v")
+	esc.With("a\"b\\c\nd").Inc()
+
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`sb_test_cmds_total{cmd="GET"} 1`,
+		`sb_test_cmds_total{cmd="HSET"} 2`,
+		`sb_test_cmd_seconds_bucket{cmd="HSET",le="1"} 1`,
+		`sb_test_cmd_seconds_sum{cmd="HSET"} 0.5`,
+		`sb_test_cmd_seconds_count{cmd="HSET"} 1`,
+		// `a"b\c<newline>d` escapes to `a\"b\\c\nd`.
+		`sb_test_weird_total{v="a\"b\\c\nd"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// expositionLine matches one valid sample line of the text format.
+var expositionLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (-?[0-9]+(\.[0-9]+)?([eE][-+]?[0-9]+)?|[+-]Inf|NaN)$`)
+
+// TestExpositionFormatValid lint-checks every emitted line: HELP/TYPE
+// comments precede their family's samples, sample lines parse, families are
+// sorted, and no family appears twice.
+func TestExpositionFormatValid(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sb_b_total", "b help").Inc()
+	r.Gauge("sb_a_gauge", "a help").Set(2.5)
+	r.Histogram("sb_c_seconds", "c help", nil).Observe(0.003)
+	r.CounterVec("sb_d_total", "d help", "k").With("v1").Inc()
+
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var families []string
+	cur := ""
+	for _, line := range strings.Split(strings.TrimRight(sb.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") {
+			f := strings.SplitN(line, " ", 4)[2]
+			families = append(families, f)
+			cur = f
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			if f := strings.SplitN(line, " ", 4)[2]; f != cur {
+				t.Errorf("TYPE for %q under HELP for %q", f, cur)
+			}
+			continue
+		}
+		if !expositionLine.MatchString(line) {
+			t.Errorf("invalid sample line %q", line)
+		}
+		if !strings.HasPrefix(line, cur) {
+			t.Errorf("sample %q outside its family %q", line, cur)
+		}
+	}
+	for i := 1; i < len(families); i++ {
+		if families[i-1] >= families[i] {
+			t.Errorf("families not sorted/unique: %v", families)
+		}
+	}
+	if len(families) != 4 {
+		t.Errorf("families = %v, want 4", families)
+	}
+}
+
+func TestConcurrentSinks(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("sb_test_total", "t")
+	h := r.Histogram("sb_test_h_seconds", "t", []float64{1})
+	g := r.Gauge("sb_test_g", "t")
+	v := r.CounterVec("sb_test_v_total", "t", "k")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(0.5)
+				g.Add(1)
+				v.With("a").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || h.Count() != 8000 || g.Value() != 8000 || v.With("a").Value() != 8000 {
+		t.Fatalf("lost updates: c=%d h=%d g=%v v=%d", c.Value(), h.Count(), g.Value(), v.With("a").Value())
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("sb_bench_total", "bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("sb_bench_seconds", "bench", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.0042)
+	}
+}

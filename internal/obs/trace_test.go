@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestDecisionRingOverwritesOldest(t *testing.T) {
+	r := NewDecisionRing(3)
+	for i := uint64(1); i <= 5; i++ {
+		r.Record(Decision{Call: i, Kind: "start"})
+	}
+	if r.Total() != 5 {
+		t.Fatalf("total = %d, want 5", r.Total())
+	}
+	snap := r.Snapshot(0)
+	if len(snap) != 3 {
+		t.Fatalf("snapshot len = %d, want 3", len(snap))
+	}
+	// Newest first: calls 5, 4, 3 with sequence numbers stamped.
+	for i, wantCall := range []uint64{5, 4, 3} {
+		if snap[i].Call != wantCall || snap[i].Seq != wantCall {
+			t.Errorf("snap[%d] = call %d seq %d, want %d", i, snap[i].Call, snap[i].Seq, wantCall)
+		}
+	}
+	if got := r.Snapshot(2); len(got) != 2 || got[0].Call != 5 || got[1].Call != 4 {
+		t.Errorf("Snapshot(2) = %v", got)
+	}
+	// Asking for more than stored returns what exists.
+	if got := r.Snapshot(99); len(got) != 3 {
+		t.Errorf("Snapshot(99) len = %d, want 3", len(got))
+	}
+}
+
+func TestDecisionRingHandler(t *testing.T) {
+	r := NewDecisionRing(8)
+	r.Record(Decision{Call: 1, Kind: "start", Chosen: 4, Prev: -1, Reason: "first-joiner"})
+	r.Record(Decision{Call: 1, Kind: "freeze", Chosen: 2, Prev: 4, Migrated: true, Planned: true, Reason: "plan", Config: "video|ID:5,JP:3"})
+
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var out struct {
+		Total     uint64     `json:"total"`
+		Decisions []Decision `json:"decisions"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Total != 2 || len(out.Decisions) != 2 {
+		t.Fatalf("total=%d len=%d, want 2/2", out.Total, len(out.Decisions))
+	}
+	if d := out.Decisions[0]; d.Kind != "freeze" || !d.Migrated || d.Config == "" {
+		t.Errorf("newest decision = %+v", d)
+	}
+
+	// ?n=1 limits, ?n=junk is a 400.
+	rec = httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace?n=1", nil))
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil || len(out.Decisions) != 1 {
+		t.Errorf("n=1: %v, %d decisions", err, len(out.Decisions))
+	}
+	rec = httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace?n=-1", nil))
+	if rec.Code != 400 {
+		t.Errorf("n=-1 status = %d, want 400", rec.Code)
+	}
+}
+
+func TestDebugMuxRoutes(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sb_test_total", "t").Inc()
+	ring := NewDecisionRing(4)
+	ring.Record(Decision{Call: 7, Kind: "start"})
+	mux := DebugMux(reg, ring)
+
+	for path, wantBody := range map[string]string{
+		"/metrics":               "sb_test_total 1",
+		"/debug/trace":           `"call":7`,
+		"/debug/pprof/":          "profiles",
+		"/debug/pprof/goroutine": "goroutine",
+	} {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest("GET", path, nil)
+		if path == "/debug/pprof/goroutine" {
+			req = httptest.NewRequest("GET", path+"?debug=1", nil)
+		}
+		mux.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			t.Errorf("%s status = %d", path, rec.Code)
+			continue
+		}
+		if body := rec.Body.String(); !strings.Contains(body, wantBody) {
+			t.Errorf("%s body missing %q", path, wantBody)
+		}
+	}
+
+	// Nil registry/ring still serve empty output, not 404s.
+	nilMux := DebugMux(nil, nil)
+	for _, path := range []string{"/metrics", "/debug/trace"} {
+		rec := httptest.NewRecorder()
+		nilMux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != 200 {
+			t.Errorf("nil %s status = %d", path, rec.Code)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package sim
+
+import "switchboard/internal/obs"
+
+// Metrics mirrors Run's tallies into an obs registry. The simulator is a
+// determinism-linted package, so only counters appear here — no wall-clock
+// timings.
+type Metrics struct {
+	Calls      *obs.Counter
+	Placed     *obs.Counter
+	Overflowed *obs.Counter
+	Unknown    *obs.Counter
+}
+
+// NewMetrics registers the simulator metric families on r (nil r yields a
+// usable all-nil bundle).
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		Calls:      r.Counter("sb_sim_calls_total", "Calls replayed by the simulator."),
+		Placed:     r.Counter("sb_sim_placed_total", "Replayed calls hosted within compute capacity."),
+		Overflowed: r.Counter("sb_sim_overflowed_total", "Replayed calls admitted beyond compute capacity."),
+		Unknown:    r.Counter("sb_sim_unknown_configs_total", "Replayed calls outside the plan's config universe."),
+	}
+}
+
+// SetMetrics attaches a telemetry bundle; Run mirrors its tallies into it
+// once per replay (aggregated at the end, off the per-event path).
+func (s *Simulator) SetMetrics(m *Metrics) { s.metrics = m }
+
+// mirror adds one run's tallies to the attached bundle, if any.
+func (s *Simulator) mirror(res *Result) {
+	if s.metrics == nil {
+		return
+	}
+	s.metrics.Calls.Add(uint64(res.Calls))
+	s.metrics.Placed.Add(uint64(res.Placed))
+	s.metrics.Overflowed.Add(uint64(res.Overflowed))
+	s.metrics.Unknown.Add(uint64(res.UnknownConfigs))
+}

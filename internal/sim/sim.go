@@ -155,6 +155,7 @@ type Simulator struct {
 	capCores []float64
 	capGbps  []float64
 	configIx map[string]int
+	metrics  *Metrics
 }
 
 // New builds a simulator over the load model's config universe and the given
@@ -359,6 +360,7 @@ func (s *Simulator) Run(recs []*model.CallRecord, p Policy) (*Result, error) {
 			res.LinkExcessGbps += over
 		}
 	}
+	s.mirror(res)
 	return res, nil
 }
 

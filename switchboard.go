@@ -22,6 +22,8 @@
 //   - the recurring-meeting config predictor (internal/predict)
 //   - the experiment harness regenerating every paper table and figure
 //     (internal/eval)
+//   - realtime-path telemetry: metrics, decision tracing, pprof
+//     (internal/obs, served by cmd/switchboard -debug-addr)
 //
 // Quickstart:
 //
