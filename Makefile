@@ -37,9 +37,10 @@ bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
 # Core hot-path perf trajectory: controller placement + kvstore round-trip,
-# written to BENCH_core.json (see cmd/sbbench). CI runs this non-gating.
+# appended to the BENCH_core.json run history keyed by the current revision
+# (see cmd/sbbench). CI runs this non-gating.
 bench-core:
-	$(GO) run ./cmd/sbbench -o BENCH_core.json
+	$(GO) run ./cmd/sbbench -o BENCH_core.json -rev "$$(git rev-parse --short HEAD)"
 	@cat BENCH_core.json
 
 clean:

@@ -6,6 +6,7 @@
 package switchboard_test
 
 import (
+	"context"
 	"net"
 	"sync"
 	"testing"
@@ -67,10 +68,10 @@ func BenchmarkCorePlacement(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		id := uint64(i + 1)
-		if _, err := ctrl.CallStarted(id, "JP", now); err != nil {
+		if _, err := ctrl.CallStarted(context.Background(), id, "JP", now); err != nil {
 			b.Fatal(err)
 		}
-		if err := ctrl.CallEnded(id); err != nil {
+		if err := ctrl.CallEnded(context.Background(), id); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,21 +1,28 @@
 // Command sbbench measures the two core hot paths of the realtime service —
 // the controller's in-memory placement decision and one kvstore round-trip
-// over loopback TCP — and writes the results as BENCH_core.json, the repo's
-// perf trajectory file. CI runs it non-gating on every push; compare the
-// committed point against a fresh run before and after touching the
-// controller or kvstore.
+// over loopback TCP — and appends the results to BENCH_core.json, the repo's
+// perf trajectory file: a history of runs keyed by git revision, so the
+// trajectory across commits stays inspectable instead of being overwritten.
+// CI runs it non-gating on every push; compare the committed points against
+// a fresh run before and after touching the controller or kvstore.
 //
 // Usage:
 //
-//	sbbench                 # print JSON to stdout
-//	sbbench -o BENCH_core.json
-//	sbbench -benchtime 2s   # longer sampling for quieter numbers
+//	sbbench                                   # print this run's JSON to stdout
+//	sbbench -o BENCH_core.json -rev $(git rev-parse --short HEAD)
+//	sbbench -benchtime 2s                     # longer sampling for quieter numbers
+//
+// With -o, an existing file is loaded and the new run is appended to its
+// "results" history (an entry with the same rev is replaced, so re-running
+// on a dirty tree does not grow the file). A file in the pre-history flat
+// format is migrated to a single "pre-history" entry.
 //
 // The same loops exist as BenchmarkCorePlacement / BenchmarkCoreKVRoundTrip
 // in bench_test.go for `make bench` and profiling runs.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -39,22 +46,67 @@ type result struct {
 	BytesOp    int64   `json:"bytes_per_op"`
 }
 
-type report struct {
+// run is one sbbench invocation: the machine it ran on, the revision it
+// measured, and its benchmark points.
+type run struct {
+	Rev     string   `json:"rev"`
 	GoOS    string   `json:"goos"`
 	GoArch  string   `json:"goarch"`
 	NumCPU  int      `json:"num_cpu"`
 	Results []result `json:"results"`
 }
 
+// history is the trajectory file: every recorded run, oldest first.
+type history struct {
+	Results []run `json:"results"`
+}
+
+// legacyReport is the pre-history flat schema (one overwritten run with no
+// rev), still recognized so old files migrate instead of erroring.
+type legacyReport struct {
+	GoOS    string   `json:"goos"`
+	GoArch  string   `json:"goarch"`
+	NumCPU  int      `json:"num_cpu"`
+	Results []result `json:"results"`
+}
+
+// loadHistory reads an existing trajectory file, migrating the legacy flat
+// format. A missing or unreadable file starts a fresh history.
+func loadHistory(path string) []run {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var h history
+	// History entries nest their own results; the inner slice being present
+	// distinguishes the new schema from the legacy flat one (whose results
+	// are bench points and leave run.Results nil).
+	if json.Unmarshal(buf, &h) == nil && len(h.Results) > 0 && h.Results[0].Results != nil {
+		return h.Results
+	}
+	var legacy legacyReport
+	if json.Unmarshal(buf, &legacy) == nil && len(legacy.Results) > 0 {
+		return []run{{
+			Rev:    "pre-history",
+			GoOS:   legacy.GoOS,
+			GoArch: legacy.GoArch,
+			NumCPU: legacy.NumCPU, Results: legacy.Results,
+		}}
+	}
+	log.Printf("warning: %s is neither a bench history nor a legacy report; starting fresh", path)
+	return nil
+}
+
 func main() {
-	out := flag.String("o", "", "output path (empty prints to stdout)")
+	out := flag.String("o", "", "output path (empty prints this run to stdout)")
+	rev := flag.String("rev", "", "git revision this run measures (the history key)")
 	benchtime := flag.Duration("benchtime", time.Second, "target sampling time per benchmark")
 	flag.Parse()
 
 	// testing.Benchmark honours -test.benchtime only via the testing flags,
 	// which a plain main cannot set after flag.Parse; approximate it by
 	// running until the measured time crosses the target.
-	run := func(name string, fn func(b *testing.B)) result {
+	runBench := func(name string, fn func(b *testing.B)) result {
 		var r testing.BenchmarkResult
 		for n := 1; ; n *= 4 {
 			r = testing.Benchmark(fn)
@@ -71,22 +123,23 @@ func main() {
 		}
 	}
 
-	placement := run("core_placement", func(b *testing.B) {
+	placement := runBench("core_placement", func(b *testing.B) {
 		ctrl, err := switchboard.NewController(switchboard.ControllerConfig{
 			World: switchboard.DefaultWorld(),
 		})
 		if err != nil {
 			b.Fatal(err)
 		}
+		ctx := context.Background()
 		now := time.Now()
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			id := uint64(i + 1)
-			if _, err := ctrl.CallStarted(id, "JP", now); err != nil {
+			if _, err := ctrl.CallStarted(ctx, id, "JP", now); err != nil {
 				b.Fatal(err)
 			}
-			if err := ctrl.CallEnded(id); err != nil {
+			if err := ctrl.CallEnded(ctx, id); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -102,7 +155,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	kvRoundTrip := run("core_kv_round_trip", func(b *testing.B) {
+	kvRoundTrip := runBench("core_kv_round_trip", func(b *testing.B) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -114,23 +167,42 @@ func main() {
 	_ = client.Close()
 	_ = srv.Close()
 
-	rep := report{
+	this := run{
+		Rev:     *rev,
 		GoOS:    runtime.GOOS,
 		GoArch:  runtime.GOARCH,
 		NumCPU:  runtime.NumCPU(),
 		Results: []result{placement, kvRoundTrip},
 	}
-	buf, err := json.MarshalIndent(rep, "", "  ")
+	if *out == "" {
+		buf, err := json.MarshalIndent(this, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(string(buf))
+		return
+	}
+	runs := loadHistory(*out)
+	replaced := false
+	if *rev != "" {
+		for i := range runs {
+			if runs[i].Rev == *rev {
+				runs[i] = this
+				replaced = true
+				break
+			}
+		}
+	}
+	if !replaced {
+		runs = append(runs, this)
+	}
+	buf, err := json.MarshalIndent(history{Results: runs}, "", "  ")
 	if err != nil {
 		log.Fatal(err)
 	}
 	buf = append(buf, '\n')
-	if *out == "" {
-		fmt.Print(string(buf))
-		return
-	}
 	if err := os.WriteFile(*out, buf, 0o644); err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("wrote %s", *out)
+	log.Printf("wrote %s (%d runs, rev %q)", *out, len(runs), *rev)
 }

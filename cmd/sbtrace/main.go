@@ -1,0 +1,291 @@
+// Command sbtrace reassembles the JSONL span log written by
+// `switchboard -span-log` (see internal/obs/span) into operator-readable
+// views:
+//
+//   - a per-leg latency table: for every span name (a "leg" of the request
+//     path: the HTTP edge, the controller decision, each kvstore verb),
+//     count and p50/p90/p99/max durations across the whole log;
+//   - a waterfall of one trace: the span tree indented by parentage, each
+//     span's offset from the root and a bar showing where its time sits
+//     inside the root's window;
+//   - the trace's critical-path breakdown: the root's wall time partitioned
+//     exactly among the spans that were active (a child's window is
+//     attributed to the child, the gaps to the span itself), so the
+//     breakdown sums to the root duration and shows where the time went.
+//
+// Usage:
+//
+//	sbtrace -f spans.jsonl              # legs table + slowest trace
+//	sbtrace -f spans.jsonl -trace 4f2e8a91b3c07d65
+//	switchboard -span-log /dev/stdout | sbtrace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"switchboard/internal/obs/span"
+)
+
+func main() {
+	file := flag.String("f", "", "span JSONL file (empty reads stdin)")
+	traceArg := flag.String("trace", "", "trace ID (16 hex digits) to detail; default: the slowest root")
+	width := flag.Int("width", 40, "waterfall bar width in columns")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() { _ = f.Close() }()
+		in = f
+	}
+	recs, err := span.ReadRecords(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(recs) == 0 {
+		fmt.Println("no spans")
+		return
+	}
+
+	legsTable(os.Stdout, recs)
+
+	var want span.ID
+	if *traceArg != "" {
+		want, err = span.ParseID(*traceArg)
+		if err != nil {
+			log.Fatalf("bad -trace %q: %v", *traceArg, err)
+		}
+	} else {
+		want = slowestTrace(recs)
+	}
+	tr := filterTrace(recs, want)
+	if len(tr) == 0 {
+		log.Fatalf("trace %s not in log", want)
+	}
+	fmt.Println()
+	waterfall(os.Stdout, tr, *width)
+	fmt.Println()
+	criticalPath(os.Stdout, tr)
+}
+
+// legsTable prints per-span-name latency percentiles across all records.
+func legsTable(w io.Writer, recs []span.Record) {
+	byName := map[string][]time.Duration{}
+	for _, r := range recs {
+		byName[r.Name] = append(byName[r.Name], r.Duration)
+	}
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	_, _ = fmt.Fprintf(w, "%-28s %7s %10s %10s %10s %10s\n", "leg", "count", "p50", "p90", "p99", "max")
+	for _, n := range names {
+		ds := byName[n]
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		_, _ = fmt.Fprintf(w, "%-28s %7d %10s %10s %10s %10s\n", n, len(ds),
+			fmtDur(pct(ds, 0.50)), fmtDur(pct(ds, 0.90)), fmtDur(pct(ds, 0.99)), fmtDur(ds[len(ds)-1]))
+	}
+}
+
+// pct returns the q-quantile of sorted durations (nearest rank).
+func pct(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// slowestTrace picks the trace whose root span (no parent) has the longest
+// duration — usually the trace worth looking at first.
+func slowestTrace(recs []span.Record) span.ID {
+	var best span.ID
+	var bestDur time.Duration = -1
+	for _, r := range recs {
+		if r.Parent == 0 && r.Duration > bestDur {
+			best, bestDur = r.Trace, r.Duration
+		}
+	}
+	if bestDur < 0 {
+		// No root in the log (rotated away); fall back to any trace.
+		best = recs[0].Trace
+	}
+	return best
+}
+
+func filterTrace(recs []span.Record, id span.ID) []span.Record {
+	var out []span.Record
+	for _, r := range recs {
+		if r.Trace == id {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// tree indexes one trace's records by parentage. Spans whose parent is
+// missing from the log (rotated away) count as roots so nothing is dropped.
+type tree struct {
+	children map[span.ID][]span.Record
+	roots    []span.Record
+}
+
+func buildTree(tr []span.Record) *tree {
+	have := map[span.ID]bool{}
+	for _, r := range tr {
+		have[r.Span] = true
+	}
+	t := &tree{children: map[span.ID][]span.Record{}}
+	for _, r := range tr {
+		if r.Parent != 0 && have[r.Parent] {
+			t.children[r.Parent] = append(t.children[r.Parent], r)
+		} else {
+			t.roots = append(t.roots, r)
+		}
+	}
+	byStart := func(s []span.Record) {
+		sort.Slice(s, func(i, j int) bool { return s[i].Start.Before(s[j].Start) })
+	}
+	byStart(t.roots)
+	for _, c := range t.children {
+		byStart(c)
+	}
+	return t
+}
+
+// waterfall prints the span tree with offsets relative to the first root and
+// bars positioned inside the trace's wall-clock window.
+func waterfall(w io.Writer, tr []span.Record, width int) {
+	t := buildTree(tr)
+	origin := t.roots[0].Start
+	var end time.Time
+	for _, r := range tr {
+		if r.End().After(end) {
+			end = r.End()
+		}
+	}
+	total := end.Sub(origin)
+	_, _ = fmt.Fprintf(w, "trace %s (%d spans, %s):\n", tr[0].Trace, len(tr), fmtDur(total))
+	var walk func(r span.Record, depth int)
+	walk = func(r span.Record, depth int) {
+		label := strings.Repeat("  ", depth) + r.Name
+		status := ""
+		if r.Status != "" {
+			status = " [" + r.Status + "]"
+		}
+		if rt := r.Attrs.Get("retry"); rt == "true" {
+			status += " [retry]"
+		}
+		_, _ = fmt.Fprintf(w, "  %-34s %9s %9s  |%s|%s\n", label,
+			"+"+fmtDur(r.Start.Sub(origin)), fmtDur(r.Duration), bar(r, origin, total, width), status)
+		for _, c := range t.children[r.Span] {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range t.roots {
+		walk(r, 0)
+	}
+}
+
+// bar renders a fixed-width gutter with the span's active window filled.
+func bar(r span.Record, origin time.Time, total time.Duration, width int) string {
+	if total <= 0 || width <= 0 {
+		return ""
+	}
+	from := int(float64(r.Start.Sub(origin)) / float64(total) * float64(width))
+	n := int(float64(r.Duration) / float64(total) * float64(width))
+	if n < 1 {
+		n = 1
+	}
+	if from >= width {
+		from = width - 1
+	}
+	if from+n > width {
+		n = width - from
+	}
+	return strings.Repeat(" ", from) + strings.Repeat("#", n) + strings.Repeat(" ", width-from-n)
+}
+
+// criticalPath partitions each root's wall time among the spans that were
+// active: children are swept in start order, each child's (clipped,
+// non-overlapping) window is attributed to that child recursively, and the
+// uncovered gaps belong to the span itself. The result is an exact partition
+// — per-name totals sum to the root duration.
+func criticalPath(w io.Writer, tr []span.Record) {
+	t := buildTree(tr)
+	selfTime := map[string]time.Duration{}
+	var attribute func(r span.Record, from, to time.Time)
+	attribute = func(r span.Record, from, to time.Time) {
+		cursor := from
+		for _, c := range t.children[r.Span] {
+			s, e := c.Start, c.End()
+			if s.Before(cursor) {
+				s = cursor
+			}
+			if e.After(to) {
+				e = to
+			}
+			if !e.After(s) {
+				continue
+			}
+			selfTime[r.Name] += s.Sub(cursor)
+			attribute(c, s, e)
+			cursor = e
+		}
+		if to.After(cursor) {
+			selfTime[r.Name] += to.Sub(cursor)
+		}
+	}
+	var total time.Duration
+	for _, r := range t.roots {
+		attribute(r, r.Start, r.End())
+		total += r.Duration
+	}
+	type row struct {
+		name string
+		d    time.Duration
+	}
+	rows := make([]row, 0, len(selfTime))
+	var accounted time.Duration
+	for n, d := range selfTime {
+		rows = append(rows, row{n, d})
+		accounted += d
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].d > rows[j].d })
+	_, _ = fmt.Fprintf(w, "critical path (root %s, accounted %s, %.1f%%):\n",
+		fmtDur(total), fmtDur(accounted), 100*float64(accounted)/float64(max64(total, 1)))
+	for _, r := range rows {
+		_, _ = fmt.Fprintf(w, "  %-28s %10s %5.1f%%\n", r.name, fmtDur(r.d), 100*float64(r.d)/float64(max64(total, 1)))
+	}
+}
+
+func max64(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// fmtDur renders a duration compactly (microsecond resolution below 1ms,
+// 10µs above, never scientific notation).
+func fmtDur(d time.Duration) string {
+	switch {
+	case d < time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	case d < time.Second:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.Round(time.Millisecond).String()
+	}
+}

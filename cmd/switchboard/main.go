@@ -17,25 +17,35 @@
 //	GET  /v1/stats
 //	GET  /v1/world
 //	GET  /healthz        (liveness: process is serving)
-//	GET  /readyz         (readiness: 503 while the store path is degraded)
+//	GET  /readyz         (readiness: 503 while the store path is degraded;
+//	                      includes SLO burn rates)
 //
 // With -debug-addr a second listener serves operator endpoints (see
-// internal/obs and DESIGN.md "Observability"):
+// internal/obs and DESIGN.md "Observability" / "Tracing"):
 //
-//	GET  /metrics        (Prometheus text exposition 0.0.4)
+//	GET  /metrics        (Prometheus text exposition 0.0.4, incl. SLO burn gauges)
 //	GET  /debug/trace    (last N placement/migration/failover decisions)
+//	GET  /debug/spans    (recent spans; ?trace=<hex id> pulls one request's tree)
 //	GET  /debug/pprof/*  (net/http/pprof)
+//
+// Every request through the API is traced (see internal/obs/span): the root
+// span fans out to controller and kvstore child spans, and the trace ID rides
+// the RESP connection so the store's per-verb timings join the same trace.
+// -span-log additionally appends every finished span to a JSONL file that
+// cmd/sbtrace turns into waterfalls and critical-path breakdowns. Logs go
+// through log/slog and carry trace_id/span_id when the context has a span.
 //
 // Try it:
 //
-//	switchboard -addr 127.0.0.1:8077 -debug-addr 127.0.0.1:8078 &
+//	switchboard -addr 127.0.0.1:8077 -debug-addr 127.0.0.1:8078 -span-log spans.jsonl &
 //	curl -s -d '{"id":1,"country":"JP"}' localhost:8077/v1/call/start
-//	curl -s localhost:8078/metrics | grep sb_controller
+//	curl -s localhost:8078/debug/spans | python3 -m json.tool
+//	sbtrace -f spans.jsonl
 package main
 
 import (
 	"flag"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -47,7 +57,15 @@ import (
 	"switchboard/internal/httpapi"
 	"switchboard/internal/kvstore"
 	"switchboard/internal/obs"
+	"switchboard/internal/obs/span"
 )
+
+// fatal logs err at ERROR and exits. The slog equivalent of log.Fatal — kept
+// tiny so startup error paths stay one line.
+func fatal(msg string, err error) {
+	slog.Error(msg, "err", err)
+	os.Exit(1)
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8077", "HTTP listen address")
@@ -63,33 +81,51 @@ func main() {
 	kvBackoffMax := flag.Duration("kv-backoff-max", 2*time.Second, "maximum store redial backoff")
 	journalCap := flag.Int("journal-cap", 8192, "degraded-mode write-behind journal capacity (-1 disables)")
 	probeInterval := flag.Duration("probe-interval", time.Second, "store recovery probe interval while degraded")
-	debugAddr := flag.String("debug-addr", "", "debug HTTP listen address serving /metrics, /debug/trace, and pprof (empty disables)")
+	debugAddr := flag.String("debug-addr", "", "debug HTTP listen address serving /metrics, /debug/trace, /debug/spans, and pprof (empty disables)")
 	traceCap := flag.Int("trace-cap", obs.DefaultRingCapacity, "decision trace ring capacity")
+	spanCap := flag.Int("span-cap", span.DefaultRingCapacity, "span ring capacity behind /debug/spans")
+	spanLog := flag.String("span-log", "", "append finished spans as JSONL to this file for cmd/sbtrace (empty disables)")
 	chaosProb := flag.Float64("chaos-prob", 0, "per-operation probability of an injected store-path latency fault (0 disables; a live resilience drill, see internal/faults)")
 	chaosDelay := flag.Duration("chaos-latency", time.Millisecond, "injected latency per chaos fault")
 	flag.Parse()
 
-	// Telemetry. The registry and decision ring are always built — the serve
-	// path's instrumentation is a few atomic ops per request — but the debug
-	// listener only starts when -debug-addr is set.
+	// Logs carry trace_id/span_id whenever the context has a span, so a
+	// degraded-store warning can be joined to the request that tripped it.
+	slog.SetDefault(slog.New(span.NewLogHandler(slog.NewTextHandler(os.Stderr, nil))))
+
+	// Telemetry. The registry, decision ring, span ring, and tracer are always
+	// built — the serve path's instrumentation is a few atomic ops per request
+	// — but the debug listener only starts when -debug-addr is set.
 	reg := obs.NewRegistry()
 	ring := obs.NewDecisionRing(*traceCap)
+	spans := span.NewRing(*spanCap)
+	sinks := []span.Sink{spans}
+	if *spanLog != "" {
+		exp, err := span.OpenJSONL(*spanLog)
+		if err != nil {
+			fatal("opening -span-log", err)
+		}
+		defer func() { _ = exp.Close() }()
+		slog.Info("exporting spans", "path", *spanLog)
+		sinks = append(sinks, exp)
+	}
+	tracer := span.NewTracer(*seed, sinks...)
 
 	world := switchboard.DefaultWorld()
 	if *worldPath != "" {
 		f, err := os.Open(*worldPath)
 		if err != nil {
-			log.Fatal(err)
+			fatal("opening -world", err)
 		}
 		world, err = switchboard.ReadWorld(f)
 		_ = f.Close()
 		if err != nil {
-			log.Fatal(err)
+			fatal("reading -world", err)
 		}
 	}
 
 	// Offline stage: history -> demand -> provisioning LP -> daily plan.
-	log.Printf("bootstrapping: %d days of history at %d calls/day", *warmupDays, *callsPerDay)
+	slog.Info("bootstrapping", "days", *warmupDays, "calls_per_day", *callsPerDay)
 	tc := switchboard.DefaultTraceConfig()
 	tc.Days = *warmupDays
 	tc.CallsPerDay = *callsPerDay
@@ -97,7 +133,7 @@ func main() {
 	tc.World = world
 	gen, err := switchboard.NewGenerator(tc)
 	if err != nil {
-		log.Fatal(err)
+		fatal("building generator", err)
 	}
 	db := switchboard.NewRecordsDB(tc.Start, world)
 	gen.EachCall(func(r *switchboard.CallRecord) bool { db.Add(r); return true })
@@ -112,17 +148,17 @@ func main() {
 	}
 	lm, err := switchboard.NewLoadModel(in)
 	if err != nil {
-		log.Fatal(err)
+		fatal("building load model", err)
 	}
 	plan, err := switchboard.Provision(in)
 	if err != nil {
-		log.Fatal(err)
+		fatal("provisioning", err)
 	}
 	alloc, err := switchboard.BuildAllocationPlan(lm, plan.Cores, plan.LinkGbps)
 	if err != nil {
-		log.Fatal(err)
+		fatal("building allocation plan", err)
 	}
-	log.Printf("plan: %.0f cores, %.2f Gbps, mean ACL %.1f ms", plan.TotalCores(), plan.TotalGbps(), alloc.MeanACL)
+	slog.Info("plan ready", "cores", plan.TotalCores(), "gbps", plan.TotalGbps(), "mean_acl_ms", alloc.MeanACL)
 
 	// State store.
 	if *kvAddr == "" {
@@ -130,11 +166,11 @@ func main() {
 		srv.SetMetrics(kvstore.NewServerMetrics(reg))
 		l, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
-			log.Fatal(err)
+			fatal("listening for kvstore", err)
 		}
 		go func() { _ = srv.Serve(l) }()
 		*kvAddr = l.Addr().String()
-		log.Printf("in-process kvstore on %s", *kvAddr)
+		slog.Info("in-process kvstore", "addr", *kvAddr)
 	}
 	// The injection family is registered up front (zero-valued when the drill
 	// is off) so scrapers and dashboards always see it.
@@ -144,10 +180,10 @@ func main() {
 		inj.SetMetrics(injections)
 		proxy, err := faults.NewProxy(*kvAddr, inj)
 		if err != nil {
-			log.Fatal(err)
+			fatal("starting chaos proxy", err)
 		}
 		defer func() { _ = proxy.Close() }()
-		log.Printf("chaos drill: store traffic via %s (p=%.3f latency %v)", proxy.Addr(), *chaosProb, *chaosDelay)
+		slog.Info("chaos drill on", "via", proxy.Addr(), "prob", *chaosProb, "latency", *chaosDelay)
 		*kvAddr = proxy.Addr()
 	}
 	kv, err := switchboard.DialKVOptions(*kvAddr, switchboard.KVOptions{
@@ -160,43 +196,55 @@ func main() {
 		Metrics:     kvstore.NewClientMetrics(reg),
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal("dialing kvstore", err)
 	}
 	defer func() { _ = kv.Close() }()
 
 	aclOf := func(cfg switchboard.CallConfig, dc int) float64 { return est.ACL(cfg, dc) }
 	placer := switchboard.NewPlanPlacer(lm.Demand().Configs, alloc.Alloc, aclOf, len(world.DCs()))
+	ctrlMetrics := controller.NewMetrics(reg)
 	ctrl, err := switchboard.NewController(switchboard.ControllerConfig{
 		World:         world,
 		Placer:        placer,
 		Store:         kv,
 		JournalCap:    *journalCap,
 		ProbeInterval: *probeInterval,
-		Metrics:       controller.NewMetrics(reg),
+		Metrics:       ctrlMetrics,
 		Decisions:     ring,
+		Logger:        slog.Default(),
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal("building controller", err)
 	}
 
 	if *debugAddr != "" {
 		debug := &http.Server{
 			Addr:              *debugAddr,
-			Handler:           obs.DebugMux(reg, ring),
+			Handler:           obs.DebugMux(reg, ring, spans),
 			ReadHeaderTimeout: 5 * time.Second,
 		}
-		log.Printf("debug endpoints on http://%s (/metrics, /debug/trace, /debug/pprof)", *debugAddr)
-		go func() { log.Fatal(debug.ListenAndServe()) }()
+		slog.Info("debug endpoints up", "url", "http://"+*debugAddr, "paths", "/metrics /debug/trace /debug/spans /debug/pprof")
+		go func() { fatal("debug listener", debug.ListenAndServe()) }()
 	}
 
 	api := httpapi.New(world, ctrl)
 	api.HTTP = obs.NewHTTPMetrics(reg)
 	api.KV = kv
+	api.Tracer = tracer
+	// SLO burn gauges: placement latency from the controller histogram,
+	// availability from the API's all-routes totals.
+	slo := obs.NewSLOMonitor(reg, obs.SLOConfig{
+		Latency: ctrlMetrics.PlaceSeconds,
+		HTTP:    api.HTTP,
+	})
+	go slo.Run(obs.DefaultSLOSampleInterval)
+	defer slo.Stop()
+	api.SLO = slo
 	server := &http.Server{
 		Addr:              *addr,
 		Handler:           api.Mux(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Printf("controller serving on http://%s", *addr)
-	log.Fatal(server.ListenAndServe())
+	slog.Info("controller serving", "url", "http://"+*addr)
+	fatal("api listener", server.ListenAndServe())
 }

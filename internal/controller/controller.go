@@ -10,8 +10,10 @@
 package controller
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"strconv"
 	"sync"
@@ -21,6 +23,7 @@ import (
 	"switchboard/internal/kvstore"
 	"switchboard/internal/model"
 	"switchboard/internal/obs"
+	"switchboard/internal/obs/span"
 )
 
 // DefaultFreeze is A, the time into a call when its config is considered
@@ -159,6 +162,11 @@ type Config struct {
 	// Decisions, when non-nil, records every placement/migration/failover
 	// decision into a bounded ring for /debug/trace.
 	Decisions *obs.DecisionRing
+	// Logger, when non-nil, receives structured events for the rare state
+	// transitions worth a log line (degraded-mode entry and recovery). Use a
+	// logger built over span.NewLogHandler so the records carry the active
+	// trace ID. Nil disables logging.
+	Logger *slog.Logger
 }
 
 // Controller is the real-time MP selector. Safe for concurrent use.
@@ -178,6 +186,7 @@ type Controller struct {
 	metrics   *Metrics
 	decisions *obs.DecisionRing
 	obsOn     bool
+	logger    *slog.Logger // nil disables structured event logs
 
 	mu     sync.Mutex
 	calls  map[uint64]*callState // guarded by mu
@@ -243,6 +252,7 @@ func New(cfg Config) (*Controller, error) {
 		probeEvery: cfg.ProbeInterval,
 		metrics:    m,
 		decisions:  cfg.Decisions,
+		logger:     cfg.Logger,
 		obsOn:      cfg.Metrics != nil || cfg.Decisions != nil,
 		calls:      make(map[uint64]*callState),
 		failed:     make(map[int]bool),
@@ -279,15 +289,25 @@ func (c *Controller) Freeze() time.Duration { return c.freeze }
 
 // CallStarted assigns a new call to the DC closest to its first joiner
 // (within the joiner's region, as the service does) and returns the DC ID.
-func (c *Controller) CallStarted(id uint64, firstJoiner geo.CountryCode, at time.Time) (int, error) {
-	return c.CallStartedWithSeries(id, firstJoiner, 0, at)
+// ctx carries the request's trace span when the caller is instrumented
+// (context.Background() is fine otherwise).
+func (c *Controller) CallStarted(ctx context.Context, id uint64, firstJoiner geo.CountryCode, at time.Time) (int, error) {
+	return c.CallStartedWithSeries(ctx, id, firstJoiner, 0, at)
 }
 
 // CallStartedWithSeries is CallStarted for a call known to belong to a
 // recurring meeting series. When a Predictor is configured and yields a
 // prediction, the call is placed for the predicted config immediately (§8),
 // which avoids a migration at freeze time if the prediction holds.
-func (c *Controller) CallStartedWithSeries(id uint64, firstJoiner geo.CountryCode, seriesID uint64, at time.Time) (int, error) {
+func (c *Controller) CallStartedWithSeries(ctx context.Context, id uint64, firstJoiner geo.CountryCode, seriesID uint64, at time.Time) (dcOut int, errOut error) {
+	ctx, sp := span.Child(ctx, "controller.start")
+	if sp != nil {
+		sp.SetAttr("call", strconv.FormatUint(id, 10))
+		defer func() {
+			sp.SetError(errOut)
+			sp.End()
+		}()
+	}
 	obsT := c.obsStart()
 	dc := c.world.NearestDC(firstJoiner, true)
 	if dc < 0 {
@@ -360,7 +380,7 @@ func (c *Controller) CallStartedWithSeries(id uint64, firstJoiner geo.CountryCod
 			Reason:     reason,
 		}, obsT, dur)
 	}
-	c.persist(id, "dc", strconv.Itoa(dc))
+	c.persist(ctx, id, "dc", strconv.Itoa(dc))
 	return dc, nil
 }
 
@@ -384,7 +404,18 @@ func (c *Controller) placeFor(cfg model.CallConfig, at time.Time, current int) i
 // ConfigKnown freezes the call's config (A into the call), reconciles the
 // call against the allocation plan, and returns the (possibly new) DC and
 // whether the call migrated.
-func (c *Controller) ConfigKnown(id uint64, cfg model.CallConfig, at time.Time) (dc int, migrated bool, err error) {
+func (c *Controller) ConfigKnown(ctx context.Context, id uint64, cfg model.CallConfig, at time.Time) (dc int, migrated bool, err error) {
+	ctx, sp := span.Child(ctx, "controller.freeze")
+	if sp != nil {
+		sp.SetAttr("call", strconv.FormatUint(id, 10))
+		defer func() {
+			if migrated {
+				sp.SetAttr("migrated", "true")
+			}
+			sp.SetError(err)
+			sp.End()
+		}()
+	}
 	obsT := c.obsStart()
 	c.mu.Lock()
 	st, ok := c.calls[id]
@@ -480,15 +511,15 @@ func (c *Controller) ConfigKnown(id uint64, cfg model.CallConfig, at time.Time) 
 		Migrated: migrated,
 		Reason:   reason,
 	}, obsT, dur)
-	c.persist(id, "config", cfg.Key())
+	c.persist(ctx, id, "config", cfg.Key())
 	if migrated {
-		c.persist(id, "dc", strconv.Itoa(dc))
+		c.persist(ctx, id, "dc", strconv.Itoa(dc))
 	}
 	return dc, migrated, nil
 }
 
 // CallEnded releases the call's state and returns its plan slot if any.
-func (c *Controller) CallEnded(id uint64) error {
+func (c *Controller) CallEnded(ctx context.Context, id uint64) error {
 	c.mu.Lock()
 	st, ok := c.calls[id]
 	if !ok {
@@ -503,14 +534,14 @@ func (c *Controller) CallEnded(id uint64) error {
 	c.mu.Unlock()
 	c.metrics.Ended.Inc()
 	c.metrics.ActiveCalls.Add(-1)
-	c.persist(id, "state", "ended")
+	c.persist(ctx, id, "state", "ended")
 	return nil
 }
 
 // ParticipantJoined records a later participant joining a live call. Joins
 // only matter as state writes in this model — they do not change placement.
-func (c *Controller) ParticipantJoined(id uint64, country geo.CountryCode, media model.MediaType) {
-	c.persist(id, "join:"+string(country), media.String())
+func (c *Controller) ParticipantJoined(ctx context.Context, id uint64, country geo.CountryCode, media model.MediaType) {
+	c.persist(ctx, id, "join:"+string(country), media.String())
 }
 
 // ActiveCalls returns the number of in-flight calls.
@@ -553,9 +584,14 @@ func (c *Controller) persistDone(obsT time.Time) {
 // deadline: when the store is unreachable the controller enters degraded
 // mode and buffers the write in a bounded journal instead, replaying it once
 // a periodic probe finds the store healthy again.
-func (c *Controller) persist(id uint64, field, value string) {
+func (c *Controller) persist(ctx context.Context, id uint64, field, value string) {
 	if c.store == nil {
 		return
+	}
+	ctx, sp := span.Child(ctx, "controller.persist")
+	if sp != nil {
+		sp.SetAttr("field", field)
+		defer sp.End()
 	}
 	key := "call:" + strconv.FormatUint(id, 10)
 	obsT := c.obsStart()
@@ -567,21 +603,28 @@ func (c *Controller) persist(id uint64, field, value string) {
 		// probe cheap even when the store is still down.
 		if time.Since(c.lastProbe) >= c.probeEvery {
 			c.lastProbe = time.Now()
-			if c.store.Ping() == nil {
-				c.replayLocked()
+			if c.store.PingContext(ctx) == nil {
+				c.replayLocked(ctx)
 			}
 		}
 		if c.degraded {
+			sp.SetAttr("journaled", "true")
 			c.appendJournalLocked(journalEntry{key, field, value})
 			return
 		}
 	}
-	if err := c.store.HSet(key, field, value); err != nil && !kvstore.IsServerError(err) {
+	if err := c.store.HSetContext(ctx, key, field, value); err != nil && !kvstore.IsServerError(err) {
 		c.degraded = true
 		c.degradedCount++
 		c.metrics.Degraded.Inc()
 		c.lastProbe = time.Now()
+		sp.SetError(err)
+		sp.SetAttr("journaled", "true")
 		c.appendJournalLocked(journalEntry{key, field, value})
+		if c.logger != nil {
+			c.logger.WarnContext(ctx, "store degraded; journaling call-state writes",
+				"err", err, "journal_depth", len(c.journal))
+		}
 	}
 }
 
@@ -608,24 +651,29 @@ func (c *Controller) appendJournalLocked(e journalEntry) {
 // unflushed suffix intact. Callers hold storeMu.
 //
 //sblint:holds storeMu
-func (c *Controller) replayLocked() {
+func (c *Controller) replayLocked(ctx context.Context) {
+	var n int64
 	for len(c.journal) > 0 {
 		e := c.journal[0]
-		if err := c.store.HSet(e.key, e.field, e.value); err != nil && !kvstore.IsServerError(err) {
+		if err := c.store.HSetContext(ctx, e.key, e.field, e.value); err != nil && !kvstore.IsServerError(err) {
 			return // still down; keep journaling
 		}
 		c.journal = c.journal[1:]
 		c.replayed++
+		n++
 		c.metrics.Replayed.Inc()
 	}
 	c.degraded = false
 	c.metrics.JournalDepth.Set(float64(len(c.journal)))
+	if c.logger != nil {
+		c.logger.InfoContext(ctx, "store recovered; journal replayed", "replayed", n)
+	}
 }
 
 // ReplayJournal forces an immediate probe-and-drain, returning how many
 // journaled writes were flushed. Callers use it to bound recovery latency
 // instead of waiting for the next persist-triggered probe.
-func (c *Controller) ReplayJournal() (int, error) {
+func (c *Controller) ReplayJournal(ctx context.Context) (int, error) {
 	if c.store == nil {
 		return 0, nil
 	}
@@ -636,10 +684,10 @@ func (c *Controller) ReplayJournal() (int, error) {
 	}
 	c.lastProbe = time.Now()
 	before := c.replayed
-	if err := c.store.Ping(); err != nil {
+	if err := c.store.PingContext(ctx); err != nil {
 		return 0, err
 	}
-	c.replayLocked()
+	c.replayLocked(ctx)
 	n := int(c.replayed - before)
 	if c.degraded {
 		return n, fmt.Errorf("controller: store lost again after replaying %d writes", n)
@@ -734,9 +782,14 @@ func (c *Controller) drainTargetLocked(st *callState) int {
 // many calls were moved. Calls with no surviving DC stay recorded on the
 // failed DC (and are counted as moved=0, not dropped — they will reroute at
 // freeze or end normally).
-func (c *Controller) FailDC(dc int) (int, error) {
+func (c *Controller) FailDC(ctx context.Context, dc int) (int, error) {
 	if dc < 0 || len(c.world.DCs()) <= dc {
 		return 0, fmt.Errorf("%w: %d", ErrInvalidDC, dc)
+	}
+	ctx, sp := span.Child(ctx, "controller.faildc")
+	if sp != nil {
+		sp.SetAttr("dc", strconv.Itoa(dc))
+		defer sp.End()
 	}
 	obsT := c.obsStart()
 	type move struct {
@@ -772,7 +825,7 @@ func (c *Controller) FailDC(dc int) (int, error) {
 			Migrated: true,
 			Reason:   "drain-failed-dc",
 		}, obsT, 0)
-		c.persist(m.id, "dc", strconv.Itoa(m.dc))
+		c.persist(ctx, m.id, "dc", strconv.Itoa(m.dc))
 	}
 	return len(moves), nil
 }

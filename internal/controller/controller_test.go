@@ -1,6 +1,7 @@
 package controller
 
 import (
+	"context"
 	"net"
 	"testing"
 	"time"
@@ -44,17 +45,17 @@ func TestNewValidation(t *testing.T) {
 func TestFirstJoinerAssignment(t *testing.T) {
 	c := newController(t, nil)
 	now := time.Now()
-	dc, err := c.CallStarted(1, "JP", now)
+	dc, err := c.CallStarted(context.Background(), 1, "JP", now)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if world.DCs()[dc].Name != "tokyo" {
 		t.Errorf("JP first joiner assigned to %s, want tokyo", world.DCs()[dc].Name)
 	}
-	if _, err := c.CallStarted(1, "JP", now); err == nil {
+	if _, err := c.CallStarted(context.Background(), 1, "JP", now); err == nil {
 		t.Error("duplicate call ID should error")
 	}
-	if _, err := c.CallStarted(2, "ZZ", now); err == nil {
+	if _, err := c.CallStarted(context.Background(), 2, "ZZ", now); err == nil {
 		t.Error("unknown country should error")
 	}
 }
@@ -62,23 +63,23 @@ func TestFirstJoinerAssignment(t *testing.T) {
 func TestConfigKnownNoPlacerKeepsDC(t *testing.T) {
 	c := newController(t, nil)
 	now := time.Now()
-	dc0, _ := c.CallStarted(1, "JP", now)
-	dc, migrated, err := c.ConfigKnown(1, cfgOf(model.Video, map[geo.CountryCode]int{"JP": 3}), now)
+	dc0, _ := c.CallStarted(context.Background(), 1, "JP", now)
+	dc, migrated, err := c.ConfigKnown(context.Background(), 1, cfgOf(model.Video, map[geo.CountryCode]int{"JP": 3}), now)
 	if err != nil || migrated || dc != dc0 {
 		t.Fatalf("got dc=%d migrated=%v err=%v, want keep %d", dc, migrated, err, dc0)
 	}
 	// Second freeze is idempotent.
-	dc2, migrated2, err := c.ConfigKnown(1, cfgOf(model.Audio, nil), now)
+	dc2, migrated2, err := c.ConfigKnown(context.Background(), 1, cfgOf(model.Audio, nil), now)
 	if err != nil || migrated2 || dc2 != dc {
 		t.Fatal("second ConfigKnown should be a no-op")
 	}
-	if err := c.CallEnded(1); err != nil {
+	if err := c.CallEnded(context.Background(), 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.CallEnded(1); err == nil {
+	if err := c.CallEnded(context.Background(), 1); err == nil {
 		t.Error("double end should error")
 	}
-	if _, _, err := c.ConfigKnown(99, cfgOf(model.Audio, nil), now); err == nil {
+	if _, _, err := c.ConfigKnown(context.Background(), 99, cfgOf(model.Audio, nil), now); err == nil {
 		t.Error("unknown call should error")
 	}
 	st := c.Stats()
@@ -94,9 +95,9 @@ func TestMinACLPlacerMigration(t *testing.T) {
 	// First joiner in Japan but the majority turns out Indonesian: the
 	// min-ACL DC is not tokyo, so the call must migrate (the §5.4(c)
 	// example).
-	c.CallStarted(1, "JP", now)
+	c.CallStarted(context.Background(), 1, "JP", now)
 	cfg := cfgOf(model.Video, map[geo.CountryCode]int{"JP": 3, "ID": 5})
-	dc, migrated, err := c.ConfigKnown(1, cfg, now)
+	dc, migrated, err := c.ConfigKnown(context.Background(), 1, cfg, now)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,8 +114,8 @@ func TestMinACLPlacerMigration(t *testing.T) {
 		t.Errorf("migrated to %d, want min-ACL %d", dc, best)
 	}
 	// A JP-majority call stays put.
-	c.CallStarted(2, "JP", now)
-	_, migrated, _ = c.ConfigKnown(2, cfgOf(model.Audio, map[geo.CountryCode]int{"JP": 4}), now)
+	c.CallStarted(context.Background(), 2, "JP", now)
+	_, migrated, _ = c.ConfigKnown(context.Background(), 2, cfgOf(model.Audio, map[geo.CountryCode]int{"JP": 4}), now)
 	if migrated {
 		t.Error("JP-majority call should not migrate from tokyo")
 	}
@@ -170,9 +171,9 @@ func TestUnplannedConfigGoesToMajorityClosest(t *testing.T) {
 	p := NewPlanPlacer(nil, [][][]float64{{}}, aclOf, len(world.DCs()))
 	c := newController(t, p)
 	now := time.Now()
-	c.CallStarted(1, "JP", now)
+	c.CallStarted(context.Background(), 1, "JP", now)
 	cfg := cfgOf(model.Audio, map[geo.CountryCode]int{"IN": 5, "JP": 1})
-	dc, migrated, err := c.ConfigKnown(1, cfg, now)
+	dc, migrated, err := c.ConfigKnown(context.Background(), 1, cfg, now)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,8 +210,8 @@ func TestPredictivePlacementAvoidsMigration(t *testing.T) {
 	now := time.Now()
 
 	plain := newController(t, placer)
-	plain.CallStartedWithSeries(1, "JP", 42, now)
-	_, migrated, _ := plain.ConfigKnown(1, cfg, now)
+	plain.CallStartedWithSeries(context.Background(), 1, "JP", 42, now)
+	_, migrated, _ := plain.ConfigKnown(context.Background(), 1, cfg, now)
 	if !migrated {
 		t.Fatal("baseline should migrate")
 	}
@@ -227,11 +228,11 @@ func TestPredictivePlacementAvoidsMigration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dc0, err := predictive.CallStartedWithSeries(1, "JP", 42, now)
+	dc0, err := predictive.CallStartedWithSeries(context.Background(), 1, "JP", 42, now)
 	if err != nil {
 		t.Fatal(err)
 	}
-	dcFinal, migrated, err := predictive.ConfigKnown(1, cfg, now)
+	dcFinal, migrated, err := predictive.ConfigKnown(context.Background(), 1, cfg, now)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +247,7 @@ func TestPredictivePlacementAvoidsMigration(t *testing.T) {
 		t.Errorf("recurring migration rate = %g", st.RecurringMigrationRate())
 	}
 	// A non-series call never consults the predictor.
-	if _, err := predictive.CallStarted(2, "JP", now); err != nil {
+	if _, err := predictive.CallStarted(context.Background(), 2, "JP", now); err != nil {
 		t.Fatal(err)
 	}
 	if predictive.Stats().Predicted != 1 {
@@ -361,7 +362,7 @@ func TestControllerPersistsToStore(t *testing.T) {
 		t.Fatal(err)
 	}
 	now := time.Now()
-	dc, _ := c.CallStarted(42, "DE", now)
+	dc, _ := c.CallStarted(context.Background(), 42, "DE", now)
 	reader, err := kvstore.Dial(l.Addr().String())
 	if err != nil {
 		t.Fatal(err)
@@ -374,7 +375,7 @@ func TestControllerPersistsToStore(t *testing.T) {
 	if v == "" || v != itoa(dc) {
 		t.Errorf("persisted dc = %q, want %d", v, dc)
 	}
-	c.ConfigKnown(42, cfgOf(model.Audio, map[geo.CountryCode]int{"DE": 2}), now)
+	c.ConfigKnown(context.Background(), 42, cfgOf(model.Audio, map[geo.CountryCode]int{"DE": 2}), now)
 	if v, err := reader.HGet("call:42", "config"); err != nil || v != "audio|DE:2" {
 		t.Errorf("persisted config = %q, %v", v, err)
 	}

@@ -1,6 +1,7 @@
 package controller
 
 import (
+	"context"
 	"errors"
 	"net"
 	"sync"
@@ -44,7 +45,7 @@ func drainJournal(t *testing.T, c *Controller) int {
 	total := 0
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		n, err := c.ReplayJournal()
+		n, err := c.ReplayJournal(context.Background())
 		total += n
 		if err == nil {
 			return total
@@ -125,13 +126,13 @@ func TestChaosJournalAndReplay(t *testing.T) {
 				var err error
 				switch e.Kind {
 				case EventStart:
-					_, err = ctrl.CallStartedWithSeries(e.CallID, e.Country, e.SeriesID, e.Time)
+					_, err = ctrl.CallStartedWithSeries(context.Background(), e.CallID, e.Country, e.SeriesID, e.Time)
 				case EventJoin:
-					ctrl.persist(e.CallID, "join:"+string(e.Country), e.Media.String())
+					ctrl.persist(context.Background(), e.CallID, "join:"+string(e.Country), e.Media.String())
 				case EventFreeze:
-					_, _, err = ctrl.ConfigKnown(e.CallID, e.Config, e.Time)
+					_, _, err = ctrl.ConfigKnown(context.Background(), e.CallID, e.Config, e.Time)
 				case EventEnd:
-					err = ctrl.CallEnded(e.CallID)
+					err = ctrl.CallEnded(context.Background(), e.CallID)
 				}
 				if err != nil {
 					errCh <- err
@@ -226,7 +227,7 @@ func TestDegradedServerKillRestart(t *testing.T) {
 	}
 
 	now := time.Now()
-	if _, err := ctrl.CallStarted(1, "JP", now); err != nil {
+	if _, err := ctrl.CallStarted(context.Background(), 1, "JP", now); err != nil {
 		t.Fatal(err)
 	}
 
@@ -236,10 +237,10 @@ func TestDegradedServerKillRestart(t *testing.T) {
 
 	// Writes during the outage must not error call admission and must land
 	// in the journal.
-	if _, err := ctrl.CallStarted(2, "DE", now); err != nil {
+	if _, err := ctrl.CallStarted(context.Background(), 2, "DE", now); err != nil {
 		t.Fatal(err)
 	}
-	if err := ctrl.CallEnded(2); err != nil {
+	if err := ctrl.CallEnded(context.Background(), 2); err != nil {
 		t.Fatal(err)
 	}
 	if !ctrl.Degraded() || ctrl.JournalDepth() == 0 {
@@ -301,7 +302,7 @@ func TestJournalCapDropsOldest(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 4; i++ {
-		ctrl.persist(uint64(i), "f", "v")
+		ctrl.persist(context.Background(), uint64(i), "f", "v")
 	}
 	st := ctrl.Stats()
 	if st.JournalDepth != 2 || st.Dropped != 2 {
@@ -340,22 +341,22 @@ func TestFailDCDrains(t *testing.T) {
 
 	// Two frozen calls hosted at tokyo per the plan, one unfrozen call.
 	for id := uint64(1); id <= 2; id++ {
-		if dc, err := ctrl.CallStarted(id, "JP", now); err != nil || dc != tokyo {
+		if dc, err := ctrl.CallStarted(context.Background(), id, "JP", now); err != nil || dc != tokyo {
 			t.Fatalf("call %d started at %d, %v", id, dc, err)
 		}
-		if dc, _, err := ctrl.ConfigKnown(id, cfg, now); err != nil || dc != tokyo {
+		if dc, _, err := ctrl.ConfigKnown(context.Background(), id, cfg, now); err != nil || dc != tokyo {
 			t.Fatalf("call %d frozen at %d, %v", id, dc, err)
 		}
 	}
-	if _, err := ctrl.CallStarted(3, "JP", now); err != nil {
+	if _, err := ctrl.CallStarted(context.Background(), 3, "JP", now); err != nil {
 		t.Fatal(err)
 	}
 
-	if _, err := ctrl.FailDC(-1); !errors.Is(err, ErrInvalidDC) {
+	if _, err := ctrl.FailDC(context.Background(), -1); !errors.Is(err, ErrInvalidDC) {
 		t.Errorf("FailDC(-1) = %v, want ErrInvalidDC", err)
 	}
 
-	moved, err := ctrl.FailDC(tokyo)
+	moved, err := ctrl.FailDC(context.Background(), tokyo)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -389,11 +390,11 @@ func TestFailDCDrains(t *testing.T) {
 	}
 
 	// New JP calls avoid the failed DC...
-	if dc, err := ctrl.CallStarted(10, "JP", now); err != nil || dc == tokyo {
+	if dc, err := ctrl.CallStarted(context.Background(), 10, "JP", now); err != nil || dc == tokyo {
 		t.Errorf("new call placed at %d (%v), want a surviving DC", dc, err)
 	}
 	// ...and freeze-time migration never targets it either.
-	if dc, _, err := ctrl.ConfigKnown(10, cfg, now); err != nil || dc == tokyo {
+	if dc, _, err := ctrl.ConfigKnown(context.Background(), 10, cfg, now); err != nil || dc == tokyo {
 		t.Errorf("frozen call placed at %d (%v), want a surviving DC", dc, err)
 	}
 
@@ -403,7 +404,7 @@ func TestFailDCDrains(t *testing.T) {
 	if got := ctrl.FailedDCs(); len(got) != 0 {
 		t.Errorf("FailedDCs after recover = %v", got)
 	}
-	if dc, err := ctrl.CallStarted(11, "JP", now); err != nil || dc != tokyo {
+	if dc, err := ctrl.CallStarted(context.Background(), 11, "JP", now); err != nil || dc != tokyo {
 		t.Errorf("post-recover call at %d (%v), want tokyo", dc, err)
 	}
 }
@@ -413,11 +414,11 @@ func TestFailDCDrains(t *testing.T) {
 func TestFailDCLatencyFallback(t *testing.T) {
 	ctrl := newController(t, nil) // no placer at all
 	now := time.Now()
-	dc0, err := ctrl.CallStarted(1, "JP", now)
+	dc0, err := ctrl.CallStarted(context.Background(), 1, "JP", now)
 	if err != nil {
 		t.Fatal(err)
 	}
-	moved, err := ctrl.FailDC(dc0)
+	moved, err := ctrl.FailDC(context.Background(), dc0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package controller
 
 import (
+	"context"
 	"net"
 	"strings"
 	"testing"
@@ -42,19 +43,19 @@ func TestControllerMetricsAndTrace(t *testing.T) {
 	}
 	now := time.Now()
 
-	if dc, err := ctrl.CallStarted(1, "JP", now); err != nil || dc != tokyo {
+	if dc, err := ctrl.CallStarted(context.Background(), 1, "JP", now); err != nil || dc != tokyo {
 		t.Fatalf("started at %d, %v", dc, err)
 	}
-	if dc, migrated, err := ctrl.ConfigKnown(1, cfg, now); err != nil || !migrated || dc != hk {
+	if dc, migrated, err := ctrl.ConfigKnown(context.Background(), 1, cfg, now); err != nil || !migrated || dc != hk {
 		t.Fatalf("frozen at %d migrated=%v, %v", dc, migrated, err)
 	}
-	if _, err := ctrl.CallStarted(2, "JP", now); err != nil {
+	if _, err := ctrl.CallStarted(context.Background(), 2, "JP", now); err != nil {
 		t.Fatal(err)
 	}
-	if err := ctrl.CallEnded(2); err != nil {
+	if err := ctrl.CallEnded(context.Background(), 2); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ctrl.FailDC(hk); err != nil {
+	if _, err := ctrl.FailDC(context.Background(), hk); err != nil {
 		t.Fatal(err)
 	}
 
@@ -129,7 +130,7 @@ func TestDegradedMetrics(t *testing.T) {
 	}
 
 	now := time.Now()
-	if _, err := ctrl.CallStarted(1, "JP", now); err != nil {
+	if _, err := ctrl.CallStarted(context.Background(), 1, "JP", now); err != nil {
 		t.Fatal(err)
 	}
 	if m.PersistSeconds.Count() == 0 {
@@ -139,7 +140,7 @@ func TestDegradedMetrics(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if _, err := ctrl.CallStarted(2, "DE", now); err != nil {
+	if _, err := ctrl.CallStarted(context.Background(), 2, "DE", now); err != nil {
 		t.Fatal(err)
 	}
 	if m.Degraded.Value() != 1 {
@@ -194,19 +195,28 @@ func TestObsOverheadOnPlacement(t *testing.T) {
 				b.Fatal(err)
 			}
 			now := time.Now()
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				id := uint64(i + 1)
-				if _, err := ctrl.CallStarted(id, "JP", now); err != nil {
+				if _, err := ctrl.CallStarted(context.Background(), id, "JP", now); err != nil {
 					b.Fatal(err)
 				}
-				if err := ctrl.CallEnded(id); err != nil {
+				if err := ctrl.CallEnded(context.Background(), id); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
 	}
 	base := run(false)
+	// Tracing off (no span in the context) and telemetry off must not add
+	// allocations over the pre-tracing baseline of 1 alloc/op (the call
+	// record). A context.Value miss, a span name built eagerly, or an attr
+	// slice on the off path all show up here as a hard failure, allocation
+	// counts being noise-free.
+	if allocs := base.AllocsPerOp(); allocs > 1 {
+		t.Errorf("uninstrumented placement costs %d allocs/op, want <= 1 (tracing-off path must not allocate)", allocs)
+	}
 	instrumented := run(true)
 	if base.NsPerOp() <= 0 {
 		t.Skip("benchmark did not run long enough to measure")

@@ -1,6 +1,7 @@
 package controller
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -127,17 +128,18 @@ func PeakEventRate(events []Event) float64 {
 // Replay feeds events through the controller in order, as the migration
 // experiment (§6.4) does. It returns the final stats.
 func (c *Controller) Replay(events []Event) (Stats, error) {
+	ctx := context.Background()
 	for _, e := range events {
 		var err error
 		switch e.Kind {
 		case EventStart:
-			_, err = c.CallStartedWithSeries(e.CallID, e.Country, e.SeriesID, e.Time)
+			_, err = c.CallStartedWithSeries(ctx, e.CallID, e.Country, e.SeriesID, e.Time)
 		case EventJoin:
-			c.ParticipantJoined(e.CallID, e.Country, e.Media)
+			c.ParticipantJoined(ctx, e.CallID, e.Country, e.Media)
 		case EventFreeze:
-			_, _, err = c.ConfigKnown(e.CallID, e.Config, e.Time)
+			_, _, err = c.ConfigKnown(ctx, e.CallID, e.Config, e.Time)
 		case EventEnd:
-			err = c.CallEnded(e.CallID)
+			err = c.CallEnded(ctx, e.CallID)
 		}
 		if err != nil {
 			return c.Stats(), fmt.Errorf("controller: replay %v(%d): %w", e.Kind, e.CallID, err)

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"strconv"
@@ -105,13 +106,13 @@ func Chaos(env *Env, seed int64) (*ChaosResult, error) {
 			var err error
 			switch e.Kind {
 			case controller.EventStart:
-				_, err = ctrl.CallStartedWithSeries(e.CallID, e.Country, e.SeriesID, e.Time)
+				_, err = ctrl.CallStartedWithSeries(context.Background(), e.CallID, e.Country, e.SeriesID, e.Time)
 			case controller.EventJoin:
-				ctrl.ParticipantJoined(e.CallID, e.Country, e.Media)
+				ctrl.ParticipantJoined(context.Background(), e.CallID, e.Country, e.Media)
 			case controller.EventFreeze:
-				_, _, err = ctrl.ConfigKnown(e.CallID, e.Config, e.Time)
+				_, _, err = ctrl.ConfigKnown(context.Background(), e.CallID, e.Config, e.Time)
 			case controller.EventEnd:
-				err = ctrl.CallEnded(e.CallID)
+				err = ctrl.CallEnded(context.Background(), e.CallID)
 			}
 			if err != nil {
 				return 0, 0, fmt.Errorf("eval: chaos replay %v(%d): %w", e.Kind, e.CallID, err)
@@ -175,7 +176,7 @@ func Chaos(env *Env, seed int64) (*ChaosResult, error) {
 	// Heal and drain the journal, retrying through the client's backoff.
 	deadline := time.Now().Add(10 * time.Second) //sblint:allow nondeterminism -- real-time retry deadline
 	for {
-		if _, err := ctrl2.ReplayJournal(); err == nil {
+		if _, err := ctrl2.ReplayJournal(context.Background()); err == nil {
 			break
 		}
 		if time.Now().After(deadline) { //sblint:allow nondeterminism -- real-time retry deadline

@@ -15,6 +15,7 @@ import (
 	"switchboard/internal/kvstore"
 	"switchboard/internal/model"
 	"switchboard/internal/obs"
+	"switchboard/internal/obs/span"
 )
 
 // maxRequestBody caps request bodies; call-control messages are tiny, so
@@ -33,6 +34,13 @@ type Server struct {
 	// KV, when non-nil, contributes the store client's retry/redial/poison
 	// counters to /v1/stats. Set before serving.
 	KV *kvstore.Client
+	// Tracer, when non-nil, starts a root span per request; the request
+	// context carries it through the controller into the kvstore wire. Set
+	// before calling Mux.
+	Tracer *span.Tracer
+	// SLO, when non-nil, contributes burn-rate summaries to /readyz. Set
+	// before serving.
+	SLO *obs.SLOMonitor
 }
 
 // New returns a Server for the given world and controller.
@@ -59,10 +67,12 @@ func New(world *geo.World, ctrl *controller.Controller) *Server {
 // killing it — the journal still needs to drain.
 func (s *Server) Mux() *http.ServeMux {
 	mux := http.NewServeMux()
-	// handle routes through the metrics middleware; the route pattern
-	// doubles as the metric label. A nil s.HTTP wraps to the bare handler.
+	// handle routes through the tracing then metrics middleware; the route
+	// pattern doubles as the metric label and span name. Nil s.HTTP or
+	// s.Tracer each wrap to the bare handler, so the stack degrades to
+	// nothing when telemetry is off.
 	handle := func(pattern string, h http.HandlerFunc) {
-		mux.Handle(pattern, s.HTTP.Wrap(pattern, h))
+		mux.Handle(pattern, s.HTTP.Wrap(pattern, s.Tracer.WrapHTTP(pattern, h)))
 	}
 	handle("POST /v1/call/start", s.handleStart)
 	handle("POST /v1/call/config", s.handleConfig)
@@ -108,7 +118,7 @@ func (s *Server) handleStart(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	dc, err := s.ctrl.CallStartedWithSeries(req.ID, geo.CountryCode(req.Country), req.SeriesID, s.Now())
+	dc, err := s.ctrl.CallStartedWithSeries(r.Context(), req.ID, geo.CountryCode(req.Country), req.SeriesID, s.Now())
 	if err != nil {
 		httpError(w, statusFor(err), err)
 		return
@@ -139,7 +149,7 @@ func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	dc, migrated, err := s.ctrl.ConfigKnown(req.ID, cfg, s.Now())
+	dc, migrated, err := s.ctrl.ConfigKnown(r.Context(), req.ID, cfg, s.Now())
 	if err != nil {
 		httpError(w, statusFor(err), err)
 		return
@@ -157,7 +167,7 @@ func (s *Server) handleEnd(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	if err := s.ctrl.CallEnded(req.ID); err != nil {
+	if err := s.ctrl.CallEnded(r.Context(), req.ID); err != nil {
 		httpError(w, statusFor(err), err)
 		return
 	}
@@ -174,7 +184,7 @@ func (s *Server) handleDCFail(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	moved, err := s.ctrl.FailDC(req.DC)
+	moved, err := s.ctrl.FailDC(r.Context(), req.DC)
 	if err != nil {
 		httpError(w, statusFor(err), err)
 		return
@@ -198,14 +208,22 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if s.ctrl.Degraded() {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusServiceUnavailable)
-		_ = json.NewEncoder(w).Encode(map[string]any{
+		out := map[string]any{
 			"ready":         false,
 			"reason":        "store degraded; journaling call-state writes",
 			"journal_depth": s.ctrl.JournalDepth(),
-		})
+		}
+		if s.SLO != nil {
+			out["slo"] = s.SLO.Summary()
+		}
+		_ = json.NewEncoder(w).Encode(out)
 		return
 	}
-	s.reply(w, map[string]any{"ready": true})
+	out := map[string]any{"ready": true}
+	if s.SLO != nil {
+		out["slo"] = s.SLO.Summary()
+	}
+	s.reply(w, out)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {

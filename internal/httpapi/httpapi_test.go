@@ -2,6 +2,7 @@ package httpapi
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net"
 	"net/http"
@@ -244,7 +245,7 @@ func TestReadyzTracksDegradation(t *testing.T) {
 	defer srv2.Close()
 	deadline := time.Now().Add(10 * time.Second)
 	for {
-		if _, err := ctrl.ReplayJournal(); err == nil {
+		if _, err := ctrl.ReplayJournal(context.Background()); err == nil {
 			break
 		}
 		if time.Now().After(deadline) {

@@ -2,6 +2,7 @@ package kvstore
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -10,6 +11,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"switchboard/internal/obs/span"
 )
 
 // Options tunes the client's deadlines and redial policy. The zero value
@@ -255,12 +258,13 @@ func (c *Client) backoff(n int) time.Duration {
 }
 
 // doOnce runs one command over the live connection under the per-command
-// deadline.
-func (c *Client) doOnce(args []string) (interface{}, error) {
+// deadline. A non-empty tid is propagated as a TRACEID prefix so the server
+// can attribute the command to the originating trace.
+func (c *Client) doOnce(tid string, args []string) (interface{}, error) {
 	if c.opts.IOTimeout > 0 {
 		_ = c.conn.SetDeadline(time.Now().Add(c.opts.IOTimeout))
 	}
-	if err := c.writeCommand(args); err != nil {
+	if err := c.writeCommand(tid, args); err != nil {
 		return nil, err
 	}
 	if err := c.w.Flush(); err != nil {
@@ -274,27 +278,54 @@ func (c *Client) doOnce(args []string) (interface{}, error) {
 // transport failure, idempotent commands are transparently retried against
 // a fresh connection (up to Options.MaxRetries times).
 func (c *Client) Do(args ...string) (interface{}, error) {
+	return c.DoContext(context.Background(), args...)
+}
+
+// DoContext is Do under a context. When ctx carries an active span, each wire
+// attempt becomes a "kv.<VERB>" child span (retry legs carry retry=true) and
+// the trace ID travels to the server as a TRACEID protocol prefix. With no
+// span in ctx the path is identical to Do — no spans, no prefix, no
+// allocations. The context is used for trace propagation only; deadlines
+// remain Options.IOTimeout's job.
+func (c *Client) DoContext(ctx context.Context, args ...string) (interface{}, error) {
 	if len(args) == 0 {
 		return nil, errors.New("kvstore: empty command")
+	}
+	parent := span.FromContext(ctx)
+	var tid string
+	if parent != nil {
+		tid = parent.TraceID().String()
 	}
 	retriable := Idempotent(args[0])
 	start := time.Now()
 	var lastErr error
 	for attempt := 0; ; attempt++ {
+		var sp *span.Span
+		if parent != nil {
+			sp = parent.NewChild("kv." + strings.ToUpper(args[0]))
+			if attempt > 0 {
+				sp.SetAttr("retry", "true")
+			}
+		}
 		if err := c.ensureConn(attempt > 0); err != nil {
 			lastErr = err
+			sp.SetError(err)
+			sp.End()
 			if errors.Is(err, errClosed) {
 				return nil, err
 			}
 		} else {
-			reply, err := c.doOnce(args)
+			reply, err := c.doOnce(tid, args)
 			if err == nil || errors.Is(err, ErrNil) || IsServerError(err) {
 				c.lastRTT = time.Since(start)
 				c.opts.Metrics.observe(args[0], c.lastRTT.Seconds())
+				sp.End()
 				return reply, err
 			}
 			c.poison(err)
 			lastErr = err
+			sp.SetError(err)
+			sp.End()
 		}
 		if !retriable || attempt >= c.opts.MaxRetries {
 			return nil, lastErr
@@ -313,6 +344,28 @@ func (c *Client) Do(args ...string) (interface{}, error) {
 // never retried automatically (it may mix idempotent and non-idempotent
 // commands).
 func (c *Client) Pipeline(cmds [][]string) (replies []interface{}, errs []error, err error) {
+	return c.PipelineContext(context.Background(), cmds)
+}
+
+// PipelineContext is Pipeline under a context. When ctx carries an active
+// span the whole batch becomes one "kv.pipeline" child span (attr cmds=N) and
+// every command in the batch is prefixed with the trace ID on the wire.
+func (c *Client) PipelineContext(ctx context.Context, cmds [][]string) (replies []interface{}, errs []error, err error) {
+	parent := span.FromContext(ctx)
+	var tid string
+	var sp *span.Span
+	if parent != nil {
+		tid = parent.TraceID().String()
+		sp = parent.NewChild("kv.pipeline")
+		sp.SetAttr("cmds", strconv.Itoa(len(cmds)))
+	}
+	replies, errs, err = c.pipeline(tid, cmds)
+	sp.SetError(err)
+	sp.End()
+	return replies, errs, err
+}
+
+func (c *Client) pipeline(tid string, cmds [][]string) (replies []interface{}, errs []error, err error) {
 	if err := c.ensureConn(false); err != nil {
 		return nil, nil, err
 	}
@@ -320,7 +373,7 @@ func (c *Client) Pipeline(cmds [][]string) (replies []interface{}, errs []error,
 		_ = c.conn.SetDeadline(time.Now().Add(c.opts.IOTimeout))
 	}
 	for _, cmd := range cmds {
-		if err := c.writeCommand(cmd); err != nil {
+		if err := c.writeCommand(tid, cmd); err != nil {
 			c.poison(err)
 			return nil, nil, err
 		}
@@ -360,7 +413,12 @@ func IsServerError(err error) bool {
 
 // Ping round-trips a PING.
 func (c *Client) Ping() error {
-	r, err := c.Do("PING")
+	return c.PingContext(context.Background())
+}
+
+// PingContext round-trips a PING under a context (see DoContext).
+func (c *Client) PingContext(ctx context.Context) error {
+	r, err := c.DoContext(ctx, "PING")
 	if err != nil {
 		return err
 	}
@@ -411,6 +469,12 @@ func (c *Client) Incr(key string) (int64, error) {
 // HSet stores a hash field.
 func (c *Client) HSet(key, field, value string) error {
 	_, err := c.Do("HSET", key, field, value)
+	return err
+}
+
+// HSetContext stores a hash field under a context (see DoContext).
+func (c *Client) HSetContext(ctx context.Context, key, field, value string) error {
+	_, err := c.DoContext(ctx, "HSET", key, field, value)
 	return err
 }
 
@@ -471,17 +535,33 @@ func (c *Client) Keys() ([]string, error) {
 	return out, nil
 }
 
-func (c *Client) writeCommand(args []string) error {
+// writeCommand frames args as a RESP array. A non-empty tid prepends the
+// two-argument TRACEID prefix inside the same array, so the frame stays one
+// self-delimiting unit (a server that knows the prefix strips it; the framing
+// is still valid RESP either way).
+func (c *Client) writeCommand(tid string, args []string) error {
 	if len(args) == 0 {
 		return errors.New("kvstore: empty command")
 	}
-	c.w.WriteString("*" + strconv.Itoa(len(args)) + "\r\n")
+	n := len(args)
+	if tid != "" {
+		n += 2
+	}
+	c.w.WriteString("*" + strconv.Itoa(n) + "\r\n")
+	if tid != "" {
+		c.writeBulk("TRACEID")
+		c.writeBulk(tid)
+	}
 	for _, a := range args {
-		c.w.WriteString("$" + strconv.Itoa(len(a)) + "\r\n")
-		c.w.WriteString(a)
-		c.w.WriteString("\r\n")
+		c.writeBulk(a)
 	}
 	return nil
+}
+
+func (c *Client) writeBulk(a string) {
+	c.w.WriteString("$" + strconv.Itoa(len(a)) + "\r\n")
+	c.w.WriteString(a)
+	c.w.WriteString("\r\n")
 }
 
 func (c *Client) readReply() (interface{}, error) {

@@ -9,6 +9,12 @@
 // bulk strings, integers, and errors out), so the server is also usable with
 // standard Redis tooling for the command subset it implements: PING, SET,
 // GET, DEL, EXISTS, INCR, INCRBY, HSET, HGET, HLEN, FLUSHALL, DBSIZE.
+//
+// Tracing extension: a command array may be prefixed with the two arguments
+// "TRACEID <hex>" (see internal/obs/span). The server strips the prefix
+// before dispatch and records the verb and service time against the trace ID
+// (TraceRecords), so client-side spans and server-side observations join on
+// one identifier.
 package kvstore
 
 import (
@@ -49,6 +55,9 @@ type Server struct {
 
 	// metrics receives server telemetry; nil-safe, set before Serve.
 	metrics *ServerMetrics
+
+	// traces holds the last traced-command observations (see TraceRecords).
+	traces traceRing
 }
 
 type shard struct {
@@ -226,6 +235,17 @@ func (s *Server) handle(conn net.Conn) {
 		if err != nil {
 			return
 		}
+		// A client that traces its requests prefixes the command with a
+		// two-argument "TRACEID <hex>" pair (see Client.DoContext). Strip it
+		// and time the command — including any simulated latency — so a
+		// delayed command is attributable to the trace that issued it.
+		var tid string
+		var t0 time.Time
+		if len(args) >= 3 && strings.EqualFold(args[0], "TRACEID") {
+			tid = args[1]
+			args = args[2:]
+			t0 = time.Now()
+		}
 		if s.simLatency > 0 {
 			// xorshift-derived deterministic jitter: latency =
 			// d·(1 + 13·u⁸) for u uniform in [0,1), i.e. a heavy
@@ -242,6 +262,9 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		// Flush when no further pipelined command is buffered.
 		s.execute(args, w)
+		if tid != "" {
+			s.traces.record(TraceRecord{Trace: tid, Verb: strings.ToUpper(args[0]), Dur: time.Since(t0)})
+		}
 		if r.Buffered() == 0 {
 			if err := w.Flush(); err != nil {
 				return

@@ -1,0 +1,51 @@
+package kvstore
+
+import (
+	"sync"
+	"time"
+)
+
+// TraceRecord is one server-side observation of a traced command: which
+// trace issued it, the verb it ran, and how long the server spent on it
+// (including any simulated latency). Matching these against the client's
+// kv.<VERB> spans attributes a chaos-delayed command to the placement that
+// issued it.
+type TraceRecord struct {
+	Trace string        `json:"trace"`
+	Verb  string        `json:"verb"`
+	Dur   time.Duration `json:"dur_ns"`
+}
+
+// traceRingCapacity bounds the server's traced-command memory. Only traced
+// commands (TRACEID-prefixed) land here, so untraced load costs nothing.
+const traceRingCapacity = 1024
+
+type traceRing struct {
+	mu   sync.Mutex
+	buf  [traceRingCapacity]TraceRecord // guarded by mu
+	next int                            // guarded by mu
+	size int                            // guarded by mu
+}
+
+func (tr *traceRing) record(rec TraceRecord) {
+	tr.mu.Lock()
+	tr.buf[tr.next] = rec
+	tr.next = (tr.next + 1) % len(tr.buf)
+	if tr.size < len(tr.buf) {
+		tr.size++
+	}
+	tr.mu.Unlock()
+}
+
+// TraceRecords returns the buffered traced-command observations, oldest
+// first.
+func (s *Server) TraceRecords() []TraceRecord {
+	tr := &s.traces
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	out := make([]TraceRecord, 0, tr.size)
+	for i := tr.size; i >= 1; i-- {
+		out = append(out, tr.buf[(tr.next-i+len(tr.buf))%len(tr.buf)])
+	}
+	return out
+}

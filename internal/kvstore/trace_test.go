@@ -1,0 +1,154 @@
+package kvstore
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"switchboard/internal/obs/span"
+)
+
+// TestTraceIDWirePropagation drives traced commands through a live server and
+// checks both sides of the join: client-side kv.<VERB> child spans with
+// correct lineage, and server-side TraceRecords carrying the same trace ID
+// per verb.
+func TestTraceIDWirePropagation(t *testing.T) {
+	srv, addr := startServer(t)
+	defer srv.Close()
+	c, err := DialOptions(addr, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ring := span.NewRing(64)
+	tr := span.NewTracer(42, ring)
+	ctx, root := tr.Start(context.Background(), "test.root")
+
+	if err := c.HSetContext(ctx, "call:1", "dc", "tokyo"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.DoContext(ctx, "GET", "missing"); !errors.Is(err, ErrNil) {
+		t.Fatalf("GET missing = %v, want ErrNil", err)
+	}
+	if err := c.PingContext(ctx); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	// Client side: one child span per command, parented on the root.
+	spans := ring.Trace(root.TraceID())
+	names := map[string]int{}
+	for _, s := range spans {
+		names[s.Name]++
+		if s.Name != "test.root" && s.Parent != root.SpanID() {
+			t.Errorf("span %s parent = %v, want root %v", s.Name, s.Parent, root.SpanID())
+		}
+	}
+	for _, want := range []string{"kv.HSET", "kv.GET", "kv.PING", "test.root"} {
+		if names[want] != 1 {
+			t.Errorf("trace has %d %q spans, want 1 (all: %v)", names[want], want, names)
+		}
+	}
+
+	// Server side: the same trace ID recorded against each verb.
+	recs := srv.TraceRecords()
+	verbs := map[string]int{}
+	for _, r := range recs {
+		if r.Trace != root.TraceID().String() {
+			t.Errorf("server record trace = %q, want %q", r.Trace, root.TraceID())
+		}
+		if r.Dur < 0 {
+			t.Errorf("server record %v has negative duration", r)
+		}
+		verbs[r.Verb]++
+	}
+	for _, want := range []string{"HSET", "GET", "PING"} {
+		if verbs[want] != 1 {
+			t.Errorf("server recorded %d %s, want 1 (all: %v)", verbs[want], want, verbs)
+		}
+	}
+
+	// Untraced commands leave no server record and work unchanged.
+	before := len(srv.TraceRecords())
+	if err := c.Set("plain", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := c.Get("plain"); err != nil || got != "v" {
+		t.Fatalf("untraced round trip = %q, %v", got, err)
+	}
+	if after := len(srv.TraceRecords()); after != before {
+		t.Fatalf("untraced commands grew the trace ring: %d -> %d", before, after)
+	}
+}
+
+// TestPipelineContextTrace checks the batch path: one kv.pipeline span and a
+// per-command server record sharing the trace ID.
+func TestPipelineContextTrace(t *testing.T) {
+	srv, addr := startServer(t)
+	defer srv.Close()
+	c, err := DialOptions(addr, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ring := span.NewRing(64)
+	tr := span.NewTracer(7, ring)
+	ctx, root := tr.Start(context.Background(), "batch")
+	replies, errs, err := c.PipelineContext(ctx, [][]string{
+		{"SET", "a", "1"},
+		{"SET", "b", "2"},
+		{"GET", "a"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range errs {
+		if e != nil {
+			t.Fatalf("pipeline cmd %d: %v", i, e)
+		}
+	}
+	if replies[2] != "1" {
+		t.Fatalf("GET via pipeline = %v", replies[2])
+	}
+	root.End()
+
+	spans := ring.Trace(root.TraceID())
+	var pipe *span.Record
+	for i := range spans {
+		if spans[i].Name == "kv.pipeline" {
+			pipe = &spans[i]
+		}
+	}
+	if pipe == nil || pipe.Parent != root.SpanID() || pipe.Attrs.Get("cmds") != "3" {
+		t.Fatalf("kv.pipeline span = %+v", pipe)
+	}
+	recs := srv.TraceRecords()
+	if len(recs) != 3 {
+		t.Fatalf("server recorded %d traced commands, want 3: %+v", len(recs), recs)
+	}
+	for _, r := range recs {
+		if r.Trace != root.TraceID().String() {
+			t.Errorf("pipeline record trace = %q, want %q", r.Trace, root.TraceID())
+		}
+	}
+}
+
+// TestDoContextNoSpanZeroOverhead pins the contract that an untraced context
+// adds nothing to the wire: the server sees the plain command.
+func TestDoContextNoSpanZeroOverhead(t *testing.T) {
+	srv, addr := startServer(t)
+	defer srv.Close()
+	c, err := DialOptions(addr, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.DoContext(context.Background(), "SET", "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.TraceRecords(); len(got) != 0 {
+		t.Fatalf("untraced DoContext left server records: %+v", got)
+	}
+}

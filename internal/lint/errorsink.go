@@ -17,9 +17,11 @@ import (
 // methods on *bufio.Writer, *bytes.Buffer, and *strings.Builder (the
 // first's errors resurface at Flush; the latter two cannot fail), and
 // fmt.Print/Printf/Println to stdout, matching vet's own tolerance.
-// Metric sinks from internal/obs (Inc/Add/Observe/Set) are exempt too:
-// telemetry is fire-and-forget by contract, and instrumentation sites
-// must not need `_ =` noise.
+// Telemetry sinks are exempt too: metric methods from internal/obs
+// (Inc/Add/Observe/Set), span lifecycle methods from internal/obs/span
+// (End/SetStatus/SetAttr/SetError/ExportSpan), and log/slog calls. All are
+// fire-and-forget by contract, and instrumentation sites must not need
+// `_ =` noise.
 func ErrorSinkAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "errorsink",
@@ -111,12 +113,22 @@ var obsSinkMethods = map[string]bool{
 	"Set":     true,
 }
 
-// isObsSink reports whether the selection is a fire-and-forget metric sink
-// method on a type declared in an internal/obs package.
+// spanSinkMethods are the fire-and-forget span lifecycle methods on
+// internal/obs/span types, under the same contract: a span that fails to
+// export is lost telemetry, never an error the traced code handles.
+var spanSinkMethods = map[string]bool{
+	"End":        true,
+	"SetStatus":  true,
+	"SetAttr":    true,
+	"SetError":   true,
+	"ExportSpan": true,
+}
+
+// isObsSink reports whether the selection is a fire-and-forget telemetry
+// sink: a metric method on an internal/obs type, a span lifecycle method on
+// an internal/obs/span type, or any log/slog method (logging shares the
+// contract — slog.Handler.Handle returns an error no call site acts on).
 func isObsSink(s *types.Selection, name string) bool {
-	if !obsSinkMethods[name] {
-		return false
-	}
 	t := s.Recv()
 	if ptr, ok := t.(*types.Pointer); ok {
 		t = ptr.Elem()
@@ -125,7 +137,16 @@ func isObsSink(s *types.Selection, name string) bool {
 	if !ok || named.Obj().Pkg() == nil {
 		return false
 	}
-	return strings.HasSuffix(named.Obj().Pkg().Path(), "internal/obs")
+	path := named.Obj().Pkg().Path()
+	switch {
+	case strings.HasSuffix(path, "internal/obs"):
+		return obsSinkMethods[name]
+	case strings.HasSuffix(path, "internal/obs/span"):
+		return spanSinkMethods[name]
+	case path == "log/slog":
+		return true
+	}
+	return false
 }
 
 func exemptSink(p *Package, call *ast.CallExpr) bool {
@@ -141,6 +162,10 @@ func exemptSink(p *Package, call *ast.CallExpr) bool {
 	// Package function on the exempt list.
 	if id, ok := sel.X.(*ast.Ident); ok {
 		if pn, ok := p.Info.Uses[id].(*types.PkgName); ok {
+			// All of log/slog is a telemetry sink (see isObsSink).
+			if pn.Imported().Path() == "log/slog" {
+				return true
+			}
 			qual := pn.Imported().Path() + "." + sel.Sel.Name
 			if exemptFuncs[qual] {
 				return true

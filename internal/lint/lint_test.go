@@ -301,6 +301,52 @@ func instrument(c *obs.Counter, g obs.Gauge) {
 	})
 }
 
+// TestErrorSinkSpanAndSlogExemption pins the tracing/logging half of the
+// telemetry carve-out: span lifecycle methods (End/SetStatus/SetAttr/
+// SetError/ExportSpan) on internal/obs/span types and log/slog calls are
+// fire-and-forget even when they return an error, while non-sink span
+// methods stay flagged.
+func TestErrorSinkSpanAndSlogExemption(t *testing.T) {
+	runFixture(t, ErrorSinkAnalyzer(), map[string]string{
+		"internal/obs/span/fixture.go": `package span
+
+// A hypothetical exporter-backed span whose lifecycle methods surface
+// transport errors; the sink contract says call sites fire and forget.
+type Span struct{}
+
+func (s *Span) End() error                   { return nil }
+func (s *Span) SetStatus(st string) error    { return nil }
+func (s *Span) SetAttr(k, v string) error    { return nil }
+func (s *Span) SetError(err error) error     { return nil }
+func (s *Span) Flush() error                 { return nil }
+
+type Exporter struct{}
+
+func (e *Exporter) ExportSpan(s *Span) error { return nil }
+`,
+		"internal/web/fixture.go": `package web
+
+import (
+	"context"
+	"log/slog"
+
+	"fixture/internal/obs/span"
+)
+
+func traced(sp *span.Span, exp *span.Exporter, h slog.Handler) {
+	defer sp.End()                      // span sink: exempt
+	sp.SetAttr("k", "v")                // span sink: exempt
+	sp.SetStatus("error")               // span sink: exempt
+	sp.SetError(nil)                    // span sink: exempt
+	exp.ExportSpan(sp)                  // span sink: exempt
+	slog.Info("placed", "dc", 3)        // slog package call: exempt
+	h.Handle(context.Background(), slog.Record{}) // slog method: exempt
+	sp.Flush()                          // want "error result dropped"
+}
+`,
+	})
+}
+
 // TestFindingString pins the canonical output format the Makefile gate and
 // editors parse.
 func TestFindingString(t *testing.T) {

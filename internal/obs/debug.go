@@ -3,6 +3,8 @@ package obs
 import (
 	"net/http"
 	"net/http/pprof"
+
+	"switchboard/internal/obs/span"
 )
 
 // DebugMux assembles the operator-facing debug surface cmd/switchboard
@@ -11,15 +13,17 @@ import (
 //
 //	GET /metrics        Prometheus text exposition of reg
 //	GET /debug/trace    JSON dump of the decision ring (?n= limits)
+//	GET /debug/spans    JSON dump of the span ring (?n= or ?trace=<hex>)
 //	GET /debug/pprof/*  net/http/pprof profiles (CPU, heap, goroutine, ...)
 //
-// reg and ring may be nil; the corresponding endpoints then serve empty
-// output rather than 404, keeping scrapers and dashboards happy during
+// reg, ring, and spans may be nil; the corresponding endpoints then serve
+// empty output rather than 404, keeping scrapers and dashboards happy during
 // partial rollouts.
-func DebugMux(reg *Registry, ring *DecisionRing) *http.ServeMux {
+func DebugMux(reg *Registry, ring *DecisionRing, spans *span.Ring) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("GET /metrics", reg.Handler())
 	mux.Handle("GET /debug/trace", ring.Handler())
+	mux.Handle("GET /debug/spans", spans.Handler())
 	// net/http/pprof self-registers on DefaultServeMux only; mount the
 	// handlers explicitly so the debug mux stays self-contained.
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -14,6 +14,12 @@ type HTTPMetrics struct {
 	requests *CounterVec   // labels: route, code (status class: "2xx"...)
 	latency  *HistogramVec // labels: route
 	inflight *Gauge
+
+	// total and err5xx aggregate across routes for the availability SLO
+	// (see SLOMonitor). They are plain atomics, not registered families —
+	// /metrics already carries the same information per route.
+	total  Counter
+	err5xx Counter
 }
 
 // NewHTTPMetrics registers the HTTP metric families on r. Nil-safe: a nil
@@ -55,10 +61,23 @@ func (m *HTTPMetrics) Wrap(route string, h http.Handler) http.Handler {
 		h.ServeHTTP(sw, r)
 		lat.Observe(time.Since(start).Seconds())
 		m.inflight.Add(-1)
+		m.total.Inc()
+		if sw.code >= 500 {
+			m.err5xx.Inc()
+		}
 		if i := sw.code/100 - 1; i >= 0 && i < len(byClass) {
 			byClass[i].Inc()
 		}
 	})
+}
+
+// Totals returns the all-routes request and 5xx counts, the availability
+// SLO's raw inputs. Zero on nil.
+func (m *HTTPMetrics) Totals() (total, err5xx uint64) {
+	if m == nil {
+		return 0, 0
+	}
+	return m.total.Value(), m.err5xx.Value()
 }
 
 // statusWriter captures the response status code. It deliberately implements

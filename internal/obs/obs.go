@@ -171,6 +171,23 @@ func (h *Histogram) Sum() float64 {
 	return math.Float64frombits(h.sum.Load())
 }
 
+// CountLE returns how many observations were ≤ bound, using the buckets with
+// an upper bound ≤ bound (the histogram's resolution; pick an SLO threshold
+// that is an exact bucket bound for an exact answer). 0 on nil.
+func (h *Histogram) CountLE(bound float64) uint64 {
+	if h == nil {
+		return 0
+	}
+	var n uint64
+	for i, b := range h.bounds {
+		if b > bound {
+			break
+		}
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
 // LatencyBuckets are the default duration buckets in seconds: 100 µs to 10 s
 // in a 1-2.5-5 progression. The low end matches the in-process kvstore
 // round-trip (~100 µs on loopback); the paper's Azure Redis writes land in
@@ -348,6 +365,31 @@ func (v *HistogramVec) With(labelVals ...string) *Histogram {
 	return c.hist
 }
 
+// GaugeVec is a gauge family partitioned by label values (e.g. an SLO burn
+// rate by window).
+type GaugeVec struct {
+	f *family
+}
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	if len(labels) == 0 {
+		panic("obs: GaugeVec needs at least one label")
+	}
+	return &GaugeVec{f: r.register(name, help, kindGauge, labels)}
+}
+
+// With returns the child gauge for the given label values. Nil-safe.
+func (v *GaugeVec) With(labelVals ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return v.f.childForGauge(labelVals).gauge
+}
+
 // labelKey joins label values with a separator no sane label contains.
 func labelKey(vals []string) string {
 	if len(vals) == 1 {
@@ -370,6 +412,24 @@ func (f *family) childFor(vals []string) *child {
 		return c
 	}
 	c = &child{labelVals: append([]string(nil), vals...), counter: &Counter{}}
+	f.children[key] = c
+	return c
+}
+
+func (f *family) childForGauge(vals []string) *child {
+	key := labelKey(vals)
+	f.mu.RLock()
+	c, ok := f.children[key]
+	f.mu.RUnlock()
+	if ok {
+		return c
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	c = &child{labelVals: append([]string(nil), vals...), gauge: &Gauge{}}
 	f.children[key] = c
 	return c
 }

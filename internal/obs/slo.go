@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SLO window lengths. Burn rates over a short and a long window are the
+// standard multi-window alerting pair: the 5m window catches fast burns, the
+// 1h window filters noise.
+const (
+	sloShortWindow = 5 * time.Minute
+	sloLongWindow  = time.Hour
+)
+
+// DefaultSLOSampleInterval is how often the monitor snapshots its sources
+// when driven by Run.
+const DefaultSLOSampleInterval = 5 * time.Second
+
+// SLOConfig parameterizes an SLOMonitor.
+type SLOConfig struct {
+	// Latency is the placement-latency histogram (the controller's
+	// sb_controller_place_seconds). Nil disables the latency SLO.
+	Latency *Histogram
+	// LatencyThreshold is the "fast enough" bound in seconds. Pick an exact
+	// bucket bound of the histogram (see Histogram.CountLE). Default 0.25.
+	LatencyThreshold float64
+	// LatencyObjective is the target fraction of placements under the
+	// threshold, e.g. 0.99. Default 0.99.
+	LatencyObjective float64
+	// HTTP supplies the all-routes request/5xx totals for the availability
+	// SLO. Nil disables the availability SLO.
+	HTTP *HTTPMetrics
+	// AvailabilityObjective is the target non-5xx fraction, e.g. 0.999.
+	// Default 0.999.
+	AvailabilityObjective float64
+}
+
+func (c SLOConfig) withDefaults() SLOConfig {
+	if c.LatencyThreshold <= 0 {
+		c.LatencyThreshold = 0.25
+	}
+	if c.LatencyObjective <= 0 || c.LatencyObjective >= 1 {
+		c.LatencyObjective = 0.99
+	}
+	if c.AvailabilityObjective <= 0 || c.AvailabilityObjective >= 1 {
+		c.AvailabilityObjective = 0.999
+	}
+	return c
+}
+
+// sloSample is one periodic snapshot of the cumulative sources.
+type sloSample struct {
+	t        time.Time
+	latTotal uint64 // placements observed
+	latGood  uint64 // placements under the threshold
+	reqTotal uint64 // HTTP requests served
+	req5xx   uint64 // HTTP 5xx responses
+}
+
+// SLOMonitor turns cumulative histograms/counters into windowed error-budget
+// burn rates:
+//
+//	burn = (bad fraction over the window) / (1 - objective)
+//
+// A burn of 1.0 consumes the budget exactly at the sustainable rate; > 1
+// means the SLO is being violated if sustained. The monitor keeps a bounded
+// ring of snapshots (enough to cover the 1h window) and publishes two gauge
+// families, each labeled by window ("5m", "1h"):
+//
+//	slo_placement_latency_burn
+//	slo_availability_burn
+//
+// Sample is deterministic and callable directly from tests; Run drives it on
+// a ticker. Nil-safe: a nil monitor's Sample/Summary/Stop are no-ops.
+type SLOMonitor struct {
+	cfg SLOConfig
+
+	latBurn5m, latBurn1h     *Gauge
+	availBurn5m, availBurn1h *Gauge
+
+	mu      sync.Mutex
+	samples []sloSample // guarded by mu; ring, oldest overwritten
+	next    int         // guarded by mu
+	size    int         // guarded by mu
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+}
+
+// NewSLOMonitor registers the burn-rate gauge families on r and returns a
+// monitor reading from cfg's sources. Nil-safe: a nil registry yields nil.
+func NewSLOMonitor(r *Registry, cfg SLOConfig) *SLOMonitor {
+	if r == nil {
+		return nil
+	}
+	cfg = cfg.withDefaults()
+	burnLat := r.GaugeVec("slo_placement_latency_burn",
+		"Placement-latency SLO error-budget burn rate (1.0 = budget consumed exactly at the sustainable rate), by window.", "window")
+	burnAvail := r.GaugeVec("slo_availability_burn",
+		"Availability SLO (non-5xx) error-budget burn rate, by window.", "window")
+	// Ring sized to hold the long window at the default cadence, +1 so the
+	// window's left edge survives.
+	n := int(sloLongWindow/DefaultSLOSampleInterval) + 1
+	return &SLOMonitor{
+		cfg:         cfg,
+		latBurn5m:   burnLat.With("5m"),
+		latBurn1h:   burnLat.With("1h"),
+		availBurn5m: burnAvail.With("5m"),
+		availBurn1h: burnAvail.With("1h"),
+		samples:     make([]sloSample, n),
+		stopCh:      make(chan struct{}),
+	}
+}
+
+// Sample snapshots the sources at now, updates the burn gauges, and returns.
+// Deterministic given the sources, so tests drive it directly.
+func (m *SLOMonitor) Sample(now time.Time) {
+	if m == nil {
+		return
+	}
+	cur := sloSample{t: now}
+	if m.cfg.Latency != nil {
+		cur.latTotal = m.cfg.Latency.Count()
+		cur.latGood = m.cfg.Latency.CountLE(m.cfg.LatencyThreshold)
+	}
+	cur.reqTotal, cur.req5xx = m.cfg.HTTP.Totals()
+
+	m.mu.Lock()
+	m.samples[m.next] = cur
+	m.next = (m.next + 1) % len(m.samples)
+	if m.size < len(m.samples) {
+		m.size++
+	}
+	lat5, avail5 := m.burnsLocked(cur, now.Add(-sloShortWindow))
+	lat1, avail1 := m.burnsLocked(cur, now.Add(-sloLongWindow))
+	m.mu.Unlock()
+
+	m.latBurn5m.Set(lat5)
+	m.latBurn1h.Set(lat1)
+	m.availBurn5m.Set(avail5)
+	m.availBurn1h.Set(avail1)
+}
+
+// burnsLocked computes the latency and availability burns between the oldest
+// buffered sample not before cutoff (falling back to the oldest overall) and
+// cur. Callers hold m.mu.
+//
+//sblint:holds mu
+func (m *SLOMonitor) burnsLocked(cur sloSample, cutoff time.Time) (lat, avail float64) {
+	// The base is the newest sample at or before the window's left edge, so
+	// the delta covers the whole window; with no such sample (early life),
+	// the oldest buffered sample stands in. The ring is small (≤721
+	// entries) and Sample runs a few times a minute, so the linear
+	// oldest→newest scan is irrelevant.
+	base := cur
+	havePre := false
+	for i := m.size; i >= 1; i-- {
+		s := m.samples[(m.next-i+len(m.samples))%len(m.samples)]
+		if s.t.Before(cutoff) {
+			base = s
+			havePre = true
+			continue
+		}
+		if !havePre {
+			base = s
+		}
+		break
+	}
+	if m.cfg.Latency != nil {
+		total := cur.latTotal - base.latTotal
+		good := cur.latGood - base.latGood
+		if total > 0 {
+			lat = (float64(total-good) / float64(total)) / (1 - m.cfg.LatencyObjective)
+		}
+	}
+	if m.cfg.HTTP != nil {
+		total := cur.reqTotal - base.reqTotal
+		bad := cur.req5xx - base.req5xx
+		if total > 0 {
+			avail = (float64(bad) / float64(total)) / (1 - m.cfg.AvailabilityObjective)
+		}
+	}
+	return lat, avail
+}
+
+// Run samples every interval (DefaultSLOSampleInterval when <= 0) until Stop.
+// Call in a goroutine.
+func (m *SLOMonitor) Run(interval time.Duration) {
+	if m == nil {
+		return
+	}
+	if interval <= 0 {
+		interval = DefaultSLOSampleInterval
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case now := <-t.C:
+			m.Sample(now)
+		case <-m.stopCh:
+			return
+		}
+	}
+}
+
+// Stop terminates Run. Safe to call more than once, or without Run.
+func (m *SLOMonitor) Stop() {
+	if m == nil {
+		return
+	}
+	m.stopOnce.Do(func() { close(m.stopCh) })
+}
+
+// Summary returns the current burn rates keyed for /readyz embedding.
+func (m *SLOMonitor) Summary() map[string]float64 {
+	if m == nil {
+		return nil
+	}
+	return map[string]float64{
+		"placement_latency_burn_5m": m.latBurn5m.Value(),
+		"placement_latency_burn_1h": m.latBurn1h.Value(),
+		"availability_burn_5m":      m.availBurn5m.Value(),
+		"availability_burn_1h":      m.availBurn1h.Value(),
+	}
+}

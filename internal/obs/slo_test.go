@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramCountLE(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "t", []float64{0.1, 0.25, 1})
+	for _, v := range []float64{0.05, 0.2, 0.2, 0.9, 3} {
+		h.Observe(v)
+	}
+	for _, tc := range []struct {
+		bound float64
+		want  uint64
+	}{
+		{0.1, 1},
+		{0.25, 3},
+		{1, 4},
+		{0.15, 1}, // non-bound value truncates to the next lower bound
+		{0.01, 0},
+	} {
+		if got := h.CountLE(tc.bound); got != tc.want {
+			t.Errorf("CountLE(%v) = %d, want %d", tc.bound, got, tc.want)
+		}
+	}
+	var nilH *Histogram
+	if nilH.CountLE(1) != 0 {
+		t.Error("nil CountLE != 0")
+	}
+}
+
+func TestGaugeVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("burn", "t", "window")
+	v.With("5m").Set(2.5)
+	v.With("1h").Set(0.5)
+	if got := v.With("5m").Value(); got != 2.5 {
+		t.Errorf("5m = %v, want 2.5", got)
+	}
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`burn{window="5m"} 2.5`, `burn{window="1h"} 0.5`} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("exposition missing %q:\n%s", want, sb.String())
+		}
+	}
+	var nilV *GaugeVec
+	nilV.With("x").Set(1) // must not panic
+}
+
+// driveHTTP pushes n requests through m.Wrap, the last bad of them answering
+// 500, so Totals advances deterministically.
+func driveHTTP(m *HTTPMetrics, n, bad int) {
+	i := 0
+	h := m.Wrap("/t", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if i >= n-bad {
+			w.WriteHeader(500)
+		}
+		i++
+	}))
+	for j := 0; j < n; j++ {
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/t", nil))
+	}
+}
+
+func TestSLOMonitorBurnRates(t *testing.T) {
+	r := NewRegistry()
+	lat := r.Histogram("sb_controller_place_seconds", "t", []float64{0.1, 0.25, 1})
+	httpm := NewHTTPMetrics(r)
+	m := NewSLOMonitor(r, SLOConfig{
+		Latency:               lat,
+		LatencyThreshold:      0.25,
+		LatencyObjective:      0.99,
+		HTTP:                  httpm,
+		AvailabilityObjective: 0.999,
+	})
+
+	t0 := time.Unix(1700000000, 0)
+	m.Sample(t0) // empty baseline
+
+	// 100 placements, 10 over threshold: bad fraction 0.1 against a 1%
+	// budget -> burn 10. 1000 requests, 1 5xx against 0.1% -> burn 1.
+	for i := 0; i < 90; i++ {
+		lat.Observe(0.05)
+	}
+	for i := 0; i < 10; i++ {
+		lat.Observe(0.9)
+	}
+	driveHTTP(httpm, 1000, 1)
+	m.Sample(t0.Add(time.Minute))
+
+	sum := m.Summary()
+	if got := sum["placement_latency_burn_5m"]; got < 9.99 || got > 10.01 {
+		t.Errorf("latency burn 5m = %v, want 10", got)
+	}
+	if got := sum["availability_burn_5m"]; got < 0.99 || got > 1.01 {
+		t.Errorf("availability burn 5m = %v, want 1", got)
+	}
+	// The 1h window sees the same deltas.
+	if got := sum["placement_latency_burn_1h"]; got < 9.99 || got > 10.01 {
+		t.Errorf("latency burn 1h = %v, want 10", got)
+	}
+
+	// Exposition carries the gauge families by their published names.
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`slo_placement_latency_burn{window="5m"} `,
+		`slo_placement_latency_burn{window="1h"} `,
+		`slo_availability_burn{window="5m"} `,
+		`slo_availability_burn{window="1h"} `,
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// Two hours later with no new traffic both windows have empty deltas, so
+	// burns decay to zero rather than latching the old incident.
+	m.Sample(t0.Add(2 * time.Hour))
+	m.Sample(t0.Add(2*time.Hour + time.Minute))
+	sum = m.Summary()
+	for k, v := range sum {
+		if v != 0 {
+			t.Errorf("%s = %v after quiet period, want 0", k, v)
+		}
+	}
+}
+
+func TestSLOMonitorNilSafety(t *testing.T) {
+	var m *SLOMonitor
+	m.Sample(time.Now())
+	m.Stop()
+	if m.Summary() != nil {
+		t.Error("nil Summary != nil")
+	}
+	if NewSLOMonitor(nil, SLOConfig{}) != nil {
+		t.Error("NewSLOMonitor(nil) != nil")
+	}
+	// A monitor with no sources samples without panicking and reports zeros.
+	r := NewRegistry()
+	m = NewSLOMonitor(r, SLOConfig{})
+	m.Sample(time.Now())
+	for k, v := range m.Summary() {
+		if v != 0 {
+			t.Errorf("%s = %v, want 0", k, v)
+		}
+	}
+}
+
+func TestSLOMonitorRunStop(t *testing.T) {
+	r := NewRegistry()
+	m := NewSLOMonitor(r, SLOConfig{})
+	done := make(chan struct{})
+	go func() { m.Run(time.Millisecond); close(done) }()
+	time.Sleep(5 * time.Millisecond)
+	m.Stop()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Run did not stop")
+	}
+	m.Stop() // idempotent
+}

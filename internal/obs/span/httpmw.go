@@ -1,0 +1,38 @@
+package span
+
+import (
+	"net/http"
+	"strconv"
+)
+
+// WrapHTTP wraps h so each request runs under a fresh root span named after
+// the route, with the request context carrying the span for everything
+// downstream (controller, kvstore). The final HTTP status lands in the
+// http.status attr; 5xx marks the span errored. A nil tracer returns h
+// unchanged, so wiring is unconditional.
+func (t *Tracer) WrapHTTP(route string, h http.Handler) http.Handler {
+	if t == nil {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		ctx, sp := t.Start(req.Context(), "http "+route)
+		sw := &spanWriter{ResponseWriter: w, code: http.StatusOK}
+		h.ServeHTTP(sw, req.WithContext(ctx))
+		sp.SetAttr("http.status", strconv.Itoa(sw.code))
+		if sw.code >= 500 {
+			sp.SetStatus("error")
+		}
+		sp.End()
+	})
+}
+
+// spanWriter captures the status code written by the handler.
+type spanWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *spanWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}

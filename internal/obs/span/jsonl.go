@@ -1,0 +1,95 @@
+package span
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+)
+
+// JSONLExporter writes one JSON object per finished span — the durable sink
+// behind the -span-log flag, and the input format cmd/sbtrace reads. Writes
+// are serialized; export errors are swallowed (telemetry must never fail the
+// traced operation) but remembered for Close.
+type JSONLExporter struct {
+	mu  sync.Mutex
+	w   *bufio.Writer // guarded by mu
+	c   io.Closer     // guarded by mu; nil when the writer isn't ours to close
+	enc *json.Encoder // guarded by mu
+	err error         // guarded by mu; first write error, reported by Close
+}
+
+// NewJSONLExporter wraps w. If w is also an io.Closer, Close closes it.
+func NewJSONLExporter(w io.Writer) *JSONLExporter {
+	e := &JSONLExporter{w: bufio.NewWriter(w)}
+	e.enc = json.NewEncoder(e.w)
+	if c, ok := w.(io.Closer); ok {
+		e.c = c
+	}
+	return e
+}
+
+// OpenJSONL creates (or truncates) path and returns an exporter writing to it.
+func OpenJSONL(path string) (*JSONLExporter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return NewJSONLExporter(f), nil
+}
+
+// ExportSpan implements Sink.
+func (e *JSONLExporter) ExportSpan(rec Record) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	if err := e.enc.Encode(rec); err != nil && e.err == nil {
+		e.err = err
+	}
+	// Flush per record: each line is complete on disk the moment the span
+	// ends, so `sbtrace -f` and tail -f see live traces and a crash loses at
+	// most the span being written. The bufio layer still coalesces the
+	// encoder's field-by-field writes into one syscall.
+	if err := e.w.Flush(); err != nil && e.err == nil {
+		e.err = err
+	}
+	e.mu.Unlock()
+}
+
+// Close flushes buffered spans and closes the underlying file if the exporter
+// opened it, returning the first error seen across the exporter's lifetime.
+func (e *JSONLExporter) Close() error {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.w.Flush(); err != nil && e.err == nil {
+		e.err = err
+	}
+	if e.c != nil {
+		if err := e.c.Close(); err != nil && e.err == nil {
+			e.err = err
+		}
+	}
+	return e.err
+}
+
+// ReadRecords decodes a span-log stream produced by JSONLExporter. Blank
+// lines are skipped; a malformed line is a hard error (the log is
+// machine-written, so damage means truncation worth surfacing).
+func ReadRecords(r io.Reader) ([]Record, error) {
+	dec := json.NewDecoder(r)
+	var out []Record
+	for {
+		var rec Record
+		if err := dec.Decode(&rec); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}

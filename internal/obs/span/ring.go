@@ -1,0 +1,148 @@
+package span
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"sync"
+)
+
+// DefaultRingCapacity bounds the span ring when callers pass 0. Spans are an
+// order of magnitude chattier than placement decisions (one trace is many
+// spans), so the default is larger than the decision ring's.
+const DefaultRingCapacity = 4096
+
+// Ring is a bounded ring buffer of finished spans — the always-on, in-memory
+// sink behind GET /debug/spans. Memory is fixed regardless of traffic; once
+// full, the oldest span is overwritten. Nil-safe like every sink.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Record // guarded by mu; ring storage
+	next  int      // guarded by mu; index Record writes next
+	size  int      // guarded by mu; live entries (≤ len(buf))
+	total uint64   // guarded by mu; spans ever recorded
+}
+
+// NewRing returns a ring holding the last capacity spans
+// (DefaultRingCapacity when capacity <= 0).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultRingCapacity
+	}
+	return &Ring{buf: make([]Record, capacity)}
+}
+
+// ExportSpan implements Sink.
+func (r *Ring) ExportSpan(rec Record) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.total++
+	r.buf[r.next] = rec
+	r.next = (r.next + 1) % len(r.buf)
+	if r.size < len(r.buf) {
+		r.size++
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot returns up to n recent spans, newest first (n <= 0: all).
+func (r *Ring) Snapshot(n int) []Record {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n <= 0 || n > r.size {
+		n = r.size
+	}
+	out := make([]Record, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, r.buf[(r.next-i+len(r.buf))%len(r.buf)])
+	}
+	return out
+}
+
+// Trace returns every buffered span of the given trace, in recording order
+// (children end before parents, so the root is last).
+func (r *Ring) Trace(id ID) []Record {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Record
+	for i := r.size; i >= 1; i-- {
+		if rec := r.buf[(r.next-i+len(r.buf))%len(r.buf)]; rec.Trace == id {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// Total returns how many spans were ever recorded (including overwritten
+// ones).
+func (r *Ring) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// errBadLimit is the shared validation failure for ring-dump limits.
+var errBadLimit = errors.New("n must be a non-negative integer")
+
+// ParseLimit validates a ?n= ring-dump limit: "" and "0" mean "everything",
+// any other non-negative integer is returned as-is, and anything else
+// (negative, non-numeric, overflow) is an error. /debug/trace and
+// /debug/spans share this so the two endpoints cannot drift.
+func ParseLimit(s string) (int, error) {
+	if s == "" {
+		return 0, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil || v < 0 {
+		return 0, errBadLimit
+	}
+	return v, nil
+}
+
+// Handler serves the ring as JSON:
+//
+//	GET /debug/spans?n=K          {"total": N, "spans": [...]} newest first
+//	GET /debug/spans?trace=<hex>  {"trace": "<hex>", "spans": [...]} in
+//	                              recording order (root span last)
+//
+// Invalid n or trace values answer 400.
+func (r *Ring) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		q := req.URL.Query()
+		if t := q.Get("trace"); t != "" {
+			id, err := ParseID(t)
+			if err != nil {
+				http.Error(w, `{"error":"trace must be a hex span ID"}`, http.StatusBadRequest)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(map[string]any{
+				"trace": id,
+				"spans": r.Trace(id),
+			})
+			return
+		}
+		n, err := ParseLimit(q.Get("n"))
+		if err != nil {
+			http.Error(w, `{"error":"`+err.Error()+`"}`, http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"total": r.Total(),
+			"spans": r.Snapshot(n),
+		})
+	})
+}

@@ -1,0 +1,50 @@
+package span
+
+import (
+	"context"
+	"log/slog"
+)
+
+// LogHandler decorates a slog.Handler so every record emitted with a
+// span-carrying context gains trace_id/span_id attributes — the join key
+// between logs, the span ring, and sbtrace output. Wrap once at process
+// start:
+//
+//	slog.SetDefault(slog.New(span.NewLogHandler(slog.NewTextHandler(os.Stderr, nil))))
+//
+// Records logged through a context without a span pass through untouched, so
+// the handler is safe to install unconditionally.
+type LogHandler struct {
+	inner slog.Handler
+}
+
+// NewLogHandler wraps inner.
+func NewLogHandler(inner slog.Handler) *LogHandler {
+	return &LogHandler{inner: inner}
+}
+
+// Enabled implements slog.Handler.
+func (h *LogHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+// Handle implements slog.Handler, stamping the active trace and span IDs.
+func (h *LogHandler) Handle(ctx context.Context, r slog.Record) error {
+	if s := FromContext(ctx); s != nil {
+		r.AddAttrs(
+			slog.String("trace_id", s.TraceID().String()),
+			slog.String("span_id", s.SpanID().String()),
+		)
+	}
+	return h.inner.Handle(ctx, r)
+}
+
+// WithAttrs implements slog.Handler.
+func (h *LogHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &LogHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+// WithGroup implements slog.Handler.
+func (h *LogHandler) WithGroup(name string) slog.Handler {
+	return &LogHandler{inner: h.inner.WithGroup(name)}
+}

@@ -1,0 +1,307 @@
+package span
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestIDStringParseRoundTrip(t *testing.T) {
+	for _, id := range []ID{0, 1, 0xdeadbeef, 0x9e3779b97f4a7c15, ^ID(0)} {
+		s := id.String()
+		if len(s) != 16 {
+			t.Fatalf("ID %d rendered %q: want 16 hex digits", uint64(id), s)
+		}
+		back, err := ParseID(s)
+		if err != nil || back != id {
+			t.Fatalf("ParseID(%q) = %v, %v; want %v", s, back, err, id)
+		}
+	}
+	if _, err := ParseID("not-hex"); err == nil {
+		t.Fatal("ParseID accepted garbage")
+	}
+}
+
+func TestIDJSONRoundTrip(t *testing.T) {
+	id := ID(0xabc123)
+	b, err := json.Marshal(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `"0000000000abc123"` {
+		t.Fatalf("marshal = %s", b)
+	}
+	var back ID
+	if err := json.Unmarshal(b, &back); err != nil || back != id {
+		t.Fatalf("unmarshal = %v, %v", back, err)
+	}
+}
+
+func TestTracerDeterministicIDs(t *testing.T) {
+	a, b := NewTracer(7), NewTracer(7)
+	for i := 0; i < 10; i++ {
+		if x, y := a.nextID(), b.nextID(); x != y {
+			t.Fatalf("step %d: same seed diverged: %v vs %v", i, x, y)
+		}
+	}
+	if NewTracer(1).nextID() == NewTracer(2).nextID() {
+		t.Fatal("different seeds produced the same first ID")
+	}
+}
+
+func TestSpanLifecycleAndSinks(t *testing.T) {
+	ring := NewRing(8)
+	tr := NewTracer(1, ring, nil) // nil sink must be skipped, not crash
+	ctx, root := tr.Start(context.Background(), "root")
+	if root == nil || FromContext(ctx) != root {
+		t.Fatal("Start did not install the span in the context")
+	}
+	cctx, child := Child(ctx, "child")
+	if child == nil || FromContext(cctx) != child {
+		t.Fatal("Child did not install the child span")
+	}
+	if child.rec.Trace != root.rec.Trace || child.rec.Parent != root.rec.Span {
+		t.Fatalf("child lineage wrong: %+v vs root %+v", child.rec, root.rec)
+	}
+	child.SetAttr("k", "v")
+	child.SetError(errors.New("boom"))
+	child.End()
+	root.SetStatus("ok-ish")
+	root.End()
+
+	recs := ring.Snapshot(0)
+	if len(recs) != 2 {
+		t.Fatalf("ring holds %d spans, want 2", len(recs))
+	}
+	// Snapshot is newest-first: root ended last.
+	if recs[0].Name != "root" || recs[0].Status != "ok-ish" {
+		t.Fatalf("newest = %+v", recs[0])
+	}
+	c := recs[1]
+	if c.Status != "error" || c.Attrs.Get("k") != "v" || c.Attrs.Get("error") != "boom" {
+		t.Fatalf("child record = %+v", c)
+	}
+	got := ring.Trace(root.rec.Trace)
+	if len(got) != 2 || got[len(got)-1].Name != "root" {
+		t.Fatalf("Trace() = %+v, want child then root", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	ctx, sp := tr.Start(context.Background(), "x")
+	if sp != nil || ctx != context.Background() {
+		t.Fatal("nil tracer must return ctx unchanged and a nil span")
+	}
+	// Every method on a nil span is a no-op.
+	sp.SetAttr("k", "v")
+	sp.SetStatus("s")
+	sp.SetError(errors.New("e"))
+	sp.End()
+	if sp.TraceID() != 0 || sp.SpanID() != 0 || sp.NewChild("c") != nil {
+		t.Fatal("nil span accessors must return zero values")
+	}
+	cctx, child := Child(ctx, "child")
+	if child != nil || cctx != ctx {
+		t.Fatal("Child without a parent must return ctx unchanged and nil")
+	}
+	if id, ok := ContextTraceID(ctx); ok || id != 0 {
+		t.Fatal("ContextTraceID on a bare context must report absent")
+	}
+	var ring *Ring
+	ring.ExportSpan(Record{})
+	if ring.Snapshot(0) != nil || ring.Trace(1) != nil || ring.Total() != 0 {
+		t.Fatal("nil ring accessors must return zero values")
+	}
+	var exp *JSONLExporter
+	exp.ExportSpan(Record{})
+	if err := exp.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTracingOffZeroAllocs(t *testing.T) {
+	ctx := context.Background()
+	if n := testing.AllocsPerRun(100, func() {
+		cctx, sp := Child(ctx, "hot")
+		sp.SetAttr("k", "v")
+		sp.End()
+		_, _ = ContextTraceID(cctx)
+	}); n != 0 {
+		t.Fatalf("tracing-off hot path allocated %.0f/op, want 0", n)
+	}
+}
+
+func TestRingOverwrite(t *testing.T) {
+	ring := NewRing(4)
+	for i := 1; i <= 6; i++ {
+		ring.ExportSpan(Record{Trace: ID(i), Span: ID(i), Name: "s"})
+	}
+	if ring.Total() != 6 {
+		t.Fatalf("Total = %d, want 6", ring.Total())
+	}
+	recs := ring.Snapshot(0)
+	if len(recs) != 4 || recs[0].Trace != 6 || recs[3].Trace != 3 {
+		t.Fatalf("after wrap Snapshot = %+v", recs)
+	}
+	if got := ring.Snapshot(2); len(got) != 2 || got[0].Trace != 6 || got[1].Trace != 5 {
+		t.Fatalf("Snapshot(2) = %+v", got)
+	}
+	if got := ring.Trace(2); len(got) != 0 {
+		t.Fatalf("overwritten trace still visible: %+v", got)
+	}
+}
+
+func TestParseLimit(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want int
+		ok   bool
+	}{
+		{"", 0, true}, {"0", 0, true}, {"5", 5, true}, {"10000", 10000, true},
+		{"-1", 0, false}, {"abc", 0, false}, {"1.5", 0, false},
+		{"99999999999999999999", 0, false},
+	} {
+		got, err := ParseLimit(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("ParseLimit(%q) = %d, %v; want %d, ok=%v", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestRingHandler(t *testing.T) {
+	ring := NewRing(8)
+	tr := NewTracer(3, ring)
+	ctx, root := tr.Start(context.Background(), "root")
+	_, child := Child(ctx, "child")
+	child.End()
+	root.End()
+
+	get := func(url string) (*httptest.ResponseRecorder, map[string]any) {
+		rr := httptest.NewRecorder()
+		ring.Handler().ServeHTTP(rr, httptest.NewRequest(http.MethodGet, url, nil))
+		var body map[string]any
+		if rr.Code == http.StatusOK {
+			if err := json.Unmarshal(rr.Body.Bytes(), &body); err != nil {
+				t.Fatalf("%s: bad JSON: %v", url, err)
+			}
+		}
+		return rr, body
+	}
+
+	rr, body := get("/debug/spans?n=1")
+	if rr.Code != http.StatusOK || len(body["spans"].([]any)) != 1 {
+		t.Fatalf("n=1: code %d body %v", rr.Code, body)
+	}
+	rr, body = get("/debug/spans")
+	if rr.Code != http.StatusOK || len(body["spans"].([]any)) != 2 || body["total"].(float64) != 2 {
+		t.Fatalf("all: code %d body %v", rr.Code, body)
+	}
+	rr, body = get("/debug/spans?trace=" + root.TraceID().String())
+	if rr.Code != http.StatusOK || len(body["spans"].([]any)) != 2 {
+		t.Fatalf("trace: code %d body %v", rr.Code, body)
+	}
+	for _, bad := range []string{"/debug/spans?n=-1", "/debug/spans?n=x", "/debug/spans?trace=zz"} {
+		if rr, _ := get(bad); rr.Code != http.StatusBadRequest {
+			t.Errorf("%s: code %d, want 400", bad, rr.Code)
+		}
+	}
+	if rr, body := get("/debug/spans?trace=ffffffffffffffff"); rr.Code != http.StatusOK || body["spans"] != nil {
+		t.Errorf("unknown trace: code %d body %v, want empty 200", rr.Code, body)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	exp := NewJSONLExporter(&buf)
+	start := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	want := []Record{
+		{Trace: 1, Span: 2, Name: "root", Start: start, Duration: 5 * time.Millisecond},
+		{Trace: 1, Span: 3, Parent: 2, Name: "kv.SET", Start: start, Duration: time.Millisecond,
+			Status: "error", Attrs: Attrs{{"retry", "true"}}},
+	}
+	for _, r := range want {
+		exp.ExportSpan(r)
+	}
+	if err := exp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRecords(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("read %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !got[i].Start.Equal(want[i].Start) {
+			t.Fatalf("record %d start = %v, want %v", i, got[i].Start, want[i].Start)
+		}
+		got[i].Start = want[i].Start // Equal but different wall-clock repr.
+		g, _ := json.Marshal(got[i])
+		w, _ := json.Marshal(want[i])
+		if string(g) != string(w) {
+			t.Fatalf("record %d = %s, want %s", i, g, w)
+		}
+	}
+	if _, err := ReadRecords(strings.NewReader("{bad json")); err == nil {
+		t.Fatal("ReadRecords accepted a malformed line")
+	}
+}
+
+func TestLogHandlerStampsTraceID(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(NewLogHandler(slog.NewTextHandler(&buf, nil)))
+	tr := NewTracer(5, nil)
+	ctx, sp := tr.Start(context.Background(), "op")
+	logger.InfoContext(ctx, "inside")
+	logger.InfoContext(context.Background(), "outside")
+	sp.End()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d log lines: %q", len(lines), buf.String())
+	}
+	if !strings.Contains(lines[0], "trace_id="+sp.TraceID().String()) ||
+		!strings.Contains(lines[0], "span_id="+sp.SpanID().String()) {
+		t.Fatalf("span-context line missing IDs: %s", lines[0])
+	}
+	if strings.Contains(lines[1], "trace_id") {
+		t.Fatalf("bare-context line gained a trace_id: %s", lines[1])
+	}
+}
+
+func TestWrapHTTP(t *testing.T) {
+	ring := NewRing(8)
+	tr := NewTracer(9, ring)
+	var sawSpan bool
+	h := tr.WrapHTTP("/v1/test", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sawSpan = FromContext(r.Context()) != nil
+		w.WriteHeader(http.StatusBadGateway)
+	}))
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/v1/test", nil))
+	if !sawSpan {
+		t.Fatal("handler did not see the request span")
+	}
+	recs := ring.Snapshot(0)
+	if len(recs) != 1 {
+		t.Fatalf("ring holds %d spans, want 1", len(recs))
+	}
+	r := recs[0]
+	if r.Name != "http /v1/test" || r.Attrs.Get("http.status") != "502" || r.Status != "error" {
+		t.Fatalf("request span = %+v", r)
+	}
+	// Nil tracer: handler passes through untouched.
+	var off *Tracer
+	plain := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {})
+	if got := off.WrapHTTP("/x", plain); got == nil {
+		t.Fatal("nil tracer WrapHTTP returned nil")
+	}
+}

@@ -3,9 +3,10 @@ package obs
 import (
 	"encoding/json"
 	"net/http"
-	"strconv"
 	"sync"
 	"time"
+
+	"switchboard/internal/obs/span"
 )
 
 // Decision records one realtime placement/migration/failover decision: what
@@ -113,17 +114,15 @@ func (r *DecisionRing) Total() uint64 {
 }
 
 // Handler serves the ring as JSON: {"total": N, "decisions": [...]} with the
-// newest decision first. ?n=K limits the dump to the K most recent.
+// newest decision first. ?n=K limits the dump to the K most recent; invalid
+// values answer 400 (validation shared with /debug/spans via
+// span.ParseLimit).
 func (r *DecisionRing) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
-		n := 0
-		if s := req.URL.Query().Get("n"); s != "" {
-			v, err := strconv.Atoi(s)
-			if err != nil || v < 0 {
-				http.Error(w, `{"error":"n must be a non-negative integer"}`, http.StatusBadRequest)
-				return
-			}
-			n = v
+		n, err := span.ParseLimit(req.URL.Query().Get("n"))
+		if err != nil {
+			http.Error(w, `{"error":"`+err.Error()+`"}`, http.StatusBadRequest)
+			return
 		}
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(map[string]any{

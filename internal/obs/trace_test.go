@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http/httptest"
 	"strings"
+	"switchboard/internal/obs/span"
 	"testing"
 )
 
@@ -76,11 +77,14 @@ func TestDebugMuxRoutes(t *testing.T) {
 	reg.Counter("sb_test_total", "t").Inc()
 	ring := NewDecisionRing(4)
 	ring.Record(Decision{Call: 7, Kind: "start"})
-	mux := DebugMux(reg, ring)
+	spans := span.NewRing(8)
+	spans.ExportSpan(span.Record{Trace: 0xabc, Span: 1, Name: "http /v1/call/start"})
+	mux := DebugMux(reg, ring, spans)
 
 	for path, wantBody := range map[string]string{
 		"/metrics":               "sb_test_total 1",
 		"/debug/trace":           `"call":7`,
+		"/debug/spans":           `"http /v1/call/start"`,
 		"/debug/pprof/":          "profiles",
 		"/debug/pprof/goroutine": "goroutine",
 	} {
@@ -100,8 +104,8 @@ func TestDebugMuxRoutes(t *testing.T) {
 	}
 
 	// Nil registry/ring still serve empty output, not 404s.
-	nilMux := DebugMux(nil, nil)
-	for _, path := range []string{"/metrics", "/debug/trace"} {
+	nilMux := DebugMux(nil, nil, nil)
+	for _, path := range []string{"/metrics", "/debug/trace", "/debug/spans"} {
 		rec := httptest.NewRecorder()
 		nilMux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
 		if rec.Code != 200 {
