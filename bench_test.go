@@ -14,6 +14,8 @@ import (
 
 	"switchboard"
 	"switchboard/internal/eval"
+	"switchboard/internal/kvstore"
+	"switchboard/internal/kvstore/replica"
 	"switchboard/internal/lp"
 	"switchboard/internal/model"
 	"switchboard/internal/provision"
@@ -419,5 +421,75 @@ func BenchmarkSimplexRevised(b *testing.B) {
 		if err != nil || sol.Status != lp.Optimal {
 			b.Fatalf("status %v err %v", sol.Status, err)
 		}
+	}
+}
+
+// BenchmarkFailover measures the HA pair's promotion latency: a primary with
+// an attached, caught-up standby is killed and the timer runs until a write
+// lands on the promoted standby — silence detection, promotion, and the
+// client's failover included. cmd/sbbench runs the same loop to emit the
+// failover_promotion point in BENCH_core.json.
+func BenchmarkFailover(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		psrv := kvstore.NewServer()
+		pl, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		go func() { _ = psrv.Serve(pl) }()
+		replica.NewPrimary(psrv, 0, replica.PrimaryOptions{
+			Heartbeat:  10 * time.Millisecond,
+			AckTimeout: 200 * time.Millisecond,
+		})
+		ssrv := kvstore.NewServer()
+		sl, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		go func() { _ = ssrv.Serve(sl) }()
+		standby := replica.NewStandby(ssrv, pl.Addr().String(), replica.StandbyOptions{
+			FailoverTimeout: 75 * time.Millisecond,
+			DialTimeout:     50 * time.Millisecond,
+			ReadTimeout:     30 * time.Millisecond,
+			RedialInterval:  5 * time.Millisecond,
+		})
+		go standby.Run()
+		client, err := kvstore.DialFailover(
+			[]string{pl.Addr().String(), sl.Addr().String()},
+			kvstore.Options{
+				DialTimeout: 50 * time.Millisecond,
+				IOTimeout:   50 * time.Millisecond,
+				MaxRetries:  2,
+				BackoffMin:  time.Millisecond,
+				BackoffMax:  5 * time.Millisecond,
+				Seed:        int64(i + 1),
+			})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// One acked write through the attached standby proves the pair is
+		// formed and caught up before the clock starts.
+		if err := client.HSet("call:1", "state", "active"); err != nil {
+			b.Fatal(err)
+		}
+		for standby.LastSeq() == 0 {
+			time.Sleep(time.Millisecond)
+		}
+
+		b.StartTimer()
+		_ = psrv.Close()
+		for {
+			if err := client.HSet("call:2", "state", "active"); err == nil {
+				break
+			}
+		}
+		b.StopTimer()
+
+		_ = client.Close()
+		standby.Stop()
+		<-standby.Done()
+		_ = ssrv.Close()
+		b.StartTimer()
 	}
 }

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"switchboard"
+	"switchboard/internal/kvstore/replica"
 )
 
 // result is one benchmark point. ns/op is the headline; allocs and bytes
@@ -167,12 +168,77 @@ func main() {
 	_ = client.Close()
 	_ = srv.Close()
 
+	// Promotion latency of an HA pair: kill the primary, clock stops when a
+	// write lands on the promoted standby (same loop as BenchmarkFailover).
+	failover := runBench("failover_promotion", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			psrv := switchboard.NewKVServer()
+			pl, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			go func() { _ = psrv.Serve(pl) }()
+			replica.NewPrimary(psrv, 0, replica.PrimaryOptions{
+				Heartbeat:  10 * time.Millisecond,
+				AckTimeout: 200 * time.Millisecond,
+			})
+			ssrv := switchboard.NewKVServer()
+			sl, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			go func() { _ = ssrv.Serve(sl) }()
+			standby := replica.NewStandby(ssrv, pl.Addr().String(), replica.StandbyOptions{
+				FailoverTimeout: 75 * time.Millisecond,
+				DialTimeout:     50 * time.Millisecond,
+				ReadTimeout:     30 * time.Millisecond,
+				RedialInterval:  5 * time.Millisecond,
+			})
+			go standby.Run()
+			cl, err := switchboard.DialKVFailover(
+				[]string{pl.Addr().String(), sl.Addr().String()},
+				switchboard.KVOptions{
+					DialTimeout: 50 * time.Millisecond,
+					IOTimeout:   50 * time.Millisecond,
+					MaxRetries:  2,
+					BackoffMin:  time.Millisecond,
+					BackoffMax:  5 * time.Millisecond,
+					Seed:        int64(i + 1),
+				})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := cl.HSet("call:1", "state", "active"); err != nil {
+				b.Fatal(err)
+			}
+			for standby.LastSeq() == 0 {
+				time.Sleep(time.Millisecond)
+			}
+
+			b.StartTimer()
+			_ = psrv.Close()
+			for {
+				if err := cl.HSet("call:2", "state", "active"); err == nil {
+					break
+				}
+			}
+			b.StopTimer()
+
+			_ = cl.Close()
+			standby.Stop()
+			<-standby.Done()
+			_ = ssrv.Close()
+			b.StartTimer()
+		}
+	})
+
 	this := run{
 		Rev:     *rev,
 		GoOS:    runtime.GOOS,
 		GoArch:  runtime.GOARCH,
 		NumCPU:  runtime.NumCPU(),
-		Results: []result{placement, kvRoundTrip},
+		Results: []result{placement, kvRoundTrip, failover},
 	}
 	if *out == "" {
 		buf, err := json.MarshalIndent(this, "", "  ")

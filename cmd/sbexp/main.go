@@ -55,6 +55,7 @@ var experiments = []struct {
 	{"drill", "DC-failure drill: backup vs serving-only plans", true, drill},
 	{"forecast-baselines", "Holt-Winters vs seasonal-naive and drift", true, forecastBaselines},
 	{"chaos", "fault-injection drill: degraded mode vs clean run", true, chaos},
+	{"partition", "HA failover drill: silent primary partition, standby promotes", true, partitionExp},
 }
 
 func main() {
@@ -398,6 +399,23 @@ func chaos(env *eval.Env) error {
 	fmt.Printf("degraded intervals %d, journaled writes replayed %d, dropped %d\n",
 		res.Degraded, res.Replayed, res.Dropped)
 	fmt.Printf("lost transitions after replay: %d (want 0)\n", res.LostTransitions)
+	return nil
+}
+
+func partitionExp(env *eval.Env) error {
+	res, err := eval.PartitionDrill(env, 1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replayed %d calls (%d events) against a primary/standby pair; primary partitioned at the first third (seed %d)\n",
+		res.Calls, res.Events, res.Seed)
+	fmt.Printf("%-28s %12.0f\n", "events/s (incl. failover)", res.EventsPerSec)
+	fmt.Printf("%-28s %12s\n", "standby promotion latency", res.PromotionLatency.Round(time.Millisecond))
+	fmt.Printf("%-28s %12s\n", "max op stall", res.MaxStall.Round(time.Millisecond))
+	fmt.Printf("%-28s %12d\n", "replicated log position", res.ReplicatedSeq)
+	fmt.Printf("degraded intervals %d, journaled writes replayed %d, dropped %d\n",
+		res.Degraded, res.Replayed, res.Dropped)
+	fmt.Printf("lost transitions after failover: %d (want 0)\n", res.LostTransitions)
 	return nil
 }
 

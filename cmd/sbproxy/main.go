@@ -1,0 +1,74 @@
+// Command sbproxy runs the fault-injection TCP proxy (internal/faults) as a
+// standalone process, with an HTTP control surface for scripted chaos drills:
+// point a kvstore client (or a standby's -repl-peer) at -listen instead of
+// the store, then flip faults on and off with curl. The CI partition smoke
+// uses it to blackhole a live primary and watch the standby promote.
+//
+//	sbproxy -listen 127.0.0.1:7320 -upstream 127.0.0.1:7311 -ctl 127.0.0.1:7321 &
+//	curl -X POST localhost:7321/partition   # silent blackhole, conns stay open
+//	curl -X POST localhost:7321/heal        # bytes flow again
+//	curl -X POST localhost:7321/cut         # sever conns, refuse new ones
+//	curl -X POST localhost:7321/restore     # accept again
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"log/slog"
+	"net/http"
+	"os"
+	"time"
+
+	"switchboard/internal/faults"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7320", "proxy listen address clients dial instead of the upstream")
+	upstream := flag.String("upstream", "", "upstream address traffic is forwarded to (required)")
+	ctl := flag.String("ctl", "127.0.0.1:7321", "HTTP control listen address")
+	flag.Parse()
+	if *upstream == "" {
+		slog.Error("missing -upstream")
+		os.Exit(1)
+	}
+
+	proxy, err := faults.NewProxyAt(*listen, *upstream, nil)
+	if err != nil {
+		slog.Error("starting proxy", "err", err)
+		os.Exit(1)
+	}
+	defer func() { _ = proxy.Close() }()
+
+	// Each control verb answers with the proxy's current topology so drill
+	// scripts can log what they just did.
+	state := "forwarding"
+	mux := http.NewServeMux()
+	act := func(verb string, fn func()) {
+		mux.HandleFunc("POST /"+verb, func(w http.ResponseWriter, r *http.Request) {
+			fn()
+			state = verb
+			slog.Info("fault flipped", "verb", verb)
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(map[string]string{
+				"state": verb, "listen": proxy.Addr(), "upstream": *upstream,
+			})
+		})
+	}
+	act("partition", proxy.Partition)
+	act("heal", proxy.Heal)
+	act("cut", proxy.Cut)
+	act("restore", proxy.Restore)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]string{
+			"state": state, "listen": proxy.Addr(), "upstream": *upstream,
+		})
+	})
+
+	slog.Info("sbproxy up", "listen", proxy.Addr(), "upstream", *upstream, "ctl", *ctl)
+	srv := &http.Server{Addr: *ctl, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	if err := srv.ListenAndServe(); err != nil {
+		slog.Error("control listener", "err", err)
+		os.Exit(1)
+	}
+}

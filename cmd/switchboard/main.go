@@ -41,14 +41,24 @@
 //	curl -s -d '{"id":1,"country":"JP"}' localhost:8077/v1/call/start
 //	curl -s localhost:8078/debug/spans | python3 -m json.tool
 //	sbtrace -f spans.jsonl
+//
+// High availability (see README "Running an HA pair" and DESIGN.md
+// "Failover"): -repl-role primary|standby replicates the in-process store
+// across two nodes (-repl-peer points the standby at the primary's
+// -kv-listen address), -kv takes a comma-separated address list the client
+// fails over across, and -lease runs lease-based controller leadership so
+// exactly one node serves mutations while the other answers 503 with a
+// leader hint.
 package main
 
 import (
+	"context"
 	"flag"
 	"log/slog"
 	"net"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"switchboard"
@@ -56,6 +66,7 @@ import (
 	"switchboard/internal/faults"
 	"switchboard/internal/httpapi"
 	"switchboard/internal/kvstore"
+	"switchboard/internal/kvstore/replica"
 	"switchboard/internal/obs"
 	"switchboard/internal/obs/span"
 )
@@ -67,9 +78,24 @@ func fatal(msg string, err error) {
 	os.Exit(1)
 }
 
+// errFlag turns a bad flag value into an error for fatal.
+type errFlag string
+
+func (e errFlag) Error() string { return string(e) }
+
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8077", "HTTP listen address")
-	kvAddr := flag.String("kv", "", "external RESP store address (empty starts an in-process kvstore)")
+	kvAddr := flag.String("kv", "", "RESP store address, or a comma-separated failover list like primary,standby (empty starts an in-process kvstore)")
+	kvListen := flag.String("kv-listen", "127.0.0.1:0", "in-process kvstore listen address (make it reachable when a standby peer replicates from this node)")
+	replRole := flag.String("repl-role", "", "in-process kvstore replication role: 'primary' or 'standby' (empty disables replication)")
+	replPeer := flag.String("repl-peer", "", "primary kvstore address a standby replicates from (required with -repl-role standby)")
+	replAck := flag.String("repl-ack", "standby", "primary write acks: 'standby' (semi-synchronous; acked writes survive failover) or 'relaxed' (local-only acks)")
+	replAckTimeout := flag.Duration("repl-ack-timeout", time.Second, "how long a write waits for the standby's ack before REPLWAIT")
+	replFailoverTimeout := flag.Duration("repl-failover-timeout", 2*time.Second, "primary silence a standby tolerates before promoting itself")
+	leaseOn := flag.Bool("lease", false, "run lease-based controller leadership against the store (this node serves mutations only while holding the lease)")
+	leaseKey := flag.String("lease-key", controller.DefaultLeaseKey, "leadership lease key")
+	leaseID := flag.String("lease-id", "", "this controller's lease owner ID (default: -addr)")
+	leaseTTL := flag.Duration("lease-ttl", controller.DefaultLeaseTTL, "leadership lease TTL (bounds the leaderless window after a crash)")
 	warmupDays := flag.Int("warmup-days", 2, "days of synthetic history for the bootstrap plan")
 	callsPerDay := flag.Int("calls", 4000, "synthetic history calls per day")
 	seed := flag.Int64("seed", 1, "synthetic history seed")
@@ -160,17 +186,62 @@ func main() {
 	}
 	slog.Info("plan ready", "cores", plan.TotalCores(), "gbps", plan.TotalGbps(), "mean_acl_ms", alloc.MeanACL)
 
-	// State store.
-	if *kvAddr == "" {
+	// State store. kvAddrs is the client's failover list; the in-process
+	// store (when started) joins it — first for a primary (writes should
+	// land locally), last for a standby (writes chase the peer until it
+	// falls silent and this node promotes).
+	var kvAddrs []string
+	if *kvAddr != "" {
+		kvAddrs = strings.Split(*kvAddr, ",")
+	}
+	if *kvAddr == "" || *replRole != "" {
 		srv := switchboard.NewKVServer()
 		srv.SetMetrics(kvstore.NewServerMetrics(reg))
-		l, err := net.Listen("tcp", "127.0.0.1:0")
+		l, err := net.Listen("tcp", *kvListen)
 		if err != nil {
 			fatal("listening for kvstore", err)
 		}
 		go func() { _ = srv.Serve(l) }()
-		*kvAddr = l.Addr().String()
-		slog.Info("in-process kvstore", "addr", *kvAddr)
+		local := l.Addr().String()
+		ackMode := replica.AckStandby
+		if *replAck == "relaxed" {
+			ackMode = replica.AckRelaxed
+		} else if *replAck != "standby" {
+			fatal("bad -repl-ack", errFlag(*replAck))
+		}
+		primaryOpts := replica.PrimaryOptions{
+			AckMode:    ackMode,
+			AckTimeout: *replAckTimeout,
+			Metrics:    replica.NewMetrics(reg),
+		}
+		switch *replRole {
+		case "":
+			kvAddrs = append([]string{local}, kvAddrs...)
+			slog.Info("in-process kvstore", "addr", local)
+		case "primary":
+			replica.NewPrimary(srv, 0, primaryOpts)
+			kvAddrs = append([]string{local}, kvAddrs...)
+			slog.Info("in-process kvstore replicating as primary", "addr", local, "ack", *replAck)
+		case "standby":
+			if *replPeer == "" {
+				fatal("-repl-role standby", errFlag("needs -repl-peer"))
+			}
+			standby := replica.NewStandby(srv, *replPeer, replica.StandbyOptions{
+				FailoverTimeout: *replFailoverTimeout,
+				Promote:         primaryOpts,
+				Metrics:         primaryOpts.Metrics,
+				Logger:          slog.Default(),
+			})
+			go standby.Run()
+			defer standby.Stop()
+			if len(kvAddrs) == 0 {
+				kvAddrs = []string{*replPeer}
+			}
+			kvAddrs = append(kvAddrs, local)
+			slog.Info("in-process kvstore standing by", "addr", local, "primary", *replPeer)
+		default:
+			fatal("bad -repl-role", errFlag(*replRole))
+		}
 	}
 	// The injection family is registered up front (zero-valued when the drill
 	// is off) so scrapers and dashboards always see it.
@@ -178,15 +249,16 @@ func main() {
 	if *chaosProb > 0 {
 		inj := faults.NewInjector(*seed, faults.Rule{Kind: faults.Latency, Prob: *chaosProb, Delay: *chaosDelay})
 		inj.SetMetrics(injections)
-		proxy, err := faults.NewProxy(*kvAddr, inj)
+		// The drill wraps the preferred store; failover addresses stay direct.
+		proxy, err := faults.NewProxy(kvAddrs[0], inj)
 		if err != nil {
 			fatal("starting chaos proxy", err)
 		}
 		defer func() { _ = proxy.Close() }()
 		slog.Info("chaos drill on", "via", proxy.Addr(), "prob", *chaosProb, "latency", *chaosDelay)
-		*kvAddr = proxy.Addr()
+		kvAddrs[0] = proxy.Addr()
 	}
-	kv, err := switchboard.DialKVOptions(*kvAddr, switchboard.KVOptions{
+	kv, err := switchboard.DialKVFailover(kvAddrs, switchboard.KVOptions{
 		DialTimeout: *kvDialTimeout,
 		IOTimeout:   *kvTimeout,
 		MaxRetries:  *kvRetries,
@@ -231,6 +303,50 @@ func main() {
 	api.HTTP = obs.NewHTTPMetrics(reg)
 	api.KV = kv
 	api.Tracer = tracer
+
+	// Leadership: the elector gets its own client so election probes still
+	// go through when the data path is saturated. On winning it arms the
+	// controller's fencing epoch and drains anything journaled while
+	// standing by; on losing it clears the fence so Stats surface any
+	// in-flight stale writes as fenced rather than landing them.
+	if *leaseOn {
+		id := *leaseID
+		if id == "" {
+			id = *addr
+		}
+		lkv, err := switchboard.DialKVFailover(kvAddrs, switchboard.KVOptions{
+			DialTimeout: *kvDialTimeout,
+			IOTimeout:   *kvTimeout,
+			MaxRetries:  *kvRetries,
+			BackoffMin:  *kvBackoffMin,
+			BackoffMax:  *kvBackoffMax,
+			Seed:        *seed + 1,
+		})
+		if err != nil {
+			fatal("dialing kvstore for leases", err)
+		}
+		defer func() { _ = lkv.Close() }()
+		elector := controller.NewElector(controller.ElectorConfig{
+			Store: lkv,
+			Key:   *leaseKey,
+			ID:    id,
+			TTL:   *leaseTTL,
+			OnLead: func(epoch int64) {
+				ctrl.SetLease(*leaseKey, epoch)
+				if _, err := ctrl.ReplayJournal(context.Background()); err != nil {
+					slog.Warn("journal replay on takeover", "err", err)
+				}
+			},
+			OnLose:  ctrl.ClearLease,
+			Metrics: controller.NewElectorMetrics(reg),
+			Logger:  slog.Default(),
+			Tracer:  tracer,
+		})
+		go elector.Run()
+		defer func() { elector.Stop(); <-elector.Done() }()
+		api.Elector = elector
+		slog.Info("lease leadership on", "key", *leaseKey, "id", id, "ttl", *leaseTTL)
+	}
 	// SLO burn gauges: placement latency from the controller histogram,
 	// availability from the API's all-routes totals.
 	slo := obs.NewSLOMonitor(reg, obs.SLOConfig{

@@ -112,6 +112,11 @@ type Stats struct {
 	Replayed int64
 	// Dropped counts journaled writes lost to the journal cap.
 	Dropped int64
+	// Fenced counts call-state writes the store rejected by lease fencing —
+	// writes this controller issued after another controller took the lease.
+	// They are dropped, not journaled: replaying them later would corrupt the
+	// new leader's state.
+	Fenced int64
 	// FailedOver counts live calls drained off failed DCs by FailDC.
 	FailedOver int64
 }
@@ -203,6 +208,7 @@ type Controller struct {
 	degradedCount int64          // guarded by storeMu
 	replayed      int64          // guarded by storeMu
 	dropped       int64          // guarded by storeMu
+	fenced        int64          // guarded by storeMu
 	lastProbe     time.Time      // guarded by storeMu
 }
 
@@ -561,6 +567,7 @@ func (c *Controller) Stats() Stats {
 	s.JournalDepth = int64(len(c.journal))
 	s.Replayed = c.replayed
 	s.Dropped = c.dropped
+	s.Fenced = c.fenced
 	c.storeMu.Unlock()
 	return s
 }
@@ -613,7 +620,26 @@ func (c *Controller) persist(ctx context.Context, id uint64, field, value string
 			return
 		}
 	}
-	if err := c.store.HSetContext(ctx, key, field, value); err != nil && !kvstore.IsServerError(err) {
+	err := c.store.HSetContext(ctx, key, field, value)
+	switch {
+	case err == nil:
+	case kvstore.IsFencedError(err):
+		// Another controller holds a newer lease epoch: this write (and any
+		// retry of it) belongs to a leadership this controller no longer has.
+		// Journaling it would replay a deposed leader's state over the
+		// successor's, so it is dropped and counted instead.
+		c.fenced++
+		c.metrics.FencedWrites.Inc()
+		sp.SetError(err)
+		if c.logger != nil {
+			c.logger.WarnContext(ctx, "call-state write fenced; leadership lost",
+				"err", err, "key", key, "field", field)
+		}
+	case !kvstore.IsServerError(err) || kvstore.IsReplWaitError(err):
+		// Transport failure — or REPLWAIT, where the store applied the write
+		// locally but could not confirm replication, which the controller
+		// treats like a transport failure: the journaled retry is an
+		// idempotent HSET, so replaying an already-applied write is safe.
 		c.degraded = true
 		c.degradedCount++
 		c.metrics.Degraded.Inc()
@@ -655,7 +681,16 @@ func (c *Controller) replayLocked(ctx context.Context) {
 	var n int64
 	for len(c.journal) > 0 {
 		e := c.journal[0]
-		if err := c.store.HSetContext(ctx, e.key, e.field, e.value); err != nil && !kvstore.IsServerError(err) {
+		err := c.store.HSetContext(ctx, e.key, e.field, e.value)
+		if kvstore.IsFencedError(err) {
+			// Leadership moved while this write sat in the journal; it must
+			// not land on the new leader's state. Drop it and keep draining.
+			c.journal = c.journal[1:]
+			c.fenced++
+			c.metrics.FencedWrites.Inc()
+			continue
+		}
+		if err != nil && (!kvstore.IsServerError(err) || kvstore.IsReplWaitError(err)) {
 			return // still down; keep journaling
 		}
 		c.journal = c.journal[1:]
@@ -693,6 +728,30 @@ func (c *Controller) ReplayJournal(ctx context.Context) (int, error) {
 		return n, fmt.Errorf("controller: store lost again after replaying %d writes", n)
 	}
 	return n, nil
+}
+
+// SetLease stamps every subsequent call-state write with the given lease
+// epoch (the store's FENCE prefix), so writes from this controller are
+// rejected the moment another controller is granted a newer lease. Called by
+// the Elector on winning leadership.
+func (c *Controller) SetLease(key string, epoch int64) {
+	if c.store == nil {
+		return
+	}
+	c.storeMu.Lock()
+	c.store.SetFence(key, epoch)
+	c.storeMu.Unlock()
+}
+
+// ClearLease stops fencing call-state writes (e.g. after stepping down in an
+// orderly way, where unfenced writes are no longer expected at all).
+func (c *Controller) ClearLease() {
+	if c.store == nil {
+		return
+	}
+	c.storeMu.Lock()
+	c.store.ClearFence()
+	c.storeMu.Unlock()
 }
 
 // Degraded reports whether call-state writes are currently journaled

@@ -1,0 +1,311 @@
+package controller
+
+import (
+	"context"
+	"strconv"
+	"testing"
+	"time"
+
+	"switchboard/internal/faults"
+	"switchboard/internal/kvstore"
+	"switchboard/internal/obs"
+)
+
+func dialStore(t *testing.T, addr string) *kvstore.Client {
+	t.Helper()
+	c, err := kvstore.DialOptions(addr, fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return c
+}
+
+func startElector(t *testing.T, e *Elector) {
+	t.Helper()
+	go e.Run()
+	t.Cleanup(func() {
+		e.Stop()
+		<-e.Done()
+	})
+}
+
+func await(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestElectorHandoffAndFencing drives the full leadership story: A leads and
+// its fenced writes land; B follows with a hint pointing at A; A resigns and
+// B takes over with a bumped epoch; A's stale writes are fenced out of the
+// store and surface in its Stats rather than corrupting B's state.
+func TestElectorHandoffAndFencing(t *testing.T) {
+	srv, l := startStore(t)
+	defer srv.Close()
+	addr := l.Addr().String()
+
+	newCtrl := func() *Controller {
+		c, err := New(Config{World: world, Store: dialStore(t, addr)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	ctrlA, ctrlB := newCtrl(), newCtrl()
+	reg := obs.NewRegistry()
+	newElector := func(id string, ctrl *Controller) *Elector {
+		return NewElector(ElectorConfig{
+			Store: dialStore(t, addr),
+			ID:    id,
+			TTL:   300 * time.Millisecond,
+			Renew: 100 * time.Millisecond,
+			OnLead: func(epoch int64) {
+				ctrl.SetLease(DefaultLeaseKey, epoch)
+				_, _ = ctrl.ReplayJournal(context.Background())
+			},
+			OnLose:  ctrl.ClearLease,
+			Metrics: NewElectorMetrics(reg),
+		})
+	}
+	elA := newElector("ctrl-A", ctrlA)
+	startElector(t, elA)
+	await(t, "A leading", elA.IsLeader)
+	if elA.Epoch() != 1 {
+		t.Fatalf("first leadership epoch = %d, want 1", elA.Epoch())
+	}
+
+	elB := newElector("ctrl-B", ctrlB)
+	startElector(t, elB)
+	await(t, "B observing A", func() bool { return elB.LeaderHint() == "ctrl-A" })
+	if elB.IsLeader() {
+		t.Fatal("B must follow while A's lease is live")
+	}
+
+	// A's writes carry epoch 1 and land.
+	if _, err := ctrlA.CallStarted(context.Background(), 1, "JP", time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	rdr := dialStore(t, addr)
+	if dc, err := rdr.HGet("call:1", "dc"); err != nil || dc == "" {
+		t.Fatalf("leader write missing: %q, %v", dc, err)
+	}
+
+	// Orderly handoff: A resigns, B must take over within a renew interval
+	// or two (not a full TTL) and the epoch must move.
+	elA.Stop()
+	<-elA.Done()
+	await(t, "B taking over", elB.IsLeader)
+	if elB.Epoch() != 2 {
+		t.Fatalf("takeover epoch = %d, want 2", elB.Epoch())
+	}
+
+	// A kept its controller running (it does not know it was deposed in
+	// this scenario — OnLose cleared the fence, so re-arm A's stale epoch
+	// to model in-flight writes from before the loss).
+	ctrlA.SetLease(DefaultLeaseKey, 1)
+	if _, err := ctrlA.CallStarted(context.Background(), 2, "JP", time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rdr.HGet("call:2", "dc"); err != kvstore.ErrNil {
+		t.Fatalf("stale leader's write visible in store: %v", err)
+	}
+	if got := ctrlA.Stats().Fenced; got != 1 {
+		t.Fatalf("A fenced writes = %d, want 1", got)
+	}
+	// B's fenced writes (epoch 2, armed by OnLead) land fine.
+	if _, err := ctrlB.CallStarted(context.Background(), 3, "JP", time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if dc, err := rdr.HGet("call:3", "dc"); err != nil || dc == "" {
+		t.Fatalf("new leader write missing: %q, %v", dc, err)
+	}
+}
+
+// TestElectorRenewalKeepsEpoch pins that a healthy leader's renewals never
+// bump the epoch — followers' fencing tokens stay comparable across renews.
+func TestElectorRenewalKeepsEpoch(t *testing.T) {
+	srv, l := startStore(t)
+	defer srv.Close()
+	reg := obs.NewRegistry()
+	m := NewElectorMetrics(reg)
+	el := NewElector(ElectorConfig{
+		Store:   dialStore(t, l.Addr().String()),
+		ID:      "ctrl-A",
+		TTL:     150 * time.Millisecond,
+		Renew:   30 * time.Millisecond,
+		Metrics: m,
+	})
+	startElector(t, el)
+	await(t, "leading", el.IsLeader)
+	await(t, "several renewals", func() bool { return m.Renewals.Value() >= 4 })
+	if el.Epoch() != 1 {
+		t.Fatalf("epoch after renewals = %d, want 1", el.Epoch())
+	}
+	if !el.IsLeader() {
+		t.Fatal("leadership flapped across renewals")
+	}
+}
+
+// TestElectorStepsDownWhenStoreUnreachable: a leader that cannot renew for a
+// whole TTL must stop claiming leadership (its grant may have lapsed and
+// another controller may hold the lease).
+func TestElectorStepsDownWhenStoreUnreachable(t *testing.T) {
+	srv, l := startStore(t)
+	defer srv.Close()
+	proxy, err := faults.NewProxy(l.Addr().String(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	lost := make(chan struct{}, 1)
+	el := NewElector(ElectorConfig{
+		Store:  dialStore(t, proxy.Addr()),
+		ID:     "ctrl-A",
+		TTL:    200 * time.Millisecond,
+		Renew:  50 * time.Millisecond,
+		OnLose: func() { lost <- struct{}{} },
+	})
+	startElector(t, el)
+	await(t, "leading", el.IsLeader)
+	proxy.Cut()
+	await(t, "stepping down", func() bool { return !el.IsLeader() })
+	select {
+	case <-lost:
+	default:
+		t.Fatal("OnLose did not fire on step-down")
+	}
+	// The store comes back with the lease lapsed: the elector re-acquires.
+	proxy.Restore()
+	await(t, "re-acquiring", el.IsLeader)
+	if el.Epoch() != 1 {
+		// Same owner re-acquiring after a lapse keeps the epoch (ownership
+		// did not change), which is exactly why fencing keys off epochs and
+		// not grant counts.
+		t.Fatalf("re-acquired epoch = %d, want 1", el.Epoch())
+	}
+}
+
+// TestJournalReplayIdempotent duplicates every journaled entry before the
+// drain: the journal is at-least-once by design (a REPLWAIT write may already
+// be applied), so replaying duplicates must converge to the same store state
+// and a second drain must be a no-op.
+func TestJournalReplayIdempotent(t *testing.T) {
+	srv, l := startStore(t)
+	defer srv.Close()
+	proxy, err := faults.NewProxy(l.Addr().String(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	ctrl, err := New(Config{
+		World:         world,
+		Store:         dialStore(t, proxy.Addr()),
+		ProbeInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	proxy.Cut()
+	const calls = 20
+	for i := uint64(1); i <= calls; i++ {
+		if _, err := ctrl.CallStarted(context.Background(), i, "JP", time.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	await(t, "journaling", func() bool { return ctrl.JournalDepth() == calls })
+
+	// Duplicate the whole journal, as if every entry had been retried.
+	ctrl.storeMu.Lock()
+	ctrl.journal = append(ctrl.journal, ctrl.journal...)
+	ctrl.storeMu.Unlock()
+
+	proxy.Restore()
+	if n := drainJournal(t, ctrl); n != 2*calls {
+		t.Fatalf("replayed %d entries, want %d", n, 2*calls)
+	}
+	rdr := dialStore(t, l.Addr().String())
+	for i := uint64(1); i <= calls; i++ {
+		key := "call:" + strconv.FormatUint(i, 10)
+		if dc, err := rdr.HGet(key, "dc"); err != nil || dc == "" {
+			t.Fatalf("%s dc = %q, %v after duplicated replay", key, dc, err)
+		}
+		if fields, err := rdr.HGetAll(key); err != nil || len(fields) != 1 {
+			t.Fatalf("%s has %d fields (%v), want exactly 1", key, len(fields), err)
+		}
+	}
+	if ctrl.Degraded() {
+		t.Fatal("still degraded after a clean drain")
+	}
+	if n, err := ctrl.ReplayJournal(context.Background()); n != 0 || err != nil {
+		t.Fatalf("second drain = %d, %v; want a no-op", n, err)
+	}
+}
+
+// TestJournalDrainDropsFencedEntries: writes journaled before a leadership
+// loss must not land on the new leader's state when the store comes back —
+// the drain drops them as fenced and keeps draining.
+func TestJournalDrainDropsFencedEntries(t *testing.T) {
+	srv, l := startStore(t)
+	defer srv.Close()
+	proxy, err := faults.NewProxy(l.Addr().String(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	ctrl, err := New(Config{
+		World:         world,
+		Store:         dialStore(t, proxy.Addr()),
+		ProbeInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	admin := dialStore(t, l.Addr().String())
+	epoch, err := admin.SetLease(DefaultLeaseKey, "ctrl-A", 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.SetLease(DefaultLeaseKey, epoch)
+
+	proxy.Cut()
+	const calls = 5
+	for i := uint64(1); i <= calls; i++ {
+		if _, err := ctrl.CallStarted(context.Background(), i, "JP", time.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	await(t, "journaling", func() bool { return ctrl.JournalDepth() == calls })
+
+	// Leadership moves while the store is unreachable.
+	if err := admin.DelLease(DefaultLeaseKey, "ctrl-A"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := admin.SetLease(DefaultLeaseKey, "ctrl-B", 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	proxy.Restore()
+	if n := drainJournal(t, ctrl); n != 0 {
+		t.Fatalf("drain replayed %d fenced entries, want 0", n)
+	}
+	st := ctrl.Stats()
+	if st.Fenced != calls {
+		t.Fatalf("fenced = %d, want %d", st.Fenced, calls)
+	}
+	if st.JournalDepth != 0 {
+		t.Fatalf("journal depth = %d after drain", st.JournalDepth)
+	}
+	for i := uint64(1); i <= calls; i++ {
+		key := "call:" + strconv.FormatUint(i, 10)
+		if _, err := admin.HGet(key, "dc"); err != kvstore.ErrNil {
+			t.Fatalf("fenced entry %s landed in the store: %v", key, err)
+		}
+	}
+}

@@ -21,6 +21,9 @@ type Metrics struct {
 	Degraded   *obs.Counter // transitions into store-degraded mode
 	Replayed   *obs.Counter
 	Dropped    *obs.Counter
+	// FencedWrites counts call-state writes rejected by the store's fencing
+	// check — evidence this controller kept writing after losing leadership.
+	FencedWrites *obs.Counter
 
 	JournalDepth *obs.Gauge
 	ActiveCalls  *obs.Gauge
@@ -46,6 +49,8 @@ func NewMetrics(r *obs.Registry) *Metrics {
 		Degraded:   r.Counter("sb_controller_degraded_transitions_total", "Transitions into store-degraded (journaling) mode."),
 		Replayed:   r.Counter("sb_controller_journal_replayed_total", "Journaled writes replayed after a reconnect."),
 		Dropped:    r.Counter("sb_controller_journal_dropped_total", "Journaled writes lost to the journal cap."),
+		FencedWrites: r.Counter("sb_controller_fenced_writes_total",
+			"Call-state writes rejected by lease fencing after leadership loss."),
 		JournalDepth: r.Gauge("sb_controller_journal_depth",
 			"Buffered call-state writes awaiting replay."),
 		ActiveCalls: r.Gauge("sb_controller_active_calls", "In-flight calls."),

@@ -460,3 +460,30 @@ func TestChaosDrill(t *testing.T) {
 		t.Errorf("an op stalled %v under faults", res.MaxStall)
 	}
 }
+
+func TestPartitionDrill(t *testing.T) {
+	env := quickEnv(t)
+	res, err := PartitionDrill(env, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Calls == 0 || res.Events == 0 {
+		t.Fatalf("empty drill: %+v", res)
+	}
+	if res.PromotionLatency <= 0 || res.PromotionLatency > 5*time.Second {
+		t.Errorf("promotion latency = %v", res.PromotionLatency)
+	}
+	if res.ReplicatedSeq == 0 {
+		t.Error("standby promoted with an empty replication log")
+	}
+	if res.Dropped != 0 {
+		t.Errorf("dropped %d journaled writes", res.Dropped)
+	}
+	if res.LostTransitions != 0 {
+		t.Errorf("lost %d transitions across failover", res.LostTransitions)
+	}
+	// Client deadlines, not the partition, bound every stall.
+	if res.MaxStall > 3*time.Second {
+		t.Errorf("an op stalled %v across failover", res.MaxStall)
+	}
+}

@@ -1,0 +1,217 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"strconv"
+	"time"
+
+	"switchboard/internal/controller"
+	"switchboard/internal/faults"
+	"switchboard/internal/kvstore"
+	"switchboard/internal/kvstore/replica"
+	"switchboard/internal/model"
+)
+
+// PartitionResult reports the HA failover drill: the evaluation window's
+// events replayed against a primary/standby kvstore pair whose primary is
+// partitioned away (silently — connections stay open, bytes vanish) a third
+// of the way through the stream. The standby must promote itself, the
+// controller's failover client must chase it, and no call transition may be
+// lost.
+type PartitionResult struct {
+	// Calls and Events describe the replayed stream.
+	Calls, Events int
+	// EventsPerSec is the sustained rate across the whole run, promotion
+	// stall included.
+	EventsPerSec float64
+	// PromotionLatency is how long the standby took to detect the silent
+	// primary and promote itself after the partition was injected.
+	PromotionLatency time.Duration
+	// MaxStall is the longest any single controller operation took —
+	// bounded by the client's deadlines, not by the partition.
+	MaxStall time.Duration
+	// ReplicatedSeq is the promoted standby's replication log position; it
+	// covers every write acked before the partition.
+	ReplicatedSeq uint64
+	// Degraded / Replayed / Dropped are the controller's journal counters:
+	// writes that failed during the failover window are journaled and
+	// drained against the promoted standby.
+	Degraded, Replayed, Dropped int64
+	// LostTransitions counts calls whose terminal state never reached the
+	// promoted standby (must be 0: acked writes were replicated, failed
+	// writes were journaled).
+	LostTransitions int
+	// Seed reproduces the drill's client jitter.
+	Seed int64
+}
+
+// PartitionDrill replays the evaluation window's events against a replicated
+// store pair and partitions the primary mid-stream. Unlike Chaos — which
+// severs a single store and leans on the journal alone — this drill has a hot
+// standby: acked writes survive on the replica, the standby promotes within
+// its failover timeout, and the client follows it, so the journal only has to
+// cover the promotion window.
+func PartitionDrill(env *Env, seed int64) (*PartitionResult, error) {
+	if env.EvalRecords == nil {
+		return nil, fmt.Errorf("eval: PartitionDrill needs KeepEvalRecords")
+	}
+	recs := env.EvalRecords
+	if len(recs) > chaosMaxCalls {
+		recs = recs[:chaosMaxCalls]
+	}
+	events := controller.BuildEvents(recs, controller.DefaultFreeze)
+	res := &PartitionResult{Calls: len(recs), Events: len(events), Seed: seed}
+
+	// Primary behind the chaos proxy, so the partition hits replication
+	// stream and client traffic alike.
+	psrv := kvstore.NewServer()
+	pl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go func() { _ = psrv.Serve(pl) }()
+	defer func() { _ = psrv.Close() }()
+	replica.NewPrimary(psrv, 0, replica.PrimaryOptions{
+		Heartbeat:  25 * time.Millisecond,
+		AckTimeout: 500 * time.Millisecond,
+	})
+	proxy, err := faults.NewProxy(pl.Addr().String(), nil)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = proxy.Close() }()
+
+	// Hot standby syncing through the proxy; it must see the same silence
+	// the clients do.
+	ssrv := kvstore.NewServer()
+	sl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go func() { _ = ssrv.Serve(sl) }()
+	defer func() { _ = ssrv.Close() }()
+	promoted := make(chan *replica.Primary, 1)
+	var promotedAt time.Time // written before the promoted send, read after the receive
+	standby := replica.NewStandby(ssrv, proxy.Addr(), replica.StandbyOptions{
+		FailoverTimeout: 500 * time.Millisecond,
+		DialTimeout:     100 * time.Millisecond,
+		ReadTimeout:     150 * time.Millisecond,
+		RedialInterval:  20 * time.Millisecond,
+		OnPromote: func(p *replica.Primary) {
+			promotedAt = time.Now() //sblint:allow nondeterminism -- promotion timestamp
+			promoted <- p
+		},
+	})
+	go standby.Run()
+	defer standby.Stop()
+
+	client, err := kvstore.DialFailover([]string{proxy.Addr(), sl.Addr().String()}, kvstore.Options{
+		DialTimeout: 100 * time.Millisecond,
+		IOTimeout:   250 * time.Millisecond,
+		MaxRetries:  2,
+		BackoffMin:  10 * time.Millisecond,
+		BackoffMax:  50 * time.Millisecond,
+		Seed:        seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = client.Close() }()
+	ctrl, err := controller.New(controller.Config{
+		World: env.World,
+		Placer: &controller.MinACLPlacer{
+			ACLOf: func(cfg model.CallConfig, dc int) float64 { return cfg.ACL(env.World, dc) },
+			NDCs:  len(env.World.DCs()),
+		},
+		Store:         client,
+		ProbeInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Replay, partitioning the primary a third of the way in. The failover
+	// drill measures real wall-clock promotion latency and stalls of a live
+	// replicated pair; the clock IS the measurement.
+	cutAt := len(events) / 3
+	var partitionedAt time.Time
+	var maxStall time.Duration
+	start := time.Now() //sblint:allow nondeterminism -- measuring real elapsed time
+	for i, e := range events {
+		if i == cutAt {
+			proxy.Partition()
+			partitionedAt = time.Now() //sblint:allow nondeterminism -- promotion latency reference point
+		}
+		opStart := time.Now() //sblint:allow nondeterminism -- measuring real per-op stall
+		var err error
+		switch e.Kind {
+		case controller.EventStart:
+			_, err = ctrl.CallStartedWithSeries(context.Background(), e.CallID, e.Country, e.SeriesID, e.Time)
+		case controller.EventJoin:
+			ctrl.ParticipantJoined(context.Background(), e.CallID, e.Country, e.Media)
+		case controller.EventFreeze:
+			_, _, err = ctrl.ConfigKnown(context.Background(), e.CallID, e.Config, e.Time)
+		case controller.EventEnd:
+			err = ctrl.CallEnded(context.Background(), e.CallID)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("eval: partition replay %v(%d): %w", e.Kind, e.CallID, err)
+		}
+		if stall := time.Since(opStart); stall > maxStall { //sblint:allow nondeterminism -- measuring real per-op stall
+			maxStall = stall
+		}
+	}
+	elapsed := time.Since(start) //sblint:allow nondeterminism -- measuring real elapsed time
+	res.EventsPerSec = float64(len(events)) / elapsed.Seconds()
+	res.MaxStall = maxStall
+
+	// The standby must have promoted itself during the stream.
+	var newPrimary *replica.Primary
+	select {
+	case newPrimary = <-promoted:
+	case <-time.After(5 * time.Second):
+		return nil, fmt.Errorf("eval: standby never promoted after the partition")
+	}
+	res.PromotionLatency = promotedAt.Sub(partitionedAt)
+	res.ReplicatedSeq = newPrimary.LastSeq()
+
+	// Drain whatever the failover window journaled against the promoted
+	// standby, retrying through the client's backoff.
+	deadline := time.Now().Add(10 * time.Second) //sblint:allow nondeterminism -- real-time retry deadline
+	for {
+		if _, err := ctrl.ReplayJournal(context.Background()); err == nil {
+			break
+		}
+		if time.Now().After(deadline) { //sblint:allow nondeterminism -- real-time retry deadline
+			return nil, fmt.Errorf("eval: journal did not drain against the promoted standby")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	st := ctrl.Stats()
+	res.Degraded, res.Replayed, res.Dropped = st.Degraded, st.Replayed, st.Dropped
+
+	// Audit against the promoted standby: every call must have reached its
+	// terminal state — replicated before the partition or replayed after.
+	reader, err := kvstore.Dial(sl.Addr().String())
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = reader.Close() }()
+	for _, r := range recs {
+		v, err := reader.HGet("call:"+strconv.FormatUint(r.ID, 10), "state")
+		if err != nil || v != "ended" {
+			res.LostTransitions++
+		}
+	}
+
+	env.countRun("partition")
+	if env.Obs != nil {
+		env.Obs.Counter("sb_eval_partition_replayed_total",
+			"Journaled writes replayed across partition drills.").Add(uint64(res.Replayed))
+		env.Obs.Counter("sb_eval_partition_lost_total",
+			"Call transitions lost across partition drills (must stay 0).").Add(uint64(res.LostTransitions))
+	}
+	return res, nil
+}

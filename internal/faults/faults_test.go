@@ -230,3 +230,98 @@ func TestProxyWithInjector(t *testing.T) {
 		t.Error("proxy did not apply injected latency")
 	}
 }
+
+func TestProxyPartitionHeal(t *testing.T) {
+	addr := echoServer(t)
+	p, err := NewProxy(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if got, err := roundTrip(t, c, "a"); err != nil || got != "a" {
+		t.Fatalf("pre-partition round trip = %q, %v", got, err)
+	}
+
+	// Partition blackholes bytes but keeps connections open: the write
+	// succeeds, the echo never comes back, and the reader times out rather
+	// than erroring — the silence that trips timeout-based detectors.
+	p.Partition()
+	if _, err := c.Write([]byte("b")); err != nil {
+		t.Fatalf("write into a partition errored: %v", err)
+	}
+	c.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+	buf := make([]byte, 8)
+	if n, err := c.Read(buf); err == nil {
+		t.Fatalf("read %q through a partition", buf[:n])
+	} else if nerr, ok := err.(net.Error); !ok || !nerr.Timeout() {
+		t.Fatalf("partitioned read failed with %v, want a timeout", err)
+	}
+	// New connections are still accepted — the network looks up, just silent.
+	c2, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatalf("dial during partition: %v", err)
+	}
+	defer c2.Close()
+
+	// Heal: the same connection serves again (bytes dropped mid-partition
+	// stay dropped; they were consumed by the relay, not buffered).
+	p.Heal()
+	if got, err := roundTrip(t, c, "c"); err != nil || got != "c" {
+		t.Fatalf("post-heal round trip = %q, %v", got, err)
+	}
+	if got, err := roundTrip(t, c2, "d"); err != nil || got != "d" {
+		t.Fatalf("partition-era connection after heal = %q, %v", got, err)
+	}
+}
+
+func TestProxyPartitionAsymmetric(t *testing.T) {
+	addr := echoServer(t)
+	p, err := NewProxy(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Drop only upstream→client: the request reaches the echo server, the
+	// reply is blackholed.
+	p.PartitionDirs(false, true)
+	if _, err := c.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+	buf := make([]byte, 8)
+	if _, err := c.Read(buf); err == nil {
+		t.Fatal("reply crossed a return-path partition")
+	}
+	// Heal the return path: later round trips flow (the swallowed reply is
+	// gone for good).
+	p.Heal()
+	if got, err := roundTrip(t, c, "y"); err != nil || got != "y" {
+		t.Fatalf("post-heal round trip = %q, %v", got, err)
+	}
+
+	// Drop only client→upstream: the request itself vanishes.
+	p.PartitionDirs(true, false)
+	if _, err := c.Write([]byte("z")); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+	if _, err := c.Read(buf); err == nil {
+		t.Fatal("request crossed a forward-path partition")
+	}
+	p.Heal()
+	if got, err := roundTrip(t, c, "w"); err != nil || got != "w" {
+		t.Fatalf("post-heal round trip = %q, %v", got, err)
+	}
+}

@@ -12,7 +12,10 @@ import (
 // Cut partitions the client side — all live connections are severed and new
 // ones are refused — and Restore heals the partition, which is how tests and
 // the `sbexp -exp chaos` drill emulate killing (and reviving) the state
-// store without losing its contents.
+// store without losing its contents. Partition/Heal are the silent variant:
+// bytes are blackholed (optionally per direction) while connections stay
+// open, which is what trips timeout-based failure detectors rather than
+// error paths.
 type Proxy struct {
 	upstream string
 	inj      *Injector
@@ -22,13 +25,25 @@ type Proxy struct {
 	conns  map[net.Conn]struct{} // guarded by mu
 	cut    bool                  // guarded by mu
 	closed bool                  // guarded by mu
-	wg     sync.WaitGroup
+	// dropToUp and dropToDown blackhole bytes per direction while a
+	// Partition is active. Unlike cut, connections stay open — peers see
+	// silence, not resets, so their deadlines (not their error paths) fire.
+	dropToUp   bool // guarded by mu
+	dropToDown bool // guarded by mu
+	wg         sync.WaitGroup
 }
 
 // NewProxy listens on a fresh loopback port and forwards to upstream. inj
 // may be nil for a transparent proxy that only supports Cut/Restore.
 func NewProxy(upstream string, inj *Injector) (*Proxy, error) {
-	l, err := net.Listen("tcp", "127.0.0.1:0")
+	return NewProxyAt("127.0.0.1:0", upstream, inj)
+}
+
+// NewProxyAt is NewProxy on an explicit listen address, for out-of-process
+// drills (cmd/sbproxy, the CI partition smoke) that need a port known up
+// front.
+func NewProxyAt(listen, upstream string, inj *Injector) (*Proxy, error) {
+	l, err := net.Listen("tcp", listen)
 	if err != nil {
 		return nil, err
 	}
@@ -56,6 +71,41 @@ func (p *Proxy) Restore() {
 	p.mu.Lock()
 	p.cut = false
 	p.mu.Unlock()
+}
+
+// Partition blackholes the link in both directions: connections stay open
+// (new ones are even accepted) but every byte is silently dropped. This is
+// the asymmetric-failure-capable sibling of Cut — peers observe a stalled
+// network, exactly what a real partition looks like, so timeout-based
+// failure detectors are what trips, not connection errors.
+func (p *Proxy) Partition() { p.PartitionDirs(true, true) }
+
+// PartitionDirs blackholes individual directions: toUpstream drops
+// client→upstream bytes, toClient drops upstream→client bytes. Setting only
+// one emulates an asymmetric partition (e.g. the primary can still push but
+// never hears acks).
+func (p *Proxy) PartitionDirs(toUpstream, toClient bool) {
+	p.mu.Lock()
+	p.dropToUp = toUpstream
+	p.dropToDown = toClient
+	p.mu.Unlock()
+}
+
+// Heal lifts a Partition; buffered traffic flows again on live connections.
+func (p *Proxy) Heal() {
+	p.mu.Lock()
+	p.dropToUp = false
+	p.dropToDown = false
+	p.mu.Unlock()
+}
+
+func (p *Proxy) dropping(toUpstream bool) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if toUpstream {
+		return p.dropToUp
+	}
+	return p.dropToDown
 }
 
 // Close shuts the proxy down and waits for its relay goroutines to drain.
@@ -103,16 +153,29 @@ func (p *Proxy) serve() {
 		if p.inj != nil {
 			src = p.inj.Conn(down)
 		}
-		go p.relay(up, src, down, up)
-		go p.relay(src, up, down, up)
+		go p.relay(up, src, down, up, true)
+		go p.relay(src, up, down, up, false)
 	}
 }
 
 // relay copies src into dst until either side dies, then tears down both
-// raw connections.
-func (p *Proxy) relay(dst io.Writer, src io.Reader, a, b net.Conn) {
+// raw connections. Bytes read while the direction is partitioned are
+// silently discarded — the reader keeps draining so the sender never sees
+// backpressure, only silence.
+func (p *Proxy) relay(dst io.Writer, src io.Reader, a, b net.Conn, toUpstream bool) {
 	defer p.wg.Done()
-	_, _ = io.Copy(dst, src)
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 && !p.dropping(toUpstream) {
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				break
+			}
+		}
+		if err != nil {
+			break
+		}
+	}
 	_ = a.Close()
 	_ = b.Close()
 	p.mu.Lock()

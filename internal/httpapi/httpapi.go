@@ -41,6 +41,10 @@ type Server struct {
 	// SLO, when non-nil, contributes burn-rate summaries to /readyz. Set
 	// before serving.
 	SLO *obs.SLOMonitor
+	// Elector, when non-nil, makes this replica leadership-aware: call-control
+	// POSTs and /readyz answer 503 with a Retry-After and a leader hint while
+	// another controller holds the lease. Set before calling Mux.
+	Elector *controller.Elector
 }
 
 // New returns a Server for the given world and controller.
@@ -74,11 +78,11 @@ func (s *Server) Mux() *http.ServeMux {
 	handle := func(pattern string, h http.HandlerFunc) {
 		mux.Handle(pattern, s.HTTP.Wrap(pattern, s.Tracer.WrapHTTP(pattern, h)))
 	}
-	handle("POST /v1/call/start", s.handleStart)
-	handle("POST /v1/call/config", s.handleConfig)
-	handle("POST /v1/call/end", s.handleEnd)
-	handle("POST /v1/dc/fail", s.handleDCFail)
-	handle("POST /v1/dc/recover", s.handleDCRecover)
+	handle("POST /v1/call/start", s.leaderOnly(s.handleStart))
+	handle("POST /v1/call/config", s.leaderOnly(s.handleConfig))
+	handle("POST /v1/call/end", s.leaderOnly(s.handleEnd))
+	handle("POST /v1/dc/fail", s.leaderOnly(s.handleDCFail))
+	handle("POST /v1/dc/recover", s.leaderOnly(s.handleDCRecover))
 	handle("GET /v1/stats", s.handleStats)
 	handle("GET /v1/world", s.handleWorld)
 	handle("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -204,9 +208,48 @@ func (s *Server) handleDCRecover(w http.ResponseWriter, r *http.Request) {
 	s.reply(w, map[string]any{"recovered": req.DC})
 }
 
+// standby reports whether this replica must refuse work because another
+// controller holds the leadership lease. When it does, it writes the full
+// 503: a Retry-After (leadership moves within a lease TTL, so 1s is an
+// honest hint), the obs.StandbyHeader so the middleware keeps the refusal
+// out of the availability burn (a correct standby is not an outage), and a
+// JSON body carrying the current leader's ID so clients can re-aim.
+func (s *Server) standby(w http.ResponseWriter) bool {
+	if s.Elector == nil || s.Elector.IsLeader() {
+		return false
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Retry-After", "1")
+	w.Header().Set(obs.StandbyHeader, "1")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"ready":  false,
+		"reason": "standby",
+		"leader": s.Elector.LeaderHint(),
+	})
+	return true
+}
+
+// leaderOnly gates a mutating route on holding the leadership lease.
+func (s *Server) leaderOnly(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.standby(w) {
+			return
+		}
+		h(w, r)
+	}
+}
+
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.standby(w) {
+		return
+	}
 	if s.ctrl.Degraded() {
 		w.Header().Set("Content-Type", "application/json")
+		// Degraded is a real (if survivable) failure — unlike the standby
+		// 503 it carries no exemption header and burns the availability SLO;
+		// Retry-After reflects the journal-replay probe cadence.
+		w.Header().Set("Retry-After", "1")
 		w.WriteHeader(http.StatusServiceUnavailable)
 		out := map[string]any{
 			"ready":         false,
@@ -220,6 +263,9 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 		return
 	}
 	out := map[string]any{"ready": true}
+	if s.Elector != nil {
+		out["leader"] = true
+	}
 	if s.SLO != nil {
 		out["slo"] = s.SLO.Summary()
 	}

@@ -82,12 +82,24 @@ func (o Options) withDefaults() Options {
 // in flight may or may not have executed, and INCR-style commands must not
 // run twice.
 type Client struct {
-	addr string
-	opts Options
+	// addrs is the failover set: addrs[cur] is the connection target, and a
+	// failed dial rotates through the rest. A MOVED redirect (standby
+	// pointing at the promoted primary) can append a new address at runtime.
+	// lastAddr is the previously connected address, for failover counting.
+	addrs    []string
+	cur      int
+	lastAddr string
+	opts     Options
 
 	conn net.Conn
 	r    *bufio.Reader
 	w    *bufio.Writer
+
+	// fenceKey/fenceEpoch, when set, prefix every mutating command with
+	// "FENCE <key> <epoch>" so the server rejects this writer once its
+	// lease epoch is superseded (see SetFence).
+	fenceKey   string
+	fenceEpoch int64
 
 	// broken is the transport error that poisoned the connection; nil
 	// while healthy. nextRedial gates fail-fast: before it, calls return
@@ -104,6 +116,8 @@ type Client struct {
 	redials    atomic.Int64
 	retries    atomic.Int64
 	poisonings atomic.Int64
+	failovers  atomic.Int64
+	redirects  atomic.Int64
 
 	// lastRTT is the duration of the most recent round trip, exposed so
 	// the controller benchmark can report write latencies (§6.6).
@@ -134,7 +148,18 @@ func Dial(addr string) (*Client, error) {
 
 // DialOptions connects with explicit robustness options.
 func DialOptions(addr string, opts Options) (*Client, error) {
-	c := &Client{addr: addr, opts: opts.withDefaults()}
+	return DialFailover([]string{addr}, opts)
+}
+
+// DialFailover connects to the first reachable address in addrs and remembers
+// the rest: after a transport failure, redials rotate through the set, and a
+// MOVED redirect from a standby switches the client to the promoted primary.
+// The usual shape is {primary, standby}.
+func DialFailover(addrs []string, opts Options) (*Client, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("kvstore: no addresses")
+	}
+	c := &Client{addrs: append([]string(nil), addrs...), opts: opts.withDefaults()}
 	c.rng = uint64(c.opts.Seed)
 	if err := c.connect(); err != nil {
 		return nil, err
@@ -142,21 +167,35 @@ func DialOptions(addr string, opts Options) (*Client, error) {
 	return c, nil
 }
 
+// connect dials addrs starting at cur, rotating on failure. Landing on a
+// different address than the previous connection counts as a failover.
 func (c *Client) connect() error {
-	conn, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
-	if err != nil {
-		return err
+	var lastErr error
+	for i := 0; i < len(c.addrs); i++ {
+		idx := (c.cur + i) % len(c.addrs)
+		conn, err := net.DialTimeout("tcp", c.addrs[idx], c.opts.DialTimeout)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if tc, ok := conn.(*net.TCPConn); ok {
+			_ = tc.SetNoDelay(true)
+		}
+		c.cur = idx
+		if c.lastAddr != "" && c.lastAddr != c.addrs[idx] {
+			c.failovers.Add(1)
+			c.opts.Metrics.failedOver()
+		}
+		c.lastAddr = c.addrs[idx]
+		c.conn = conn
+		c.r = bufio.NewReaderSize(conn, 16<<10)
+		c.w = bufio.NewWriterSize(conn, 16<<10)
+		c.broken = nil
+		c.failures = 0
+		c.opts.Metrics.dialed()
+		return nil
 	}
-	if tc, ok := conn.(*net.TCPConn); ok {
-		_ = tc.SetNoDelay(true)
-	}
-	c.conn = conn
-	c.r = bufio.NewReaderSize(conn, 16<<10)
-	c.w = bufio.NewWriterSize(conn, 16<<10)
-	c.broken = nil
-	c.failures = 0
-	c.opts.Metrics.dialed()
-	return nil
+	return lastErr
 }
 
 // Close releases the connection.
@@ -188,6 +227,13 @@ func (c *Client) Retries() int64 { return c.retries.Load() }
 // connection.
 func (c *Client) Poisonings() int64 { return c.poisonings.Load() }
 
+// Failovers returns how many connects landed on a different address than the
+// previous connection.
+func (c *Client) Failovers() int64 { return c.failovers.Load() }
+
+// Redirects returns how many MOVED redirects the client followed.
+func (c *Client) Redirects() int64 { return c.redirects.Load() }
+
 // Idempotent reports whether cmd can be retried after an ambiguous
 // transport failure (the in-flight command may or may not have executed
 // server-side). Counter mutations are the only non-idempotent commands in
@@ -211,6 +257,13 @@ func (c *Client) poison(err error) {
 	c.broken = err
 	c.poisonings.Add(1)
 	c.opts.Metrics.poisoned()
+	// With a failover set, prefer a different address on the next dial: a
+	// transport failure on a partitioned-but-accepting primary would
+	// otherwise redial it forever. A healthy server that merely hiccuped
+	// costs one MOVED round trip back.
+	if len(c.addrs) > 1 {
+		c.cur = (c.cur + 1) % len(c.addrs)
+	}
 	// The first redial may happen immediately; only failed redials grow
 	// the backoff window.
 	c.nextRedial = time.Now()
@@ -299,6 +352,7 @@ func (c *Client) DoContext(ctx context.Context, args ...string) (interface{}, er
 	retriable := Idempotent(args[0])
 	start := time.Now()
 	var lastErr error
+	movedHops := 0
 	for attempt := 0; ; attempt++ {
 		var sp *span.Span
 		if parent != nil {
@@ -316,6 +370,19 @@ func (c *Client) DoContext(ctx context.Context, args ...string) (interface{}, er
 			}
 		} else {
 			reply, err := c.doOnce(tid, args)
+			// A MOVED redirect means the peer refused to execute (it is a
+			// standby), so following it is safe even for non-idempotent
+			// commands and does not consume a retry. Hops are capped so two
+			// confused servers pointing at each other cannot loop us.
+			if addr, ok := MovedAddr(err); ok && movedHops < maxMovedHops {
+				movedHops++
+				attempt--
+				c.redirect(addr)
+				lastErr = err
+				sp.SetAttr("moved", addr)
+				sp.End()
+				continue
+			}
 			if err == nil || errors.Is(err, ErrNil) || IsServerError(err) {
 				c.lastRTT = time.Since(start)
 				c.opts.Metrics.observe(args[0], c.lastRTT.Seconds())
@@ -409,6 +476,145 @@ func (e respError) Error() string { return string(e) }
 func IsServerError(err error) bool {
 	var re respError
 	return errors.As(err, &re)
+}
+
+// maxMovedHops caps how many MOVED redirects one command follows.
+const maxMovedHops = 4
+
+// MovedAddr extracts the target address from a MOVED redirect error ("-MOVED
+// <addr>", sent by a standby refusing a mutation); ok is false for any other
+// error.
+func MovedAddr(err error) (addr string, ok bool) {
+	var re respError
+	if !errors.As(err, &re) {
+		return "", false
+	}
+	rest, found := strings.CutPrefix(string(re), "MOVED ")
+	if !found || rest == "" {
+		return "", false
+	}
+	return rest, true
+}
+
+// IsFencedError reports whether err is a FENCED rejection — this writer's
+// lease epoch has been superseded and the write was refused.
+func IsFencedError(err error) bool {
+	var re respError
+	return errors.As(err, &re) && strings.HasPrefix(string(re), "FENCED")
+}
+
+// IsLeaseHeldError reports whether err is a LEASEHELD rejection — another
+// owner's lease grant is still live.
+func IsLeaseHeldError(err error) bool {
+	var re respError
+	return errors.As(err, &re) && strings.HasPrefix(string(re), "LEASEHELD")
+}
+
+// LeaseHolder extracts the current owner from a LEASEHELD error ("" when err
+// is not one).
+func LeaseHolder(err error) string {
+	var re respError
+	if !errors.As(err, &re) {
+		return ""
+	}
+	rest, found := strings.CutPrefix(string(re), "LEASEHELD ")
+	if !found {
+		return ""
+	}
+	if i := strings.IndexByte(rest, ' '); i >= 0 {
+		rest = rest[:i]
+	}
+	return rest
+}
+
+// IsReplWaitError reports whether err is a REPLWAIT rejection — the write
+// was applied on the primary but the standby did not acknowledge it in time,
+// so the caller must treat it as an ambiguous (possibly lost) write.
+func IsReplWaitError(err error) bool {
+	var re respError
+	return errors.As(err, &re) && strings.HasPrefix(string(re), "REPLWAIT")
+}
+
+// redirect points the client at addr (appending it to the failover set if
+// new) and drops the current connection so the next attempt dials there.
+func (c *Client) redirect(addr string) {
+	if c.conn != nil {
+		_ = c.conn.Close()
+		c.conn = nil
+	}
+	c.broken = fmt.Errorf("kvstore: moved to %s", addr)
+	found := false
+	for i, a := range c.addrs {
+		if a == addr {
+			c.cur = i
+			found = true
+			break
+		}
+	}
+	if !found {
+		c.addrs = append(c.addrs, addr)
+		c.cur = len(c.addrs) - 1
+	}
+	c.nextRedial = time.Now()
+	c.redirects.Add(1)
+	c.opts.Metrics.redirected()
+}
+
+// SetFence stamps every subsequent mutating command with the lease epoch the
+// caller holds (a "FENCE <key> <epoch>" protocol prefix). Once another owner
+// is granted the lease the server rejects these writes with FENCED — the
+// fencing half of lease-based leadership. Reads are never fenced.
+func (c *Client) SetFence(key string, epoch int64) {
+	c.fenceKey, c.fenceEpoch = key, epoch
+}
+
+// ClearFence stops stamping mutations.
+func (c *Client) ClearFence() {
+	c.fenceKey, c.fenceEpoch = "", 0
+}
+
+// SetLease acquires or renews the TTL lease on key for owner, returning the
+// lease epoch. While another owner's grant is live the error satisfies
+// IsLeaseHeldError, and LeaseHolder names the owner.
+func (c *Client) SetLease(key, owner string, ttl time.Duration) (int64, error) {
+	return c.SetLeaseContext(context.Background(), key, owner, ttl)
+}
+
+// SetLeaseContext is SetLease under a context (see DoContext).
+func (c *Client) SetLeaseContext(ctx context.Context, key, owner string, ttl time.Duration) (int64, error) {
+	r, err := c.DoContext(ctx, "SETLEASE", key, owner, strconv.FormatInt(ttl.Milliseconds(), 10))
+	if err != nil {
+		return 0, err
+	}
+	n, ok := r.(int64)
+	if !ok {
+		return 0, fmt.Errorf("kvstore: unexpected SETLEASE reply %v", r)
+	}
+	return n, nil
+}
+
+// DelLease releases key if owner holds it.
+func (c *Client) DelLease(key, owner string) error {
+	_, err := c.Do("DELLEASE", key, owner)
+	return err
+}
+
+// GetLease returns the live lease on key (ErrNil when free or lapsed).
+func (c *Client) GetLease(key string) (owner string, epoch int64, remaining time.Duration, err error) {
+	r, err := c.Do("GETLEASE", key)
+	if err != nil {
+		return "", 0, 0, err
+	}
+	arr, ok := r.([]interface{})
+	if !ok || len(arr) != 3 {
+		return "", 0, 0, fmt.Errorf("kvstore: unexpected GETLEASE reply %v", r)
+	}
+	owner, _ = arr[0].(string)
+	es, _ := arr[1].(string)
+	ms, _ := arr[2].(string)
+	epoch, _ = strconv.ParseInt(es, 10, 64)
+	remainMS, _ := strconv.ParseInt(ms, 10, 64)
+	return owner, epoch, time.Duration(remainMS) * time.Millisecond, nil
 }
 
 // Ping round-trips a PING.
@@ -538,19 +744,29 @@ func (c *Client) Keys() ([]string, error) {
 // writeCommand frames args as a RESP array. A non-empty tid prepends the
 // two-argument TRACEID prefix inside the same array, so the frame stays one
 // self-delimiting unit (a server that knows the prefix strips it; the framing
-// is still valid RESP either way).
+// is still valid RESP either way). An armed fence (SetFence) additionally
+// prepends "FENCE <key> <epoch>" to mutating commands.
 func (c *Client) writeCommand(tid string, args []string) error {
 	if len(args) == 0 {
 		return errors.New("kvstore: empty command")
 	}
+	fenced := c.fenceKey != "" && Mutates(args[0])
 	n := len(args)
 	if tid != "" {
 		n += 2
+	}
+	if fenced {
+		n += 3
 	}
 	c.w.WriteString("*" + strconv.Itoa(n) + "\r\n")
 	if tid != "" {
 		c.writeBulk("TRACEID")
 		c.writeBulk(tid)
+	}
+	if fenced {
+		c.writeBulk("FENCE")
+		c.writeBulk(c.fenceKey)
+		c.writeBulk(strconv.FormatInt(c.fenceEpoch, 10))
 	}
 	for _, a := range args {
 		c.writeBulk(a)

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"errors"
+	"net"
 	"strings"
 	"testing"
 )
@@ -131,6 +132,88 @@ func FuzzReplyRoundTrip(f *testing.F) {
 		if n := c.r.Buffered(); n != 0 {
 			rest, _ := c.r.Peek(n)
 			t.Fatalf("%d leftover bytes after %d replies: %q", n, len(cmds), rest)
+		}
+	})
+}
+
+// FuzzPipelinedTracedFrames drives the real connection handler with a
+// pipelined batch of properly-framed RESP commands — optionally each carrying
+// the TRACEID two-argument prefix — written in one burst, the way Client
+// pipelining does. Whatever verbs the fuzzer invents, the handler must answer
+// exactly one reply per frame, keep the stream in sync (no leftover bytes),
+// and, when traced, attribute every command to the trace that issued it.
+func FuzzPipelinedTracedFrames(f *testing.F) {
+	f.Add("SET k v\nGET k\nDEL k", true)
+	f.Add("HSET h f v\nHGET h f\nHGETALL h", false)
+	f.Add("SETLEASE leader ctrl-A 1000\nGETLEASE leader\nDELLEASE leader ctrl-A", true)
+	f.Add("FENCE leader 1 SET k v\nGET k", true)
+	f.Add("INCR n\nINCRBY n nope\nPING", false)
+	f.Add("TRACEID deadbeef GET k", true) // a second TRACEID pair inside the frame
+	f.Add("GET\nNOSUCH x\nFLUSHALL", true)
+	f.Fuzz(func(t *testing.T, input string, traced bool) {
+		var cmds [][]string
+		for _, line := range strings.Split(input, "\n") {
+			args := strings.Fields(line)
+			if len(args) == 0 {
+				continue
+			}
+			// REPLSYNC hijacks the connection into a replication stream and
+			// never returns to command dispatch; everything else must answer.
+			// The handler strips one TRACEID pair before that check, so a
+			// fuzzer-invented "TRACEID x REPLSYNC ..." hijacks too.
+			verb := args
+			if len(verb) >= 3 && strings.EqualFold(verb[0], "TRACEID") {
+				verb = verb[2:]
+			}
+			if strings.EqualFold(verb[0], "REPLSYNC") {
+				continue
+			}
+			cmds = append(cmds, args)
+			if len(cmds) == 64 {
+				break
+			}
+		}
+		if len(cmds) == 0 {
+			return
+		}
+		srv := NewServer()
+		const tid = "f00dfeed00000000"
+		clientEnd, serverEnd := net.Pipe()
+		defer clientEnd.Close()
+		done := make(chan struct{})
+		go func() { srv.handle(serverEnd); close(done) }()
+		go func() {
+			w := bufio.NewWriter(clientEnd)
+			for _, args := range cmds {
+				frame := args
+				if traced {
+					frame = append([]string{"TRACEID", tid}, args...)
+				}
+				if err := WriteWireCommand(w, frame); err != nil {
+					return
+				}
+			}
+			_ = w.Flush()
+		}()
+		c := &Client{r: bufio.NewReader(clientEnd)}
+		for i, args := range cmds {
+			_, err := c.readReply()
+			if err != nil && !errors.Is(err, ErrNil) && !IsServerError(err) {
+				t.Fatalf("reply %d to %q: transport error %v", i, args, err)
+			}
+		}
+		_ = clientEnd.Close()
+		<-done
+		if traced {
+			n := 0
+			for _, rec := range srv.TraceRecords() {
+				if rec.Trace == tid {
+					n++
+				}
+			}
+			if want := min(len(cmds), traceRingCapacity); n != want {
+				t.Fatalf("trace records for %s = %d, want %d", tid, n, want)
+			}
 		}
 	})
 }

@@ -1,0 +1,202 @@
+// TTL leases and fencing epochs — the store-side half of leader election.
+//
+// Controllers race SETLEASE on a well-known key; the winner renews within the
+// TTL, followers see LEASEHELD and wait for the lapse. Every ownership change
+// bumps a monotonic epoch, and writers stamp their epoch onto mutations with
+// the FENCE prefix (see Client.SetFence), so a deposed leader's in-flight
+// writes are rejected the moment a successor is granted the lease. This is
+// the standard lease+fencing construction (Gray & Cheriton '89; Chubby) and
+// assumes roughly synchronized clocks between primary and standby — the
+// replicated LEASEGRANT form carries an absolute deadline.
+
+package kvstore
+
+import (
+	"bufio"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// leaseEntry is one lease key's state. Entries survive release and expiry
+// (owner cleared, epoch kept) so epochs stay monotonic across the key's whole
+// history — a fencing epoch must never be reissued.
+type leaseEntry struct {
+	owner    string
+	epoch    int64
+	expireAt time.Time
+}
+
+func (l *leaseEntry) live(now time.Time) bool {
+	return l != nil && l.owner != "" && now.Before(l.expireAt)
+}
+
+// leaseTable holds every lease key. A single mutex (not the shard locks) is
+// fine: the table sees one SETLEASE per controller per renew interval, not
+// the data path's write rate.
+type leaseTable struct {
+	mu sync.Mutex
+	m  map[string]*leaseEntry // guarded by mu
+}
+
+// dispatch executes one lease verb, writing the RESP reply to w and
+// returning the canonical replication form (absolute deadlines, resolved
+// epochs) so a standby replaying the log lands on identical lease state.
+func (lt *leaseTable) dispatch(cmd string, args []string, w *bufio.Writer) (logArgs []string) {
+	switch cmd {
+	case "SETLEASE":
+		// SETLEASE key owner ttlms -> :epoch, or -LEASEHELD <owner> <ms>
+		// while another owner's grant is live. Acquiring bumps the epoch;
+		// renewing (same owner) keeps it.
+		if !arity(w, args, 4) {
+			return
+		}
+		ttlMS, err := strconv.ParseInt(args[3], 10, 64)
+		if err != nil || ttlMS <= 0 {
+			writeError(w, "ttl is not a positive integer")
+			return
+		}
+		now := time.Now()
+		lt.mu.Lock()
+		l := lt.m[args[1]]
+		if l == nil {
+			l = &leaseEntry{}
+			lt.m[args[1]] = l
+		}
+		if l.owner != args[2] && l.live(now) {
+			owner, remain := l.owner, l.expireAt.Sub(now).Milliseconds()
+			lt.mu.Unlock()
+			writeRawError(w, "LEASEHELD "+owner+" "+strconv.FormatInt(remain, 10))
+			return nil
+		}
+		if l.owner != args[2] {
+			l.epoch++
+			l.owner = args[2]
+		}
+		l.expireAt = now.Add(time.Duration(ttlMS) * time.Millisecond)
+		epoch, deadline := l.epoch, l.expireAt.UnixMilli()
+		lt.mu.Unlock()
+		writeInt(w, epoch)
+		return []string{"LEASEGRANT", args[1], args[2],
+			strconv.FormatInt(epoch, 10), strconv.FormatInt(deadline, 10)}
+	case "GETLEASE":
+		// GETLEASE key -> [owner, epoch, remaining-ms], or nil when the
+		// lease is free or lapsed.
+		if !arity(w, args, 2) {
+			return
+		}
+		now := time.Now()
+		lt.mu.Lock()
+		l := lt.m[args[1]]
+		if !l.live(now) {
+			lt.mu.Unlock()
+			writeNil(w)
+			return
+		}
+		owner, epoch, remain := l.owner, l.epoch, l.expireAt.Sub(now).Milliseconds()
+		lt.mu.Unlock()
+		w.WriteString("*3\r\n")
+		writeBulk(w, owner)
+		writeBulk(w, strconv.FormatInt(epoch, 10))
+		writeBulk(w, strconv.FormatInt(remain, 10))
+	case "DELLEASE":
+		// DELLEASE key owner -> :1 when the caller held it (now released),
+		// :0 otherwise. Release keeps the epoch so it cannot be reissued.
+		if !arity(w, args, 3) {
+			return
+		}
+		lt.mu.Lock()
+		l := lt.m[args[1]]
+		freed := l != nil && l.owner == args[2]
+		if freed {
+			l.owner = ""
+			l.expireAt = time.Time{}
+		}
+		lt.mu.Unlock()
+		if freed {
+			writeInt(w, 1)
+		} else {
+			writeInt(w, 0)
+		}
+		return []string{"LEASEDEL", args[1]}
+	case "LEASEGRANT":
+		// LEASEGRANT key owner epoch deadline-unix-ms: the replication and
+		// snapshot form — an unconditional overwrite with an absolute
+		// deadline (no TTL drift on replay; same-clock assumption above).
+		if !arity(w, args, 5) {
+			return
+		}
+		epoch, err1 := strconv.ParseInt(args[3], 10, 64)
+		ms, err2 := strconv.ParseInt(args[4], 10, 64)
+		if err1 != nil || err2 != nil {
+			writeError(w, "bad leasegrant arguments")
+			return
+		}
+		lt.mu.Lock()
+		l := lt.m[args[1]]
+		if l == nil {
+			l = &leaseEntry{}
+			lt.m[args[1]] = l
+		}
+		l.owner = args[2]
+		l.epoch = epoch
+		l.expireAt = time.UnixMilli(ms)
+		if ms == 0 {
+			l.expireAt = time.Time{}
+		}
+		lt.mu.Unlock()
+		writeSimple(w, "OK")
+	case "LEASEDEL":
+		// LEASEDEL key: replication form of a release (epoch survives).
+		if !arity(w, args, 2) {
+			return
+		}
+		lt.mu.Lock()
+		if l := lt.m[args[1]]; l != nil {
+			l.owner = ""
+			l.expireAt = time.Time{}
+		}
+		lt.mu.Unlock()
+		writeSimple(w, "OK")
+	}
+	return nil
+}
+
+// checkFence admits a FENCE-prefixed write iff epoch is still the newest
+// grant for key; the returned string is a raw RESP error message ("" admits).
+func (lt *leaseTable) checkFence(key string, epoch int64) string {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	l := lt.m[key]
+	if l == nil {
+		return "FENCED no lease " + key
+	}
+	if l.epoch != epoch {
+		return "FENCED epoch " + strconv.FormatInt(epoch, 10) +
+			" superseded by " + strconv.FormatInt(l.epoch, 10)
+	}
+	return ""
+}
+
+// snapshot returns the table as LEASEGRANT commands (released leases are
+// included with an empty owner, carrying the epoch floor forward).
+func (lt *leaseTable) snapshot() [][]string {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	out := make([][]string, 0, len(lt.m))
+	for key, l := range lt.m {
+		var ms int64
+		if !l.expireAt.IsZero() {
+			ms = l.expireAt.UnixMilli()
+		}
+		out = append(out, []string{"LEASEGRANT", key, l.owner,
+			strconv.FormatInt(l.epoch, 10), strconv.FormatInt(ms, 10)})
+	}
+	return out
+}
+
+func (lt *leaseTable) clear() {
+	lt.mu.Lock()
+	lt.m = make(map[string]*leaseEntry)
+	lt.mu.Unlock()
+}

@@ -10,6 +10,10 @@ type ClientMetrics struct {
 	Redials  *obs.Counter
 	Retries  *obs.Counter
 	Poisoned *obs.Counter
+	// Failovers counts connects that landed on a different address than the
+	// previous connection; Redirects counts MOVED errors followed.
+	Failovers *obs.Counter
+	Redirects *obs.Counter
 	// Latency is per-command round-trip time, labeled by command name.
 	Latency *obs.HistogramVec
 }
@@ -22,6 +26,10 @@ func NewClientMetrics(r *obs.Registry) *ClientMetrics {
 		Redials:  r.Counter("sb_kvstore_client_redials_total", "Successful reconnects after a transport failure."),
 		Retries:  r.Counter("sb_kvstore_client_retries_total", "Idempotent commands retried after a transport failure."),
 		Poisoned: r.Counter("sb_kvstore_client_poisonings_total", "Connections poisoned by a mid-command transport error."),
+		Failovers: r.Counter("sb_kvstore_client_failovers_total",
+			"Connects that switched to a different store address."),
+		Redirects: r.Counter("sb_kvstore_client_redirects_total",
+			"MOVED redirects followed to a promoted standby."),
 		Latency: r.HistogramVec("sb_kvstore_client_command_seconds",
 			"Round-trip time per command, including retries.", obs.LatencyBuckets, "cmd"),
 	}
@@ -48,6 +56,18 @@ func (m *ClientMetrics) retried() {
 func (m *ClientMetrics) poisoned() {
 	if m != nil {
 		m.Poisoned.Inc()
+	}
+}
+
+func (m *ClientMetrics) failedOver() {
+	if m != nil {
+		m.Failovers.Inc()
+	}
+}
+
+func (m *ClientMetrics) redirected() {
+	if m != nil {
+		m.Redirects.Inc()
 	}
 }
 

@@ -1,0 +1,87 @@
+package replica
+
+import "switchboard/internal/obs"
+
+// Metrics is the replication telemetry bundle, shared between the primary
+// and standby halves (a promoted standby keeps reporting into the same
+// family). All methods are nil-safe.
+type Metrics struct {
+	// LogSeq and AckedSeq are the primary's log head and the highest
+	// standby-acknowledged sequence; Lag is their difference in entries.
+	LogSeq   *obs.Gauge
+	AckedSeq *obs.Gauge
+	Lag      *obs.Gauge
+	// Standbys is the number of attached sync streams.
+	Standbys *obs.Gauge
+
+	Streamed    *obs.Counter // entries sent to standbys
+	Applied     *obs.Counter // entries applied by this standby
+	Snapshots   *obs.Counter // catch-ups that needed a full snapshot
+	AckTimeouts *obs.Counter // writes refused because the standby ack timed out
+	Promotions  *obs.Counter // standby self- or operator-promotions
+}
+
+// NewMetrics registers the replication metric families on r (nil r yields a
+// usable all-nil bundle).
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		LogSeq:   r.Gauge("sb_repl_log_seq", "Primary replication log head sequence."),
+		AckedSeq: r.Gauge("sb_repl_acked_seq", "Highest standby-acknowledged sequence."),
+		Lag:      r.Gauge("sb_repl_lag_entries", "Replication lag in log entries (head - acked)."),
+		Standbys: r.Gauge("sb_repl_standbys", "Attached standby sync streams."),
+		Streamed: r.Counter("sb_repl_entries_streamed_total", "Log entries streamed to standbys."),
+		Applied:  r.Counter("sb_repl_entries_applied_total", "Log entries applied on this standby."),
+		Snapshots: r.Counter("sb_repl_snapshots_total",
+			"Standby catch-ups that fell back to a full snapshot."),
+		AckTimeouts: r.Counter("sb_repl_ack_timeouts_total",
+			"Writes refused because the standby acknowledgment timed out."),
+		Promotions: r.Counter("sb_repl_promotions_total", "Standby promotions to primary."),
+	}
+}
+
+func (m *Metrics) position(logSeq, acked uint64) {
+	if m == nil {
+		return
+	}
+	m.LogSeq.Set(float64(logSeq))
+	m.AckedSeq.Set(float64(acked))
+	if logSeq >= acked {
+		m.Lag.Set(float64(logSeq - acked))
+	}
+}
+
+func (m *Metrics) standbys(n int) {
+	if m != nil {
+		m.Standbys.Set(float64(n))
+	}
+}
+
+func (m *Metrics) streamed() {
+	if m != nil {
+		m.Streamed.Inc()
+	}
+}
+
+func (m *Metrics) applied() {
+	if m != nil {
+		m.Applied.Inc()
+	}
+}
+
+func (m *Metrics) snapshot() {
+	if m != nil {
+		m.Snapshots.Inc()
+	}
+}
+
+func (m *Metrics) ackTimeout() {
+	if m != nil {
+		m.AckTimeouts.Inc()
+	}
+}
+
+func (m *Metrics) promoted() {
+	if m != nil {
+		m.Promotions.Inc()
+	}
+}

@@ -58,6 +58,16 @@ type Server struct {
 
 	// traces holds the last traced-command observations (see TraceRecords).
 	traces traceRing
+
+	// leases is the TTL-lease table behind SETLEASE/GETLEASE and the FENCE
+	// write prefix (see lease.go).
+	leases leaseTable
+
+	// repl and gate are the replication hooks (see replication.go). They are
+	// atomic pointers because a standby promotion attaches them to a server
+	// that is already handling connections.
+	repl atomic.Pointer[replicatorBox]
+	gate atomic.Pointer[gateBox]
 }
 
 type shard struct {
@@ -112,6 +122,7 @@ func NewServer() *Server {
 	for i := range s.shards {
 		s.shards[i].m = make(map[string]*entry)
 	}
+	s.leases.m = make(map[string]*leaseEntry)
 	return s
 }
 
@@ -246,6 +257,19 @@ func (s *Server) handle(conn net.Conn) {
 			args = args[2:]
 			t0 = time.Now()
 		}
+		// REPLSYNC dedicates the connection to a replication stream: the
+		// handler goroutine becomes the stream writer and does not return to
+		// command dispatch (see internal/kvstore/replica).
+		if len(args) >= 1 && strings.EqualFold(args[0], "REPLSYNC") {
+			if rb := s.repl.Load(); rb != nil && rb.r != nil {
+				_ = w.Flush()
+				rb.r.ServeSync(args, conn, r, w)
+			} else {
+				writeError(w, "replication not enabled")
+				_ = w.Flush()
+			}
+			return
+		}
 		if s.simLatency > 0 {
 			// xorshift-derived deterministic jitter: latency =
 			// d·(1 + 13·u⁸) for u uniform in [0,1), i.e. a heavy
@@ -320,7 +344,9 @@ func readLine(r *bufio.Reader) (string, error) {
 	return strings.TrimRight(line, "\r\n"), nil
 }
 
-// execute runs one command, writing the RESP reply to w.
+// execute runs one command, writing the RESP reply to w. It peels the FENCE
+// prefix, consults the standby gate, and routes mutations through the
+// replicator when one is attached; dispatch does the actual work.
 func (s *Server) execute(args []string, w *bufio.Writer) {
 	if len(args) == 0 {
 		writeError(w, "empty command")
@@ -328,7 +354,46 @@ func (s *Server) execute(args []string, w *bufio.Writer) {
 	}
 	s.opsServed.Add(1)
 	cmd := strings.ToUpper(args[0])
+	// "FENCE <leaseKey> <epoch>" prefixes a command with the writer's lease
+	// epoch (see Client.SetFence). The command proceeds only while that epoch
+	// is still the key's newest grant, so a deposed leader's stragglers are
+	// rejected instead of corrupting the new leader's state.
+	if cmd == "FENCE" {
+		if len(args) < 4 {
+			writeError(w, "wrong number of arguments for 'fence'")
+			return
+		}
+		epoch, err := strconv.ParseInt(args[2], 10, 64)
+		if err != nil {
+			writeError(w, "fence epoch is not an integer")
+			return
+		}
+		if msg := s.leases.checkFence(args[1], epoch); msg != "" {
+			writeRawError(w, msg)
+			return
+		}
+		args = args[3:]
+		cmd = strings.ToUpper(args[0])
+	}
 	s.metrics.command(cmd)
+	if gb := s.gate.Load(); gb != nil && gb.f != nil {
+		if msg := gb.f(cmd); msg != "" {
+			writeRawError(w, msg)
+			return
+		}
+	}
+	if rb := s.repl.Load(); rb != nil && rb.r != nil && Mutates(cmd) {
+		s.executeReplicated(rb.r, cmd, args, w)
+		return
+	}
+	s.dispatch(cmd, args, w)
+}
+
+// dispatch runs one command, writing the RESP reply to w. The returned
+// logArgs override what the replication layer appends to its log: nil means
+// "log the original args"; lease grants return a canonical absolute-deadline
+// form so standbys replay the same outcome regardless of when they apply it.
+func (s *Server) dispatch(cmd string, args []string, w *bufio.Writer) (logArgs []string) {
 	switch cmd {
 	case "PING":
 		writeSimple(w, "PONG")
@@ -586,6 +651,30 @@ func (s *Server) execute(args []string, w *bufio.Writer) {
 			sh.mu.RUnlock()
 		}
 		writeInt(w, n)
+	case "PEXPIREAT":
+		// Internal absolute-deadline expiry, used by replication so a
+		// standby applying a snapshot or log entry lands on the same
+		// deadline the primary computed (EXPIRE is relative and would
+		// drift by replication delay).
+		if !arity(w, args, 3) {
+			return
+		}
+		ms, err := strconv.ParseInt(args[2], 10, 64)
+		if err != nil {
+			writeError(w, "value is not an integer or out of range")
+			return
+		}
+		sh := s.shardOf(args[1])
+		sh.mu.Lock()
+		e := sh.lookup(args[1], time.Now())
+		if e == nil {
+			sh.mu.Unlock()
+			writeInt(w, 0)
+			return
+		}
+		e.expireAt = time.UnixMilli(ms)
+		sh.mu.Unlock()
+		writeInt(w, 1)
 	case "FLUSHALL":
 		for i := range s.shards {
 			sh := &s.shards[i]
@@ -593,10 +682,14 @@ func (s *Server) execute(args []string, w *bufio.Writer) {
 			sh.m = make(map[string]*entry)
 			sh.mu.Unlock()
 		}
+		s.leases.clear()
 		writeSimple(w, "OK")
+	case "SETLEASE", "GETLEASE", "DELLEASE", "LEASEGRANT", "LEASEDEL":
+		return s.leases.dispatch(cmd, args, w)
 	default:
 		writeError(w, "unknown command '"+args[0]+"'")
 	}
+	return nil
 }
 
 // sortPairs sorts a flat field/value list by field, keeping pairs together.
@@ -624,8 +717,13 @@ func arity(w *bufio.Writer, args []string, want int) bool {
 
 func writeSimple(w *bufio.Writer, s string) { w.WriteString("+" + s + "\r\n") }
 func writeError(w *bufio.Writer, s string)  { w.WriteString("-ERR " + s + "\r\n") }
-func writeInt(w *bufio.Writer, n int64)     { w.WriteString(":" + strconv.FormatInt(n, 10) + "\r\n") }
-func writeNil(w *bufio.Writer)              { w.WriteString("$-1\r\n") }
+
+// writeRawError writes an error reply verbatim (no ERR prefix), for
+// protocol-level codes clients parse: "MOVED <addr>", "FENCED ...",
+// "LEASEHELD <owner> <ms>", "REPLWAIT ...".
+func writeRawError(w *bufio.Writer, s string) { w.WriteString("-" + s + "\r\n") }
+func writeInt(w *bufio.Writer, n int64)       { w.WriteString(":" + strconv.FormatInt(n, 10) + "\r\n") }
+func writeNil(w *bufio.Writer)                { w.WriteString("$-1\r\n") }
 func writeBulk(w *bufio.Writer, s string) {
 	w.WriteString("$" + strconv.Itoa(len(s)) + "\r\n")
 	w.WriteString(s)

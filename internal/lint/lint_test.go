@@ -196,6 +196,67 @@ func (c *counter) Escapes() {
 	})
 }
 
+func TestLockDisciplineLeaseRenewalGoroutine(t *testing.T) {
+	// The shape of controller.Elector: leadership state guarded by a mutex,
+	// mutated from a renewal goroutine. The analyzer must follow the guarded
+	// fields into the goroutine body — a renewal loop that forgets the lock
+	// is exactly the race the fencing machinery cannot survive.
+	runFixture(t, LockDisciplineAnalyzer(), map[string]string{
+		"internal/controller/lease_fixture.go": `package controller
+
+import (
+	"sync"
+	"time"
+)
+
+type elector struct {
+	mu      sync.Mutex
+	leading bool  // guarded by mu
+	epoch   int64 // guarded by mu
+
+	stopCh chan struct{}
+}
+
+func (e *elector) renewLoop(renew time.Duration) {
+	t := time.NewTicker(renew)
+	defer t.Stop()
+	go func() {
+		for {
+			select {
+			case <-e.stopCh:
+				return
+			case <-t.C:
+				e.mu.Lock()
+				was := e.leading // held: fine
+				e.mu.Unlock()
+				if !was {
+					continue
+				}
+				e.epoch++ // want "without holding mu"
+			}
+		}
+	}()
+}
+
+func (e *elector) observe() (bool, int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.leading, e.epoch // deferred unlock holds to the end
+}
+
+func (e *elector) hintRace() bool {
+	return e.leading // want "without holding mu"
+}
+
+//sblint:holds mu
+func (e *elector) wonLocked(epoch int64) {
+	e.leading = true // caller holds mu by contract
+	e.epoch = epoch
+}
+`,
+	})
+}
+
 func TestFloatCompareAnalyzer(t *testing.T) {
 	runFixture(t, FloatCompareAnalyzer(), map[string]string{
 		"internal/lp/fixture.go": `package lp

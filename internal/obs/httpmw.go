@@ -39,6 +39,14 @@ func NewHTTPMetrics(r *Registry) *HTTPMetrics {
 	}
 }
 
+// StandbyHeader marks a 503 as correct standby behavior — a replica that is
+// not the leader refusing work it must not do — rather than a failure. The
+// middleware excludes such responses from the availability SLO's 5xx count:
+// a hot standby would otherwise burn its own error budget by existing. The
+// per-route status-class counters still see the 503, so the refusals remain
+// visible in /metrics.
+const StandbyHeader = "X-Switchboard-Standby"
+
 // statusClasses cover every valid status code bucket; resolved per route at
 // wrap time so the serve path never touches the vec maps.
 var statusClasses = [...]string{"1xx", "2xx", "3xx", "4xx", "5xx"}
@@ -62,7 +70,7 @@ func (m *HTTPMetrics) Wrap(route string, h http.Handler) http.Handler {
 		lat.Observe(time.Since(start).Seconds())
 		m.inflight.Add(-1)
 		m.total.Inc()
-		if sw.code >= 500 {
+		if sw.code >= 500 && sw.Header().Get(StandbyHeader) == "" {
 			m.err5xx.Inc()
 		}
 		if i := sw.code/100 - 1; i >= 0 && i < len(byClass) {

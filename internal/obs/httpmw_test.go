@@ -47,3 +47,36 @@ func TestHTTPMiddleware(t *testing.T) {
 		}
 	}
 }
+
+// TestStandby503ExemptFromBurn: a 503 carrying the StandbyHeader is correct
+// replica behavior, not an outage — it must stay out of the availability
+// SLO's 5xx aggregate while remaining visible in the per-route counters.
+func TestStandby503ExemptFromBurn(t *testing.T) {
+	reg := NewRegistry()
+	m := NewHTTPMetrics(reg)
+	standby := m.Wrap("POST /v1/call/start", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set(StandbyHeader, "1")
+		http.Error(w, "standby", http.StatusServiceUnavailable)
+	}))
+	outage := m.Wrap("POST /v1/call/start", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "boom", http.StatusServiceUnavailable)
+	}))
+	for _, h := range []http.Handler{standby, standby, outage} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/call/start", nil))
+	}
+	total, err5xx := m.Totals()
+	if total != 3 {
+		t.Fatalf("total = %d, want 3", total)
+	}
+	if err5xx != 1 {
+		t.Fatalf("err5xx = %d, want 1 (standby 503s must not burn)", err5xx)
+	}
+	var sb strings.Builder
+	if _, err := reg.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `sb_http_requests_total{route="POST /v1/call/start",code="5xx"} 3`) {
+		t.Fatalf("per-route counter lost the standby 503s:\n%s", sb.String())
+	}
+}

@@ -344,6 +344,13 @@ func DialKVOptions(addr string, opts KVOptions) (*KVClient, error) {
 	return kvstore.DialOptions(addr, opts)
 }
 
+// DialKVFailover connects to the first reachable address of an HA pair (or
+// larger set) and fails over across the rest on transport errors and MOVED
+// redirects. The usual shape is {primary, standby}.
+func DialKVFailover(addrs []string, opts KVOptions) (*KVClient, error) {
+	return kvstore.DialFailover(addrs, opts)
+}
+
 // Config prediction (§8).
 type (
 	// PredictDataset is recurring-meeting attendance history.
