@@ -38,9 +38,11 @@ bench:
 
 # Core hot-path perf trajectory: controller placement + kvstore round-trip,
 # appended to the BENCH_core.json run history keyed by the current revision
-# (see cmd/sbbench). CI runs this non-gating.
+# (see cmd/sbbench). Gating: a >10% ns/op regression on a core benchmark
+# fails the target (and CI); export SBBENCH_SKIP_GATE=1 — in CI, apply the
+# bench-exempt PR label — when a regression is deliberate.
 bench-core:
-	$(GO) run ./cmd/sbbench -o BENCH_core.json -rev "$$(git rev-parse --short HEAD)"
+	$(GO) run ./cmd/sbbench -o BENCH_core.json -rev "$$(git rev-parse --short HEAD)" -gate
 	@cat BENCH_core.json
 
 clean:

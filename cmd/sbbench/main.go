@@ -3,14 +3,16 @@
 // over loopback TCP — and appends the results to BENCH_core.json, the repo's
 // perf trajectory file: a history of runs keyed by git revision, so the
 // trajectory across commits stays inspectable instead of being overwritten.
-// CI runs it non-gating on every push; compare the committed points against
-// a fresh run before and after touching the controller or kvstore.
+// CI runs it with -gate: a >10% ns/op regression on a core benchmark fails
+// the build (label the PR bench-exempt, which sets SBBENCH_SKIP_GATE, when a
+// regression is deliberate).
 //
 // Usage:
 //
 //	sbbench                                   # print this run's JSON to stdout
 //	sbbench -o BENCH_core.json -rev $(git rev-parse --short HEAD)
 //	sbbench -benchtime 2s                     # longer sampling for quieter numbers
+//	sbbench -o BENCH_core.json -rev HEAD -gate  # fail on core hot-path regression
 //
 // With -o, an existing file is loaded and the new run is appended to its
 // "results" history (an entry with the same rev is replaced, so re-running
@@ -98,10 +100,65 @@ func loadHistory(path string) []run {
 	return nil
 }
 
+// gatedBenchmarks are the hot paths whose ns/op regressions fail a -gate run;
+// the failover drill is excluded because its time is dominated by deliberate
+// timeouts, not code under test.
+var gatedBenchmarks = []string{"core_placement", "core_kv_round_trip"}
+
+// gateTolerance is how much slower a gated benchmark may get before -gate
+// fails: shared-runner noise sits well inside 10%, real regressions outside.
+const gateTolerance = 1.10
+
+// checkGate compares this run's gated benchmarks against the most recent
+// prior run (skipping entries for the same rev, so re-runs on a dirty tree
+// still compare against the actual predecessor). It returns the failures,
+// one line each; no baseline means nothing to gate.
+func checkGate(prior []run, this run, rev string) []string {
+	var base *run
+	for i := len(prior) - 1; i >= 0; i-- {
+		if prior[i].Rev != rev {
+			base = &prior[i]
+			break
+		}
+	}
+	if base == nil {
+		log.Printf("gate: no prior run to compare against; passing")
+		return nil
+	}
+	baseline := make(map[string]float64, len(base.Results))
+	for _, r := range base.Results {
+		baseline[r.Name] = r.NsPerOp
+	}
+	var failures []string
+	for _, r := range this.Results {
+		gated := false
+		for _, name := range gatedBenchmarks {
+			if r.Name == name {
+				gated = true
+				break
+			}
+		}
+		was, ok := baseline[r.Name]
+		if !gated || !ok || was <= 0 {
+			continue
+		}
+		if r.NsPerOp > was*gateTolerance {
+			failures = append(failures, fmt.Sprintf(
+				"%s regressed: %.0f ns/op -> %.0f ns/op (%+.1f%%, gate %.0f%%) vs rev %q",
+				r.Name, was, r.NsPerOp, (r.NsPerOp/was-1)*100, (gateTolerance-1)*100, base.Rev))
+		} else {
+			log.Printf("gate: %s %.0f ns/op vs %.0f ns/op at rev %q: ok", r.Name, r.NsPerOp, was, base.Rev)
+		}
+	}
+	return failures
+}
+
 func main() {
 	out := flag.String("o", "", "output path (empty prints this run to stdout)")
 	rev := flag.String("rev", "", "git revision this run measures (the history key)")
 	benchtime := flag.Duration("benchtime", time.Second, "target sampling time per benchmark")
+	gate := flag.Bool("gate", false,
+		"fail when a core benchmark regresses more than 10% ns/op vs the previous recorded run (SBBENCH_SKIP_GATE=1 overrides)")
 	flag.Parse()
 
 	// testing.Benchmark honours -test.benchtime only via the testing flags,
@@ -249,6 +306,14 @@ func main() {
 		return
 	}
 	runs := loadHistory(*out)
+	var gateFailures []string
+	if *gate {
+		if os.Getenv("SBBENCH_SKIP_GATE") != "" {
+			log.Printf("gate: skipped (SBBENCH_SKIP_GATE set)")
+		} else {
+			gateFailures = checkGate(runs, this, *rev)
+		}
+	}
 	replaced := false
 	if *rev != "" {
 		for i := range runs {
@@ -271,4 +336,12 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("wrote %s (%d runs, rev %q)", *out, len(runs), *rev)
+	// The run is recorded either way — a failed gate should still leave its
+	// point in the trajectory for the investigation that follows.
+	if len(gateFailures) > 0 {
+		for _, f := range gateFailures {
+			log.Printf("gate FAIL: %s", f)
+		}
+		os.Exit(1)
+	}
 }

@@ -56,6 +56,7 @@ var experiments = []struct {
 	{"forecast-baselines", "Holt-Winters vs seasonal-naive and drift", true, forecastBaselines},
 	{"chaos", "fault-injection drill: degraded mode vs clean run", true, chaos},
 	{"partition", "HA failover drill: silent primary partition, standby promotes", true, partitionExp},
+	{"shard", "sharded-fleet drill: kill a shard leader, survivor takes over", true, shardExp},
 }
 
 func main() {
@@ -416,6 +417,21 @@ func partitionExp(env *eval.Env) error {
 	fmt.Printf("degraded intervals %d, journaled writes replayed %d, dropped %d\n",
 		res.Degraded, res.Replayed, res.Dropped)
 	fmt.Printf("lost transitions after failover: %d (want 0)\n", res.LostTransitions)
+	return nil
+}
+
+func shardExp(env *eval.Env) error {
+	res, err := eval.ShardDrill(env, 1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replayed %d calls (%d events) against a %d-shard fleet; the two-shard node killed at the first third (seed %d)\n",
+		res.Calls, res.Events, res.Shards, res.Seed)
+	fmt.Printf("%-28s %12.0f\n", "events/s (incl. takeover)", res.EventsPerSec)
+	fmt.Printf("%-28s %12s\n", "shard takeover latency", res.PromotionLatency.Round(time.Millisecond))
+	fmt.Printf("%-28s %12s\n", "max stall, failed-over shards", res.MaxStall.Round(time.Millisecond))
+	fmt.Printf("%-28s %12s\n", "max stall, untouched shard", res.UntouchedMaxStall.Round(time.Millisecond))
+	fmt.Printf("lost transitions after takeover: %d (want 0)\n", res.LostTransitions)
 	return nil
 }
 

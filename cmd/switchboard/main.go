@@ -53,12 +53,15 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"log/slog"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"switchboard"
@@ -69,6 +72,7 @@ import (
 	"switchboard/internal/kvstore/replica"
 	"switchboard/internal/obs"
 	"switchboard/internal/obs/span"
+	"switchboard/internal/shard"
 )
 
 // fatal logs err at ERROR and exits. The slog equivalent of log.Fatal — kept
@@ -92,6 +96,12 @@ func main() {
 	replAck := flag.String("repl-ack", "standby", "primary write acks: 'standby' (semi-synchronous; acked writes survive failover) or 'relaxed' (local-only acks)")
 	replAckTimeout := flag.Duration("repl-ack-timeout", time.Second, "how long a write waits for the standby's ack before REPLWAIT")
 	replFailoverTimeout := flag.Duration("repl-failover-timeout", 2*time.Second, "primary silence a standby tolerates before promoting itself")
+	shards := flag.Int("shards", 0, "shard the control plane: partition the conference-ID space across this many shards, each with its own leadership lease (0 disables; >=2 makes this node one of a sharded fleet)")
+	shardID := flag.Int("shard-id", -1, "shard this node is the preferred owner of (its elector races immediately; others wait a TTL), -1 for none")
+	peers := flag.String("peers", "", "comma-separated API addresses of the other nodes in the sharded fleet (forward fallback when a shard's leader is unknown)")
+	shardForward := flag.Bool("shard-forward", true, "proxy call-control requests to the owning shard's leader (false answers 307 + X-Switchboard-Shard-Leader hints instead)")
+	shardTakeover := flag.Duration("shard-takeover", 0, "how long this node leaves a non-preferred shard's lease to its preferred owner before racing for it (0 = one lease TTL); size it to cover the fleet's boot stagger or the first node up grabs every shard")
+	shardVnodes := flag.Int("shard-vnodes", 0, "virtual nodes per shard on the consistent-hash ring (0 = default)")
 	leaseOn := flag.Bool("lease", false, "run lease-based controller leadership against the store (this node serves mutations only while holding the lease)")
 	leaseKey := flag.String("lease-key", controller.DefaultLeaseKey, "leadership lease key")
 	leaseID := flag.String("lease-id", "", "this controller's lease owner ID (default: -addr)")
@@ -275,18 +285,89 @@ func main() {
 	aclOf := func(cfg switchboard.CallConfig, dc int) float64 { return est.ACL(cfg, dc) }
 	placer := switchboard.NewPlanPlacer(lm.Demand().Configs, alloc.Alloc, aclOf, len(world.DCs()))
 	ctrlMetrics := controller.NewMetrics(reg)
-	ctrl, err := switchboard.NewController(switchboard.ControllerConfig{
-		World:         world,
-		Placer:        placer,
-		Store:         kv,
-		JournalCap:    *journalCap,
-		ProbeInterval: *probeInterval,
-		Metrics:       ctrlMetrics,
-		Decisions:     ring,
-		Logger:        slog.Default(),
-	})
-	if err != nil {
-		fatal("building controller", err)
+	kvOpts := func(seedOff int64) switchboard.KVOptions {
+		return switchboard.KVOptions{
+			DialTimeout: *kvDialTimeout,
+			IOTimeout:   *kvTimeout,
+			MaxRetries:  *kvRetries,
+			BackoffMin:  *kvBackoffMin,
+			BackoffMax:  *kvBackoffMax,
+			Seed:        *seed + seedOff,
+		}
+	}
+	newCtrl := func(store *switchboard.KVClient, prefix string, sh int) *switchboard.Controller {
+		c, err := switchboard.NewController(switchboard.ControllerConfig{
+			World:         world,
+			Placer:        placer,
+			Store:         store,
+			KeyPrefix:     prefix,
+			Shard:         sh,
+			JournalCap:    *journalCap,
+			ProbeInterval: *probeInterval,
+			Metrics:       ctrlMetrics,
+			Decisions:     ring,
+			Logger:        slog.Default(),
+		})
+		if err != nil {
+			fatal("building controller", err)
+		}
+		return c
+	}
+
+	// Sharded control plane: one controller + lease race per shard, all
+	// sharing the placer and the world. Per-shard leases replace the
+	// fleet-wide -lease (each shard fences its own epoch), so the two flags
+	// are mutually exclusive.
+	var ctrl *switchboard.Controller
+	var mgr *shard.Manager
+	if *shards > 0 {
+		if *leaseOn {
+			fatal("flags", errFlag("-lease and -shards are mutually exclusive: sharding runs one lease per shard"))
+		}
+		shardRing, err := shard.NewRing(*shards, *shardVnodes)
+		if err != nil {
+			fatal("building shard ring", err)
+		}
+		id := *leaseID
+		if id == "" {
+			id = *addr
+		}
+		ctrls := make([]*switchboard.Controller, *shards)
+		for i := range ctrls {
+			// Each shard controller gets its own store client: fencing
+			// epochs are per-client state and differ per shard.
+			skv, err := switchboard.DialKVFailover(kvAddrs, kvOpts(int64(2+i)))
+			if err != nil {
+				fatal("dialing kvstore for shard", err)
+			}
+			ctrls[i] = newCtrl(skv, shard.KeyPrefix(i), i)
+		}
+		var prefer []int
+		if *shardID >= 0 {
+			prefer = []int{*shardID}
+		}
+		mgr, err = shard.NewManager(shard.Config{
+			Ring:        shardRing,
+			ID:          id,
+			Controllers: ctrls,
+			ElectorStore: func(i int) (*kvstore.Client, error) {
+				return switchboard.DialKVFailover(kvAddrs, kvOpts(int64(100+i)))
+			},
+			Prefer:        prefer,
+			TTL:           *leaseTTL,
+			TakeoverDelay: *shardTakeover,
+			Recover:       true,
+			Metrics:       shard.NewMetrics(reg),
+			Logger:        slog.Default(),
+			Tracer:        tracer,
+		})
+		if err != nil {
+			fatal("building shard manager", err)
+		}
+		mgr.Start()
+		slog.Info("sharded control plane on", "shards", *shards, "prefer", *shardID, "id", id, "ttl", *leaseTTL)
+	} else {
+		ctrl = newCtrl(kv, "", 0)
 	}
 
 	if *debugAddr != "" {
@@ -303,6 +384,13 @@ func main() {
 	api.HTTP = obs.NewHTTPMetrics(reg)
 	api.KV = kv
 	api.Tracer = tracer
+	if mgr != nil {
+		var peerList []string
+		if *peers != "" {
+			peerList = strings.Split(*peers, ",")
+		}
+		api.Shards = &httpapi.ShardRouter{Manager: mgr, Forward: *shardForward, Peers: peerList}
+	}
 
 	// Leadership: the elector gets its own client so election probes still
 	// go through when the data path is saturated. On winning it arms the
@@ -361,6 +449,26 @@ func main() {
 		Handler:           api.Mux(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
+	// Orderly stop: SIGINT/SIGTERM hands owned shards off (journal drain
+	// while the fence is still valid, then lease resignation so successors
+	// promote within a renew interval) before the listener closes.
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-stop
+		if mgr != nil {
+			slog.Info("shutting down; handing off shards")
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			mgr.Stop(ctx)
+			cancel()
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		_ = server.Shutdown(ctx)
+		cancel()
+	}()
 	slog.Info("controller serving", "url", "http://"+*addr)
-	fatal("api listener", server.ListenAndServe())
+	if err := server.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		fatal("api listener", err)
+	}
+	slog.Info("shutdown complete")
 }

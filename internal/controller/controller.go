@@ -16,6 +16,7 @@ import (
 	"log/slog"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -121,6 +122,25 @@ type Stats struct {
 	FailedOver int64
 }
 
+// Accumulate adds o's counters into s — how a sharded node folds its
+// per-shard controllers into one fleet view for /v1/stats.
+func (s *Stats) Accumulate(o Stats) {
+	s.Started += o.Started
+	s.Frozen += o.Frozen
+	s.Migrated += o.Migrated
+	s.Unplanned += o.Unplanned
+	s.Ended += o.Ended
+	s.Predicted += o.Predicted
+	s.FrozenRecurring += o.FrozenRecurring
+	s.MigratedRecurring += o.MigratedRecurring
+	s.Degraded += o.Degraded
+	s.JournalDepth += o.JournalDepth
+	s.Replayed += o.Replayed
+	s.Dropped += o.Dropped
+	s.Fenced += o.Fenced
+	s.FailedOver += o.FailedOver
+}
+
 // RecurringMigrationRate returns MigratedRecurring/FrozenRecurring.
 func (s Stats) RecurringMigrationRate() float64 {
 	if s.FrozenRecurring == 0 {
@@ -148,6 +168,15 @@ type Config struct {
 	// transition). Each worker goroutine must use its own Store client;
 	// the controller serializes writes through one.
 	Store *kvstore.Client
+	// KeyPrefix namespaces every call-state key ("" for the unsharded
+	// layout). A sharded deployment passes shard.KeyPrefix(i) so shard
+	// journals and state never collide in the shared store, letting one
+	// process lead shard 2 while standby for shard 5.
+	KeyPrefix string
+	// Shard is the shard this controller serves, stamped on decision traces
+	// and log lines. Meaningful only when KeyPrefix is set; unsharded
+	// controllers report shard -1.
+	Shard int
 	// Freeze is A; zero means DefaultFreeze.
 	Freeze time.Duration
 	// Predictor, when non-nil, supplies config predictions for recurring
@@ -181,6 +210,8 @@ type Controller struct {
 	store     *kvstore.Client
 	freeze    time.Duration
 	predictor Predictor
+	keyPrefix string
+	shard     int // -1 when unsharded
 
 	journalCap int
 	probeEvery time.Duration
@@ -248,12 +279,18 @@ func New(cfg Config) (*Controller, error) {
 	if m == nil {
 		m = &Metrics{}
 	}
+	shard := -1
+	if cfg.KeyPrefix != "" {
+		shard = cfg.Shard
+	}
 	return &Controller{
 		world:      cfg.World,
 		placer:     cfg.Placer,
 		store:      cfg.Store,
 		freeze:     cfg.Freeze,
 		predictor:  cfg.Predictor,
+		keyPrefix:  cfg.KeyPrefix,
+		shard:      shard,
 		journalCap: cfg.JournalCap,
 		probeEvery: cfg.ProbeInterval,
 		metrics:    m,
@@ -286,6 +323,7 @@ func (c *Controller) record(d obs.Decision, start time.Time, dur time.Duration) 
 	}
 	d.Time = start
 	d.Duration = dur
+	d.Shard = c.shard
 	d.Degraded, d.JournalDepth = c.storeSnapshot()
 	c.decisions.Record(d)
 }
@@ -600,7 +638,7 @@ func (c *Controller) persist(ctx context.Context, id uint64, field, value string
 		sp.SetAttr("field", field)
 		defer sp.End()
 	}
-	key := "call:" + strconv.FormatUint(id, 10)
+	key := c.keyPrefix + "call:" + strconv.FormatUint(id, 10)
 	obsT := c.obsStart()
 	c.storeMu.Lock()
 	defer c.persistDone(obsT)
@@ -726,6 +764,94 @@ func (c *Controller) ReplayJournal(ctx context.Context) (int, error) {
 	n := int(c.replayed - before)
 	if c.degraded {
 		return n, fmt.Errorf("controller: store lost again after replaying %d writes", n)
+	}
+	return n, nil
+}
+
+// Shard returns the shard this controller serves (-1 when unsharded).
+func (c *Controller) Shard() int { return c.shard }
+
+// RecoverCalls rebuilds in-flight call state from the store: every persisted
+// call under this controller's key prefix that has not ended is re-admitted
+// at its recorded DC (frozen with its recorded config when one was
+// persisted). A successor shard leader calls this after taking over so calls
+// started under the previous leader keep their freeze and end transitions
+// instead of 404ing. Recovered calls carry no plan accounting (planned=false
+// — their slot debit died with the previous leader) and no first-joiner
+// country, a documented drift the eval drill quantifies. Calls the
+// controller already knows are left untouched. Returns how many calls were
+// recovered.
+func (c *Controller) RecoverCalls(ctx context.Context) (n int, err error) {
+	if c.store == nil {
+		return 0, nil
+	}
+	ctx, sp := span.Child(ctx, "controller.recover")
+	if sp != nil {
+		defer func() {
+			sp.SetAttr("recovered", strconv.Itoa(n))
+			sp.SetError(err)
+			sp.End()
+		}()
+	}
+	prefix := c.keyPrefix + "call:"
+	type rec struct {
+		id     uint64
+		dc     int
+		frozen bool
+		cfg    model.CallConfig
+	}
+	var recs []rec
+	c.storeMu.Lock()
+	keys, err := c.store.Keys()
+	if err != nil {
+		c.storeMu.Unlock()
+		return 0, err
+	}
+	for _, k := range keys {
+		if !strings.HasPrefix(k, prefix) {
+			continue
+		}
+		id, perr := strconv.ParseUint(k[len(prefix):], 10, 64)
+		if perr != nil {
+			continue // not a call-state key (e.g. a lease living under the prefix)
+		}
+		h, herr := c.store.HGetAll(k)
+		if herr != nil {
+			c.storeMu.Unlock()
+			return 0, herr
+		}
+		if h["state"] == "ended" {
+			continue
+		}
+		dc, derr := strconv.Atoi(h["dc"])
+		if derr != nil || dc < 0 {
+			continue
+		}
+		r := rec{id: id, dc: dc}
+		if key := h["config"]; key != "" {
+			if cfg, cerr := model.ParseConfigKey(key); cerr == nil {
+				r.frozen = true
+				r.cfg = cfg
+			}
+		}
+		recs = append(recs, r)
+	}
+	c.storeMu.Unlock()
+
+	c.mu.Lock()
+	for _, r := range recs {
+		if _, dup := c.calls[r.id]; dup {
+			continue
+		}
+		if r.dc >= len(c.world.DCs()) {
+			continue
+		}
+		c.calls[r.id] = &callState{dc: r.dc, frozen: r.frozen, cfg: r.cfg}
+		n++
+	}
+	c.mu.Unlock()
+	if n > 0 {
+		c.metrics.ActiveCalls.Add(float64(n))
 	}
 	return n, nil
 }

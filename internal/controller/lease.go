@@ -250,6 +250,10 @@ func (e *Elector) Stop() {
 // Done is closed when Run has returned.
 func (e *Elector) Done() <-chan struct{} { return e.done }
 
+// TTL returns the configured lease duration — the honest Retry-After for a
+// standby 503: leadership moves within one TTL of a leader's death.
+func (e *Elector) TTL() time.Duration { return e.cfg.TTL }
+
 // IsLeader reports whether this controller currently holds the lease.
 func (e *Elector) IsLeader() bool {
 	e.mu.Lock()

@@ -487,3 +487,28 @@ func TestPartitionDrill(t *testing.T) {
 		t.Errorf("an op stalled %v across failover", res.MaxStall)
 	}
 }
+
+func TestShardDrill(t *testing.T) {
+	env := quickEnv(t)
+	res, err := ShardDrill(env, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Calls == 0 || res.Events == 0 {
+		t.Fatalf("empty drill: %+v", res)
+	}
+	if res.PromotionLatency <= 0 || res.PromotionLatency > 5*time.Second {
+		t.Errorf("takeover latency = %v", res.PromotionLatency)
+	}
+	if res.LostTransitions != 0 {
+		t.Errorf("lost %d transitions across the shard takeover", res.LostTransitions)
+	}
+	// Lease TTL + takeover delay bound the failed-over shards' stalls; the
+	// untouched shard must not feel the kill at all.
+	if res.MaxStall > 5*time.Second {
+		t.Errorf("an op stalled %v across the takeover", res.MaxStall)
+	}
+	if res.UntouchedMaxStall > time.Second {
+		t.Errorf("the untouched shard stalled %v", res.UntouchedMaxStall)
+	}
+}

@@ -1,0 +1,272 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"strconv"
+	"time"
+
+	"switchboard/internal/controller"
+	"switchboard/internal/faults"
+	"switchboard/internal/kvstore"
+	"switchboard/internal/model"
+	"switchboard/internal/shard"
+)
+
+// ShardResult reports the sharded-control-plane drill: the evaluation
+// window's events replayed against a 3-shard fleet whose majority owner is
+// hard-killed a third of the way through the stream. The survivor must take
+// over the dead node's shards, the untouched shard must keep serving
+// throughout, and no call transition may be lost.
+type ShardResult struct {
+	// Calls and Events describe the replayed stream; Shards is the ring
+	// width.
+	Calls, Events, Shards int
+	// EventsPerSec is the sustained rate across the whole run, takeover
+	// stall included.
+	EventsPerSec float64
+	// PromotionLatency is how long the survivor took to own both of the
+	// dead node's shards after the kill.
+	PromotionLatency time.Duration
+	// MaxStall is the longest any single operation on a failed-over shard
+	// took — bounded by lease TTL + takeover delay, not by the kill.
+	MaxStall time.Duration
+	// UntouchedMaxStall is the longest stall on the shard whose leader
+	// survived; the kill must not perturb it.
+	UntouchedMaxStall time.Duration
+	// LostTransitions counts calls whose terminal state never reached the
+	// store under their shard's key prefix (must be 0: every op was acked
+	// by a live shard leader against a healthy store).
+	LostTransitions int
+	// Seed reproduces the drill's client jitter.
+	Seed int64
+}
+
+// drillShards is the ring width: small enough that two nodes cover it, wide
+// enough that one node's death strands a majority of the key space.
+const drillShards = 3
+
+// ShardDrill replays the evaluation window's events against a 3-shard fleet
+// of two nodes — node A preferred owner of shards 0 and 1, node B of shard 2
+// — and hard-kills node A (its store and elector paths both severed, like a
+// process crash) a third of the way in. Unlike PartitionDrill — one lease,
+// one failover — this drill exercises independent per-shard leases: B's
+// electors race the two orphaned leases after the takeover delay, recover
+// in-flight call state under each shard's key prefix, and the stream resumes,
+// while shard 2 serves throughout.
+func ShardDrill(env *Env, seed int64) (*ShardResult, error) {
+	if env.EvalRecords == nil {
+		return nil, fmt.Errorf("eval: ShardDrill needs KeepEvalRecords")
+	}
+	recs := env.EvalRecords
+	if len(recs) > chaosMaxCalls {
+		recs = recs[:chaosMaxCalls]
+	}
+	events := controller.BuildEvents(recs, controller.DefaultFreeze)
+	res := &ShardResult{Calls: len(recs), Events: len(events), Shards: drillShards, Seed: seed}
+
+	srv := kvstore.NewServer()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go func() { _ = srv.Serve(l) }()
+	defer func() { _ = srv.Close() }()
+
+	// Node A reaches the store only through the chaos proxy; Cut() is its
+	// kill switch. Node B dials direct — it survives.
+	proxy, err := faults.NewProxy(l.Addr().String(), nil)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = proxy.Close() }()
+
+	ring, err := shard.NewRing(drillShards, 64)
+	if err != nil {
+		return nil, err
+	}
+	opts := kvstore.Options{
+		DialTimeout: 200 * time.Millisecond,
+		IOTimeout:   200 * time.Millisecond,
+		MaxRetries:  1,
+		BackoffMin:  10 * time.Millisecond,
+		BackoffMax:  50 * time.Millisecond,
+	}
+	var clients []*kvstore.Client
+	defer func() {
+		for _, c := range clients {
+			_ = c.Close()
+		}
+	}()
+	newNode := func(via, id string, prefer []int, seed int64) (*shard.Manager, error) {
+		ctrls := make([]*controller.Controller, drillShards)
+		for i := range ctrls {
+			o := opts
+			o.Seed = seed + int64(i)
+			store, err := kvstore.DialOptions(via, o)
+			if err != nil {
+				return nil, err
+			}
+			clients = append(clients, store)
+			ctrls[i], err = controller.New(controller.Config{
+				World: env.World,
+				Placer: &controller.MinACLPlacer{
+					ACLOf: func(cfg model.CallConfig, dc int) float64 { return cfg.ACL(env.World, dc) },
+					NDCs:  len(env.World.DCs()),
+				},
+				Store:         store,
+				KeyPrefix:     shard.KeyPrefix(i),
+				Shard:         i,
+				ProbeInterval: 20 * time.Millisecond,
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+		return shard.NewManager(shard.Config{
+			Ring:        ring,
+			ID:          id,
+			Controllers: ctrls,
+			ElectorStore: func(i int) (*kvstore.Client, error) {
+				o := opts
+				o.Seed = seed + 100 + int64(i)
+				return kvstore.DialOptions(via, o)
+			},
+			Prefer:        prefer,
+			TTL:           300 * time.Millisecond,
+			Renew:         75 * time.Millisecond,
+			TakeoverDelay: 300 * time.Millisecond,
+			Recover:       true,
+		})
+	}
+	a, err := newNode(proxy.Addr(), "drill-a", []int{0, 1}, seed)
+	if err != nil {
+		return nil, err
+	}
+	b, err := newNode(l.Addr().String(), "drill-b", []int{2}, seed+1000)
+	if err != nil {
+		return nil, err
+	}
+	a.Start()
+	b.Start()
+	stop := func(m *shard.Manager) {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		m.Stop(ctx)
+	}
+	defer stop(b)
+	defer stop(a)
+
+	// The fleet settles onto its preference map before the stream starts.
+	settle := time.Now().Add(10 * time.Second) //sblint:allow nondeterminism -- real-time settle deadline
+	for !(a.Owns(0) && a.Owns(1) && b.Owns(2)) {
+		if time.Now().After(settle) { //sblint:allow nondeterminism -- real-time settle deadline
+			return nil, fmt.Errorf("eval: shard fleet never settled")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// ownerFor routes an op to the live leader of the call's shard, waiting
+	// out the takeover window when the leader just died. After the kill
+	// node A is never consulted: like a load balancer dropping a dead
+	// backend, so no op can be acked into a journal that dies with it.
+	killed := false
+	ownerFor := func(sh int) *controller.Controller {
+		deadline := time.Now().Add(10 * time.Second) //sblint:allow nondeterminism -- real-time takeover deadline
+		for {
+			if !killed && a.Owns(sh) {
+				return a.Controller(sh)
+			}
+			if b.Owns(sh) {
+				return b.Controller(sh)
+			}
+			if time.Now().After(deadline) { //sblint:allow nondeterminism -- real-time takeover deadline
+				return nil
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// Replay, killing node A a third of the way in. The drill measures real
+	// wall-clock takeover latency and stalls of a live fleet; the clock IS
+	// the measurement.
+	cutAt := len(events) / 3
+	promoted := make(chan time.Time, 1)
+	var cutTime time.Time
+	start := time.Now() //sblint:allow nondeterminism -- measuring real elapsed time
+	for i, e := range events {
+		if i == cutAt {
+			killed = true
+			proxy.Cut()
+			cutTime = time.Now() //sblint:allow nondeterminism -- takeover latency reference point
+			go func() {
+				for !(b.Owns(0) && b.Owns(1)) {
+					time.Sleep(5 * time.Millisecond)
+				}
+				promoted <- time.Now() //sblint:allow nondeterminism -- takeover timestamp
+			}()
+		}
+		sh := ring.Lookup(e.CallID)
+		opStart := time.Now() //sblint:allow nondeterminism -- measuring real per-op stall
+		ctrl := ownerFor(sh)
+		if ctrl == nil {
+			return nil, fmt.Errorf("eval: no live leader for shard %d", sh)
+		}
+		var err error
+		switch e.Kind {
+		case controller.EventStart:
+			_, err = ctrl.CallStartedWithSeries(context.Background(), e.CallID, e.Country, e.SeriesID, e.Time)
+		case controller.EventJoin:
+			ctrl.ParticipantJoined(context.Background(), e.CallID, e.Country, e.Media)
+		case controller.EventFreeze:
+			_, _, err = ctrl.ConfigKnown(context.Background(), e.CallID, e.Config, e.Time)
+		case controller.EventEnd:
+			err = ctrl.CallEnded(context.Background(), e.CallID)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("eval: shard replay %v(%d): %w", e.Kind, e.CallID, err)
+		}
+		stall := time.Since(opStart) //sblint:allow nondeterminism -- measuring real per-op stall
+		if sh == 2 {
+			if stall > res.UntouchedMaxStall {
+				res.UntouchedMaxStall = stall
+			}
+		} else if stall > res.MaxStall {
+			res.MaxStall = stall
+		}
+	}
+	elapsed := time.Since(start) //sblint:allow nondeterminism -- measuring real elapsed time
+	res.EventsPerSec = float64(len(events)) / elapsed.Seconds()
+
+	var promotedAt time.Time
+	select {
+	case promotedAt = <-promoted:
+	case <-time.After(5 * time.Second):
+		return nil, fmt.Errorf("eval: survivor never took over the dead node's shards")
+	}
+	res.PromotionLatency = promotedAt.Sub(cutTime)
+
+	// Audit: every call's terminal state must be in the store under its
+	// shard's key prefix — written by whichever node led the shard when the
+	// op ran.
+	reader, err := kvstore.Dial(l.Addr().String())
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = reader.Close() }()
+	for _, r := range recs {
+		sh := ring.Lookup(r.ID)
+		v, err := reader.HGet(shard.KeyPrefix(sh)+"call:"+strconv.FormatUint(r.ID, 10), "state")
+		if err != nil || v != "ended" {
+			res.LostTransitions++
+		}
+	}
+
+	env.countRun("shard")
+	if env.Obs != nil {
+		env.Obs.Counter("sb_eval_shard_lost_total",
+			"Call transitions lost across shard drills (must stay 0).").Add(uint64(res.LostTransitions))
+	}
+	return res, nil
+}

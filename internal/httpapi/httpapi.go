@@ -4,10 +4,13 @@
 package httpapi
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"switchboard/internal/controller"
@@ -45,6 +48,12 @@ type Server struct {
 	// POSTs and /readyz answer 503 with a Retry-After and a leader hint while
 	// another controller holds the lease. Set before calling Mux.
 	Elector *controller.Elector
+	// Shards, when non-nil, makes this node one of a sharded fleet:
+	// call-control requests resolve their owning shard from the conference ID
+	// and are served locally, proxied to the owner, or answered with routing
+	// hints (see ShardRouter). Mutually exclusive with Elector — per-shard
+	// leases replace the fleet-wide one. Set before calling Mux.
+	Shards *ShardRouter
 }
 
 // New returns a Server for the given world and controller.
@@ -78,13 +87,16 @@ func (s *Server) Mux() *http.ServeMux {
 	handle := func(pattern string, h http.HandlerFunc) {
 		mux.Handle(pattern, s.HTTP.Wrap(pattern, s.Tracer.WrapHTTP(pattern, h)))
 	}
-	handle("POST /v1/call/start", s.leaderOnly(s.handleStart))
-	handle("POST /v1/call/config", s.leaderOnly(s.handleConfig))
-	handle("POST /v1/call/end", s.leaderOnly(s.handleEnd))
+	handle("POST /v1/call/start", s.callRoute(s.handleStart))
+	handle("POST /v1/call/config", s.callRoute(s.handleConfig))
+	handle("POST /v1/call/end", s.callRoute(s.handleEnd))
 	handle("POST /v1/dc/fail", s.leaderOnly(s.handleDCFail))
 	handle("POST /v1/dc/recover", s.leaderOnly(s.handleDCRecover))
 	handle("GET /v1/stats", s.handleStats)
 	handle("GET /v1/world", s.handleWorld)
+	if s.Shards != nil {
+		handle("GET /v1/shards", s.handleShards)
+	}
 	handle("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		_, _ = fmt.Fprintln(w, "ok")
 	})
@@ -104,6 +116,56 @@ func statusFor(err error) int {
 	}
 }
 
+// callHandler is a call-control handler bound late to a controller: the
+// route wrapper picks which controller serves the request (the fleet-wide one
+// when unsharded, the owning shard's otherwise) and hands over the raw body
+// so a non-owned request can be forwarded verbatim.
+type callHandler func(ctrl *controller.Controller, body []byte, w http.ResponseWriter, r *http.Request)
+
+// callRoute wraps a call-control handler with leadership/shard routing. The
+// body is read up front: routing needs the conference ID before dispatch, and
+// forwarding needs the raw bytes.
+func (s *Server) callRoute(h callHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		body, ok := s.readBody(w, r)
+		if !ok {
+			return
+		}
+		if s.Shards == nil {
+			if s.standby(w) {
+				return
+			}
+			h(s.ctrl, body, w, r)
+			return
+		}
+		// Routing only needs the conference ID; the handler's strict decode
+		// still validates the full body once the request lands on its owner.
+		var probe struct {
+			ID uint64 `json:"id"`
+		}
+		if err := json.Unmarshal(body, &probe); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		ctrl, sh, owned := s.Shards.Manager.ControllerFor(probe.ID)
+		w.Header().Set(ShardHeader, strconv.Itoa(sh))
+		if owned {
+			h(ctrl, body, w, r)
+			return
+		}
+		s.Shards.relay(sh, body, w, r)
+	}
+}
+
+// controllers returns every controller this process hosts: the single
+// fleet-wide one, or one per shard.
+func (s *Server) controllers() []*controller.Controller {
+	if s.Shards != nil {
+		return s.Shards.Manager.Controllers()
+	}
+	return []*controller.Controller{s.ctrl}
+}
+
 // StartRequest is the body of POST /v1/call/start.
 type StartRequest struct {
 	ID       uint64 `json:"id"`
@@ -117,12 +179,12 @@ type StartResponse struct {
 	DCName string `json:"dc_name"`
 }
 
-func (s *Server) handleStart(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleStart(ctrl *controller.Controller, body []byte, w http.ResponseWriter, r *http.Request) {
 	var req StartRequest
-	if !s.decode(w, r, &req) {
+	if !s.decodeBytes(w, body, &req) {
 		return
 	}
-	dc, err := s.ctrl.CallStartedWithSeries(r.Context(), req.ID, geo.CountryCode(req.Country), req.SeriesID, s.Now())
+	dc, err := ctrl.CallStartedWithSeries(r.Context(), req.ID, geo.CountryCode(req.Country), req.SeriesID, s.Now())
 	if err != nil {
 		httpError(w, statusFor(err), err)
 		return
@@ -143,9 +205,9 @@ type ConfigResponse struct {
 	Migrated bool   `json:"migrated"`
 }
 
-func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleConfig(ctrl *controller.Controller, body []byte, w http.ResponseWriter, r *http.Request) {
 	var req ConfigRequest
-	if !s.decode(w, r, &req) {
+	if !s.decodeBytes(w, body, &req) {
 		return
 	}
 	cfg, err := model.ParseConfigKey(req.Config)
@@ -153,7 +215,7 @@ func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	dc, migrated, err := s.ctrl.ConfigKnown(r.Context(), req.ID, cfg, s.Now())
+	dc, migrated, err := ctrl.ConfigKnown(r.Context(), req.ID, cfg, s.Now())
 	if err != nil {
 		httpError(w, statusFor(err), err)
 		return
@@ -166,12 +228,12 @@ type EndRequest struct {
 	ID uint64 `json:"id"`
 }
 
-func (s *Server) handleEnd(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleEnd(ctrl *controller.Controller, body []byte, w http.ResponseWriter, r *http.Request) {
 	var req EndRequest
-	if !s.decode(w, r, &req) {
+	if !s.decodeBytes(w, body, &req) {
 		return
 	}
-	if err := s.ctrl.CallEnded(r.Context(), req.ID); err != nil {
+	if err := ctrl.CallEnded(r.Context(), req.ID); err != nil {
 		httpError(w, statusFor(err), err)
 		return
 	}
@@ -188,10 +250,16 @@ func (s *Server) handleDCFail(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	moved, err := s.ctrl.FailDC(r.Context(), req.DC)
-	if err != nil {
-		httpError(w, statusFor(err), err)
-		return
+	// A DC failure is world state, not call state: every controller this
+	// process hosts (one per shard when sharded) drains its own calls.
+	moved := 0
+	for _, c := range s.controllers() {
+		n, err := c.FailDC(r.Context(), req.DC)
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		moved += n
 	}
 	s.reply(w, map[string]any{"failed": req.DC, "drained": moved})
 }
@@ -201,25 +269,28 @@ func (s *Server) handleDCRecover(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	if err := s.ctrl.RecoverDC(req.DC); err != nil {
-		httpError(w, statusFor(err), err)
-		return
+	for _, c := range s.controllers() {
+		if err := c.RecoverDC(req.DC); err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
 	}
 	s.reply(w, map[string]any{"recovered": req.DC})
 }
 
 // standby reports whether this replica must refuse work because another
 // controller holds the leadership lease. When it does, it writes the full
-// 503: a Retry-After (leadership moves within a lease TTL, so 1s is an
-// honest hint), the obs.StandbyHeader so the middleware keeps the refusal
-// out of the availability burn (a correct standby is not an outage), and a
-// JSON body carrying the current leader's ID so clients can re-aim.
+// 503: a Retry-After derived from the lease TTL (leadership settles within
+// one TTL, so that is the honest back-off), the obs.StandbyHeader so the
+// middleware keeps the refusal out of the availability burn (a correct
+// standby is not an outage), and a JSON body carrying the current leader's ID
+// so clients can re-aim.
 func (s *Server) standby(w http.ResponseWriter) bool {
 	if s.Elector == nil || s.Elector.IsLeader() {
 		return false
 	}
 	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("Retry-After", "1")
+	w.Header().Set("Retry-After", retryAfterSecs(s.Elector.TTL()))
 	w.Header().Set(obs.StandbyHeader, "1")
 	w.WriteHeader(http.StatusServiceUnavailable)
 	_ = json.NewEncoder(w).Encode(map[string]any{
@@ -244,7 +315,21 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if s.standby(w) {
 		return
 	}
-	if s.ctrl.Degraded() {
+	// A sharded node is degraded only if a shard it LEADS is journaling;
+	// standby shards journal by design and must not fail readiness — that
+	// would let one dead shard 503 the whole fleet.
+	degraded, depth := false, 0
+	if s.Shards != nil {
+		for _, sh := range s.Shards.Manager.Owned() {
+			if c := s.Shards.Manager.Controller(sh); c.Degraded() {
+				degraded = true
+				depth += c.JournalDepth()
+			}
+		}
+	} else if s.ctrl.Degraded() {
+		degraded, depth = true, s.ctrl.JournalDepth()
+	}
+	if degraded {
 		w.Header().Set("Content-Type", "application/json")
 		// Degraded is a real (if survivable) failure — unlike the standby
 		// 503 it carries no exemption header and burns the availability SLO;
@@ -254,7 +339,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 		out := map[string]any{
 			"ready":         false,
 			"reason":        "store degraded; journaling call-state writes",
-			"journal_depth": s.ctrl.JournalDepth(),
+			"journal_depth": depth,
 		}
 		if s.SLO != nil {
 			out["slo"] = s.SLO.Summary()
@@ -266,14 +351,50 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if s.Elector != nil {
 		out["leader"] = true
 	}
+	if s.Shards != nil {
+		out["owned_shards"] = s.Shards.Manager.Owned()
+	}
 	if s.SLO != nil {
 		out["slo"] = s.SLO.Summary()
 	}
 	s.reply(w, out)
 }
 
+// handleShards serves the routing map: every shard, whether this node leads
+// it, and the best-known leader address otherwise.
+func (s *Server) handleShards(w http.ResponseWriter, _ *http.Request) {
+	m := s.Shards.Manager
+	type shardDTO struct {
+		Shard  int    `json:"shard"`
+		Owned  bool   `json:"owned"`
+		Leader string `json:"leader,omitempty"`
+	}
+	shardMap := make([]shardDTO, m.Ring().Shards())
+	for i := range shardMap {
+		d := shardDTO{Shard: i, Owned: m.Owns(i)}
+		if d.Owned {
+			d.Leader = m.ID()
+		} else {
+			d.Leader = m.OwnerHint(i)
+		}
+		shardMap[i] = d
+	}
+	s.reply(w, map[string]any{
+		"shards": m.Ring().Shards(),
+		"self":   m.ID(),
+		"owned":  m.Owned(),
+		"map":    shardMap,
+	})
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	st := s.ctrl.Stats()
+	ctrls := s.controllers()
+	var st controller.Stats
+	active := 0
+	for _, c := range ctrls {
+		st.Accumulate(c.Stats())
+		active += c.ActiveCalls()
+	}
 	out := map[string]any{
 		"started":                  st.Started,
 		"frozen":                   st.Frozen,
@@ -283,13 +404,18 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"predicted":                st.Predicted,
 		"migration_rate":           st.MigrationRate(),
 		"recurring_migration_rate": st.RecurringMigrationRate(),
-		"active_calls":             s.ctrl.ActiveCalls(),
+		"active_calls":             active,
 		"degraded":                 st.Degraded,
 		"journal_depth":            st.JournalDepth,
 		"replayed":                 st.Replayed,
 		"dropped":                  st.Dropped,
 		"failed_over":              st.FailedOver,
-		"failed_dcs":               s.ctrl.FailedDCs(),
+		"fenced":                   st.Fenced,
+		"failed_dcs":               ctrls[0].FailedDCs(),
+	}
+	if s.Shards != nil {
+		out["shards"] = s.Shards.Manager.Ring().Shards()
+		out["owned_shards"] = s.Shards.Manager.Owned()
 	}
 	if s.KV != nil {
 		out["kv_redials"] = s.KV.Redials()
@@ -317,17 +443,37 @@ func (s *Server) handleWorld(w http.ResponseWriter, _ *http.Request) {
 	s.reply(w, map[string]any{"dcs": out, "countries": len(s.world.Countries()), "links": len(s.world.Links())})
 }
 
-func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+// readBody slurps the (bounded) request body; routing and forwarding need
+// the raw bytes before any handler decodes them.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(v); err != nil {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			httpError(w, http.StatusRequestEntityTooLarge, err)
 		} else {
 			httpError(w, http.StatusBadRequest, err)
 		}
+		return nil, false
+	}
+	return body, true
+}
+
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return false
+	}
+	return s.decodeBytes(w, body, v)
+}
+
+// decodeBytes strictly unmarshals one JSON document from body.
+func (s *Server) decodeBytes(w http.ResponseWriter, body []byte, v any) bool {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		httpError(w, http.StatusBadRequest, err)
 		return false
 	}
 	// Exactly one JSON document per request: trailing garbage is a client

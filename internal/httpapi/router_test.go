@@ -1,0 +1,321 @@
+package httpapi
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"testing"
+	"time"
+
+	"switchboard/internal/controller"
+	"switchboard/internal/geo"
+	"switchboard/internal/kvstore"
+	"switchboard/internal/obs"
+	"switchboard/internal/shard"
+)
+
+// shardNode is one member of an in-process sharded fleet: an HTTP server on a
+// real port whose address doubles as its lease identity, so peers' forwards
+// and redirects actually land here.
+type shardNode struct {
+	addr string
+	mgr  *shard.Manager
+	api  *Server
+}
+
+func startShardStore(t *testing.T) string {
+	t.Helper()
+	srv := kvstore.NewServer()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(l) }()
+	t.Cleanup(func() { _ = srv.Close() })
+	return l.Addr().String()
+}
+
+func startShardNode(t *testing.T, storeAddr string, ring *shard.Ring, prefer []int, peers []string, forward bool) *shardNode {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	world := geo.DefaultWorld()
+	ctrls := make([]*controller.Controller, ring.Shards())
+	for i := range ctrls {
+		kc, err := kvstore.Dial(storeAddr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = kc.Close() })
+		ctrls[i], err = controller.New(controller.Config{
+			World:     world,
+			Store:     kc,
+			KeyPrefix: shard.KeyPrefix(i),
+			Shard:     i,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	mgr, err := shard.NewManager(shard.Config{
+		Ring:        ring,
+		ID:          addr,
+		Controllers: ctrls,
+		ElectorStore: func(i int) (*kvstore.Client, error) {
+			return kvstore.Dial(storeAddr)
+		},
+		Prefer: prefer,
+		TTL:    300 * time.Millisecond,
+		Renew:  75 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		mgr.Stop(ctx)
+		cancel()
+	})
+	s := New(world, nil)
+	s.Shards = &ShardRouter{Manager: mgr, Forward: forward, Peers: peers}
+	hs := &http.Server{Handler: s.Mux()}
+	go func() { _ = hs.Serve(l) }()
+	t.Cleanup(func() { _ = hs.Close() })
+	return &shardNode{addr: addr, mgr: mgr, api: s}
+}
+
+// noRedirect posts without following 307s, so routing hints can be asserted.
+var noRedirect = &http.Client{
+	CheckRedirect: func(*http.Request, []*http.Request) error { return http.ErrUseLastResponse },
+}
+
+func postStart(t *testing.T, addr string, id uint64, hdr map[string]string) *http.Response {
+	t.Helper()
+	body, _ := json.Marshal(map[string]any{"id": id, "country": "JP"})
+	req, err := http.NewRequest(http.MethodPost, "http://"+addr+"/v1/call/start", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := noRedirect.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func awaitSplit(t *testing.T, a, b *shardNode) {
+	t.Helper()
+	deadline := time.Now().Add(8 * time.Second)
+	for !(a.mgr.Owns(0) && b.mgr.Owns(1) &&
+		a.mgr.OwnerHint(1) == b.addr && b.mgr.OwnerHint(0) == a.addr) {
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet never settled: a owns %v, b owns %v", a.mgr.Owned(), b.mgr.Owned())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func confOnShard(ring *shard.Ring, sh int, from uint64) uint64 {
+	for id := from; ; id++ {
+		if ring.Lookup(id) == sh {
+			return id
+		}
+	}
+}
+
+// TestShardRoutingHints: with forwarding off, a request landing on the wrong
+// node answers 307 with the owner's address in Location and
+// ShardLeaderHeader, SLO-exempted, while owned requests serve locally.
+func TestShardRoutingHints(t *testing.T) {
+	store := startShardStore(t)
+	ring, _ := shard.NewRing(2, 16)
+	a := startShardNode(t, store, ring, []int{0}, nil, false)
+	b := startShardNode(t, store, ring, []int{1}, nil, false)
+	a.mgr.Start()
+	b.mgr.Start()
+	awaitSplit(t, a, b)
+
+	// Owned locally: served in place, stamped with its shard.
+	own := confOnShard(ring, 0, 1)
+	resp := postStart(t, a.addr, own, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("owned request: %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(ShardHeader); got != "0" {
+		t.Fatalf("%s = %q, want 0", ShardHeader, got)
+	}
+
+	// Not owned: a 307 routing hint pointing at the owner.
+	other := confOnShard(ring, 1, 1)
+	resp = postStart(t, a.addr, other, nil)
+	if resp.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("non-owned request: %d, want 307", resp.StatusCode)
+	}
+	if got := resp.Header.Get(ShardLeaderHeader); got != b.addr {
+		t.Fatalf("%s = %q, want %q", ShardLeaderHeader, got, b.addr)
+	}
+	if loc := resp.Header.Get("Location"); loc != "http://"+b.addr+"/v1/call/start" {
+		t.Fatalf("Location = %q", loc)
+	}
+	if resp.Header.Get(obs.StandbyHeader) == "" {
+		t.Fatal("routing hint must carry the SLO exemption header")
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("routing hint must carry Retry-After")
+	}
+	// Following the hint succeeds: 307 preserves method and body.
+	resp = postStart(t, b.addr, other, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("request at hinted owner: %d", resp.StatusCode)
+	}
+}
+
+// TestShardForwarding: with forwarding on, the wrong node proxies to the
+// owner and relays its answer — the client sees one 200 regardless of where
+// it aimed.
+func TestShardForwarding(t *testing.T) {
+	store := startShardStore(t)
+	ring, _ := shard.NewRing(2, 16)
+	a := startShardNode(t, store, ring, []int{0}, nil, true)
+	b := startShardNode(t, store, ring, []int{1}, nil, true)
+	a.mgr.Start()
+	b.mgr.Start()
+	awaitSplit(t, a, b)
+
+	other := confOnShard(ring, 1, 1)
+	resp := postStart(t, a.addr, other, nil)
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("forwarded request: %d %s", resp.StatusCode, body)
+	}
+	var out StartResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.DCName == "" {
+		t.Fatal("forwarded response missing placement")
+	}
+	// The owner, not the proxy, registered the call: a duplicate start at the
+	// owner conflicts.
+	resp = postStart(t, b.addr, other, nil)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate at owner after forward: %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestShardForwardHopBound: a request arriving with the hop budget spent is
+// not forwarded again — it degrades to a routing hint, so stale hints
+// fleet-wide cannot loop a request forever.
+func TestShardForwardHopBound(t *testing.T) {
+	store := startShardStore(t)
+	ring, _ := shard.NewRing(2, 16)
+	a := startShardNode(t, store, ring, []int{0}, nil, true)
+	b := startShardNode(t, store, ring, []int{1}, nil, true)
+	a.mgr.Start()
+	b.mgr.Start()
+	awaitSplit(t, a, b)
+
+	other := confOnShard(ring, 1, 1)
+	resp := postStart(t, a.addr, other, map[string]string{
+		HopsHeader: strconv.Itoa(DefaultMaxHops),
+	})
+	if resp.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("hop-capped request: %d, want 307 hint", resp.StatusCode)
+	}
+}
+
+// TestShardLeaderUnknown: a lone node that owns nothing and has no hints or
+// peers answers a routing 503, SLO-exempt, with Retry-After derived from the
+// lease TTL — not a hard failure.
+func TestShardLeaderUnknown(t *testing.T) {
+	store := startShardStore(t)
+	ring, _ := shard.NewRing(2, 16)
+	// Manager never started: owns nothing, knows nobody.
+	n := startShardNode(t, store, ring, nil, nil, false)
+	resp := postStart(t, n.addr, 1, nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("leaderless request: %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get(obs.StandbyHeader) == "" {
+		t.Fatal("routing 503 must be SLO-exempt")
+	}
+	// TTL 300ms rounds up to 1 second.
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Fatalf("Retry-After = %q, want 1", got)
+	}
+}
+
+// TestShardsEndpoint: /v1/shards serves the routing map.
+func TestShardsEndpoint(t *testing.T) {
+	store := startShardStore(t)
+	ring, _ := shard.NewRing(2, 16)
+	a := startShardNode(t, store, ring, []int{0}, nil, false)
+	b := startShardNode(t, store, ring, []int{1}, nil, false)
+	a.mgr.Start()
+	b.mgr.Start()
+	awaitSplit(t, a, b)
+
+	resp, err := http.Get("http://" + a.addr + "/v1/shards")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Shards int    `json:"shards"`
+		Self   string `json:"self"`
+		Owned  []int  `json:"owned"`
+		Map    []struct {
+			Shard  int    `json:"shard"`
+			Owned  bool   `json:"owned"`
+			Leader string `json:"leader"`
+		} `json:"map"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Shards != 2 || out.Self != a.addr {
+		t.Fatalf("shards=%d self=%q", out.Shards, out.Self)
+	}
+	if len(out.Owned) != 1 || out.Owned[0] != 0 {
+		t.Fatalf("owned = %v, want [0]", out.Owned)
+	}
+	for _, m := range out.Map {
+		want := a.addr
+		if m.Shard == 1 {
+			want = b.addr
+		}
+		if m.Leader != want {
+			t.Fatalf("shard %d leader = %q, want %q", m.Shard, m.Leader, want)
+		}
+	}
+}
+
+func TestRetryAfterSecs(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{0, "1"},
+		{200 * time.Millisecond, "1"},
+		{time.Second, "1"},
+		{1200 * time.Millisecond, "2"},
+		{5 * time.Second, "5"},
+	}
+	for _, c := range cases {
+		if got := retryAfterSecs(c.d); got != c.want {
+			t.Errorf("retryAfterSecs(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}

@@ -134,6 +134,16 @@ var ErrBroken = errors.New("kvstore: connection broken")
 // errClosed is returned after Close.
 var errClosed = errors.New("kvstore: client closed")
 
+// ErrExhausted is returned by DialFailover when every address in the
+// failover set refused or timed out — the caller gets one bounded dial pass
+// over the list, not a hang.
+var ErrExhausted = errors.New("kvstore: all addresses unreachable")
+
+// ErrRedirectLoop is returned when a command chases MOVED redirects past the
+// hop cap without landing on a server willing to execute it (e.g. two
+// confused standbys pointing at each other after a botched failover).
+var ErrRedirectLoop = errors.New("kvstore: MOVED redirect loop")
+
 // Protocol sanity caps: frames beyond these are rejected rather than
 // allocated, so a corrupt or hostile peer cannot force huge allocations.
 const (
@@ -162,7 +172,7 @@ func DialFailover(addrs []string, opts Options) (*Client, error) {
 	c := &Client{addrs: append([]string(nil), addrs...), opts: opts.withDefaults()}
 	c.rng = uint64(c.opts.Seed)
 	if err := c.connect(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrExhausted, err)
 	}
 	return c, nil
 }
@@ -374,14 +384,22 @@ func (c *Client) DoContext(ctx context.Context, args ...string) (interface{}, er
 			// standby), so following it is safe even for non-idempotent
 			// commands and does not consume a retry. Hops are capped so two
 			// confused servers pointing at each other cannot loop us.
-			if addr, ok := MovedAddr(err); ok && movedHops < maxMovedHops {
-				movedHops++
-				attempt--
-				c.redirect(addr)
-				lastErr = err
-				sp.SetAttr("moved", addr)
+			if addr, ok := MovedAddr(err); ok {
+				if movedHops < maxMovedHops {
+					movedHops++
+					attempt--
+					c.redirect(addr)
+					lastErr = err
+					sp.SetAttr("moved", addr)
+					sp.End()
+					continue
+				}
+				// Hop cap hit: the redirect chain is a loop, not a path.
+				// Surface a typed error instead of chasing it forever.
+				loopErr := fmt.Errorf("%w: %d hops ending at %q", ErrRedirectLoop, movedHops, addr)
+				sp.SetError(loopErr)
 				sp.End()
-				continue
+				return nil, loopErr
 			}
 			if err == nil || errors.Is(err, ErrNil) || IsServerError(err) {
 				c.lastRTT = time.Since(start)

@@ -1,6 +1,7 @@
 package kvstore
 
 import (
+	"errors"
 	"testing"
 	"time"
 )
@@ -133,11 +134,8 @@ func TestMovedRedirectLoopTerminates(t *testing.T) {
 	})
 	c := dialT(t, addr)
 	err := c.Set("k", "v")
-	if err == nil || !IsServerError(err) {
-		t.Fatalf("redirect loop: got %v, want the MOVED server error surfaced", err)
-	}
-	if _, ok := MovedAddr(err); !ok {
-		t.Fatalf("surfaced error is not MOVED: %v", err)
+	if !errors.Is(err, ErrRedirectLoop) {
+		t.Fatalf("redirect loop: got %v, want ErrRedirectLoop", err)
 	}
 	if got := c.Redirects(); got != maxMovedHops {
 		t.Fatalf("redirects = %d, want the cap %d", got, maxMovedHops)

@@ -257,6 +257,82 @@ func (e *elector) wonLocked(epoch int64) {
 	})
 }
 
+func TestLockDisciplineGuardedShardMap(t *testing.T) {
+	// The shape of shard.Manager: an ownership map guarded by a mutex,
+	// flipped by per-shard election callbacks and timer bodies, read by
+	// routing accessors that must copy under the lock. Timer/goroutine
+	// bodies start unlocked even when armed under the lock, and locked
+	// helpers declare their contract with //sblint:holds.
+	runFixture(t, LockDisciplineAnalyzer(), map[string]string{
+		"internal/shard/fixture.go": `package shard
+
+import (
+	"sync"
+	"time"
+)
+
+type manager struct {
+	mu      sync.Mutex
+	owned   map[int]bool // guarded by mu
+	stopped bool         // guarded by mu
+}
+
+func (m *manager) lead(sh int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stopped {
+		return
+	}
+	m.owned[sh] = true // held: fine
+}
+
+func (m *manager) Owns(sh int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.owned[sh] // deferred unlock holds to the end
+}
+
+func (m *manager) Owned() []int {
+	var out []int
+	for sh := range m.owned { // want "without holding mu"
+		out = append(out, sh)
+	}
+	return out
+}
+
+func (m *manager) takeoverLater(sh int, after time.Duration) {
+	time.AfterFunc(after, func() {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if m.stopped {
+			return
+		}
+		m.owned[sh] = true // timer body re-locks: fine
+	})
+}
+
+func (m *manager) handoff(sh int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	go func() {
+		delete(m.owned, sh) // want "without holding mu"
+	}()
+}
+
+//sblint:holds mu
+func (m *manager) dropLocked(sh int) {
+	delete(m.owned, sh) // caller holds mu by contract
+}
+
+func (m *manager) lose(sh int) {
+	m.mu.Lock()
+	m.dropLocked(sh)
+	m.mu.Unlock()
+}
+`,
+	})
+}
+
 func TestFloatCompareAnalyzer(t *testing.T) {
 	runFixture(t, FloatCompareAnalyzer(), map[string]string{
 		"internal/lp/fixture.go": `package lp

@@ -38,6 +38,9 @@ type Decision struct {
 	// Reason explains the choice: "first-joiner", "predicted", "plan",
 	// "unplanned-majority", "reroute-failed-dc", "drain", "keep".
 	Reason string `json:"reason"`
+	// Shard is the control-plane shard that took the decision (-1 when the
+	// controller is unsharded).
+	Shard int `json:"shard"`
 	// Degraded and JournalDepth snapshot the store path at decision time.
 	Degraded     bool `json:"degraded,omitempty"`
 	JournalDepth int  `json:"journal_depth,omitempty"`

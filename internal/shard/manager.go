@@ -1,0 +1,318 @@
+package shard
+
+import (
+	"context"
+	"log/slog"
+	"sort"
+	"sync"
+	"time"
+
+	"switchboard/internal/controller"
+	"switchboard/internal/kvstore"
+	"switchboard/internal/obs/span"
+)
+
+// DefaultTakeoverDelay multiplies the lease TTL into the head start a shard's
+// preferred owner gets before peers begin racing its lease (see
+// Config.Prefer).
+const DefaultTakeoverDelay = 1
+
+// Config parameterizes a Manager.
+type Config struct {
+	// Ring maps conference IDs onto shards. Required; every node in the
+	// fleet must use an identical ring.
+	Ring *Ring
+	// ID is this process's lease owner identity. Use the node's advertised
+	// HTTP address: peers surface it as the redirect/forward target for
+	// shards this node leads. Required.
+	ID string
+	// Controllers holds one controller per shard, each persisting under
+	// KeyPrefix(i) with Config.Shard = i. Required, len == Ring.Shards().
+	Controllers []*controller.Controller
+	// ElectorStore dials a dedicated store client for shard i's elector.
+	// Elections must not share the data path's clients: probes have to go
+	// through when a shard's write path is saturated. Required.
+	ElectorStore func(shard int) (*kvstore.Client, error)
+	// Prefer lists the shards this node is the preferred owner of: their
+	// electors race immediately at Start, while every other shard's elector
+	// waits TakeoverDelay first. A fleet whose preferences partition the
+	// shards gets a deterministic steady-state ownership map; failover is
+	// unaffected (after the delay every elector races every renew interval).
+	Prefer []int
+	// TTL and Renew parameterize each shard's lease (see
+	// controller.ElectorConfig); zero means the controller defaults.
+	TTL, Renew time.Duration
+	// TakeoverDelay is how long a non-preferred elector waits before its
+	// first attempt; zero means one TTL.
+	TakeoverDelay time.Duration
+	// Recover, when true, has a fresh shard leader rebuild in-flight call
+	// state from the store (controller.RecoverCalls) after draining its
+	// journal, so calls started under the previous leader keep their freeze
+	// and end transitions.
+	Recover bool
+	Metrics *Metrics
+	Logger  *slog.Logger
+	Tracer  *span.Tracer
+}
+
+// Manager runs one leadership race per shard and tracks which shards this
+// process currently leads. Safe for concurrent use.
+type Manager struct {
+	cfg      Config
+	electors []*controller.Elector
+	stores   []*kvstore.Client
+
+	mu      sync.Mutex
+	owned   map[int]bool     // guarded by mu; shards this process leads
+	started bool             // guarded by mu
+	stopped bool             // guarded by mu
+	timers  []*time.Timer    // guarded by mu; pending delayed elector starts
+	running map[int]struct{} // guarded by mu; electors whose Run loop is live
+}
+
+// NewManager validates cfg and builds the per-shard electors (none running
+// yet; call Start).
+func NewManager(cfg Config) (*Manager, error) {
+	if cfg.Ring == nil {
+		return nil, errConfig("Ring is required")
+	}
+	if cfg.ID == "" {
+		return nil, errConfig("ID is required")
+	}
+	if len(cfg.Controllers) != cfg.Ring.Shards() {
+		return nil, errConfig("need exactly one controller per shard")
+	}
+	if cfg.ElectorStore == nil {
+		return nil, errConfig("ElectorStore is required")
+	}
+	if cfg.TTL <= 0 {
+		cfg.TTL = controller.DefaultLeaseTTL
+	}
+	if cfg.TakeoverDelay <= 0 {
+		cfg.TakeoverDelay = DefaultTakeoverDelay * cfg.TTL
+	}
+	m := &Manager{
+		cfg:     cfg,
+		owned:   make(map[int]bool),
+		running: make(map[int]struct{}),
+	}
+	for i := 0; i < cfg.Ring.Shards(); i++ {
+		store, err := cfg.ElectorStore(i)
+		if err != nil {
+			for _, s := range m.stores {
+				_ = s.Close()
+			}
+			return nil, err
+		}
+		m.stores = append(m.stores, store)
+		shard := i
+		m.electors = append(m.electors, controller.NewElector(controller.ElectorConfig{
+			Store:   store,
+			Key:     LeaseKey(shard),
+			ID:      cfg.ID,
+			TTL:     cfg.TTL,
+			Renew:   cfg.Renew,
+			OnLead:  func(epoch int64) { m.lead(shard, epoch) },
+			OnLose:  func() { m.lose(shard) },
+			Metrics: cfg.Metrics.electorMetrics(shard),
+			Logger:  cfg.Logger,
+			Tracer:  cfg.Tracer,
+		}))
+	}
+	return m, nil
+}
+
+type errConfig string
+
+func (e errConfig) Error() string { return "shard: " + string(e) }
+
+// Start launches the leadership races: preferred shards immediately, the rest
+// after TakeoverDelay (so a booting fleet settles onto its preference map
+// instead of whoever's scheduler won the first millisecond).
+func (m *Manager) Start() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.started || m.stopped {
+		return
+	}
+	m.started = true
+	preferred := make(map[int]bool, len(m.cfg.Prefer))
+	for _, s := range m.cfg.Prefer {
+		if s >= 0 && s < len(m.electors) {
+			preferred[s] = true
+		}
+	}
+	for i := range m.electors {
+		if preferred[i] {
+			m.runElectorLocked(i)
+			continue
+		}
+		shard := i
+		m.timers = append(m.timers, time.AfterFunc(m.cfg.TakeoverDelay, func() {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			if m.stopped {
+				return
+			}
+			m.runElectorLocked(shard)
+		}))
+	}
+}
+
+// runElectorLocked launches shard i's lease loop once. Callers hold mu.
+//
+//sblint:holds mu
+func (m *Manager) runElectorLocked(i int) {
+	if _, live := m.running[i]; live {
+		return
+	}
+	m.running[i] = struct{}{}
+	go m.electors[i].Run()
+}
+
+// lead is the per-shard OnLead hook: arm the controller's fence for this
+// shard's lease epoch, drain anything it journaled while standing by, and
+// optionally rebuild in-flight call state the previous leader persisted.
+func (m *Manager) lead(shard int, epoch int64) {
+	ctrl := m.cfg.Controllers[shard]
+	ctrl.SetLease(LeaseKey(shard), epoch)
+	ctx := context.Background()
+	if _, err := ctrl.ReplayJournal(ctx); err != nil && m.cfg.Logger != nil {
+		m.cfg.Logger.Warn("shard journal replay on takeover", "shard", shard, "err", err)
+	}
+	if m.cfg.Recover {
+		if n, err := ctrl.RecoverCalls(ctx); err != nil {
+			if m.cfg.Logger != nil {
+				m.cfg.Logger.Warn("shard call-state recovery failed", "shard", shard, "err", err)
+			}
+		} else if n > 0 && m.cfg.Logger != nil {
+			m.cfg.Logger.Info("shard call state recovered", "shard", shard, "calls", n)
+		}
+	}
+	m.mu.Lock()
+	m.owned[shard] = true
+	n := len(m.owned)
+	m.mu.Unlock()
+	m.cfg.Metrics.ownedGauge().Set(float64(n))
+}
+
+// lose is the per-shard OnLose hook. The controller's fence is deliberately
+// LEFT ARMED at the deposed epoch: anything still journaled on this shard
+// belongs to the lost leadership, and replaying it under the old epoch makes
+// the store reject it (fenced, counted in Stats) instead of landing it over
+// the successor's state. Re-winning the shard re-arms the fence at the new
+// epoch via lead.
+func (m *Manager) lose(shard int) {
+	m.mu.Lock()
+	delete(m.owned, shard)
+	n := len(m.owned)
+	m.mu.Unlock()
+	m.cfg.Metrics.ownedGauge().Set(float64(n))
+}
+
+// Ring returns the manager's ring.
+func (m *Manager) Ring() *Ring { return m.cfg.Ring }
+
+// ID returns this process's lease owner identity.
+func (m *Manager) ID() string { return m.cfg.ID }
+
+// TTL returns the shard lease TTL (the honest Retry-After for a routing 503:
+// ownership moves within one TTL).
+func (m *Manager) TTL() time.Duration { return m.cfg.TTL }
+
+// Owns reports whether this process currently leads the shard.
+func (m *Manager) Owns(shard int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.owned[shard]
+}
+
+// Owned returns the shards this process currently leads, sorted.
+func (m *Manager) Owned() []int {
+	m.mu.Lock()
+	out := make([]int, 0, len(m.owned))
+	for s := range m.owned {
+		out = append(out, s)
+	}
+	m.mu.Unlock()
+	sort.Ints(out)
+	return out
+}
+
+// Controller returns shard i's controller (led or not).
+func (m *Manager) Controller(shard int) *controller.Controller {
+	return m.cfg.Controllers[shard]
+}
+
+// Controllers returns every shard controller, indexed by shard.
+func (m *Manager) Controllers() []*controller.Controller {
+	return m.cfg.Controllers
+}
+
+// ControllerFor resolves a conference ID to its shard and reports whether
+// this process leads it; ctrl is the local controller for that shard either
+// way (callers must not route mutations through it unless owned).
+func (m *Manager) ControllerFor(conf uint64) (ctrl *controller.Controller, shard int, owned bool) {
+	shard = m.cfg.Ring.Lookup(conf)
+	return m.cfg.Controllers[shard], shard, m.Owns(shard)
+}
+
+// OwnerHint returns the last observed leader of a shard this process does not
+// lead ("" when unknown or led locally) — the redirect target for the HTTP
+// router.
+func (m *Manager) OwnerHint(shard int) string {
+	if shard < 0 || shard >= len(m.electors) {
+		return ""
+	}
+	return m.electors[shard].LeaderHint()
+}
+
+// Stop performs an orderly shutdown with live shard handoff: for every shard
+// this process leads it first drains the controller's journal into the store
+// (the fence is still armed, so the writes land under this leadership's
+// epoch), then resigns the lease so a successor takes over within a renew
+// interval instead of waiting out the TTL; the successor's OnLead replays its
+// own journal and (with Recover) rebuilds call state from the store. Elector
+// store clients are closed on the way out. ctx bounds the journal drains.
+func (m *Manager) Stop(ctx context.Context) {
+	m.mu.Lock()
+	if m.stopped {
+		m.mu.Unlock()
+		return
+	}
+	m.stopped = true
+	for _, t := range m.timers {
+		t.Stop()
+	}
+	ownedNow := make([]int, 0, len(m.owned))
+	for s := range m.owned {
+		ownedNow = append(ownedNow, s)
+	}
+	running := make([]int, 0, len(m.running))
+	for i := range m.running {
+		running = append(running, i)
+	}
+	m.mu.Unlock()
+	sort.Ints(ownedNow)
+
+	// Drain before resigning: an owned shard's journal must land under the
+	// epoch this node still holds, or the successor can never see the writes.
+	for _, s := range ownedNow {
+		if _, err := m.cfg.Controllers[s].ReplayJournal(ctx); err != nil && m.cfg.Logger != nil {
+			m.cfg.Logger.Warn("shard handoff drain failed; successor will fence stragglers",
+				"shard", s, "err", err)
+		}
+		if m.cfg.Metrics != nil {
+			m.cfg.Metrics.Handoffs.Inc()
+		}
+	}
+	for _, i := range running {
+		m.electors[i].Stop()
+	}
+	for _, i := range running {
+		<-m.electors[i].Done()
+	}
+	for _, s := range m.stores {
+		_ = s.Close()
+	}
+}

@@ -1,0 +1,72 @@
+package shard
+
+import (
+	"strconv"
+
+	"switchboard/internal/controller"
+	"switchboard/internal/obs"
+)
+
+// Metrics is the sharded-control-plane telemetry bundle: per-shard leadership
+// gauges plus fleet-level counters aggregated across every shard's elector.
+// Nil-safe like the rest of the obs sinks.
+type Metrics struct {
+	// Leader and Epoch are per-shard: sb_shard_leader{shard="2"} is 1 while
+	// this process leads shard 2, and sb_shard_epoch carries that
+	// leadership's fencing epoch.
+	Leader *obs.GaugeVec
+	Epoch  *obs.GaugeVec
+	// Owned is how many shards this process currently leads.
+	Owned *obs.Gauge
+	// Renewals/Losses/Takeovers aggregate the per-shard elector counters.
+	Renewals  *obs.Counter
+	Losses    *obs.Counter
+	Takeovers *obs.Counter
+	// Handoffs counts orderly shard handoffs (drain + resign) on Stop.
+	Handoffs *obs.Counter
+}
+
+// NewMetrics registers the shard metric families on r (nil r yields a usable
+// all-nil Metrics).
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		Leader: r.GaugeVec("sb_shard_leader",
+			"1 while this process holds the shard's leadership lease.", "shard"),
+		Epoch: r.GaugeVec("sb_shard_epoch",
+			"Lease epoch of the shard leadership (0 when not leading).", "shard"),
+		Owned: r.Gauge("sb_shard_owned",
+			"Shards this process currently leads."),
+		Renewals: r.Counter("sb_shard_lease_renewals_total",
+			"Successful shard-lease acquisitions and renewals, all shards."),
+		Losses: r.Counter("sb_shard_lease_losses_total",
+			"Shard leadership losses, all shards."),
+		Takeovers: r.Counter("sb_shard_lease_takeovers_total",
+			"Shard leaderships acquired over a lapsed lease, all shards."),
+		Handoffs: r.Counter("sb_shard_handoffs_total",
+			"Orderly shard handoffs (journal drained, lease resigned)."),
+	}
+}
+
+// ownedGauge dodges nil-Metrics checks at the Manager's lead/lose sites.
+func (m *Metrics) ownedGauge() *obs.Gauge {
+	if m == nil {
+		return nil
+	}
+	return m.Owned
+}
+
+// electorMetrics adapts the bundle into the per-shard view one
+// controller.Elector updates: its own leader/epoch gauges, shared counters.
+func (m *Metrics) electorMetrics(shard int) *controller.ElectorMetrics {
+	if m == nil {
+		return nil
+	}
+	label := strconv.Itoa(shard)
+	return &controller.ElectorMetrics{
+		Leader:    m.Leader.With(label),
+		Epoch:     m.Epoch.With(label),
+		Renewals:  m.Renewals,
+		Losses:    m.Losses,
+		Takeovers: m.Takeovers,
+	}
+}

@@ -1,0 +1,95 @@
+package shard
+
+import "testing"
+
+func TestNewRingValidates(t *testing.T) {
+	if _, err := NewRing(0, 8); err == nil {
+		t.Fatal("NewRing(0) succeeded")
+	}
+	if _, err := NewRing(-3, 8); err == nil {
+		t.Fatal("NewRing(-3) succeeded")
+	}
+	r, err := NewRing(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.points) != 4*DefaultVirtualNodes {
+		t.Fatalf("points = %d, want %d", len(r.points), 4*DefaultVirtualNodes)
+	}
+}
+
+// TestRingDeterministic pins the coordination-free agreement property: two
+// rings built from the same (shards, vnodes) pair map every conference ID
+// identically, because routing correctness across a fleet depends on it.
+func TestRingDeterministic(t *testing.T) {
+	a, err := NewRing(5, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing(5, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := uint64(0); id < 10000; id++ {
+		if ga, gb := a.Lookup(id), b.Lookup(id); ga != gb {
+			t.Fatalf("ring disagreement for conf %d: %d vs %d", id, ga, gb)
+		}
+	}
+}
+
+// TestRingLookupInRange covers sequential and sparse ID patterns, including
+// the wrap past the highest ring point.
+func TestRingLookupInRange(t *testing.T) {
+	r, err := NewRing(3, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := uint64(0); id < 50000; id++ {
+		if sh := r.Lookup(id); sh < 0 || sh >= 3 {
+			t.Fatalf("Lookup(%d) = %d, out of range", id, sh)
+		}
+	}
+	for _, id := range []uint64{0, 1, 1 << 32, 1<<64 - 1, 0xdeadbeef} {
+		if sh := r.Lookup(id); sh < 0 || sh >= 3 {
+			t.Fatalf("Lookup(%#x) = %d, out of range", id, sh)
+		}
+	}
+}
+
+// TestRingBalance: with the default virtual-node count no shard should be
+// starved or hot beyond a loose bound — consistent hashing with 64 vnodes
+// keeps the worst shard within a few percent of fair share, and this guards
+// against a regression to e.g. a broken mixer that lands everything on one
+// shard.
+func TestRingBalance(t *testing.T) {
+	const shards, ids = 4, 100000
+	r, err := NewRing(shards, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, shards)
+	for id := uint64(0); id < ids; id++ {
+		counts[r.Lookup(id)]++
+	}
+	fair := ids / shards
+	for s, n := range counts {
+		if n < fair/2 || n > fair*2 {
+			t.Fatalf("shard %d holds %d of %d ids (fair %d): distribution broken %v",
+				s, n, ids, fair, counts)
+		}
+	}
+}
+
+func TestLeaseAndPrefixKeys(t *testing.T) {
+	if got := LeaseKey(2); got != "shard/2/leader" {
+		t.Fatalf("LeaseKey(2) = %q", got)
+	}
+	if got := KeyPrefix(7); got != "shard/7/" {
+		t.Fatalf("KeyPrefix(7) = %q", got)
+	}
+	// Lease keys must never collide with call-state keys under the prefix:
+	// RecoverCalls skips non-numeric suffixes, so "leader" must not parse.
+	if LeaseKey(1) == KeyPrefix(1)+"call:1" {
+		t.Fatal("lease key collides with call-state namespace")
+	}
+}
