@@ -2,7 +2,7 @@
 # (see README.md, "Developing").
 GO ?= go
 
-.PHONY: check check-race build vet fmt lint test race bench bench-core clean
+.PHONY: check check-race build vet fmt lint lint-json lint-fixtures test race bench bench-core clean
 
 check: build vet fmt lint test
 
@@ -19,10 +19,23 @@ fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needs running on:"; echo "$$out"; exit 1; fi
 
-# Project-specific static analysis (determinism, lock-discipline,
-# float-compare, error-sink); see DESIGN.md "Static analysis".
+# Project-specific static analysis: the four intra-procedural v1 analyzers
+# (determinism, lock-discipline, float-compare, error-sink) plus the four
+# interprocedural v2 analyzers (hotpathalloc, fenceflow, ctxflow,
+# atomicdiscipline); see DESIGN.md "Static analysis". The committed baseline
+# is empty — the module is clean and any new finding fails the gate.
 lint:
-	$(GO) run ./cmd/sblint ./...
+	$(GO) run ./cmd/sblint -baseline .sblint-baseline ./...
+
+# Same gate, rendered as a JSON findings artifact for CI upload. Exit status
+# is preserved: the artifact shows what failed.
+lint-json:
+	$(GO) run ./cmd/sblint -baseline .sblint-baseline -json ./... > sblint-findings.json; \
+		status=$$?; cat sblint-findings.json; exit $$status
+
+# The lint suite's own fixture tests (analyzer regression harness).
+lint-fixtures:
+	$(GO) test -race ./internal/lint/ ./cmd/sblint/...
 
 test:
 	$(GO) test ./...

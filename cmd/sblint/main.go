@@ -3,17 +3,27 @@
 //
 //	file:line:col: [analyzer] message
 //
+// with paths relative to the module root, sorted by (file, line, col,
+// analyzer, message) so output is byte-stable across runs and machines.
 // It exits 0 when clean, 1 when there are findings, and 2 on load errors.
 // `make check` runs it as part of the tier-1 gate; see DESIGN.md ("Static
-// analysis") for the analyzer contracts, the //sblint:allow escape hatch,
-// and the "// guarded by <mu>" annotation convention.
+// analysis") for the analyzer contracts, the call-graph model behind the
+// interprocedural analyzers, and the annotation vocabulary
+// (//sblint:allow, //sblint:hotpath, //sblint:allowalloc, ...).
 //
 // Usage:
 //
-//	sblint [-v] [packages]
+//	sblint [-v] [-json] [-baseline file] [-write-baseline file] [packages]
 //
 // where packages are module-relative patterns like ./... (the default),
 // ./internal/... or ./internal/lp.
+//
+//	-json           emit findings as a JSON array instead of text
+//	-baseline file  suppress findings listed in file; only new findings
+//	                fail (the committed baseline is empty: the repo is
+//	                clean and stays clean)
+//	-write-baseline file
+//	                write the current findings to file and exit 0
 package main
 
 import (
@@ -28,14 +38,22 @@ import (
 
 func main() {
 	verbose := flag.Bool("v", false, "print analyzer names and type-check warnings")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	baselinePath := flag.String("baseline", "", "suppress findings listed in this baseline file")
+	writeBaseline := flag.String("write-baseline", "", "write current findings to this baseline file and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: sblint [-v] [packages]\n\nanalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: sblint [-v] [-json] [-baseline file] [-write-baseline file] [packages]\n\nanalyzers:\n")
 		for _, a := range lint.Analyzers() {
 			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, a.Doc)
 		}
 	}
 	flag.Parse()
 
+	root, _, err := lint.Module(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sblint:", err)
+		os.Exit(2)
+	}
 	pkgs, err := lint.Load(".")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sblint:", err)
@@ -54,17 +72,50 @@ func main() {
 		os.Exit(2)
 	}
 	findings := lint.Run(selected, lint.Analyzers())
-	wd, _ := os.Getwd()
-	for _, f := range findings {
-		if wd != "" {
-			if rel, err := filepath.Rel(wd, f.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-				f.Pos.Filename = rel
-			}
+	// Module-relative paths: stable across checkouts, so they are what the
+	// baseline stores and what CI diffs.
+	for i := range findings {
+		if rel, err := filepath.Rel(root, findings[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			findings[i].Pos.Filename = filepath.ToSlash(rel)
 		}
-		fmt.Println(f)
+	}
+
+	if *writeBaseline != "" {
+		if err := os.WriteFile(*writeBaseline, lint.FormatBaseline(findings), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "sblint:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "sblint: wrote %d finding(s) to %s\n", len(findings), *writeBaseline)
+		return
+	}
+
+	var suppressed []lint.Finding
+	if *baselinePath != "" {
+		base, err := lint.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sblint:", err)
+			os.Exit(2)
+		}
+		findings, suppressed = base.Filter(findings)
+	}
+
+	if *jsonOut {
+		data, err := lint.MarshalFindings(findings)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sblint:", err)
+			os.Exit(2)
+		}
+		fmt.Println(string(data))
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(suppressed) > 0 {
+		fmt.Fprintf(os.Stderr, "sblint: %d baseline-suppressed finding(s)\n", len(suppressed))
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "sblint: %d finding(s)\n", len(findings))
+		fmt.Fprintf(os.Stderr, "sblint: %d new finding(s)\n", len(findings))
 		os.Exit(1)
 	}
 }

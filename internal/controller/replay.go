@@ -210,7 +210,7 @@ func BenchThroughput(addr string, workers int, events []Event, targetRate float6
 				case EventFreeze:
 					err = c.HSet(key, "config", e.Config.Key())
 				case EventEnd:
-					_, err = c.Do("DEL", key)
+					err = c.Del(key)
 				}
 				if err != nil {
 					errCh <- err

@@ -126,7 +126,10 @@ type pathKey struct {
 }
 
 // bannedKey canonicalizes a banned-link set for cache keys. Singletons and
-// the empty set are the overwhelmingly common cases.
+// the empty set are the overwhelmingly common cases; the multi-ban encoding
+// below only runs for link-failure what-if queries.
+//
+//sblint:allowalloc(cache-key encoding; hot lookups pass empty or single-link sets, which return before any allocation)
 func bannedKey(banned []int) string {
 	switch len(banned) {
 	case 0:
@@ -287,6 +290,8 @@ func (w *World) NearestDC(code CountryCode, sameRegionOnly bool) int {
 }
 
 // DCsByLatency returns all DC IDs sorted by ascending latency to the country.
+//
+//sblint:allowalloc(reroute-only: called when a DC fails, never on per-call admission)
 func (w *World) DCsByLatency(code CountryCode) []int {
 	ids := make([]int, len(w.dcs))
 	for i := range ids {
@@ -345,7 +350,7 @@ func singleBan(banned int) []int {
 	if banned < 0 {
 		return nil
 	}
-	return []int{banned}
+	return []int{banned} //sblint:allowalloc(link-failure queries only; the hot path passes -1 and gets nil)
 }
 
 // Path returns the link IDs on the WAN route between the DC and the country
@@ -378,6 +383,8 @@ func (w *World) PathAvoidingSet(dc int, code CountryCode, banned []int) []int {
 // shortestPath runs Dijkstra between country indices, skipping the banned
 // links, caching results. It returns the link-ID path and its total
 // distance.
+//
+//sblint:allowalloc(Dijkstra scratch on the cache-miss path only; pathsOK serves steady-state lookups allocation-free)
 func (w *World) shortestPath(from, to int, banned []int) ([]int, float64) {
 	key := pathKey{from, to, bannedKey(banned)}
 	w.mu.Lock()
@@ -493,7 +500,7 @@ type heapItem struct {
 func (h *distHeap) Len() int { return len(h.items) }
 
 func (h *distHeap) push(it heapItem) {
-	h.items = append(h.items, it)
+	h.items = append(h.items, it) //sblint:allowalloc(heap growth happens only on the Dijkstra cache-miss path)
 	i := len(h.items) - 1
 	for i > 0 {
 		parent := (i - 1) / 2

@@ -122,6 +122,12 @@ type Client struct {
 	// lastRTT is the duration of the most recent round trip, exposed so
 	// the controller benchmark can report write latencies (§6.6).
 	lastRTT time.Duration
+
+	// scratch backs header encoding in writeCommand/writeBulk so framing a
+	// command never heap-allocates (the client is single-goroutine, so one
+	// buffer suffices). The front half renders integer arguments, the back
+	// half renders length headers — writeInt uses both at once.
+	scratch [64]byte
 }
 
 // ErrNil is returned by Get/HGet when the key or field does not exist.
@@ -247,13 +253,10 @@ func (c *Client) Redirects() int64 { return c.redirects.Load() }
 // Idempotent reports whether cmd can be retried after an ambiguous
 // transport failure (the in-flight command may or may not have executed
 // server-side). Counter mutations are the only non-idempotent commands in
-// the supported subset.
+// the supported subset. EqualFold keeps the check allocation-free — this
+// runs on every command the client frames.
 func Idempotent(cmd string) bool {
-	switch strings.ToUpper(cmd) {
-	case "INCR", "INCRBY":
-		return false
-	}
-	return true
+	return !strings.EqualFold(cmd, "INCR") && !strings.EqualFold(cmd, "INCRBY")
 }
 
 // poison marks the connection unusable after a transport error. The stream
@@ -261,7 +264,7 @@ func Idempotent(cmd string) bool {
 // closed rather than resynchronized.
 func (c *Client) poison(err error) {
 	if c.conn != nil {
-		_ = c.conn.Close()
+		_ = c.conn.Close() //sblint:allowalloc(transport-failure path; the connection is already dead)
 		c.conn = nil
 	}
 	c.broken = err
@@ -290,13 +293,13 @@ func (c *Client) ensureConn(force bool) error {
 		return nil
 	}
 	if !force && time.Now().Before(c.nextRedial) {
-		return fmt.Errorf("%w: %v", ErrBroken, c.broken)
+		return fmt.Errorf("%w: %v", ErrBroken, c.broken) //sblint:allowalloc(fail-fast error path; connection is down)
 	}
 	if err := c.connect(); err != nil {
 		c.failures++
 		c.nextRedial = time.Now().Add(c.backoff(c.failures - 1))
 		c.broken = err
-		return fmt.Errorf("%w: redial: %v", ErrBroken, err)
+		return fmt.Errorf("%w: redial: %v", ErrBroken, err) //sblint:allowalloc(redial-failure error path)
 	}
 	c.redials.Add(1)
 	c.opts.Metrics.redialed()
@@ -325,7 +328,7 @@ func (c *Client) backoff(n int) time.Duration {
 // can attribute the command to the originating trace.
 func (c *Client) doOnce(tid string, args []string) (interface{}, error) {
 	if c.opts.IOTimeout > 0 {
-		_ = c.conn.SetDeadline(time.Now().Add(c.opts.IOTimeout))
+		_ = c.conn.SetDeadline(time.Now().Add(c.opts.IOTimeout)) //sblint:allowalloc(net.Conn deadline call; dynamic dispatch only, no data-dependent allocation)
 	}
 	if err := c.writeCommand(tid, args); err != nil {
 		return nil, err
@@ -352,7 +355,7 @@ func (c *Client) Do(args ...string) (interface{}, error) {
 // remain Options.IOTimeout's job.
 func (c *Client) DoContext(ctx context.Context, args ...string) (interface{}, error) {
 	if len(args) == 0 {
-		return nil, errors.New("kvstore: empty command")
+		return nil, errKvEmptyCommand
 	}
 	parent := span.FromContext(ctx)
 	var tid string
@@ -366,7 +369,7 @@ func (c *Client) DoContext(ctx context.Context, args ...string) (interface{}, er
 	for attempt := 0; ; attempt++ {
 		var sp *span.Span
 		if parent != nil {
-			sp = parent.NewChild("kv." + strings.ToUpper(args[0]))
+			sp = parent.NewChild("kv." + strings.ToUpper(args[0])) //sblint:allowalloc(tracing branch; parent is nil unless the caller carries a span)
 			if attempt > 0 {
 				sp.SetAttr("retry", "true")
 			}
@@ -396,7 +399,7 @@ func (c *Client) DoContext(ctx context.Context, args ...string) (interface{}, er
 				}
 				// Hop cap hit: the redirect chain is a loop, not a path.
 				// Surface a typed error instead of chasing it forever.
-				loopErr := fmt.Errorf("%w: %d hops ending at %q", ErrRedirectLoop, movedHops, addr)
+				loopErr := fmt.Errorf("%w: %d hops ending at %q", ErrRedirectLoop, movedHops, addr) //sblint:allowalloc(redirect-loop error path)
 				sp.SetError(loopErr)
 				sp.End()
 				return nil, loopErr
@@ -557,10 +560,10 @@ func IsReplWaitError(err error) bool {
 // new) and drops the current connection so the next attempt dials there.
 func (c *Client) redirect(addr string) {
 	if c.conn != nil {
-		_ = c.conn.Close()
+		_ = c.conn.Close() //sblint:allowalloc(failover path; a MOVED redirect already cost a round trip)
 		c.conn = nil
 	}
-	c.broken = fmt.Errorf("kvstore: moved to %s", addr)
+	c.broken = fmt.Errorf("kvstore: moved to %s", addr) //sblint:allowalloc(failover path; records why the connection moved)
 	found := false
 	for i, a := range c.addrs {
 		if a == addr {
@@ -570,7 +573,7 @@ func (c *Client) redirect(addr string) {
 		}
 	}
 	if !found {
-		c.addrs = append(c.addrs, addr)
+		c.addrs = append(c.addrs, addr) //sblint:allowalloc(failover path; the address set grows once per new peer)
 		c.cur = len(c.addrs) - 1
 	}
 	c.nextRedial = time.Now()
@@ -642,12 +645,12 @@ func (c *Client) Ping() error {
 
 // PingContext round-trips a PING under a context (see DoContext).
 func (c *Client) PingContext(ctx context.Context) error {
-	r, err := c.DoContext(ctx, "PING")
+	r, err := c.DoContext(ctx, "PING") //sblint:allowalloc(health probe, not a data-path command; the argument slice is probe-rate)
 	if err != nil {
 		return err
 	}
 	if s, ok := r.(string); !ok || s != "PONG" {
-		return fmt.Errorf("kvstore: unexpected PING reply %v", r)
+		return fmt.Errorf("kvstore: unexpected PING reply %v", r) //sblint:allowalloc(protocol-error path)
 	}
 	return nil
 }
@@ -698,7 +701,20 @@ func (c *Client) HSet(key, field, value string) error {
 
 // HSetContext stores a hash field under a context (see DoContext).
 func (c *Client) HSetContext(ctx context.Context, key, field, value string) error {
-	_, err := c.DoContext(ctx, "HSET", key, field, value)
+	_, err := c.DoContext(ctx, "HSET", key, field, value) //sblint:allowalloc(variadic argument slice; it never escapes DoContext, so escape analysis keeps it on the stack)
+	return err
+}
+
+// Del removes a key. It is the typed wrapper raw `Do("DEL", ...)` callers
+// should use: like every typed mutation it inherits the client's armed
+// fence (see SetFence), which the fenceflow analyzer enforces.
+func (c *Client) Del(key string) error {
+	return c.DelContext(context.Background(), key)
+}
+
+// DelContext is Del under a context (see DoContext).
+func (c *Client) DelContext(ctx context.Context, key string) error {
+	_, err := c.DoContext(ctx, "DEL", key)
 	return err
 }
 
@@ -717,7 +733,12 @@ func (c *Client) HGet(key, field string) (string, error) {
 
 // HGetAll fetches every field of a hash (empty map when the key is absent).
 func (c *Client) HGetAll(key string) (map[string]string, error) {
-	r, err := c.Do("HGETALL", key)
+	return c.HGetAllContext(context.Background(), key)
+}
+
+// HGetAllContext is HGetAll under a context (see DoContext).
+func (c *Client) HGetAllContext(ctx context.Context, key string) (map[string]string, error) {
+	r, err := c.DoContext(ctx, "HGETALL", key)
 	if err != nil {
 		return nil, err
 	}
@@ -740,7 +761,12 @@ func (c *Client) HGetAll(key string) (map[string]string, error) {
 // Keys lists all live keys (debugging aid; the server only supports the full
 // wildcard).
 func (c *Client) Keys() ([]string, error) {
-	r, err := c.Do("KEYS", "*")
+	return c.KeysContext(context.Background())
+}
+
+// KeysContext is Keys under a context (see DoContext).
+func (c *Client) KeysContext(ctx context.Context) ([]string, error) {
+	r, err := c.DoContext(ctx, "KEYS", "*")
 	if err != nil {
 		return nil, err
 	}
@@ -764,9 +790,15 @@ func (c *Client) Keys() ([]string, error) {
 // self-delimiting unit (a server that knows the prefix strips it; the framing
 // is still valid RESP either way). An armed fence (SetFence) additionally
 // prepends "FENCE <key> <epoch>" to mutating commands.
+//
+// Encoding is allocation-free: headers render through the client's scratch
+// buffer instead of string concatenation, so the per-command wire cost is
+// pure bufio copies. Enforced by the hotpathalloc analyzer.
+//
+//sblint:hotpath
 func (c *Client) writeCommand(tid string, args []string) error {
 	if len(args) == 0 {
-		return errors.New("kvstore: empty command")
+		return errKvEmptyCommand
 	}
 	fenced := c.fenceKey != "" && Mutates(args[0])
 	n := len(args)
@@ -776,7 +808,7 @@ func (c *Client) writeCommand(tid string, args []string) error {
 	if fenced {
 		n += 3
 	}
-	c.w.WriteString("*" + strconv.Itoa(n) + "\r\n")
+	c.writeHeader('*', int64(n))
 	if tid != "" {
 		c.writeBulk("TRACEID")
 		c.writeBulk(tid)
@@ -784,7 +816,7 @@ func (c *Client) writeCommand(tid string, args []string) error {
 	if fenced {
 		c.writeBulk("FENCE")
 		c.writeBulk(c.fenceKey)
-		c.writeBulk(strconv.FormatInt(c.fenceEpoch, 10))
+		c.writeInt(c.fenceEpoch)
 	}
 	for _, a := range args {
 		c.writeBulk(a)
@@ -792,53 +824,83 @@ func (c *Client) writeCommand(tid string, args []string) error {
 	return nil
 }
 
+// errKvEmptyCommand is preallocated so writeCommand's error path does not
+// construct an error value per call.
+var errKvEmptyCommand = errors.New("kvstore: empty command")
+
 func (c *Client) writeBulk(a string) {
-	c.w.WriteString("$" + strconv.Itoa(len(a)) + "\r\n")
-	c.w.WriteString(a)
-	c.w.WriteString("\r\n")
+	c.writeHeader('$', int64(len(a)))
+	_, _ = c.w.WriteString(a)
+	_, _ = c.w.WriteString("\r\n")
 }
 
+// writeInt renders an integer argument as a RESP bulk string ("$<len>\r\n
+// <digits>\r\n") without allocating: digits land in the scratch buffer's
+// front half and the length header is derived from the rendered width.
+func (c *Client) writeInt(v int64) {
+	buf := strconv.AppendInt(c.scratch[0:0:32], v, 10)
+	c.writeHeader('$', int64(len(buf)))
+	_, _ = c.w.Write(buf)
+	_, _ = c.w.WriteString("\r\n")
+}
+
+// writeHeader emits "<prefix><decimal n>\r\n" through the scratch buffer's
+// back half (the front half may still hold writeInt's digits; the capped
+// subslices can never grow into each other).
+func (c *Client) writeHeader(prefix byte, n int64) {
+	b := append(c.scratch[32:32:64], prefix) //sblint:allowalloc(append into the fixed-cap scratch backing; 32 bytes always fit a RESP header, so it never grows)
+	b = strconv.AppendInt(b, n, 10)
+	b = append(b, '\r', '\n') //sblint:allowalloc(same fixed-cap scratch backing as above)
+	_, _ = c.w.Write(b)
+}
+
+// readReply decodes one RESP reply. The only intended allocations are the
+// ones that materialize reply *values* for the caller (bulk strings, array
+// shells) and cold protocol-error paths; everything else on the decode path
+// is allocation-free, enforced by the hotpathalloc analyzer.
+//
+//sblint:hotpath
 func (c *Client) readReply() (interface{}, error) {
 	line, err := readLine(c.r)
 	if err != nil {
 		return nil, err
 	}
 	if len(line) == 0 {
-		return nil, errors.New("kvstore: empty reply")
+		return nil, errEmptyReply
 	}
 	switch line[0] {
 	case '+':
-		return line[1:], nil
+		return line[1:], nil //sblint:allowalloc(reply value materialization is the API contract)
 	case '-':
-		return nil, respError(line[1:])
+		return nil, respError(line[1:]) //sblint:allowalloc(server-error path; boxes one error value)
 	case ':':
 		n, err := strconv.ParseInt(line[1:], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("kvstore: bad integer reply %q", line)
+			return nil, fmt.Errorf("kvstore: bad integer reply %q", line) //sblint:allowalloc(protocol-error path)
 		}
-		return n, nil
+		return n, nil //sblint:allowalloc(integer reply boxes into interface{}; replies are interface-typed by contract)
 	case '$':
 		n, err := strconv.Atoi(line[1:])
 		if err != nil || n > maxBulkLen {
-			return nil, fmt.Errorf("kvstore: bad bulk header %q", line)
+			return nil, fmt.Errorf("kvstore: bad bulk header %q", line) //sblint:allowalloc(protocol-error path)
 		}
 		if n < 0 {
 			return nil, ErrNil
 		}
-		buf := make([]byte, n+2)
+		buf := make([]byte, n+2) //sblint:allowalloc(bulk reply payload buffer; sized by the server's header)
 		if _, err := io.ReadFull(c.r, buf); err != nil {
 			return nil, err
 		}
-		return string(buf[:n]), nil
+		return string(buf[:n]), nil //sblint:allowalloc(reply value materialization is the API contract)
 	case '*':
 		n, err := strconv.Atoi(line[1:])
 		if err != nil || n > maxArrayLen {
-			return nil, fmt.Errorf("kvstore: bad array header %q", line)
+			return nil, fmt.Errorf("kvstore: bad array header %q", line) //sblint:allowalloc(protocol-error path)
 		}
 		if n < 0 {
 			return nil, ErrNil
 		}
-		out := make([]interface{}, n)
+		out := make([]interface{}, n) //sblint:allowalloc(array reply shell; sized by the server's header)
 		for i := 0; i < n; i++ {
 			v, err := c.readReply()
 			if err != nil && !errors.Is(err, ErrNil) {
@@ -846,8 +908,12 @@ func (c *Client) readReply() (interface{}, error) {
 			}
 			out[i] = v
 		}
-		return out, nil
+		return out, nil //sblint:allowalloc(array reply boxes into interface{}; replies are interface-typed by contract)
 	default:
-		return nil, fmt.Errorf("kvstore: unknown reply type %q", line)
+		return nil, fmt.Errorf("kvstore: unknown reply type %q", line) //sblint:allowalloc(protocol-error path)
 	}
 }
+
+// errEmptyReply is preallocated so the decode error path does not allocate
+// per call.
+var errEmptyReply = errors.New("kvstore: empty reply")

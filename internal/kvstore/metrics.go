@@ -73,7 +73,7 @@ func (m *ClientMetrics) redirected() {
 
 func (m *ClientMetrics) observe(cmd string, secs float64) {
 	if m != nil {
-		m.Latency.With(cmd).Observe(secs)
+		m.Latency.With(cmd).Observe(secs) //sblint:allowalloc(variadic label lookup; the single-label slice never escapes With, so it stays on the stack)
 	}
 }
 

@@ -69,12 +69,23 @@ func (s *Server) SetGate(f func(cmd string) string) {
 // Mutates reports whether cmd changes store state — the set of verbs that
 // must be replicated, fenced, and redirected off a standby.
 func Mutates(cmd string) bool {
-	switch strings.ToUpper(cmd) {
-	case "SET", "DEL", "INCR", "INCRBY", "HSET", "EXPIRE", "PERSIST",
-		"PEXPIREAT", "FLUSHALL", "SETLEASE", "DELLEASE", "LEASEGRANT", "LEASEDEL":
-		return true
+	// EqualFold instead of ToUpper: this runs on the client's per-command
+	// encode path (writeCommand checks whether to arm the fence prefix) and
+	// must not allocate. Keep the verb list in sync with the lint suite's
+	// fenceflow analyzer (internal/lint/fenceflow.go).
+	for _, m := range &mutatingCmds {
+		if strings.EqualFold(cmd, m) {
+			return true
+		}
 	}
 	return false
+}
+
+// mutatingCmds lists every verb the store treats as a mutation (fenced,
+// replicated, journaled).
+var mutatingCmds = [...]string{
+	"SET", "DEL", "INCR", "INCRBY", "HSET", "EXPIRE", "PERSIST",
+	"PEXPIREAT", "FLUSHALL", "SETLEASE", "DELLEASE", "LEASEGRANT", "LEASEDEL",
 }
 
 // executeReplicated applies one mutating command under the replicator's total

@@ -1,0 +1,283 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicDisciplineAnalyzer enforces all-or-nothing atomics: once a field or
+// package-level variable is touched through sync/atomic anywhere in the
+// module, every other access must be atomic too. Mixing
+// atomic.AddInt64(&s.n, 1) on one goroutine with a plain `s.n++` or
+// `v := s.n` on another is a data race the race detector only catches when
+// the schedule cooperates; this analyzer catches it structurally.
+//
+// Two families are covered:
+//
+//   - func-style atomics: a variable whose address is passed to a
+//     sync/atomic function (AddInt64, LoadUint32, CompareAndSwap..., ...)
+//     is "atomic"; any plain read or write of it elsewhere is flagged.
+//   - typed atomics (atomic.Int64, atomic.Uint32, atomic.Bool, ...): the
+//     type system already forces Load/Store/Add, so the only plain access
+//     is copying or overwriting the whole value — both flagged.
+//
+// Composite-literal initialization (zero-value construction before the
+// value is shared) is exempt. Cross-package accesses are checked: the
+// analyzer runs over the whole loaded package set.
+func AtomicDisciplineAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "atomicdiscipline",
+		Doc:  "a field touched via sync/atomic anywhere must never be read or written plainly elsewhere",
+		RunGraph: func(g *CallGraph) []Finding {
+			return runAtomicDiscipline(g)
+		},
+	}
+}
+
+// atomicFuncs are the sync/atomic package functions whose first pointer
+// argument marks its target as atomically-accessed.
+func isAtomicFunc(fn *types.Func) bool {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil || sig.Params().Len() == 0 {
+		return false
+	}
+	_, ptr := sig.Params().At(0).Type().(*types.Pointer)
+	return ptr
+}
+
+// typedAtomic reports whether t is one of sync/atomic's typed wrappers.
+func typedAtomic(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+func runAtomicDiscipline(g *CallGraph) []Finding {
+	// Pass 1: collect func-style atomic targets (&x passed to sync/atomic)
+	// and the exact sites of those sanctioned accesses.
+	atomicVars := make(map[*types.Var]token.Pos) // var -> first atomic site
+	sanctioned := make(map[ast.Expr]bool)        // operand exprs inside atomic calls
+	for _, p := range g.Pkgs {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(node ast.Node) bool {
+				call, ok := node.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+				if !ok || !isAtomicFunc(fn) {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					target := ast.Unparen(un.X)
+					if v := varOf(p.Info, target); v != nil {
+						if _, seen := atomicVars[v]; !seen {
+							atomicVars[v] = call.Pos()
+						}
+						sanctioned[target] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	var out []Finding
+	// Pass 2: flag plain accesses of func-style atomic vars, and plain
+	// copies/overwrites of typed-atomic fields.
+	for _, p := range g.Pkgs {
+		for _, f := range p.Files {
+			w := &atomicWalker{p: p, atomicVars: atomicVars, sanctioned: sanctioned}
+			w.walk(f, nil)
+			out = append(out, w.out...)
+		}
+	}
+	return out
+}
+
+// varOf resolves a selector or identifier to the variable object it
+// denotes (field or package-level var); nil for locals and everything else.
+func varOf(info *types.Info, e ast.Expr) *types.Var {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		v, _ := info.Uses[x].(*types.Var)
+		if v != nil && (v.IsField() || isPackageLevel(v)) {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			if v, ok := sel.Obj().(*types.Var); ok {
+				return v
+			}
+			return nil
+		}
+		v, _ := info.Uses[x.Sel].(*types.Var)
+		if v != nil && isPackageLevel(v) {
+			return v
+		}
+	}
+	return nil
+}
+
+func isPackageLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// atomicWalker walks a file with a parent stack so it can tell a plain
+// access from a sanctioned one (method receiver, atomic call operand,
+// composite-literal init).
+type atomicWalker struct {
+	p          *Package
+	atomicVars map[*types.Var]token.Pos
+	sanctioned map[ast.Expr]bool
+	out        []Finding
+}
+
+func (w *atomicWalker) flag(pos token.Pos, format string, args ...any) {
+	w.out = append(w.out, Finding{
+		Pos:     w.p.Fset.Position(pos),
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+func (w *atomicWalker) walk(node ast.Node, stack []ast.Node) {
+	if node == nil {
+		return
+	}
+	switch x := node.(type) {
+	case *ast.SelectorExpr:
+		w.checkAccess(x, stack)
+	case *ast.Ident:
+		w.checkAccess(x, stack)
+	}
+	stack = append(stack, node)
+	for _, child := range childNodes(node) {
+		w.walk(child, stack)
+	}
+}
+
+// childNodes enumerates direct AST children via ast.Inspect's depth
+// bookkeeping.
+func childNodes(node ast.Node) []ast.Node {
+	var out []ast.Node
+	first := true
+	ast.Inspect(node, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if first { // the node itself
+			first = false
+			return true
+		}
+		out = append(out, n)
+		return false // do not descend further; walk recurses
+	})
+	return out
+}
+
+// checkAccess decides whether one use of a variable-denoting expression is
+// a plain (flagged) access.
+func (w *atomicWalker) checkAccess(e ast.Expr, stack []ast.Node) {
+	v := varOf(w.p.Info, e)
+	if v == nil {
+		return
+	}
+	parent := parentOf(stack)
+	// Skip the Sel half of a selector (the selector expr itself was
+	// checked) and the X half of a qualified name.
+	if sel, ok := parent.(*ast.SelectorExpr); ok {
+		if id, isID := e.(*ast.Ident); isID && (sel.Sel == id || sel.X == id) {
+			return
+		}
+	}
+	if _, funcStyle := w.atomicVars[v]; funcStyle {
+		if w.plainAccess(e, stack) {
+			w.flag(e.Pos(), "plain access to %s, which is accessed via sync/atomic elsewhere; use atomic operations everywhere", v.Name())
+		}
+		return
+	}
+	// Typed atomics: flag whole-value copies and overwrites.
+	if v.IsField() && typedAtomic(v.Type()) {
+		if w.typedPlainAccess(e, stack) {
+			w.flag(e.Pos(), "%s is an %s; copy or reassignment races with its atomic methods", v.Name(),
+				types.TypeString(v.Type(), types.RelativeTo(w.p.TypesPkg)))
+		}
+	}
+}
+
+func parentOf(stack []ast.Node) ast.Node {
+	if len(stack) == 0 {
+		return nil
+	}
+	return stack[len(stack)-1]
+}
+
+func grandparentOf(stack []ast.Node) ast.Node {
+	if len(stack) < 2 {
+		return nil
+	}
+	return stack[len(stack)-2]
+}
+
+// plainAccess reports whether a func-style atomic variable's use is plain:
+// not the operand of a sanctioned &x inside an atomic call, not a
+// composite-literal key, not inside the declaring struct's method that
+// merely takes its address for an atomic call.
+func (w *atomicWalker) plainAccess(e ast.Expr, stack []ast.Node) bool {
+	if w.sanctioned[e] {
+		return false
+	}
+	parent := parentOf(stack)
+	switch p := parent.(type) {
+	case *ast.UnaryExpr:
+		if p.Op == token.AND {
+			// Address taken outside an atomic call: could flow anywhere;
+			// treat as sanctioned only when the atomic pass saw it.
+			return !w.sanctioned[ast.Unparen(p.X)]
+		}
+	case *ast.KeyValueExpr:
+		if p.Key == e {
+			return false // composite-literal field name
+		}
+		if _, inLit := grandparentOf(stack).(*ast.CompositeLit); inLit {
+			return false // zero-to-initial construction
+		}
+	}
+	return true
+}
+
+// typedPlainAccess reports whether a typed-atomic field use is a copy or
+// reassignment (anything but a method call on it or taking its address).
+func (w *atomicWalker) typedPlainAccess(e ast.Expr, stack []ast.Node) bool {
+	parent := parentOf(stack)
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		// s.counter.Load(): the field is the X of a method selector.
+		if p.X == e {
+			return false
+		}
+	case *ast.UnaryExpr:
+		if p.Op == token.AND {
+			return false // &s.counter handed to something atomic-aware
+		}
+	case *ast.KeyValueExpr:
+		return false // composite-literal init
+	}
+	return true
+}

@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Baseline is an accepted-findings file for incremental adoption: findings
+// whose canonical rendering (with module-relative paths) appears in the
+// baseline are suppressed, so a new analyzer can land with the existing
+// debt frozen while any *new* finding still fails the build. The format is
+// one canonical finding line per entry; blank lines and '#' comments are
+// ignored. An empty baseline means "the module is clean and must stay so".
+type Baseline struct {
+	entries map[string]int // canonical line -> times allowed (dup-tolerant)
+}
+
+// LoadBaseline parses a baseline file. A missing file is an error — an
+// intentionally empty baseline should be an empty committed file, not an
+// absent one.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("lint: baseline: %w", err)
+	}
+	b := &Baseline{entries: make(map[string]int)}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		b.entries[line]++
+	}
+	return b, nil
+}
+
+// Filter splits findings into new (not in the baseline) and suppressed
+// (matched a baseline entry). Each baseline entry absorbs at most as many
+// findings as times it is listed, so duplicates cannot mask growth.
+func (b *Baseline) Filter(findings []Finding) (fresh, suppressed []Finding) {
+	if b == nil {
+		return findings, nil
+	}
+	budget := make(map[string]int, len(b.entries))
+	for k, n := range b.entries {
+		budget[k] = n
+	}
+	for _, f := range findings {
+		key := f.String()
+		if budget[key] > 0 {
+			budget[key]--
+			suppressed = append(suppressed, f)
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	return fresh, suppressed
+}
+
+// FormatBaseline renders findings as baseline file content (sorted input
+// assumed; Run already sorts canonically).
+func FormatBaseline(findings []Finding) []byte {
+	var buf bytes.Buffer
+	buf.WriteString("# sblint baseline: accepted findings, one canonical line each.\n")
+	buf.WriteString("# Regenerate with: go run ./cmd/sblint -write-baseline <path> ./...\n")
+	for _, f := range findings {
+		buf.WriteString(f.String())
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// jsonFinding is the -json wire form of one finding.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// MarshalFindings renders findings as a deterministic JSON array (the
+// order is the canonical sort Run produced).
+func MarshalFindings(findings []Finding) ([]byte, error) {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			File: f.Pos.Filename, Line: f.Pos.Line, Col: f.Pos.Column,
+			Analyzer: f.Analyzer, Message: f.Message,
+		})
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

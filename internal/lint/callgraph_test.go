@@ -1,0 +1,224 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// loadFixturePkgs materializes files as a throwaway module and loads it,
+// failing the test on load or typecheck errors.
+func loadFixturePkgs(t *testing.T, files map[string]string) []*Package {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module fixture\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for rel, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pkgs, err := Load(dir)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	for _, p := range pkgs {
+		for _, terr := range p.TypeErrors {
+			t.Errorf("fixture does not typecheck: %v", terr)
+		}
+	}
+	return pkgs
+}
+
+func nodeByName(t *testing.T, g *CallGraph, name string) *FuncNode {
+	t.Helper()
+	var found *FuncNode
+	for _, n := range g.Nodes {
+		if n.Obj.Name() == name {
+			if found != nil {
+				t.Fatalf("two nodes named %s", name)
+			}
+			found = n
+		}
+	}
+	if found == nil {
+		t.Fatalf("no node named %s", name)
+	}
+	return found
+}
+
+func edgesTo(n *FuncNode, callee *FuncNode) int {
+	count := 0
+	for _, e := range n.Calls {
+		if e.Node == callee {
+			count++
+		}
+	}
+	return count
+}
+
+// TestCallGraphEdges covers the static/horizon split: direct calls and
+// concrete-receiver methods resolve to edges; func-typed fields, func
+// values, and interface dispatch become horizon edges. Calls inside a
+// function literal belong to the enclosing declaration.
+func TestCallGraphEdges(t *testing.T) {
+	pkgs := loadFixturePkgs(t, map[string]string{"internal/app/app.go": `package app
+
+type svc struct{ hook func() }
+
+type doer interface{ Do() }
+
+func A() { B(); _ = C(3) }
+func B() {}
+func C(n int) int { return n }
+
+type T struct{}
+
+func (t *T) M() { A() }
+
+func dyn(s *svc, w doer) {
+	s.hook()
+	w.Do()
+	f := func() { B() }
+	f()
+}
+`})
+	g := BuildCallGraph(pkgs)
+
+	a := nodeByName(t, g, "A")
+	b := nodeByName(t, g, "B")
+	c := nodeByName(t, g, "C")
+	if got := edgesTo(a, b); got != 1 {
+		t.Errorf("A -> B edges = %d, want 1", got)
+	}
+	if got := edgesTo(a, c); got != 1 {
+		t.Errorf("A -> C edges = %d, want 1", got)
+	}
+
+	m := nodeByName(t, g, "M")
+	if got := edgesTo(m, a); got != 1 {
+		t.Errorf("M -> A edges = %d, want 1", got)
+	}
+
+	dyn := nodeByName(t, g, "dyn")
+	// The literal's B() call is attributed to dyn; the three dynamic calls
+	// (field, interface, func value) are horizon edges.
+	if got := edgesTo(dyn, b); got != 1 {
+		t.Errorf("dyn -> B edges (via func literal) = %d, want 1", got)
+	}
+	kinds := map[string]int{}
+	for _, h := range dyn.Horizon {
+		kinds[h.Kind]++
+	}
+	if kinds["interface"] != 1 || kinds["func-value"] != 2 {
+		t.Errorf("dyn horizon kinds = %v, want 1 interface + 2 func-value", kinds)
+	}
+
+	reach := g.Reachable([]*FuncNode{m})
+	for _, n := range []*FuncNode{m, a, b, c} {
+		if !reach[n] {
+			t.Errorf("%s not reachable from M", n.Obj.Name())
+		}
+	}
+	if reach[dyn] {
+		t.Error("dyn wrongly reachable from M")
+	}
+}
+
+// TestCallGraphGenerics pins satellite 3: instantiated calls to generic
+// functions and to methods on generic receivers resolve to the single
+// generic-origin node — never skipped, never degraded to horizon edges.
+func TestCallGraphGenerics(t *testing.T) {
+	pkgs := loadFixturePkgs(t, map[string]string{"internal/gen/gen.go": `package gen
+
+func Root() {
+	_ = Identity(1)
+	_ = Identity[string]("x")
+	var p Pair[int]
+	p.Set(2)
+	_ = p.Get()
+}
+
+func Identity[T any](v T) T { return v }
+
+type Pair[T any] struct{ v T }
+
+func (p *Pair[T]) Set(v T) { p.v = v }
+func (p *Pair[T]) Get() T  { return p.v }
+`})
+	g := BuildCallGraph(pkgs)
+
+	root := nodeByName(t, g, "Root")
+	id := nodeByName(t, g, "Identity")
+	set := nodeByName(t, g, "Set")
+	get := nodeByName(t, g, "Get")
+
+	if got := edgesTo(root, id); got != 2 {
+		t.Errorf("Root -> Identity edges = %d, want 2 (both instantiations resolve to the origin)", got)
+	}
+	if got := edgesTo(root, set); got != 1 {
+		t.Errorf("Root -> Set edges = %d, want 1", got)
+	}
+	if got := edgesTo(root, get); got != 1 {
+		t.Errorf("Root -> Get edges = %d, want 1", got)
+	}
+	if len(root.Horizon) != 0 {
+		t.Errorf("Root has %d horizon edges, want 0 (generic calls are static)", len(root.Horizon))
+	}
+
+	reach := g.Reachable([]*FuncNode{root})
+	for _, n := range []*FuncNode{id, set, get} {
+		if !reach[n] {
+			t.Errorf("%s not reachable from Root", n.Obj.Name())
+		}
+	}
+}
+
+// TestCallGraphCrossPackage ensures edges resolve across package boundaries
+// (the loader's shared importer makes func objects identical on both sides).
+func TestCallGraphCrossPackage(t *testing.T) {
+	pkgs := loadFixturePkgs(t, map[string]string{
+		"internal/lib/lib.go": `package lib
+
+func Helper() int { return 1 }
+`,
+		"internal/app/app.go": `package app
+
+import "fixture/internal/lib"
+
+func Entry() int { return lib.Helper() }
+`})
+	g := BuildCallGraph(pkgs)
+	entry := nodeByName(t, g, "Entry")
+	helper := nodeByName(t, g, "Helper")
+	if got := edgesTo(entry, helper); got != 1 {
+		t.Errorf("Entry -> lib.Helper edges = %d, want 1", got)
+	}
+	if !g.Reachable([]*FuncNode{entry})[helper] {
+		t.Error("lib.Helper not reachable from app.Entry")
+	}
+}
+
+// TestDirectiveName pins the directive parser used for hotpath/fencepath
+// roots and allowalloc reasons.
+func TestDirectiveName(t *testing.T) {
+	cases := map[string]string{
+		"//sblint:hotpath":                 "hotpath",
+		"//sblint:hotpath and a note":      "hotpath",
+		"//sblint:fencepath\tnote":         "fencepath",
+		"//sblint:allowalloc(reason here)": "allowalloc",
+		"// sblint:hotpath":                "", // directives are unspaced by convention
+		"//sblint:":                        "",
+		"// regular comment":               "",
+	}
+	for text, want := range cases {
+		if got := directiveName(text); got != want {
+			t.Errorf("directiveName(%q) = %q, want %q", text, got, want)
+		}
+	}
+}

@@ -69,15 +69,26 @@ type Analyzer struct {
 	// Run emits findings for one package. Suppression via //sblint:allow
 	// is handled by the runner, not by Run.
 	Run func(p *Package) []Finding
+	// RunGraph, when set, makes this an interprocedural analyzer: it runs
+	// once over the call graph of the whole package set instead of
+	// per-package (Run and Applies are ignored). Findings are still
+	// subject to //sblint:allow suppression.
+	RunGraph func(g *CallGraph) []Finding
 }
 
-// Analyzers returns the full suite in stable order.
+// Analyzers returns the full suite in stable order: the four intra-
+// procedural v1 analyzers, then the four interprocedural v2 analyzers
+// built on the call graph.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		DeterminismAnalyzer(),
 		LockDisciplineAnalyzer(),
 		FloatCompareAnalyzer(),
 		ErrorSinkAnalyzer(),
+		HotPathAllocAnalyzer(),
+		FenceFlowAnalyzer(),
+		CtxFlowAnalyzer(),
+		AtomicDisciplineAnalyzer(),
 	}
 }
 
@@ -124,20 +135,30 @@ func collectAllows(p *Package) allowSet {
 }
 
 // Run applies every analyzer to every package, drops //sblint:allow-ed
-// findings, and returns the rest sorted by position.
+// findings, and returns the rest sorted by (file, line, col, analyzer,
+// message) — a total order, so CI diffs and baseline files are stable
+// across runs regardless of map-iteration order anywhere upstream.
+//
+// Interprocedural analyzers (RunGraph set) run once over the call graph of
+// the whole package set; narrowing pkgs therefore narrows what they can
+// see, so whole-module invocations (./...) give the strongest guarantees.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 	var out []Finding
+	allAllows := make(allowSet)
 	for _, p := range pkgs {
 		allows := collectAllows(p)
+		for k := range allows {
+			allAllows[k] = struct{}{}
+		}
 		for _, a := range analyzers {
+			if a.RunGraph != nil {
+				continue
+			}
 			if a.Applies != nil && !a.Applies(p.RelPath) {
 				continue
 			}
 			for _, f := range a.Run(p) {
-				if allows.has(f.Pos.Filename, f.Pos.Line, a.Name) {
-					continue
-				}
-				if a.AllowKey != "" && allows.has(f.Pos.Filename, f.Pos.Line, a.AllowKey) {
+				if suppressed(allows, a, f) {
 					continue
 				}
 				f.Analyzer = a.Name
@@ -145,20 +166,50 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
+	var graph *CallGraph
+	for _, a := range analyzers {
+		if a.RunGraph == nil {
+			continue
 		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
+		if graph == nil {
+			graph = BuildCallGraph(pkgs)
 		}
-		if a.Pos.Column != b.Pos.Column {
-			return a.Pos.Column < b.Pos.Column
+		for _, f := range a.RunGraph(graph) {
+			if suppressed(allAllows, a, f) {
+				continue
+			}
+			f.Analyzer = a.Name
+			out = append(out, f)
 		}
-		return a.Analyzer < b.Analyzer
-	})
+	}
+	sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
 	return out
+}
+
+// suppressed reports whether an //sblint:allow directive covers the
+// finding's line under the analyzer's name or alternate key.
+func suppressed(allows allowSet, a *Analyzer, f Finding) bool {
+	if allows.has(f.Pos.Filename, f.Pos.Line, a.Name) {
+		return true
+	}
+	return a.AllowKey != "" && allows.has(f.Pos.Filename, f.Pos.Line, a.AllowKey)
+}
+
+// less is the canonical finding order: (file, line, col, analyzer, message).
+func less(a, b Finding) bool {
+	if a.Pos.Filename != b.Pos.Filename {
+		return a.Pos.Filename < b.Pos.Filename
+	}
+	if a.Pos.Line != b.Pos.Line {
+		return a.Pos.Line < b.Pos.Line
+	}
+	if a.Pos.Column != b.Pos.Column {
+		return a.Pos.Column < b.Pos.Column
+	}
+	if a.Analyzer != b.Analyzer {
+		return a.Analyzer < b.Analyzer
+	}
+	return a.Message < b.Message
 }
 
 // pathIn reports whether relPath is one of the given module-relative

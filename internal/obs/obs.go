@@ -296,6 +296,9 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 	return f.hist
 }
 
+// newHistogram allocates the bucket arrays once per registered series.
+//
+//sblint:allowalloc(registration-time only; Observe on the hot path touches preallocated counters)
 func newHistogram(bounds []float64) *Histogram {
 	if len(bounds) == 0 {
 		bounds = LatencyBuckets
@@ -395,7 +398,7 @@ func labelKey(vals []string) string {
 	if len(vals) == 1 {
 		return vals[0]
 	}
-	return strings.Join(vals, "\x1f")
+	return strings.Join(vals, "\x1f") //sblint:allowalloc(multi-label join; every hot-path series uses a single label and takes the branch above)
 }
 
 func (f *family) childFor(vals []string) *child {
@@ -447,7 +450,7 @@ func (f *family) childForHist(vals []string, bounds []float64) *child {
 	if c, ok := f.children[key]; ok {
 		return c
 	}
-	c = &child{labelVals: append([]string(nil), vals...), hist: newHistogram(bounds)}
-	f.children[key] = c
+	c = &child{labelVals: append([]string(nil), vals...), hist: newHistogram(bounds)} //sblint:allowalloc(first observation of a label set creates the series; later hits return above)
+	f.children[key] = c                                                               //sblint:allowalloc(series-creation insert, same miss path as above)
 	return c
 }

@@ -299,7 +299,7 @@ func (m *Manager) Stop(ctx context.Context) {
 	// epoch this node still holds, or the successor can never see the writes.
 	for _, s := range ownedNow {
 		if _, err := m.cfg.Controllers[s].ReplayJournal(ctx); err != nil && m.cfg.Logger != nil {
-			m.cfg.Logger.Warn("shard handoff drain failed; successor will fence stragglers",
+			m.cfg.Logger.WarnContext(ctx, "shard handoff drain failed; successor will fence stragglers",
 				"shard", s, "err", err)
 		}
 		if m.cfg.Metrics != nil {
