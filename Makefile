@@ -2,7 +2,7 @@
 # (see README.md, "Developing").
 GO ?= go
 
-.PHONY: check check-race build vet fmt lint lint-json lint-fixtures test race bench bench-core clean
+.PHONY: check check-race build vet fmt lint lint-json lint-fixtures test race bench bench-core des-smoke clean
 
 check: build vet fmt lint test
 
@@ -57,6 +57,16 @@ bench:
 bench-core:
 	$(GO) run ./cmd/sbbench -o BENCH_core.json -rev "$$(git rev-parse --short HEAD)" -gate
 	@cat BENCH_core.json
+
+# Deterministic-simulation smoke: a 100k-call dessweep under the race
+# detector. sbexp exits non-zero on any dropped event or a seed-stability
+# violation (same seed must replay byte-identical, a different seed must
+# diverge), and the run's decision trace lands in des-smoke-trace.jsonl —
+# span JSONL that cmd/sbtrace renders unchanged (CI uploads it as an
+# artifact and does exactly that).
+des-smoke:
+	$(GO) run -race ./cmd/sbexp -exp dessweep -scale quick \
+		-des-detect 30s -des-trace des-smoke-trace.jsonl
 
 clean:
 	$(GO) clean ./...

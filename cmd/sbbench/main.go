@@ -36,6 +36,8 @@ import (
 	"time"
 
 	"switchboard"
+	"switchboard/internal/des"
+	"switchboard/internal/geo"
 	"switchboard/internal/kvstore/replica"
 )
 
@@ -151,6 +153,47 @@ func checkGate(prior []run, this run, rev string) []string {
 		}
 	}
 	return failures
+}
+
+// benchDES runs a fixed 200k-call simulated day on the DES engine and
+// returns a point with Iterations = events processed and NsPerOp = wall-clock
+// nanoseconds per event. The engine never reads the wall clock itself, so the
+// timing lives here.
+func benchDES() (result, error) {
+	const calls = 200_000
+	w := geo.DefaultWorld()
+	src, err := des.NewSynthSource(w, des.SynthConfig{Seed: 1, Calls: calls})
+	if err != nil {
+		return result{}, err
+	}
+	f, err := des.NewFleet(w, src.Configs(), 120)
+	if err != nil {
+		return result{}, err
+	}
+	cores, gbps := src.ExpectedPeakLoad(f)
+	for i := range cores {
+		cores[i] *= 1.25
+	}
+	for i := range gbps {
+		gbps[i] *= 1.25
+	}
+	if err := f.SetCapacity(cores, gbps); err != nil {
+		return result{}, err
+	}
+	start := time.Now()
+	res, err := des.Run(des.Config{Fleet: f, Source: src, Placement: des.LowestACL{}, Seed: 1})
+	elapsed := time.Since(start)
+	if err != nil {
+		return result{}, err
+	}
+	if res.DroppedEvents != 0 {
+		return result{}, fmt.Errorf("des bench dropped %d events", res.DroppedEvents)
+	}
+	return result{
+		Name:       "core_des_events_per_sec",
+		Iterations: int(res.Events),
+		NsPerOp:    float64(elapsed.Nanoseconds()) / float64(res.Events),
+	}, nil
 }
 
 func main() {
@@ -290,12 +333,22 @@ func main() {
 		}
 	})
 
+	// DES engine throughput: one fixed 200k-call day through the simulation
+	// queue (400k arrive/depart events), reported as ns per event so
+	// 1e9/ns_per_op is events/s. Informational — not in gatedBenchmarks: the
+	// engine's own BenchmarkEngine100k guards allocations, and a wall-clock
+	// gate on a shared runner would flake.
+	desPoint, err := benchDES()
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	this := run{
 		Rev:     *rev,
 		GoOS:    runtime.GOOS,
 		GoArch:  runtime.GOARCH,
 		NumCPU:  runtime.NumCPU(),
-		Results: []result{placement, kvRoundTrip, failover},
+		Results: []result{placement, kvRoundTrip, failover, desPoint},
 	}
 	if *out == "" {
 		buf, err := json.MarshalIndent(this, "", "  ")

@@ -1,0 +1,50 @@
+package des
+
+import (
+	"testing"
+
+	"switchboard/internal/geo"
+)
+
+// benchRig builds a fixed 100k-call scenario outside the timed region.
+func benchRig(b *testing.B, calls int) Config {
+	b.Helper()
+	w := geo.DefaultWorld()
+	src, err := NewSynthSource(w, SynthConfig{Seed: 5, Calls: calls})
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := NewFleet(w, src.Configs(), 120)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cores, gbps := src.ExpectedPeakLoad(f)
+	for i := range cores {
+		cores[i] *= 1.25
+	}
+	if err := f.SetCapacity(cores, gbps); err != nil {
+		b.Fatal(err)
+	}
+	return Config{Fleet: f, Source: src, Placement: LowestACL{}, Seed: 5}
+}
+
+// BenchmarkEngine100k measures the full engine loop: ns/op divided by
+// 200k events is the per-event cost cmd/sbbench reports as
+// core_des_events_per_sec.
+func BenchmarkEngine100k(b *testing.B) {
+	const calls = 100_000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cfg := benchRig(b, calls)
+		b.StartTimer()
+		res, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Placed != calls || res.DroppedEvents != 0 {
+			b.Fatalf("bad books: %+v", res)
+		}
+	}
+	b.ReportMetric(float64(2*calls), "events/op")
+}

@@ -1,0 +1,433 @@
+package des
+
+import (
+	"fmt"
+	"time"
+)
+
+// Call is one in-flight call's bookkeeping. Calls are pooled (free-listed)
+// and threaded onto an intrusive per-DC doubly-linked list so a DC-failure
+// sweep can walk exactly the calls it hosts without a map or a scan.
+type Call struct {
+	id       uint64
+	end      int64 // departure virtual time
+	placedAt int64 // when the call landed at dc (arrival or migration)
+	cfg      int32
+	dc       int32
+	prev     *Call
+	next     *Call // also the free-list link when pooled
+}
+
+// DCFailure schedules a datacenter outage: the DC fails at At and recovers
+// at Recover (zero or ≤ At: never, within this run). Between failure and
+// detection (the failover policy's delay) the controller keeps placing calls
+// there — exactly the window the failover-timing sweep measures.
+type DCFailure struct {
+	DC      int32
+	At      time.Duration
+	Recover time.Duration
+}
+
+// Config assembles one simulation run.
+type Config struct {
+	Fleet     *Fleet
+	Source    Source
+	Placement PlacementPolicy
+	Admission AdmissionPolicy // nil: every call is admitted
+	Failover  FailoverPolicy  // nil: FixedDetection{30s}
+	Failures  []DCFailure
+	// Seed drives the policy, failover, and trace streams. The workload
+	// source carries its own seed, so re-seeding the engine replays the
+	// identical arrival stream under fresh policy randomness.
+	Seed  int64
+	Trace *Trace // nil: decision trace off
+}
+
+// Result is one run's aggregate outcome.
+type Result struct {
+	// Calls is the number of arrivals drawn from the source; Placed of
+	// those were hosted, Rejected refused by admission. Migrated counts
+	// failover re-placements (a call migrated twice counts twice).
+	Calls    uint64
+	Placed   uint64
+	Rejected uint64
+	Migrated uint64
+	// Overflowed counts placements (arrivals and migrations) that landed on
+	// a DC without compute headroom.
+	Overflowed uint64
+	// Events and DroppedEvents audit the queue: DroppedEvents must be zero
+	// on a clean drain. MaxQueueLen is the pending-event high-water mark.
+	Events        uint64
+	DroppedEvents uint64
+	MaxQueueLen   int
+	// PeakConcurrent is the most simultaneously hosted calls.
+	PeakConcurrent int
+	// MeanACLms averages the hosted latency over placements; RegretMeanMs
+	// averages the gap to each call's best available candidate (zero when
+	// every call lands latency-first).
+	MeanACLms    float64
+	RegretMeanMs float64
+	// MaxCoreUtil is the worst instantaneous cores/capacity ratio any DC
+	// reached; OverflowShare is Overflowed over placements.
+	MaxCoreUtil   float64
+	OverflowShare float64
+	// DisruptedCallSeconds sums each migrated call's outage: from the later
+	// of the DC failing and the call landing there, to the detection sweep.
+	DisruptedCallSeconds float64
+	// TraceLines is the number of decision-trace records written.
+	TraceLines uint64
+}
+
+// Engine executes one run. It is single-use and single-threaded: the shared
+// virtual clock is the determinism contract, so there is nothing to lock.
+type Engine struct {
+	f          *Fleet
+	src        Source
+	place      PlacementPolicy
+	admit      AdmissionPolicy
+	fail       FailoverPolicy
+	tw         *Trace
+	policyName string
+
+	q   *Queue
+	seq uint64
+
+	polRng  Stream
+	failRng Stream
+
+	usage     Usage   // Down = detected-down, the controller's view
+	downTruth []bool  // ground truth, ahead of detection
+	failedAt  []int64 // virtual time each down DC failed
+	nDown     int     // detected-down count (fast path: zero = no filtering)
+
+	dcHead  []*Call
+	free    *Call
+	scratch []int32
+	pending Arrival // reused across Next calls (a local would escape through the interface)
+
+	calls          uint64
+	placed         uint64
+	rejected       uint64
+	migrated       uint64
+	overflowed     uint64
+	concurrent     int
+	peakConcurrent int
+	aclSum         float64
+	regretSum      float64
+	maxUtil        float64
+	disruptedNs    float64
+}
+
+// NewEngine validates cfg and builds a ready-to-Run engine.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.Fleet == nil || cfg.Source == nil || cfg.Placement == nil {
+		return nil, fmt.Errorf("des: Config needs Fleet, Source, and Placement")
+	}
+	if len(cfg.Source.Configs()) != len(cfg.Fleet.Configs()) {
+		return nil, fmt.Errorf("des: source universe (%d configs) does not match fleet (%d)",
+			len(cfg.Source.Configs()), len(cfg.Fleet.Configs()))
+	}
+	fail := cfg.Failover
+	if fail == nil {
+		fail = FixedDetection{Delay: 30 * time.Second}
+	}
+	nDC := cfg.Fleet.NumDCs()
+	for _, df := range cfg.Failures {
+		if df.DC < 0 || int(df.DC) >= nDC {
+			return nil, fmt.Errorf("des: failure schedules DC %d, fleet has %d", df.DC, nDC)
+		}
+	}
+	e := &Engine{
+		f:          cfg.Fleet,
+		src:        cfg.Source,
+		place:      cfg.Placement,
+		admit:      cfg.Admission,
+		fail:       fail,
+		tw:         cfg.Trace,
+		policyName: cfg.Placement.Name(),
+		q:          NewQueue(4096),
+		polRng:     NewStream(cfg.Seed, StreamPolicy),
+		failRng:    NewStream(cfg.Seed, StreamFailover),
+		downTruth:  make([]bool, nDC),
+		failedAt:   make([]int64, nDC),
+		dcHead:     make([]*Call, nDC),
+		scratch:    make([]int32, 0, nDC),
+	}
+	e.usage = Usage{
+		Cores:    make([]float64, nDC),
+		Gbps:     make([]float64, len(cfg.Fleet.CapGbps)),
+		CapCores: cfg.Fleet.CapCores,
+		CapGbps:  cfg.Fleet.CapGbps,
+		Down:     make([]bool, nDC),
+	}
+	for _, df := range cfg.Failures {
+		e.seq++
+		e.q.Push(Event{At: int64(df.At), Seq: e.seq, Pri: PriFleet, Kind: KindDCFail, DC: df.DC})
+		if df.Recover > df.At {
+			e.seq++
+			e.q.Push(Event{At: int64(df.Recover), Seq: e.seq, Pri: PriFleet, Kind: KindDCRecover, DC: df.DC})
+		}
+	}
+	return e, nil
+}
+
+// Run drains the event queue and returns the aggregate result. Everything
+// downstream of the first Pop is the annotated hot path: one call costs two
+// heap-free queue operations plus pooled bookkeeping, which is what holds
+// 10M calls to single-digit seconds on one core.
+func (e *Engine) Run() (Result, error) {
+	e.scheduleNextArrival()
+	for {
+		ev, ok := e.q.Pop()
+		if !ok {
+			break
+		}
+		e.step(ev)
+	}
+	if err := e.tw.Close(); err != nil {
+		return Result{}, fmt.Errorf("des: decision trace: %w", err)
+	}
+	r := Result{
+		Calls:                e.calls,
+		Placed:               e.placed,
+		Rejected:             e.rejected,
+		Migrated:             e.migrated,
+		Overflowed:           e.overflowed,
+		Events:               e.q.Popped(),
+		DroppedEvents:        e.q.Pushed() - e.q.Popped() - uint64(e.q.Len()),
+		MaxQueueLen:          e.q.MaxLen(),
+		PeakConcurrent:       e.peakConcurrent,
+		MaxCoreUtil:          e.maxUtil,
+		DisruptedCallSeconds: e.disruptedNs / 1e9,
+		TraceLines:           e.tw.Lines(),
+	}
+	if e.placed > 0 {
+		r.MeanACLms = e.aclSum / float64(e.placed)
+		r.RegretMeanMs = e.regretSum / float64(e.placed)
+		r.OverflowShare = float64(e.overflowed) / float64(e.placed)
+	}
+	return r, nil
+}
+
+// step dispatches one event. This is the engine's inner loop: everything it
+// reaches must stay heap-allocation-free outside the justified escapes
+// (queue growth, call-pool growth, sampled trace emission, and the injected
+// policy interfaces).
+//
+//sblint:hotpath
+func (e *Engine) step(ev Event) {
+	switch ev.Kind {
+	case KindArrive:
+		e.arrive(ev)
+	case KindDepart:
+		e.depart(ev.Call)
+	case KindDCFail:
+		e.dcFail(ev)
+	case KindSweep:
+		e.sweep(ev)
+	case KindDCRecover:
+		e.dcRecover(ev.DC)
+	}
+}
+
+// scheduleNextArrival pulls one arrival from the source — the queue holds at
+// most one pending arrival, so queue depth tracks concurrency, not total
+// calls.
+func (e *Engine) scheduleNextArrival() {
+	if !e.src.Next(&e.pending) { //sblint:allowalloc(source is an injected interface; built-in sources are allocation-free)
+		return
+	}
+	a := &e.pending
+	call := e.alloc()
+	call.id = a.ID
+	call.cfg = a.Cfg
+	call.end = a.At + a.Dur
+	e.calls++
+	e.seq++
+	e.q.Push(Event{At: a.At, Seq: e.seq, Pri: PriArrive, Kind: KindArrive, Call: call})
+}
+
+func (e *Engine) alloc() *Call {
+	if c := e.free; c != nil {
+		e.free = c.next
+		c.next = nil
+		return c
+	}
+	return &Call{} //sblint:allowalloc(call pool growth; steady state reuses departed calls)
+}
+
+func (e *Engine) release(c *Call) {
+	c.prev = nil
+	c.next = e.free
+	e.free = c
+}
+
+// candidates returns the config's feasible DCs with detected-down ones
+// filtered out, falling back to the unfiltered list when every candidate is
+// down (the call must land somewhere; real controllers do the same).
+func (e *Engine) candidates(c int32) []int32 {
+	cands := e.f.cands[c]
+	if e.nDown == 0 {
+		return cands
+	}
+	s := e.scratch[:0]
+	for _, x := range cands {
+		if !e.usage.Down[x] {
+			s = append(s, x) //sblint:allowalloc(scratch is preallocated to the DC count)
+		}
+	}
+	if len(s) == 0 {
+		return cands
+	}
+	return s
+}
+
+func (e *Engine) arrive(ev Event) {
+	call := ev.Call
+	c := call.cfg
+	cands := e.candidates(c)
+	if e.admit != nil && !e.admit.Admit(e.f, c, cands, &e.usage) { //sblint:allowalloc(admission is an injected interface; built-in policies are allocation-free)
+		e.rejected++
+		if e.tw.Sampled(call.id) {
+			e.tw.EmitCall(e.f, &e.usage, call.id, ev.At, c, cands[0], cands, e.policyName, "rejected")
+		}
+		e.release(call)
+		e.scheduleNextArrival()
+		return
+	}
+	dc := e.place.Choose(e.f, c, cands, &e.usage, &e.polRng) //sblint:allowalloc(placement is an injected interface; built-in policies are allocation-free)
+	status := ""
+	if !e.usage.FitsCompute(dc, e.f.cores[c]) {
+		e.overflowed++
+		status = "overflow"
+	}
+	if e.tw.Sampled(call.id) {
+		e.tw.EmitCall(e.f, &e.usage, call.id, ev.At, c, dc, cands, e.policyName, status)
+	}
+	e.host(call, dc, ev.At)
+	e.placed++
+	e.aclSum += e.f.acl[c][dc]
+	e.regretSum += e.f.acl[c][dc] - e.f.acl[c][cands[0]]
+	e.seq++
+	e.q.Push(Event{At: call.end, Seq: e.seq, Pri: PriDepart, Kind: KindDepart, Call: call})
+	e.scheduleNextArrival()
+}
+
+// host charges a call's resources to dc and links it into the DC's list.
+func (e *Engine) host(call *Call, dc int32, now int64) {
+	call.dc = dc
+	call.placedAt = now
+	call.prev = nil
+	call.next = e.dcHead[dc]
+	if call.next != nil {
+		call.next.prev = call
+	}
+	e.dcHead[dc] = call
+	e.usage.Cores[dc] += e.f.cores[call.cfg]
+	if cap := e.usage.CapCores[dc]; cap > 0 {
+		if u := e.usage.Cores[dc] / cap; u > e.maxUtil {
+			e.maxUtil = u
+		}
+	}
+	for _, ll := range e.f.links[call.cfg][dc] {
+		e.usage.Gbps[ll.Link] += ll.Gbps
+	}
+	e.concurrent++
+	if e.concurrent > e.peakConcurrent {
+		e.peakConcurrent = e.concurrent
+	}
+}
+
+// unhost releases a call's resources and unlinks it from its DC's list.
+func (e *Engine) unhost(call *Call) {
+	dc := call.dc
+	if call.prev != nil {
+		call.prev.next = call.next
+	} else {
+		e.dcHead[dc] = call.next
+	}
+	if call.next != nil {
+		call.next.prev = call.prev
+	}
+	e.usage.Cores[dc] -= e.f.cores[call.cfg]
+	for _, ll := range e.f.links[call.cfg][dc] {
+		e.usage.Gbps[ll.Link] -= ll.Gbps
+	}
+	e.concurrent--
+}
+
+func (e *Engine) depart(call *Call) {
+	e.unhost(call)
+	e.release(call)
+}
+
+// dcFail marks ground truth and schedules the detection sweep. The gap
+// between the two is the failover policy's detection delay — arrivals keep
+// landing on the dead DC until the sweep, as they would in production.
+func (e *Engine) dcFail(ev Event) {
+	dc := ev.DC
+	if e.downTruth[dc] {
+		return
+	}
+	e.downTruth[dc] = true
+	e.failedAt[dc] = ev.At
+	delay := e.fail.DetectionDelay(dc, &e.failRng) //sblint:allowalloc(failover timing is an injected interface; built-in policies are allocation-free)
+	e.seq++
+	e.q.Push(Event{At: ev.At + int64(delay), Seq: e.seq, Pri: PriFleet, Kind: KindSweep, DC: dc})
+}
+
+// sweep is failure detection: the controller finally sees the DC down and
+// migrates its calls to surviving candidates. Each call's disruption spans
+// from when it lost service (DC failing, or landing on the already-dead DC)
+// to now.
+func (e *Engine) sweep(ev Event) {
+	dc := ev.DC
+	if !e.downTruth[dc] {
+		return // recovered before detection: nothing to do
+	}
+	if !e.usage.Down[dc] {
+		e.usage.Down[dc] = true
+		e.nDown++
+	}
+	migrated := 0
+	for call := e.dcHead[dc]; call != nil; {
+		next := call.next
+		e.unhost(call)
+		from := e.failedAt[dc]
+		if call.placedAt > from {
+			from = call.placedAt
+		}
+		e.disruptedNs += float64(ev.At - from)
+		cands := e.candidates(call.cfg)
+		ndc := e.place.Choose(e.f, call.cfg, cands, &e.usage, &e.polRng) //sblint:allowalloc(placement is an injected interface; built-in policies are allocation-free)
+		if !e.usage.FitsCompute(ndc, e.f.cores[call.cfg]) {
+			e.overflowed++
+		}
+		e.host(call, ndc, ev.At)
+		e.migrated++
+		migrated++
+		call = next
+	}
+	e.tw.EmitFailover(e.f, ev.At, dc, migrated, ev.At-e.failedAt[dc])
+}
+
+func (e *Engine) dcRecover(dc int32) {
+	if !e.downTruth[dc] {
+		return
+	}
+	e.downTruth[dc] = false
+	e.failedAt[dc] = 0
+	if e.usage.Down[dc] {
+		e.usage.Down[dc] = false
+		e.nDown--
+	}
+}
+
+// Run is the one-shot convenience wrapper: build an engine and drain it.
+func Run(cfg Config) (Result, error) {
+	e, err := NewEngine(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return e.Run()
+}

@@ -1,0 +1,141 @@
+package des
+
+import (
+	"fmt"
+	"sort"
+
+	"switchboard/internal/geo"
+	"switchboard/internal/model"
+)
+
+// LinkLoad is one WAN link's bandwidth share of a hosted call.
+type LinkLoad struct {
+	Link int32
+	Gbps float64
+}
+
+// Fleet is the simulated datacenter fleet: the geo world's DCs and links,
+// a config universe, and — precomputed once so the event loop never touches
+// graph algorithms — per-(config, DC) compute load, ACL, link loads, and the
+// latency-feasible candidate order. Capacities are set separately so one
+// fleet can be swept under many provisioning hypotheses.
+type Fleet struct {
+	World *geo.World
+	// CapCores[x] / CapGbps[l] are the provisioned capacities.
+	CapCores []float64
+	CapGbps  []float64
+
+	cfgs  []model.CallConfig
+	cores []float64      // cores[c]: compute load of one config-c call
+	acl   [][]float64    // acl[c][x]: average call latency (ms) hosted at x
+	links [][][]LinkLoad // links[c][x]: per-link Gbps of a config-c call at x
+	cands [][]int32      // cands[c]: feasible DCs by ascending ACL (Eq 4 + min-ACL fallback)
+}
+
+// NewFleet precomputes the placement tables for the config universe over w.
+// latThreshMs is LAT_th (Eq 4): a DC is a candidate for a config when the
+// config's ACL there stays under the threshold; a config no DC satisfies
+// falls back to its single lowest-ACL DC, like the provisioning LP does.
+func NewFleet(w *geo.World, cfgs []model.CallConfig, latThreshMs float64) (*Fleet, error) {
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("des: empty config universe")
+	}
+	nDC := len(w.DCs())
+	f := &Fleet{
+		World:    w,
+		CapCores: make([]float64, nDC),
+		CapGbps:  make([]float64, len(w.Links())),
+		cfgs:     cfgs,
+		cores:    make([]float64, len(cfgs)),
+		acl:      make([][]float64, len(cfgs)),
+		links:    make([][][]LinkLoad, len(cfgs)),
+		cands:    make([][]int32, len(cfgs)),
+	}
+	for c, cfg := range cfgs {
+		if len(cfg.Spread) == 0 {
+			return nil, fmt.Errorf("des: config %d has an empty spread", c)
+		}
+		f.cores[c] = cfg.ComputeLoad()
+		f.acl[c] = make([]float64, nDC)
+		f.links[c] = make([][]LinkLoad, nDC)
+		for x := 0; x < nDC; x++ {
+			f.acl[c][x] = cfg.ACL(w, x)
+			f.links[c][x] = pathLoads(w, cfg, x)
+		}
+		var cands []int32
+		for x := 0; x < nDC; x++ {
+			if f.acl[c][x] <= latThreshMs {
+				cands = append(cands, int32(x))
+			}
+		}
+		if len(cands) == 0 {
+			best := 0
+			for x := 1; x < nDC; x++ {
+				if f.acl[c][x] < f.acl[c][best] {
+					best = x
+				}
+			}
+			cands = []int32{int32(best)}
+		}
+		aclRow := f.acl[c]
+		sort.SliceStable(cands, func(i, j int) bool {
+			a, b := aclRow[cands[i]], aclRow[cands[j]]
+			if a != b {
+				return a < b
+			}
+			return cands[i] < cands[j]
+		})
+		f.cands[c] = cands
+	}
+	return f, nil
+}
+
+// SetCapacity installs the provisioned capacities (copied).
+func (f *Fleet) SetCapacity(capCores, capGbps []float64) error {
+	if len(capCores) != len(f.CapCores) || len(capGbps) != len(f.CapGbps) {
+		return fmt.Errorf("des: capacity vectors sized %d/%d, want %d/%d",
+			len(capCores), len(capGbps), len(f.CapCores), len(f.CapGbps))
+	}
+	copy(f.CapCores, capCores)
+	copy(f.CapGbps, capGbps)
+	return nil
+}
+
+// Configs returns the config universe.
+func (f *Fleet) Configs() []model.CallConfig { return f.cfgs }
+
+// NumDCs returns the fleet size.
+func (f *Fleet) NumDCs() int { return len(f.CapCores) }
+
+// Cores returns the compute load of one config-c call.
+func (f *Fleet) Cores(c int32) float64 { return f.cores[c] }
+
+// ACL returns config c's average call latency hosted at DC x.
+func (f *Fleet) ACL(c, x int32) float64 { return f.acl[c][x] }
+
+// Links returns config c's per-link loads when hosted at DC x.
+func (f *Fleet) Links(c, x int32) []LinkLoad { return f.links[c][x] }
+
+// Candidates returns config c's latency-feasible DCs by ascending ACL.
+func (f *Fleet) Candidates(c int32) []int32 { return f.cands[c] }
+
+// DCName returns the datacenter's name (for traces and reports).
+func (f *Fleet) DCName(x int32) string { return f.World.DCs()[x].Name }
+
+// pathLoads computes a config's per-link Gbps at a hosting DC, sorted by
+// link index (map iteration order must not leak into the tables).
+func pathLoads(w *geo.World, cfg model.CallConfig, dc int) []LinkLoad {
+	perLink := make(map[int]float64)
+	mbps := cfg.Media.NetworkLoad()
+	for _, cc := range cfg.Spread {
+		for _, l := range w.Path(dc, cc.Country) {
+			perLink[l] += mbps * float64(cc.Count) / 1000
+		}
+	}
+	out := make([]LinkLoad, 0, len(perLink))
+	for l, g := range perLink {
+		out = append(out, LinkLoad{Link: int32(l), Gbps: g})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Link < out[j].Link })
+	return out
+}

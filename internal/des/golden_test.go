@@ -1,0 +1,207 @@
+package des
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"switchboard/internal/geo"
+	"switchboard/internal/obs/span"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/sim_spans.jsonl from the canonical scenario")
+
+const (
+	simGolden  = "testdata/sim_spans.jsonl"
+	liveGolden = "testdata/live_controller_spans.jsonl"
+)
+
+// goldenTrace runs the canonical fixture scenario: 400 calls over one
+// simulated day, a midday DC outage, 1-in-20 sampling. Small enough to check
+// in, rich enough to cover every record shape EmitCall/EmitFailover produce.
+func goldenTrace(t *testing.T) []byte {
+	t.Helper()
+	w := geo.DefaultWorld()
+	src, err := NewSynthSource(w, SynthConfig{Seed: 11, Calls: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFleet(w, src.Configs(), 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cores, gbps := src.ExpectedPeakLoad(f)
+	for i := range cores {
+		cores[i] *= 1.25
+	}
+	if err := f.SetCapacity(cores, gbps); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tw := NewTrace(&buf, 11, time.Date(2022, 9, 5, 0, 0, 0, 0, time.UTC), 20)
+	_, err = Run(Config{
+		Fleet:     f,
+		Source:    src,
+		Placement: LowestACL{},
+		Failover:  FixedDetection{Delay: 30 * time.Second},
+		Failures:  []DCFailure{{DC: 0, At: 13 * time.Hour, Recover: 15 * time.Hour}},
+		Seed:      11,
+		Trace:     tw,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenSimTrace pins the simulated decision trace byte for byte. A
+// change here means the on-disk trace format (or the engine's decision
+// sequence) moved — regenerate with `go test ./internal/des -run Golden
+// -update` and re-check cmd/sbtrace against the new fixture.
+func TestGoldenSimTrace(t *testing.T) {
+	got := goldenTrace(t)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(simGolden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(simGolden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", simGolden, len(got))
+		return
+	}
+	want, err := os.ReadFile(simGolden)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		i := 0
+		for i < len(got) && i < len(want) && got[i] == want[i] {
+			i++
+		}
+		t.Fatalf("simulated trace diverged from golden at byte %d (got %d bytes, want %d); regenerate with -update if intentional",
+			i, len(got), len(want))
+	}
+}
+
+// readFixture parses a fixture through span.ReadRecords — the same parser
+// cmd/sbtrace uses — so the test proves both traces go through the one
+// toolchain.
+func readFixture(t *testing.T, path string) []span.Record {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = f.Close() }()
+	recs, err := span.ReadRecords(f)
+	if err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	if len(recs) == 0 {
+		t.Fatalf("%s: no records", path)
+	}
+	return recs
+}
+
+// auditRecords applies the structural checks cmd/sbtrace relies on —
+// nonzero IDs, resolvable parentage within the trace, at least one root per
+// trace, positive durations — and returns the set of leg names.
+func auditRecords(t *testing.T, path string, recs []span.Record) map[string]bool {
+	t.Helper()
+	spansByTrace := map[span.ID]map[span.ID]bool{}
+	for _, r := range recs {
+		if r.Trace == 0 || r.Span == 0 {
+			t.Errorf("%s: record %q has a zero trace/span ID", path, r.Name)
+		}
+		if r.Duration <= 0 {
+			t.Errorf("%s: span %s (%q) has non-positive duration %v", path, r.Span, r.Name, r.Duration)
+		}
+		m := spansByTrace[r.Trace]
+		if m == nil {
+			m = map[span.ID]bool{}
+			spansByTrace[r.Trace] = m
+		}
+		m[r.Span] = true
+	}
+	legs := map[string]bool{}
+	roots := map[span.ID]bool{}
+	for _, r := range recs {
+		legs[r.Name] = true
+		if r.Parent == 0 {
+			roots[r.Trace] = true
+		} else if !spansByTrace[r.Trace][r.Parent] {
+			t.Errorf("%s: span %s (%q) references parent %s outside its trace", path, r.Span, r.Name, r.Parent)
+		}
+	}
+	for tr := range spansByTrace {
+		if !roots[tr] {
+			t.Errorf("%s: trace %s has no root span", path, tr)
+		}
+	}
+	return legs
+}
+
+// TestSimTraceParsesLikeLive is the format-compatibility contract: the
+// simulated fixture and a span log captured from a live `switchboard
+// -span-log` run (testdata/live_controller_spans.jsonl, recorded against the
+// real HTTP API) must parse through span.ReadRecords — cmd/sbtrace's reader —
+// into structurally identical records, and every controller leg the engine
+// synthesizes must be a leg the live controller actually emits, so sbtrace's
+// per-leg tables line up across the two.
+func TestSimTraceParsesLikeLive(t *testing.T) {
+	sim := readFixture(t, simGolden)
+	live := readFixture(t, liveGolden)
+
+	simLegs := auditRecords(t, simGolden, sim)
+	liveLegs := auditRecords(t, liveGolden, live)
+
+	for _, leg := range []string{"controller.start", "controller.persist", "kv.HSET", "controller.faildc"} {
+		if !simLegs[leg] {
+			t.Errorf("simulated trace missing live leg %q", leg)
+		}
+		if !liveLegs[leg] {
+			t.Errorf("live fixture missing leg %q (was it captured with the full drive script?)", leg)
+		}
+	}
+	// The engine's own legs are namespaced sim.* so they can never shadow a
+	// live leg in a mixed analysis.
+	for leg := range simLegs {
+		if !liveLegs[leg] && leg != "sim.call" && leg != "sim.whatif" {
+			t.Errorf("simulated trace emits leg %q that the live controller does not", leg)
+		}
+	}
+
+	// Round-trip: marshaling a parsed simulated record reproduces every field
+	// of its input line (attr order is canonicalized by the parser, so the
+	// comparison is on JSON values, not bytes).
+	raw, err := os.ReadFile(simGolden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimRight(raw, "\n"), []byte("\n"))
+	if len(lines) != len(sim) {
+		t.Fatalf("fixture has %d lines but parsed to %d records", len(lines), len(sim))
+	}
+	for i, r := range sim {
+		b, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got, want map[string]any
+		if err := json.Unmarshal(b, &got); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(lines[i], &want); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("record %d does not round-trip:\n got %s\nwant %s", i, b, lines[i])
+		}
+	}
+}

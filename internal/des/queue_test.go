@@ -1,0 +1,126 @@
+package des
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestQueueOrdering pushes a shuffled schedule and checks the drain order is
+// exactly (At, Pri, Seq).
+func TestQueueOrdering(t *testing.T) {
+	type key struct {
+		at  int64
+		pri uint8
+		seq uint64
+	}
+	rng := NewStream(7, 99)
+	var want []key
+	q := NewQueue(0)
+	for i := 0; i < 5000; i++ {
+		k := key{
+			at:  int64(rng.Intn(64)),
+			pri: uint8(rng.Intn(3)),
+			seq: uint64(i),
+		}
+		want = append(want, k)
+		q.Push(Event{At: k.at, Pri: k.pri, Seq: k.seq})
+	}
+	sort.Slice(want, func(i, j int) bool {
+		a, b := want[i], want[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.pri != b.pri {
+			return a.pri < b.pri
+		}
+		return a.seq < b.seq
+	})
+	for i, k := range want {
+		ev, ok := q.Pop()
+		if !ok {
+			t.Fatalf("queue empty after %d pops, want %d", i, len(want))
+		}
+		if ev.At != k.at || ev.Pri != k.pri || ev.Seq != k.seq {
+			t.Fatalf("pop %d = (%d,%d,%d), want (%d,%d,%d)",
+				i, ev.At, ev.Pri, ev.Seq, k.at, k.pri, k.seq)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("queue should be empty")
+	}
+	if q.Pushed() != 5000 || q.Popped() != 5000 {
+		t.Fatalf("pushed/popped = %d/%d, want 5000/5000", q.Pushed(), q.Popped())
+	}
+	if q.MaxLen() != 5000 {
+		t.Fatalf("MaxLen = %d, want 5000", q.MaxLen())
+	}
+}
+
+// TestQueuePriorities checks the semantic ordering at one instant:
+// departures, then fleet events, then arrivals.
+func TestQueuePriorities(t *testing.T) {
+	q := NewQueue(4)
+	q.Push(Event{At: 10, Pri: PriArrive, Seq: 1, Kind: KindArrive})
+	q.Push(Event{At: 10, Pri: PriDepart, Seq: 2, Kind: KindDepart})
+	q.Push(Event{At: 10, Pri: PriFleet, Seq: 3, Kind: KindDCFail})
+	wantKinds := []uint8{KindDepart, KindDCFail, KindArrive}
+	for i, want := range wantKinds {
+		ev, ok := q.Pop()
+		if !ok || ev.Kind != want {
+			t.Fatalf("pop %d kind = %d (ok=%v), want %d", i, ev.Kind, ok, want)
+		}
+	}
+}
+
+// TestStreamIndependence checks that distinct stream IDs from one seed
+// produce distinct sequences, and identical (seed, id) replays exactly.
+func TestStreamIndependence(t *testing.T) {
+	a1 := NewStream(42, StreamWorkload)
+	a2 := NewStream(42, StreamWorkload)
+	b := NewStream(42, StreamPolicy)
+	var sameAB bool
+	for i := 0; i < 100; i++ {
+		x := a1.Uint64()
+		if y := a2.Uint64(); x != y {
+			t.Fatalf("same (seed,id) diverged at draw %d: %d vs %d", i, x, y)
+		}
+		if x == b.Uint64() {
+			sameAB = true
+		}
+	}
+	if sameAB {
+		t.Fatal("distinct stream IDs produced overlapping draws")
+	}
+	c := NewStream(43, StreamWorkload)
+	d := NewStream(42, StreamWorkload)
+	if c.Uint64() == d.Uint64() {
+		t.Fatal("distinct seeds produced the same first draw")
+	}
+}
+
+// TestStreamDistributions sanity-checks the derived draws.
+func TestStreamDistributions(t *testing.T) {
+	s := NewStream(1, StreamWorkload)
+	var sum float64
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+		sum += f
+	}
+	if mean := sum / 10000; mean < 0.45 || mean > 0.55 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+	var esum float64
+	for i := 0; i < 10000; i++ {
+		e := s.Exp(5)
+		if e < 0 {
+			t.Fatalf("Exp draw negative: %v", e)
+		}
+		esum += e
+	}
+	if mean := esum / 10000; mean < 4.5 || mean > 5.5 {
+		t.Fatalf("Exp(5) mean = %v, want ~5", mean)
+	}
+}

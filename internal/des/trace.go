@@ -1,0 +1,262 @@
+package des
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"strconv"
+	"time"
+
+	"switchboard/internal/obs/span"
+)
+
+// Trace writes the engine's decision trace as span JSONL — the exact record
+// format the live controller's -span-log emits and cmd/sbtrace reads, so one
+// toolchain analyzes production and simulation alike. Spans are constructed
+// directly (span.Tracer stamps wall-clock time, which a deterministic engine
+// must never touch): timestamps are origin + virtual ns, IDs come from a
+// seeded stream, and control-plane leg durations (controller.start, kv.HSET,
+// controller.persist) are synthesized from a second stream calibrated to the
+// live path's latencies. Same seed, same workload ⇒ byte-identical output.
+//
+// Each sampled call also carries counterfactual "sim.whatif" children: for
+// every latency-feasible candidate DC, the ACL delta and whether the call
+// would have fit there at decision time — the "what if this call had been
+// placed at DC j" record a live controller cannot afford to emit.
+type Trace struct {
+	w      *bufio.Writer
+	origin time.Time
+	ids    Stream
+	lat    Stream
+	every  uint64
+	lines  uint64
+	err    error
+}
+
+// NewTrace returns a writer sampling one call in every `every` (minimum 1).
+// origin anchors virtual time zero; it is normalized to UTC so the output
+// does not depend on the host time zone.
+func NewTrace(w io.Writer, seed int64, origin time.Time, every int) *Trace {
+	if every < 1 {
+		every = 1
+	}
+	return &Trace{
+		w:      bufio.NewWriterSize(w, 1<<16),
+		origin: origin.UTC(),
+		ids:    NewStream(seed, StreamTraceIDs),
+		lat:    NewStream(seed, StreamTraceLatency),
+		every:  uint64(every),
+	}
+}
+
+// Sampled reports whether call id is in the sample. Deterministic in the call
+// ID alone, so the same calls are sampled under every policy — traces from a
+// sweep are directly comparable.
+func (t *Trace) Sampled(id uint64) bool {
+	return t != nil && id%t.every == 0
+}
+
+// Lines returns the number of records written.
+func (t *Trace) Lines() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.lines
+}
+
+// Err returns the first write error.
+func (t *Trace) Err() error {
+	if t == nil {
+		return nil
+	}
+	return t.err
+}
+
+// Close flushes buffered records.
+func (t *Trace) Close() error {
+	if t == nil {
+		return nil
+	}
+	if err := t.w.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	return t.err
+}
+
+func (t *Trace) nextID() span.ID {
+	for {
+		if id := span.ID(t.ids.Uint64()); id != 0 {
+			return id
+		}
+	}
+}
+
+// write marshals and appends one record.
+//
+//sblint:allowalloc(record encoding; only reached from sampled trace emission)
+func (t *Trace) write(r *span.Record) {
+	b, err := json.Marshal(r)
+	if err != nil {
+		if t.err == nil {
+			t.err = err
+		}
+		return
+	}
+	b = append(b, '\n')
+	if _, err := t.w.Write(b); err != nil && t.err == nil {
+		t.err = err
+	}
+	t.lines++
+}
+
+func (t *Trace) at(virtualNs int64) time.Time {
+	return t.origin.Add(time.Duration(virtualNs))
+}
+
+// latency draws a synthetic control-plane leg duration: floor + Exp(mean).
+func (t *Trace) latency(floor, mean time.Duration) time.Duration {
+	return floor + time.Duration(t.lat.Exp(float64(mean)))
+}
+
+// EmitCall writes one sampled placement decision: a sim.call root over the
+// live controller's leg names, plus per-candidate counterfactuals. status is
+// "" for a clean placement, "overflow" when the call was hosted over
+// capacity, "rejected" when admission refused it (dc is then the DC the
+// policy would have chosen). Children are written before the root, matching
+// the live exporter's end-order stream.
+//
+//sblint:allowalloc(trace emission runs only for sampled calls; sampling keeps it off the per-event budget)
+func (t *Trace) EmitCall(f *Fleet, u *Usage, id uint64, atNs int64, c, dc int32, cands []int32, policy, status string) {
+	if t == nil {
+		return
+	}
+	traceID := t.nextID()
+	rootID := t.nextID()
+	rootStart := t.at(atNs)
+
+	// controller.start — the placement decision leg.
+	startID := t.nextID()
+	startDur := t.latency(50*time.Microsecond, 120*time.Microsecond)
+	startAt := rootStart.Add(5 * time.Microsecond)
+
+	// Counterfactual children: what if this call had been hosted at each
+	// feasible candidate instead.
+	chosenACL := f.ACL(c, dc)
+	cores := f.Cores(c)
+	whatAt := startAt.Add(2 * time.Microsecond)
+	for _, x := range cands {
+		wiDur := t.latency(200*time.Nanosecond, 500*time.Nanosecond)
+		fits := u.FitsCompute(x, cores)
+		t.write(&span.Record{
+			Trace:    traceID,
+			Span:     t.nextID(),
+			Parent:   startID,
+			Name:     "sim.whatif",
+			Start:    whatAt,
+			Duration: wiDur,
+			Attrs: span.Attrs{
+				{Key: "dc", Value: f.DCName(x)},
+				{Key: "acl_ms", Value: formatMs(f.ACL(c, x))},
+				{Key: "delta_ms", Value: formatMs(f.ACL(c, x) - chosenACL)},
+				{Key: "fits", Value: strconv.FormatBool(fits)},
+			},
+		})
+		whatAt = whatAt.Add(wiDur)
+	}
+	t.write(&span.Record{
+		Trace:    traceID,
+		Span:     startID,
+		Parent:   rootID,
+		Name:     "controller.start",
+		Start:    startAt,
+		Duration: startDur,
+		Attrs: span.Attrs{
+			{Key: "dc", Value: f.DCName(dc)},
+			{Key: "policy", Value: policy},
+			{Key: "acl_ms", Value: formatMs(chosenACL)},
+		},
+	})
+
+	rootDur := startDur + 45*time.Microsecond
+	rootAttrs := span.Attrs{
+		{Key: "call", Value: strconv.FormatUint(id, 10)},
+		{Key: "config", Value: strconv.FormatInt(int64(c), 10)},
+		{Key: "dc", Value: f.DCName(dc)},
+		{Key: "policy", Value: policy},
+		{Key: "acl_ms", Value: formatMs(chosenACL)},
+	}
+	rootStatus := ""
+	switch status {
+	case "rejected":
+		// Admission refused the call: no persist leg, error status.
+		rootStatus = "error"
+		rootAttrs = append(rootAttrs, span.Attr{Key: "error", Value: "admission rejected"})
+	default:
+		// controller.persist with its kv.HSET leg, as the live path records.
+		persistID := t.nextID()
+		hsetDur := t.latency(180*time.Microsecond, 350*time.Microsecond)
+		persistDur := hsetDur + t.latency(80*time.Microsecond, 60*time.Microsecond)
+		persistAt := startAt.Add(startDur + 10*time.Microsecond)
+		t.write(&span.Record{
+			Trace:    traceID,
+			Span:     t.nextID(),
+			Parent:   persistID,
+			Name:     "kv.HSET",
+			Start:    persistAt.Add(20 * time.Microsecond),
+			Duration: hsetDur,
+		})
+		t.write(&span.Record{
+			Trace:    traceID,
+			Span:     persistID,
+			Parent:   rootID,
+			Name:     "controller.persist",
+			Start:    persistAt,
+			Duration: persistDur,
+		})
+		rootDur += persistDur + 10*time.Microsecond
+		if status == "overflow" {
+			rootAttrs = append(rootAttrs, span.Attr{Key: "overflow", Value: "true"})
+		}
+	}
+	t.write(&span.Record{
+		Trace:    traceID,
+		Span:     rootID,
+		Name:     "sim.call",
+		Start:    rootStart,
+		Duration: rootDur,
+		Status:   rootStatus,
+		Attrs:    rootAttrs,
+	})
+}
+
+// EmitFailover writes one controller.faildc record for a detection sweep:
+// DC dc was detected down at virtual time atNs, detectNs after it actually
+// failed, and migrated calls were re-placed onto survivors.
+//
+//sblint:allowalloc(trace emission runs once per detection sweep, off the per-event budget)
+func (t *Trace) EmitFailover(f *Fleet, atNs int64, dc int32, migrated int, detectNs int64) {
+	if t == nil {
+		return
+	}
+	dur := t.latency(time.Millisecond, 2*time.Millisecond) +
+		time.Duration(migrated)*50*time.Microsecond
+	t.write(&span.Record{
+		Trace:    t.nextID(),
+		Span:     t.nextID(),
+		Name:     "controller.faildc",
+		Start:    t.at(atNs),
+		Duration: dur,
+		Attrs: span.Attrs{
+			{Key: "dc", Value: f.DCName(dc)},
+			{Key: "migrated", Value: strconv.Itoa(migrated)},
+			{Key: "detect_ms", Value: formatMs(float64(detectNs) / 1e6)},
+		},
+	})
+}
+
+// formatMs renders a millisecond value with fixed precision (stable bytes).
+//
+//sblint:allowalloc(attribute formatting; only reached from sampled trace emission)
+func formatMs(ms float64) string {
+	return strconv.FormatFloat(ms, 'f', 2, 64)
+}

@@ -1,0 +1,200 @@
+package eval
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"time"
+
+	"switchboard/internal/des"
+	"switchboard/internal/geo"
+)
+
+// DESSweepConfig parameterizes the million-call fleet sweep. It deliberately
+// does not take an Env: the sweep builds its own 12-DC fleet straight from
+// the geo world, so it runs in milliseconds of setup even at 10M calls.
+type DESSweepConfig struct {
+	// Calls per run (the workload replays identically under every policy).
+	Calls int
+	// Seed drives workload and engine streams.
+	Seed int64
+	// Policies are the placement policies to compare (des.PlacementByName).
+	Policies []string
+	// DetectDelays, when non-empty, adds a DC failure to every run and
+	// sweeps the failover detection delay over these values — the paper's
+	// failover-timing axis in one knob.
+	DetectDelays []time.Duration
+	// Headroom scales capacity over the workload's expected peak (0: 1.25).
+	Headroom float64
+	// TraceEvery samples 1-in-N calls into the decision trace
+	// (0: Calls/10000, min 1). The trace is written for the first
+	// (policy, delay) run only.
+	TraceEvery int
+}
+
+func (c *DESSweepConfig) withDefaults() DESSweepConfig {
+	out := *c
+	if out.Calls <= 0 {
+		out.Calls = 10_000_000
+	}
+	if out.Seed == 0 {
+		out.Seed = 1
+	}
+	if len(out.Policies) == 0 {
+		out.Policies = []string{"lowest-acl", "least-loaded", "power-of-two", "best-fit"}
+	}
+	if out.Headroom <= 0 {
+		out.Headroom = 1.25
+	}
+	if out.TraceEvery <= 0 {
+		out.TraceEvery = out.Calls / 10_000
+		if out.TraceEvery < 1 {
+			out.TraceEvery = 1
+		}
+	}
+	return out
+}
+
+// DESSweepRow is one (policy, detection delay) run.
+type DESSweepRow struct {
+	Policy string
+	// Detect is the failover detection delay (zero on no-failure runs).
+	Detect time.Duration
+	Res    des.Result
+}
+
+// desOrigin anchors virtual time zero, matching the synthetic trace
+// generator's default start so simulated and generated timestamps align.
+var desOrigin = time.Date(2022, 9, 5, 0, 0, 0, 0, time.UTC)
+
+// desScenario builds the fleet and a fresh workload for one run. The
+// workload is reconstructed per run from the same seed, so every policy and
+// every detection delay sees the identical arrival stream.
+func desScenario(cfg DESSweepConfig) (*des.Fleet, *des.SynthSource, error) {
+	w := geo.DefaultWorld()
+	src, err := des.NewSynthSource(w, des.SynthConfig{Seed: cfg.Seed, Calls: cfg.Calls})
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := des.NewFleet(w, src.Configs(), 120)
+	if err != nil {
+		return nil, nil, err
+	}
+	cores, gbps := src.ExpectedPeakLoad(f)
+	for i := range cores {
+		cores[i] *= cfg.Headroom
+	}
+	for i := range gbps {
+		gbps[i] *= cfg.Headroom
+	}
+	if err := f.SetCapacity(cores, gbps); err != nil {
+		return nil, nil, err
+	}
+	return f, src, nil
+}
+
+// desFailure is the sweep's outage scenario: the workload's busiest DC dies
+// at the diurnal peak and recovers two hours later.
+func desFailure(f *des.Fleet) des.DCFailure {
+	busiest := int32(0)
+	for x := 1; x < f.NumDCs(); x++ {
+		if f.CapCores[x] > f.CapCores[busiest] {
+			busiest = int32(x)
+		}
+	}
+	return des.DCFailure{DC: busiest, At: 13 * time.Hour, Recover: 15 * time.Hour}
+}
+
+// DESSweep runs every (policy, detection delay) combination over the same
+// workload and returns one row per run. traceW, when non-nil, receives the
+// decision trace of the first run (span JSONL, sbtrace-compatible). The
+// returned rows are in policy-major order. An error is returned if any run
+// drops events — the engine's own audit, promoted to a hard failure so CI
+// smoke runs cannot silently pass a broken queue.
+func DESSweep(cfg DESSweepConfig, traceW io.Writer) ([]DESSweepRow, error) {
+	cfg = cfg.withDefaults()
+	delays := cfg.DetectDelays
+	withFailure := len(delays) > 0
+	if !withFailure {
+		delays = []time.Duration{0}
+	}
+	var rows []DESSweepRow
+	first := true
+	for _, pname := range cfg.Policies {
+		pol, ok := des.PlacementByName(pname)
+		if !ok {
+			return nil, fmt.Errorf("dessweep: unknown policy %q", pname)
+		}
+		for _, d := range delays {
+			f, src, err := desScenario(cfg)
+			if err != nil {
+				return nil, err
+			}
+			ec := des.Config{
+				Fleet:     f,
+				Source:    src,
+				Placement: pol,
+				Seed:      cfg.Seed,
+			}
+			if withFailure {
+				ec.Failover = des.FixedDetection{Delay: d}
+				ec.Failures = []des.DCFailure{desFailure(f)}
+			}
+			if first && traceW != nil {
+				ec.Trace = des.NewTrace(traceW, cfg.Seed, desOrigin, cfg.TraceEvery)
+			}
+			first = false
+			res, err := des.Run(ec)
+			if err != nil {
+				return nil, err
+			}
+			if res.DroppedEvents != 0 {
+				return nil, fmt.Errorf("dessweep: %s/%v dropped %d events", pname, d, res.DroppedEvents)
+			}
+			rows = append(rows, DESSweepRow{Policy: pname, Detect: d, Res: res})
+		}
+	}
+	return rows, nil
+}
+
+// DESSeedStable is the sweep's self-check: it runs the first policy twice at
+// a reduced call count with tracing on and reports whether the decision
+// traces are byte-identical (they must be) and whether a different seed
+// diverges (it must). Returns an error describing the first violation.
+func DESSeedStable(cfg DESSweepConfig) error {
+	cfg = cfg.withDefaults()
+	if cfg.Calls > 100_000 {
+		cfg.Calls = 100_000
+	}
+	cfg.TraceEvery = 10
+	cfg.Policies = cfg.Policies[:1]
+	run := func(seed int64) ([]byte, error) {
+		c := cfg
+		c.Seed = seed
+		var buf bytes.Buffer
+		if _, err := DESSweep(c, &buf); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+	a, err := run(cfg.Seed)
+	if err != nil {
+		return err
+	}
+	b, err := run(cfg.Seed)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(a, b) {
+		return fmt.Errorf("dessweep: same seed %d produced different decision traces (%d vs %d bytes)",
+			cfg.Seed, len(a), len(b))
+	}
+	c, err := run(cfg.Seed + 1)
+	if err != nil {
+		return err
+	}
+	if bytes.Equal(a, c) {
+		return fmt.Errorf("dessweep: seeds %d and %d produced identical traces", cfg.Seed, cfg.Seed+1)
+	}
+	return nil
+}

@@ -13,6 +13,7 @@ import (
 var deterministicPackages = []string{
 	"internal/trace",
 	"internal/sim",
+	"internal/des",
 	"internal/eval",
 	"internal/forecast",
 	"internal/predict",

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"switchboard/internal/des"
 	"switchboard/internal/model"
 	"switchboard/internal/provision"
 )
@@ -87,23 +88,7 @@ func (s *Simulator) RunFailureDrill(recs []*model.CallRecord, p Policy, failedDC
 		return nil, fmt.Errorf("sim: invalid failed DC %d", failedDC)
 	}
 
-	events := make([]event, 0, 2*len(recs))
-	for _, r := range recs {
-		if len(r.Legs) == 0 {
-			continue
-		}
-		events = append(events, event{at: r.Start, start: true, rec: r})
-		events = append(events, event{at: r.Start.Add(r.Duration), start: false, rec: r})
-	}
-	sort.Slice(events, func(i, j int) bool {
-		if !events[i].at.Equal(events[j].at) {
-			return events[i].at.Before(events[j].at)
-		}
-		if events[i].start != events[j].start {
-			return !events[i].start
-		}
-		return events[i].rec.ID < events[j].rec.ID
-	})
+	q := scheduleReplay(recs)
 
 	w := s.world
 	u := &Usage{
@@ -177,29 +162,34 @@ func (s *Simulator) RunFailureDrill(recs []*model.CallRecord, p Policy, failedDC
 		trackPostUtil()
 	}
 
-	for _, e := range events {
-		if !failed && !e.at.Before(failAt) {
+	for {
+		ev, ok := q.Pop()
+		if !ok {
+			break
+		}
+		at := replayAt(ev)
+		if !failed && !at.Before(failAt) {
 			failed = true
 			failover()
 		}
-		if !e.start {
-			if pl, ok := active[e.rec.ID]; ok {
-				delete(active, e.rec.ID)
+		if ev.Kind == des.KindReplayEnd {
+			if pl, ok := active[ev.Rec.ID]; ok {
+				delete(active, ev.Rec.ID)
 				remove(pl)
 			}
 			continue
 		}
 
-		cfg := e.rec.Config()
+		cfg := ev.Rec.Config()
 		pl := &drillPlacement{c: -1, cfg: cfg}
 		if c, known := s.configIx[cfg.Key()]; known {
 			pl.c = c
 			pl.cores = s.lm.ComputeLoad(c)
 			var dc int
 			if failed {
-				dc = masked.Choose(c, e.at, s.lm.Allowed(c), u)
+				dc = masked.Choose(c, at, s.lm.Allowed(c), u)
 			} else {
-				dc = p.Choose(c, e.at, s.lm.Allowed(c), u)
+				dc = p.Choose(c, at, s.lm.Allowed(c), u)
 			}
 			if dc < 0 || dc >= len(w.DCs()) {
 				return nil, fmt.Errorf("sim: policy %q chose invalid DC %d", p.Name(), dc)
@@ -255,7 +245,7 @@ func (s *Simulator) RunFailureDrill(recs []*model.CallRecord, p Policy, failedDC
 		if failed {
 			trackPostUtil()
 		}
-		active[e.rec.ID] = pl
+		active[ev.Rec.ID] = pl
 	}
 	if !failed {
 		return nil, fmt.Errorf("sim: failure instant %v after the last event", failAt)

@@ -9,6 +9,11 @@
 // validates its plans by replaying Teams calls; this simulator plays that
 // role for the synthetic substrate — it answers "does the plan actually
 // carry the calls?" rather than "does the LP bound the averages?".
+//
+// Event sequencing runs on internal/des's shared-clock queue: replay events
+// are keyed (instant, ends-before-starts, call ID), reproducing exactly the
+// ordering this package has always used, so results are stable across the
+// migration while both simulators share one scheduling core.
 package sim
 
 import (
@@ -17,8 +22,10 @@ import (
 	"sort"
 	"time"
 
+	"switchboard/internal/des"
 	"switchboard/internal/geo"
 	"switchboard/internal/model"
+	"switchboard/internal/obs"
 	"switchboard/internal/provision"
 	"switchboard/internal/records"
 )
@@ -180,11 +187,29 @@ func New(lm *provision.LoadModel, est *records.LatencyEstimator, capCores, capGb
 	return s, nil
 }
 
-// event is a call start or end.
-type event struct {
-	at    time.Time
-	start bool
-	rec   *model.CallRecord
+// scheduleReplay loads the records into a des event queue. The key — instant
+// first, ends before starts (PriDepart < PriArrive), then call ID as the
+// sequence — reproduces the comparator this package sorted with before the
+// engines shared a queue, so replay ordering (and every published number) is
+// unchanged.
+func scheduleReplay(recs []*model.CallRecord) *des.Queue {
+	q := des.NewQueue(2 * len(recs))
+	for _, r := range recs {
+		if len(r.Legs) == 0 {
+			continue
+		}
+		q.Push(des.Event{At: r.Start.UnixNano(), Seq: r.ID, Pri: des.PriArrive, Kind: des.KindReplayStart, Rec: r})
+		q.Push(des.Event{At: r.Start.Add(r.Duration).UnixNano(), Seq: r.ID, Pri: des.PriDepart, Kind: des.KindReplayEnd, Rec: r})
+	}
+	return q
+}
+
+// replayAt reconstructs an event's wall-clock instant from its record.
+func replayAt(ev des.Event) time.Time {
+	if ev.Kind == des.KindReplayStart {
+		return ev.Rec.Start
+	}
+	return ev.Rec.Start.Add(ev.Rec.Duration)
 }
 
 // Run replays the records in time order under the policy.
@@ -192,24 +217,7 @@ func (s *Simulator) Run(recs []*model.CallRecord, p Policy) (*Result, error) {
 	if p == nil {
 		return nil, fmt.Errorf("sim: nil policy")
 	}
-	events := make([]event, 0, 2*len(recs))
-	for _, r := range recs {
-		if len(r.Legs) == 0 {
-			continue
-		}
-		events = append(events, event{at: r.Start, start: true, rec: r})
-		events = append(events, event{at: r.Start.Add(r.Duration), start: false, rec: r})
-	}
-	sort.Slice(events, func(i, j int) bool {
-		if !events[i].at.Equal(events[j].at) {
-			return events[i].at.Before(events[j].at)
-		}
-		// Ends before starts at equal instants frees capacity first.
-		if events[i].start != events[j].start {
-			return !events[i].start
-		}
-		return events[i].rec.ID < events[j].rec.ID
-	})
+	q := scheduleReplay(recs)
 
 	w := s.world
 	u := &Usage{
@@ -234,9 +242,7 @@ func (s *Simulator) Run(recs []*model.CallRecord, p Policy) (*Result, error) {
 	var aclSum float64
 	releaser, _ := p.(Releaser)
 	var origin time.Time
-	if len(events) > 0 {
-		origin = events[0].at
-	}
+	originSet := false
 	trackTimeline := func(at time.Time, dc int) {
 		slot := model.SlotIndex(origin, at)
 		if slot < 0 {
@@ -250,13 +256,21 @@ func (s *Simulator) Run(recs []*model.CallRecord, p Policy) (*Result, error) {
 		}
 	}
 
-	for _, e := range events {
-		if !e.start {
-			pl, ok := active[e.rec.ID]
+	for {
+		ev, ok := q.Pop()
+		if !ok {
+			break
+		}
+		at := replayAt(ev)
+		if !originSet {
+			origin, originSet = at, true
+		}
+		if ev.Kind == des.KindReplayEnd {
+			pl, ok := active[ev.Rec.ID]
 			if !ok {
 				continue
 			}
-			delete(active, e.rec.ID)
+			delete(active, ev.Rec.ID)
 			u.Cores[pl.dc] -= pl.cores
 			for _, ll := range pl.links {
 				u.Gbps[ll.Link] -= ll.Gbps
@@ -267,13 +281,13 @@ func (s *Simulator) Run(recs []*model.CallRecord, p Policy) (*Result, error) {
 			continue
 		}
 
-		cfg := e.rec.Config()
+		cfg := ev.Rec.Config()
 		c, known := s.configIx[cfg.Key()]
 		var dc int
 		var cores float64
 		var links []provision.LinkLoad
 		if known {
-			dc = p.Choose(c, e.at, s.lm.Allowed(c), u)
+			dc = p.Choose(c, at, s.lm.Allowed(c), u)
 			if dc < 0 || dc >= len(w.DCs()) {
 				return nil, fmt.Errorf("sim: policy %q chose invalid DC %d", p.Name(), dc)
 			}
@@ -319,7 +333,7 @@ func (s *Simulator) Run(recs []*model.CallRecord, p Policy) (*Result, error) {
 		if u.Cores[dc] > res.PeakCores[dc] {
 			res.PeakCores[dc] = u.Cores[dc]
 		}
-		trackTimeline(e.at, dc)
+		trackTimeline(at, dc)
 		for _, ll := range links {
 			if u.Gbps[ll.Link] > res.PeakGbps[ll.Link] {
 				res.PeakGbps[ll.Link] = u.Gbps[ll.Link]
@@ -329,7 +343,7 @@ func (s *Simulator) Run(recs []*model.CallRecord, p Policy) (*Result, error) {
 		if known {
 			cIdx = c
 		}
-		active[e.rec.ID] = placement{dc: dc, c: cIdx, started: e.at, cores: cores, links: links}
+		active[ev.Rec.ID] = placement{dc: dc, c: cIdx, started: at, cores: cores, links: links}
 		res.Calls++
 	}
 
@@ -516,4 +530,40 @@ func cloneAlloc(a [][][]float64) [][][]float64 {
 		}
 	}
 	return out
+}
+
+// Metrics mirrors Run's tallies into an obs registry. The simulator is a
+// determinism-linted package, so only counters appear here — no wall-clock
+// timings.
+type Metrics struct {
+	Calls      *obs.Counter
+	Placed     *obs.Counter
+	Overflowed *obs.Counter
+	Unknown    *obs.Counter
+}
+
+// NewMetrics registers the simulator metric families on r (nil r yields a
+// usable all-nil bundle).
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		Calls:      r.Counter("sb_sim_calls_total", "Calls replayed by the simulator."),
+		Placed:     r.Counter("sb_sim_placed_total", "Replayed calls hosted within compute capacity."),
+		Overflowed: r.Counter("sb_sim_overflowed_total", "Replayed calls admitted beyond compute capacity."),
+		Unknown:    r.Counter("sb_sim_unknown_configs_total", "Replayed calls outside the plan's config universe."),
+	}
+}
+
+// SetMetrics attaches a telemetry bundle; Run mirrors its tallies into it
+// once per replay (aggregated at the end, off the per-event path).
+func (s *Simulator) SetMetrics(m *Metrics) { s.metrics = m }
+
+// mirror adds one run's tallies to the attached bundle, if any.
+func (s *Simulator) mirror(res *Result) {
+	if s.metrics == nil {
+		return
+	}
+	s.metrics.Calls.Add(uint64(res.Calls))
+	s.metrics.Placed.Add(uint64(res.Placed))
+	s.metrics.Overflowed.Add(uint64(res.Overflowed))
+	s.metrics.Unknown.Add(uint64(res.UnknownConfigs))
 }
