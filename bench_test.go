@@ -13,11 +13,14 @@ import (
 	"time"
 
 	"switchboard"
+	"switchboard/internal/controller"
 	"switchboard/internal/eval"
 	"switchboard/internal/kvstore"
 	"switchboard/internal/kvstore/replica"
 	"switchboard/internal/lp"
 	"switchboard/internal/model"
+	"switchboard/internal/obs"
+	"switchboard/internal/obs/span"
 	"switchboard/internal/provision"
 )
 
@@ -55,25 +58,31 @@ func benchEnv(b *testing.B) *eval.Env {
 }
 
 // BenchmarkCorePlacement measures the controller's in-memory placement hot
-// path (CallStarted + CallEnded, no store attached) — the latency floor every
-// realtime request pays before any persistence. cmd/sbbench runs the same
-// loop to emit BENCH_core.json.
+// path (CallStarted + CallEnded, no store attached) with metrics and tracing
+// enabled — the latency floor every realtime request pays before any
+// persistence, production-shaped. cmd/sbbench runs the same loop to emit
+// BENCH_core.json.
 func BenchmarkCorePlacement(b *testing.B) {
+	reg := obs.NewRegistry()
+	tracer := span.NewTracer(1, span.NewRing(span.DefaultRingCapacity))
 	ctrl, err := switchboard.NewController(switchboard.ControllerConfig{
-		World: switchboard.DefaultWorld(),
+		World:   switchboard.DefaultWorld(),
+		Metrics: controller.NewMetrics(reg),
 	})
 	if err != nil {
 		b.Fatal(err)
 	}
+	ctx, root := tracer.Start(context.Background(), "bench")
+	defer root.End()
 	now := time.Now()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		id := uint64(i + 1)
-		if _, err := ctrl.CallStarted(context.Background(), id, "JP", now); err != nil {
+		if _, err := ctrl.CallStarted(ctx, id, "JP", now); err != nil {
 			b.Fatal(err)
 		}
-		if err := ctrl.CallEnded(context.Background(), id); err != nil {
+		if err := ctrl.CallEnded(ctx, id); err != nil {
 			b.Fatal(err)
 		}
 	}

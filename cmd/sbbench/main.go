@@ -4,8 +4,15 @@
 // perf trajectory file: a history of runs keyed by git revision, so the
 // trajectory across commits stays inspectable instead of being overwritten.
 // CI runs it with -gate: a >10% ns/op regression on a core benchmark fails
-// the build (label the PR bench-exempt, which sets SBBENCH_SKIP_GATE, when a
-// regression is deliberate).
+// the build, and so does ANY allocs/op increase (allocation counts are
+// deterministic, so the tolerance is zero; allocs are compared only between
+// history entries marked allocs_gated, i.e. recorded under the same bench
+// configuration). Label the PR bench-exempt, which sets SBBENCH_SKIP_GATE,
+// when a regression is deliberate.
+//
+// core_placement runs with metrics and tracing ON — striped registry sinks,
+// a child span per call exported to the sharded ring — so the recorded number
+// is the production-shaped hot path, not the dark one.
 //
 // Usage:
 //
@@ -36,9 +43,12 @@ import (
 	"time"
 
 	"switchboard"
+	"switchboard/internal/controller"
 	"switchboard/internal/des"
 	"switchboard/internal/geo"
 	"switchboard/internal/kvstore/replica"
+	"switchboard/internal/obs"
+	"switchboard/internal/obs/span"
 )
 
 // result is one benchmark point. ns/op is the headline; allocs and bytes
@@ -54,11 +64,18 @@ type result struct {
 // run is one sbbench invocation: the machine it ran on, the revision it
 // measured, and its benchmark points.
 type run struct {
-	Rev     string   `json:"rev"`
-	GoOS    string   `json:"goos"`
-	GoArch  string   `json:"goarch"`
-	NumCPU  int      `json:"num_cpu"`
-	Results []result `json:"results"`
+	Rev    string `json:"rev"`
+	GoOS   string `json:"goos"`
+	GoArch string `json:"goarch"`
+	NumCPU int    `json:"num_cpu"`
+	// AllocsGated marks entries recorded under the current gated-benchmark
+	// configuration (telemetry-on placement loop). -gate compares
+	// allocs_per_op only between marked entries: allocation counts are
+	// deterministic, but changing what the bench loop instruments legitimately
+	// changes them, so a config flip must not trip the gate against
+	// pre-flip history.
+	AllocsGated bool     `json:"allocs_gated,omitempty"`
+	Results     []result `json:"results"`
 }
 
 // history is the trajectory file: every recorded run, oldest first.
@@ -127,9 +144,12 @@ func checkGate(prior []run, this run, rev string) []string {
 		log.Printf("gate: no prior run to compare against; passing")
 		return nil
 	}
-	baseline := make(map[string]float64, len(base.Results))
+	baseline := make(map[string]result, len(base.Results))
 	for _, r := range base.Results {
-		baseline[r.Name] = r.NsPerOp
+		baseline[r.Name] = r
+	}
+	if !base.AllocsGated {
+		log.Printf("gate: baseline rev %q predates alloc gating; gating ns/op only", base.Rev)
 	}
 	var failures []string
 	for _, r := range this.Results {
@@ -141,15 +161,28 @@ func checkGate(prior []run, this run, rev string) []string {
 			}
 		}
 		was, ok := baseline[r.Name]
-		if !gated || !ok || was <= 0 {
+		if !gated || !ok || was.NsPerOp <= 0 {
 			continue
 		}
-		if r.NsPerOp > was*gateTolerance {
+		if r.NsPerOp > was.NsPerOp*gateTolerance {
 			failures = append(failures, fmt.Sprintf(
 				"%s regressed: %.0f ns/op -> %.0f ns/op (%+.1f%%, gate %.0f%%) vs rev %q",
-				r.Name, was, r.NsPerOp, (r.NsPerOp/was-1)*100, (gateTolerance-1)*100, base.Rev))
+				r.Name, was.NsPerOp, r.NsPerOp, (r.NsPerOp/was.NsPerOp-1)*100, (gateTolerance-1)*100, base.Rev))
 		} else {
-			log.Printf("gate: %s %.0f ns/op vs %.0f ns/op at rev %q: ok", r.Name, r.NsPerOp, was, base.Rev)
+			log.Printf("gate: %s %.0f ns/op vs %.0f ns/op at rev %q: ok", r.Name, r.NsPerOp, was.NsPerOp, base.Rev)
+		}
+		// Allocation counts are deterministic — zero tolerance. Only gated
+		// between entries recorded under the same bench configuration (see
+		// run.AllocsGated).
+		if base.AllocsGated && this.AllocsGated {
+			if r.AllocsOp > was.AllocsOp {
+				failures = append(failures, fmt.Sprintf(
+					"%s allocates more: %d allocs/op -> %d allocs/op vs rev %q",
+					r.Name, was.AllocsOp, r.AllocsOp, base.Rev))
+			} else {
+				log.Printf("gate: %s %d allocs/op vs %d allocs/op at rev %q: ok",
+					r.Name, r.AllocsOp, was.AllocsOp, base.Rev)
+			}
 		}
 	}
 	return failures
@@ -225,13 +258,22 @@ func main() {
 	}
 
 	placement := runBench("core_placement", func(b *testing.B) {
+		// Metrics AND tracing on: this is the production-shaped hot path, not
+		// the dark one. Every placement increments striped counters, times
+		// itself into the place-seconds histogram (stamping exemplars), spawns
+		// a child span under the bench root, and exports it to the sharded
+		// ring — all of which the recorded ns/op must absorb.
+		reg := obs.NewRegistry()
+		tracer := span.NewTracer(1, span.NewRing(span.DefaultRingCapacity))
 		ctrl, err := switchboard.NewController(switchboard.ControllerConfig{
-			World: switchboard.DefaultWorld(),
+			World:   switchboard.DefaultWorld(),
+			Metrics: controller.NewMetrics(reg),
 		})
 		if err != nil {
 			b.Fatal(err)
 		}
-		ctx := context.Background()
+		ctx, root := tracer.Start(context.Background(), "bench")
+		defer root.End()
 		now := time.Now()
 		b.ReportAllocs()
 		b.ResetTimer()
@@ -344,11 +386,12 @@ func main() {
 	}
 
 	this := run{
-		Rev:     *rev,
-		GoOS:    runtime.GOOS,
-		GoArch:  runtime.GOARCH,
-		NumCPU:  runtime.NumCPU(),
-		Results: []result{placement, kvRoundTrip, failover, desPoint},
+		Rev:         *rev,
+		GoOS:        runtime.GOOS,
+		GoArch:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		AllocsGated: true,
+		Results:     []result{placement, kvRoundTrip, failover, desPoint},
 	}
 	if *out == "" {
 		buf, err := json.MarshalIndent(this, "", "  ")

@@ -34,6 +34,8 @@
 // -span-log additionally appends every finished span to a JSONL file that
 // cmd/sbtrace turns into waterfalls and critical-path breakdowns. Logs go
 // through log/slog and carry trace_id/span_id when the context has a span.
+// -profile-dir harvests a bounded ring of rotated pprof snapshots (CPU +
+// heap) for post-hoc analysis; it is off by default.
 //
 // Try it:
 //
@@ -121,6 +123,9 @@ func main() {
 	traceCap := flag.Int("trace-cap", obs.DefaultRingCapacity, "decision trace ring capacity")
 	spanCap := flag.Int("span-cap", span.DefaultRingCapacity, "span ring capacity behind /debug/spans")
 	spanLog := flag.String("span-log", "", "append finished spans as JSONL to this file for cmd/sbtrace (empty disables)")
+	profileDir := flag.String("profile-dir", "", "harvest rotated pprof snapshots (CPU + heap) into this directory for post-hoc analysis (empty disables)")
+	profileInterval := flag.Duration("profile-interval", obs.DefaultProfileInterval, "how often -profile-dir harvests a snapshot pair")
+	profileKeep := flag.Int("profile-keep", obs.DefaultProfileKeep, "how many snapshots of each kind -profile-dir keeps (older slots are overwritten)")
 	chaosProb := flag.Float64("chaos-prob", 0, "per-operation probability of an injected store-path latency fault (0 disables; a live resilience drill, see internal/faults)")
 	chaosDelay := flag.Duration("chaos-latency", time.Millisecond, "injected latency per chaos fault")
 	flag.Parse()
@@ -146,6 +151,25 @@ func main() {
 		sinks = append(sinks, exp)
 	}
 	tracer := span.NewTracer(*seed, sinks...)
+
+	// Continuous profiling: off unless -profile-dir names a directory. The
+	// harvester keeps a bounded ring of CPU/heap snapshots so "what was it
+	// doing an hour ago" is answerable without an operator attached to
+	// /debug/pprof at the time.
+	if *profileDir != "" {
+		prof, err := obs.NewProfiler(obs.ProfileConfig{
+			Dir:      *profileDir,
+			Interval: *profileInterval,
+			Keep:     *profileKeep,
+			Logger:   slog.Default(),
+		})
+		if err != nil {
+			fatal("starting profiler", err)
+		}
+		go prof.Run()
+		defer prof.Stop()
+		slog.Info("profile harvester on", "dir", *profileDir, "interval", *profileInterval, "keep", *profileKeep)
+	}
 
 	world := switchboard.DefaultWorld()
 	if *worldPath != "" {
@@ -384,6 +408,8 @@ func main() {
 	api.HTTP = obs.NewHTTPMetrics(reg)
 	api.KV = kv
 	api.Tracer = tracer
+	api.Registry = reg
+	api.Instance = *addr
 	if mgr != nil {
 		var peerList []string
 		if *peers != "" {

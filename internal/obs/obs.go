@@ -12,10 +12,13 @@
 //
 // Design rules:
 //
-//   - Zero allocation and a single atomic op on the hot paths: Counter.Inc,
+//   - Zero allocation and no locks on the hot paths: Counter.Inc,
 //     Counter.Add, Gauge.Set, and Histogram.Observe never allocate and never
-//     take a lock. Label lookups (Vec.With) cost one map read under RWMutex;
-//     hot callers cache the child at wire-up time instead.
+//     take a lock. Counters and histograms are striped across cache-line-
+//     padded per-goroutine lanes, so concurrent writers never contend on a
+//     line; scrapes aggregate the lanes lazily. Vec.With on an already-
+//     interned label set is lock-free (an atomic load of a copy-on-write
+//     map); hot callers still cache the child at wire-up time.
 //   - Nil-safe sinks: every sink method (Inc/Add/Observe/Set) is a no-op on
 //     a nil receiver, so instrumented code never guards with `if m != nil`.
 //     Construction decides whether telemetry is on; call sites stay branch-
@@ -60,32 +63,42 @@ func (k metricKind) String() string {
 	}
 }
 
-// Counter is a monotonically increasing uint64. The zero value is usable;
-// all methods are safe for concurrent use and no-ops on a nil receiver.
+// Counter is a monotonically increasing uint64, striped across
+// cache-line-padded lanes so concurrent writers on different CPUs never
+// contend on one line. Writes touch a single lane; Value sums the lanes
+// lazily — the scrape pays for aggregation, not the hot path. The zero value
+// is usable; all methods are safe for concurrent use and no-ops on a nil
+// receiver.
 type Counter struct {
-	v atomic.Uint64
+	cells [numStripes]stripedCell
 }
 
 // Inc adds one.
 func (c *Counter) Inc() {
 	if c != nil {
-		c.v.Add(1)
+		c.cells[stripeIdx()].n.Add(1)
 	}
 }
 
 // Add adds n.
 func (c *Counter) Add(n uint64) {
 	if c != nil {
-		c.v.Add(n)
+		c.cells[stripeIdx()].n.Add(n)
 	}
 }
 
-// Value returns the current count (0 on nil).
+// Value returns the current count (0 on nil), summing the stripes. Each lane
+// is monotonic, so concurrent writes can only make the result a valid earlier
+// total, never an invalid one.
 func (c *Counter) Value() uint64 {
 	if c == nil {
 		return 0
 	}
-	return c.v.Load()
+	var v uint64
+	for i := range c.cells {
+		v += c.cells[i].n.Load()
+	}
+	return v
 }
 
 // Gauge is a float64 that can go up and down, stored as IEEE-754 bits in a
@@ -124,17 +137,40 @@ func (g *Gauge) Value() float64 {
 }
 
 // Histogram counts observations into fixed, cumulative-rendered buckets.
-// Bounds are immutable after construction; Observe is lock-free: one atomic
-// add on the bucket counter plus a CAS on the running sum.
+// Bounds are immutable after construction. Observe is lock-free and striped:
+// each writer lane owns a cache-line-aligned block of bucket counters plus
+// its own total and running-sum cells, so concurrent observers never share a
+// line; scrape-side readers sum the lanes lazily. Each bucket can also carry
+// one exemplar — the trace ID and value of the last exemplared observation to
+// land in it — linking a fleet scrape back into sbtrace.
 type Histogram struct {
-	bounds []float64       // immutable upper bounds, ascending
-	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
-	total  atomic.Uint64
-	sum    atomic.Uint64 // float64 bits
+	bounds []float64 // immutable upper bounds, ascending
+	// cells is numStripes lanes of stride cells each. Within a lane:
+	// [0..len(bounds)] bucket counts (last is +Inf), then the lane's
+	// observation total, then its running sum as float64 bits. stride is
+	// rounded to a cache-line multiple so lanes never share a line.
+	cells     []atomic.Uint64
+	stride    int
+	exemplars []exemplarCell // len(bounds)+1, shared across lanes
+}
+
+// exemplarCell holds one bucket's exemplar: the trace ID (0 = none) and the
+// float64 bits of the observed value. The two stores are not paired
+// atomically; exemplars are best-effort breadcrumbs, and a torn pair still
+// names a real trace in the right bucket.
+type exemplarCell struct {
+	trace atomic.Uint64
+	vbits atomic.Uint64
 }
 
 // Observe records one sample.
-func (h *Histogram) Observe(v float64) {
+func (h *Histogram) Observe(v float64) { h.observe(v, 0) }
+
+// ObserveExemplar records one sample and, when traceID is nonzero, stamps it
+// as the bucket's exemplar so scrapes can link the bucket to a trace.
+func (h *Histogram) ObserveExemplar(v float64, traceID uint64) { h.observe(v, traceID) }
+
+func (h *Histogram) observe(v float64, traceID uint64) {
 	if h == nil {
 		return
 	}
@@ -144,31 +180,84 @@ func (h *Histogram) Observe(v float64) {
 	for i < len(h.bounds) && v > h.bounds[i] {
 		i++
 	}
-	h.counts[i].Add(1)
-	h.total.Add(1)
+	base := stripeIdx() * h.stride
+	h.cells[base+i].Add(1)
+	h.cells[base+len(h.bounds)+1].Add(1)
+	sum := &h.cells[base+len(h.bounds)+2]
 	for {
-		old := h.sum.Load()
+		old := sum.Load()
 		next := math.Float64bits(math.Float64frombits(old) + v)
-		if h.sum.CompareAndSwap(old, next) {
-			return
+		if sum.CompareAndSwap(old, next) {
+			break
 		}
+	}
+	if traceID != 0 {
+		e := &h.exemplars[i]
+		e.vbits.Store(math.Float64bits(v))
+		e.trace.Store(traceID)
 	}
 }
 
-// Count returns the number of observations (0 on nil).
+// BucketCount returns the (non-cumulative) count of bucket i, where
+// i == len(Bounds()) is the +Inf bucket. 0 on nil or out of range.
+func (h *Histogram) BucketCount(i int) uint64 {
+	if h == nil || i < 0 || i > len(h.bounds) {
+		return 0
+	}
+	var n uint64
+	for s := 0; s < numStripes; s++ {
+		n += h.cells[s*h.stride+i].Load()
+	}
+	return n
+}
+
+// Bounds returns the bucket upper bounds (the +Inf bucket is implicit). The
+// slice must not be modified. Nil on nil.
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	return h.bounds
+}
+
+// Exemplar returns bucket i's exemplar trace ID and observed value; ok is
+// false when the bucket never received an exemplared observation.
+func (h *Histogram) Exemplar(i int) (traceID uint64, value float64, ok bool) {
+	if h == nil || i < 0 || i > len(h.bounds) {
+		return 0, 0, false
+	}
+	e := &h.exemplars[i]
+	t := e.trace.Load()
+	if t == 0 {
+		return 0, 0, false
+	}
+	return t, math.Float64frombits(e.vbits.Load()), true
+}
+
+// Count returns the number of observations (0 on nil), summing the lanes.
 func (h *Histogram) Count() uint64 {
 	if h == nil {
 		return 0
 	}
-	return h.total.Load()
+	off := len(h.bounds) + 1
+	var n uint64
+	for s := 0; s < numStripes; s++ {
+		n += h.cells[s*h.stride+off].Load()
+	}
+	return n
 }
 
-// Sum returns the sum of observed values (0 on nil).
+// Sum returns the sum of observed values (0 on nil), summing the lanes.
 func (h *Histogram) Sum() float64 {
 	if h == nil {
 		return 0
 	}
-	return math.Float64frombits(h.sum.Load())
+	off := len(h.bounds) + 2
+	var v float64
+	for s := 0; s < numStripes; s++ {
+		v += math.Float64frombits(h.cells[s*h.stride+off].Load())
+	}
+	return v
 }
 
 // CountLE returns how many observations were ≤ bound, using the buckets with
@@ -183,7 +272,7 @@ func (h *Histogram) CountLE(bound float64) uint64 {
 		if b > bound {
 			break
 		}
-		n += h.counts[i].Load()
+		n += h.BucketCount(i)
 	}
 	return n
 }
@@ -209,8 +298,12 @@ type family struct {
 	gauge   *Gauge
 	hist    *Histogram
 
-	mu       sync.RWMutex
-	children map[string]*child // guarded by mu; vec children keyed by joined label values
+	// kids is the vec child map, copy-on-write: readers Load the current map
+	// and index it with no lock — the lock-free fast path for already-
+	// interned label sets. Writers (first observation of a new label set)
+	// serialize on mu, copy the map, insert, and Store the copy.
+	kids atomic.Pointer[map[string]*child]
+	mu   sync.Mutex // serializes kids copy-on-write updates
 }
 
 // child is one labeled sample of a vec family.
@@ -249,9 +342,6 @@ func (r *Registry) register(name, help string, kind metricKind, labels []string)
 		return f
 	}
 	f := &family{name: name, help: help, kind: kind, labels: labels}
-	if labels != nil {
-		f.children = make(map[string]*child)
-	}
 	r.families[name] = f
 	r.order = append(r.order, name)
 	return f
@@ -296,7 +386,7 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 	return f.hist
 }
 
-// newHistogram allocates the bucket arrays once per registered series.
+// newHistogram allocates the striped lane arrays once per registered series.
 //
 //sblint:allowalloc(registration-time only; Observe on the hot path touches preallocated counters)
 func newHistogram(bounds []float64) *Histogram {
@@ -306,7 +396,15 @@ func newHistogram(bounds []float64) *Histogram {
 	b := make([]float64, len(bounds))
 	copy(b, bounds)
 	sort.Float64s(b)
-	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+	// Per lane: len(b)+1 buckets, a total cell, and a sum cell — rounded up
+	// to a whole number of 64-byte cache lines so lanes never false-share.
+	stride := (len(b) + 3 + 7) &^ 7
+	return &Histogram{
+		bounds:    b,
+		stride:    stride,
+		cells:     make([]atomic.Uint64, numStripes*stride),
+		exemplars: make([]exemplarCell, len(b)+1),
+	}
 }
 
 // CounterVec is a counter family partitioned by label values.
@@ -401,56 +499,64 @@ func labelKey(vals []string) string {
 	return strings.Join(vals, "\x1f") //sblint:allowalloc(multi-label join; every hot-path series uses a single label and takes the branch above)
 }
 
-func (f *family) childFor(vals []string) *child {
-	key := labelKey(vals)
-	f.mu.RLock()
-	c, ok := f.children[key]
-	f.mu.RUnlock()
-	if ok {
-		return c
+// lookup is the lock-free fast path: one atomic pointer load plus one map
+// read against an immutable map.
+func (f *family) lookup(key string) (*child, bool) {
+	if m := f.kids.Load(); m != nil {
+		c, ok := (*m)[key]
+		return c, ok
 	}
+	return nil, false
+}
+
+// insert is the copy-on-write slow path, taken once per new label set: copy
+// the current map, add the child, publish the copy. Existing readers keep
+// their (still valid, still immutable) old map.
+//
+//sblint:allowalloc(series creation; the interned fast path in lookup never reaches here)
+func (f *family) insert(key string, vals []string, build func(*child)) *child {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if c, ok := f.children[key]; ok {
+	old := f.kids.Load()
+	if old != nil {
+		if c, ok := (*old)[key]; ok {
+			return c
+		}
+	}
+	next := make(map[string]*child, 1)
+	if old != nil {
+		next = make(map[string]*child, len(*old)+1)
+		for k, v := range *old {
+			next[k] = v
+		}
+	}
+	c := &child{labelVals: append([]string(nil), vals...)}
+	build(c)
+	next[key] = c
+	f.kids.Store(&next)
+	return c
+}
+
+func (f *family) childFor(vals []string) *child {
+	key := labelKey(vals)
+	if c, ok := f.lookup(key); ok {
 		return c
 	}
-	c = &child{labelVals: append([]string(nil), vals...), counter: &Counter{}}
-	f.children[key] = c
-	return c
+	return f.insert(key, vals, func(c *child) { c.counter = &Counter{} })
 }
 
 func (f *family) childForGauge(vals []string) *child {
 	key := labelKey(vals)
-	f.mu.RLock()
-	c, ok := f.children[key]
-	f.mu.RUnlock()
-	if ok {
+	if c, ok := f.lookup(key); ok {
 		return c
 	}
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if c, ok := f.children[key]; ok {
-		return c
-	}
-	c = &child{labelVals: append([]string(nil), vals...), gauge: &Gauge{}}
-	f.children[key] = c
-	return c
+	return f.insert(key, vals, func(c *child) { c.gauge = &Gauge{} })
 }
 
 func (f *family) childForHist(vals []string, bounds []float64) *child {
 	key := labelKey(vals)
-	f.mu.RLock()
-	c, ok := f.children[key]
-	f.mu.RUnlock()
-	if ok {
+	if c, ok := f.lookup(key); ok {
 		return c
 	}
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if c, ok := f.children[key]; ok {
-		return c
-	}
-	c = &child{labelVals: append([]string(nil), vals...), hist: newHistogram(bounds)} //sblint:allowalloc(first observation of a label set creates the series; later hits return above)
-	f.children[key] = c                                                               //sblint:allowalloc(series-creation insert, same miss path as above)
-	return c
+	return f.insert(key, vals, func(c *child) { c.hist = newHistogram(bounds) }) //sblint:allowalloc(series creation; the interned fast path returned above)
 }

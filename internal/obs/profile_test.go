@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// Three harvest cycles with Keep=2 must leave exactly two cpu and two heap
+// snapshots, and every file must be a complete, non-empty profile.
+func TestProfilerRotationBounded(t *testing.T) {
+	dir := t.TempDir()
+	p, err := NewProfiler(ProfileConfig{
+		Dir:         dir,
+		Interval:    time.Second,
+		CPUDuration: 20 * time.Millisecond,
+		Keep:        2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := p.Harvest(); err != nil {
+			t.Fatalf("harvest %d: %v", i, err)
+		}
+	}
+	for _, pat := range []string{"cpu-*.pprof", "heap-*.pprof"} {
+		got, err := filepath.Glob(filepath.Join(dir, pat))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 2 {
+			t.Fatalf("%s: %d files %v, want 2 (bounded rotation)", pat, len(got), got)
+		}
+		for _, f := range got {
+			st, err := os.Stat(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Size() == 0 {
+				t.Errorf("%s is empty", f)
+			}
+		}
+	}
+	// No temp files may linger after successful harvests.
+	if leftover, _ := filepath.Glob(filepath.Join(dir, "*.tmp*")); len(leftover) != 0 {
+		t.Errorf("temp files left behind: %v", leftover)
+	}
+}
+
+func TestProfilerRequiresDir(t *testing.T) {
+	if _, err := NewProfiler(ProfileConfig{}); err == nil {
+		t.Fatal("want error for empty dir")
+	}
+}

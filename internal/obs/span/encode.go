@@ -1,0 +1,101 @@
+package span
+
+import (
+	"encoding/json"
+	"strconv"
+	"time"
+)
+
+// appendRecordJSON appends rec's JSON object encoding to b, producing bytes
+// identical to json.Marshal(rec). Records whose strings are all plain ASCII
+// (the overwhelmingly common case: span names, attr keys, DC ids) take a
+// zero-reflection append path; anything needing escaping, and out-of-range
+// timestamps, fall back to encoding/json so the two paths can never disagree
+// on hard cases. TestAppendRecordJSONMatchesStdlib pins the equivalence.
+func appendRecordJSON(b []byte, rec Record) ([]byte, error) {
+	if !recordIsPlain(rec) {
+		j, err := json.Marshal(rec)
+		if err != nil {
+			return b, err
+		}
+		return append(b, j...), nil
+	}
+	b = append(b, `{"trace":"`...)
+	b = appendHexID(b, rec.Trace)
+	b = append(b, `","span":"`...)
+	b = appendHexID(b, rec.Span)
+	b = append(b, '"')
+	if rec.Parent != 0 {
+		b = append(b, `,"parent":"`...)
+		b = appendHexID(b, rec.Parent)
+		b = append(b, '"')
+	}
+	b = append(b, `,"name":"`...)
+	b = append(b, rec.Name...)
+	b = append(b, `","start":"`...)
+	b = rec.Start.AppendFormat(b, time.RFC3339Nano)
+	b = append(b, `","dur_ns":`...)
+	b = strconv.AppendInt(b, int64(rec.Duration), 10)
+	if rec.Status != "" {
+		b = append(b, `,"status":"`...)
+		b = append(b, rec.Status...)
+		b = append(b, '"')
+	}
+	if len(rec.Attrs) > 0 {
+		b = append(b, `,"attrs":{`...)
+		for i, kv := range rec.Attrs {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = append(b, '"')
+			b = append(b, kv.Key...)
+			b = append(b, `":"`...)
+			b = append(b, kv.Value...)
+			b = append(b, '"')
+		}
+		b = append(b, '}')
+	}
+	return append(b, '}'), nil
+}
+
+// appendHexID appends the canonical 16-hex-digit form of id (what ID.String
+// returns) without allocating.
+func appendHexID(b []byte, id ID) []byte {
+	const hexdigits = "0123456789abcdef"
+	var d [16]byte
+	v := uint64(id)
+	for i := 15; i >= 0; i-- {
+		d[i] = hexdigits[v&0xf]
+		v >>= 4
+	}
+	return append(b, d[:]...)
+}
+
+// recordIsPlain reports whether every string in rec survives JSON encoding
+// byte-for-byte unescaped (printable ASCII, no quote/backslash, and none of
+// the <>& trio encoding/json HTML-escapes) and the timestamp is in
+// MarshalJSON's strict RFC 3339 year range.
+func recordIsPlain(rec Record) bool {
+	if y := rec.Start.Year(); y < 1 || y > 9999 {
+		return false
+	}
+	if !stringIsPlain(rec.Name) || !stringIsPlain(rec.Status) {
+		return false
+	}
+	for _, kv := range rec.Attrs {
+		if !stringIsPlain(kv.Key) || !stringIsPlain(kv.Value) {
+			return false
+		}
+	}
+	return true
+}
+
+func stringIsPlain(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 0x20 || c > 0x7e || c == '"' || c == '\\' || c == '<' || c == '>' || c == '&' {
+			return false
+		}
+	}
+	return true
+}

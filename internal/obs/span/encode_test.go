@@ -1,0 +1,71 @@
+package span
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestAppendRecordJSONMatchesStdlib pins the pooled fast-path encoder to
+// encoding/json byte-for-byte, across plain records, records needing string
+// escaping (which must take the fallback), empty/zero fields, and awkward
+// timestamps.
+func TestAppendRecordJSONMatchesStdlib(t *testing.T) {
+	base := time.Date(2026, 8, 7, 12, 30, 45, 123456789, time.UTC)
+	cases := []Record{
+		{Trace: 1, Span: 2, Name: "controller.start", Start: base, Duration: 1500},
+		{Trace: 0xdeadbeefcafe0123, Span: 0xffffffffffffffff, Parent: 7,
+			Name: "kv.HSET", Start: base.Add(3 * time.Hour), Duration: time.Second,
+			Status: "error", Attrs: Attrs{{"call", "42"}, {"retry", "true"}}},
+		{Trace: 3, Span: 4, Name: "http POST /v1/call/start", Start: base.Round(time.Second), Duration: 0},
+		{Trace: 5, Span: 6, Name: "weird \"quoted\" name", Start: base, Duration: 12,
+			Attrs: Attrs{{"err", "dial tcp 127.0.0.1:1 -> refused <&>"}}},
+		{Trace: 7, Span: 8, Name: "uni\u00e9code", Start: base, Duration: 9},
+		{Trace: 9, Span: 10, Name: "ctrl\nchar", Start: base, Duration: 9},
+		{Trace: 11, Span: 12, Name: "n", Start: base.In(time.FixedZone("X", 5*3600+1800)), Duration: -5},
+		{Trace: 13, Span: 14, Name: "empty-attrs", Start: base, Duration: 1, Attrs: Attrs{}},
+	}
+	for _, rec := range cases {
+		want, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatalf("stdlib marshal: %v", err)
+		}
+		got, err := appendRecordJSON(nil, rec)
+		if err != nil {
+			t.Fatalf("appendRecordJSON(%q): %v", rec.Name, err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("record %q:\n got %s\nwant %s", rec.Name, got, want)
+		}
+	}
+}
+
+// TestRingShardingOrder checks that the sharded ring preserves exact
+// recording order across shards and honors its capacity exactly.
+func TestRingShardingOrder(t *testing.T) {
+	r := NewRing(10) // not a multiple of the shard count
+	for i := 1; i <= 25; i++ {
+		r.ExportSpan(Record{Trace: ID(100), Span: ID(i)})
+	}
+	if got := r.Total(); got != 25 {
+		t.Fatalf("Total = %d, want 25", got)
+	}
+	snap := r.Snapshot(0)
+	if len(snap) != 10 {
+		t.Fatalf("Snapshot kept %d records, want capacity 10", len(snap))
+	}
+	for i, rec := range snap {
+		if want := ID(25 - i); rec.Span != want {
+			t.Fatalf("snapshot[%d].Span = %v, want %v (newest-first order)", i, rec.Span, want)
+		}
+	}
+	tr := r.Trace(ID(100))
+	if len(tr) != 10 {
+		t.Fatalf("Trace kept %d records, want 10", len(tr))
+	}
+	for i := 1; i < len(tr); i++ {
+		if tr[i].Span <= tr[i-1].Span {
+			t.Fatalf("Trace out of recording order at %d: %v after %v", i, tr[i].Span, tr[i-1].Span)
+		}
+	}
+}

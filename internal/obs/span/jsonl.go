@@ -9,21 +9,25 @@ import (
 )
 
 // JSONLExporter writes one JSON object per finished span — the durable sink
-// behind the -span-log flag, and the input format cmd/sbtrace reads. Writes
-// are serialized; export errors are swallowed (telemetry must never fail the
-// traced operation) but remembered for Close.
+// behind the -span-log flag, and the input format cmd/sbtrace reads. Each
+// record is encoded outside the lock into a pooled buffer (the common
+// plain-ASCII case by a zero-reflection appender, anything else by
+// encoding/json — both produce identical bytes), then written under the lock.
+// Export errors are swallowed (telemetry must never fail the traced
+// operation) but remembered for Close.
 type JSONLExporter struct {
+	bufs sync.Pool // *[]byte encode scratch
+
 	mu  sync.Mutex
 	w   *bufio.Writer // guarded by mu
 	c   io.Closer     // guarded by mu; nil when the writer isn't ours to close
-	enc *json.Encoder // guarded by mu
 	err error         // guarded by mu; first write error, reported by Close
 }
 
 // NewJSONLExporter wraps w. If w is also an io.Closer, Close closes it.
 func NewJSONLExporter(w io.Writer) *JSONLExporter {
 	e := &JSONLExporter{w: bufio.NewWriter(w)}
-	e.enc = json.NewEncoder(e.w)
+	e.bufs.New = func() any { b := make([]byte, 0, 512); return &b }
 	if c, ok := w.(io.Closer); ok {
 		e.c = c
 	}
@@ -44,18 +48,28 @@ func (e *JSONLExporter) ExportSpan(rec Record) {
 	if e == nil {
 		return
 	}
+	bp := e.bufs.Get().(*[]byte)
+	buf, encErr := appendRecordJSON((*bp)[:0], rec)
+	if encErr == nil {
+		buf = append(buf, '\n')
+	}
 	e.mu.Lock()
-	if err := e.enc.Encode(rec); err != nil && e.err == nil {
+	if encErr != nil {
+		if e.err == nil {
+			e.err = encErr
+		}
+	} else if _, err := e.w.Write(buf); err != nil && e.err == nil {
 		e.err = err
 	}
 	// Flush per record: each line is complete on disk the moment the span
 	// ends, so `sbtrace -f` and tail -f see live traces and a crash loses at
-	// most the span being written. The bufio layer still coalesces the
-	// encoder's field-by-field writes into one syscall.
+	// most the span being written.
 	if err := e.w.Flush(); err != nil && e.err == nil {
 		e.err = err
 	}
 	e.mu.Unlock()
+	*bp = buf[:0]
+	e.bufs.Put(bp)
 }
 
 // Close flushes buffered spans and closes the underlying file if the exporter

@@ -4,8 +4,10 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 )
 
 // DefaultRingCapacity bounds the span ring when callers pass 0. Spans are an
@@ -13,24 +15,69 @@ import (
 // spans), so the default is larger than the decision ring's.
 const DefaultRingCapacity = 4096
 
-// Ring is a bounded ring buffer of finished spans — the always-on, in-memory
-// sink behind GET /debug/spans. Memory is fixed regardless of traffic; once
-// full, the oldest span is overwritten. Nil-safe like every sink.
+// ringShardCount is the write-side fan-out of the ring. Exports round-robin
+// across shards, so concurrent span Ends contend on different mutexes; reads
+// (the cold /debug/spans path) merge the shards by a global sequence stamp.
+const ringShardCount = 8
+
+// Ring is a bounded buffer of finished spans — the always-on, in-memory sink
+// behind GET /debug/spans. Memory is fixed regardless of traffic; once full,
+// the oldest span is overwritten. Storage is sharded: each export takes one
+// shard's mutex, chosen round-robin by a global sequence counter, so the ring
+// never serializes the fleet's span Ends behind a single lock the way the
+// original single-mutex ring did. The sequence stamp stored alongside each
+// record lets Snapshot/Trace merge the shards back into exact recording
+// order. Nil-safe like every sink.
 type Ring struct {
-	mu    sync.Mutex
-	buf   []Record // guarded by mu; ring storage
-	next  int      // guarded by mu; index Record writes next
-	size  int      // guarded by mu; live entries (≤ len(buf))
-	total uint64   // guarded by mu; spans ever recorded
+	shards []ringShard
+	// seq is the recording-order stamp, the round-robin shard selector, and
+	// (since it counts every export) the spans-ever-recorded total.
+	seq atomic.Uint64
+
+	// scratch pools the merge buffers Snapshot and Trace use, so repeated
+	// debug scrapes don't re-grow a slice per call.
+	scratch sync.Pool
+}
+
+// ringShard is one lock-striped segment of the ring.
+type ringShard struct {
+	mu   sync.Mutex
+	buf  []Record // guarded by mu; ring storage
+	seqs []uint64 // guarded by mu; recording stamp per slot
+	next int      // guarded by mu; index the next record writes
+	size int      // guarded by mu; live entries (≤ len(buf))
+}
+
+// stampedRecord pairs a record with its recording stamp for shard merges.
+type stampedRecord struct {
+	rec Record
+	seq uint64
 }
 
 // NewRing returns a ring holding the last capacity spans
-// (DefaultRingCapacity when capacity <= 0).
+// (DefaultRingCapacity when capacity <= 0). The capacity is exact: it is
+// distributed across the shards, and round-robin placement keeps eviction
+// within a shard's width of global FIFO order.
 func NewRing(capacity int) *Ring {
 	if capacity <= 0 {
 		capacity = DefaultRingCapacity
 	}
-	return &Ring{buf: make([]Record, capacity)}
+	n := ringShardCount
+	if capacity < n {
+		n = capacity
+	}
+	r := &Ring{shards: make([]ringShard, n)}
+	base, extra := capacity/n, capacity%n
+	for i := range r.shards {
+		c := base
+		if i < extra {
+			c++
+		}
+		r.shards[i].buf = make([]Record, c)
+		r.shards[i].seqs = make([]uint64, c)
+	}
+	r.scratch.New = func() any { s := make([]stampedRecord, 0, capacity); return &s }
+	return r
 }
 
 // ExportSpan implements Sink.
@@ -38,14 +85,39 @@ func (r *Ring) ExportSpan(rec Record) {
 	if r == nil {
 		return
 	}
-	r.mu.Lock()
-	r.total++
-	r.buf[r.next] = rec
-	r.next = (r.next + 1) % len(r.buf)
-	if r.size < len(r.buf) {
-		r.size++
+	seq := r.seq.Add(1)
+	sh := &r.shards[int(seq%uint64(len(r.shards)))]
+	sh.mu.Lock()
+	sh.buf[sh.next] = rec
+	sh.seqs[sh.next] = seq
+	sh.next = (sh.next + 1) % len(sh.buf)
+	if sh.size < len(sh.buf) {
+		sh.size++
 	}
-	r.mu.Unlock()
+	sh.mu.Unlock()
+}
+
+// collect copies every buffered (record, stamp) pair into a pooled scratch
+// buffer. The caller must return it via putScratch.
+func (r *Ring) collect() *[]stampedRecord {
+	sp := r.scratch.Get().(*[]stampedRecord)
+	s := (*sp)[:0]
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		for j := 1; j <= sh.size; j++ {
+			k := (sh.next - j + len(sh.buf)) % len(sh.buf)
+			s = append(s, stampedRecord{rec: sh.buf[k], seq: sh.seqs[k]})
+		}
+		sh.mu.Unlock()
+	}
+	*sp = s
+	return sp
+}
+
+func (r *Ring) putScratch(sp *[]stampedRecord) {
+	clear(*sp)
+	r.scratch.Put(sp)
 }
 
 // Snapshot returns up to n recent spans, newest first (n <= 0: all).
@@ -53,15 +125,17 @@ func (r *Ring) Snapshot(n int) []Record {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if n <= 0 || n > r.size {
-		n = r.size
+	sp := r.collect()
+	s := *sp
+	sort.Slice(s, func(i, j int) bool { return s[i].seq > s[j].seq })
+	if n <= 0 || n > len(s) {
+		n = len(s)
 	}
 	out := make([]Record, 0, n)
-	for i := 1; i <= n; i++ {
-		out = append(out, r.buf[(r.next-i+len(r.buf))%len(r.buf)])
+	for i := 0; i < n; i++ {
+		out = append(out, s[i].rec)
 	}
+	r.putScratch(sp)
 	return out
 }
 
@@ -71,14 +145,16 @@ func (r *Ring) Trace(id ID) []Record {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	sp := r.collect()
+	s := *sp
+	sort.Slice(s, func(i, j int) bool { return s[i].seq < s[j].seq })
 	var out []Record
-	for i := r.size; i >= 1; i-- {
-		if rec := r.buf[(r.next-i+len(r.buf))%len(r.buf)]; rec.Trace == id {
-			out = append(out, rec)
+	for i := range s {
+		if s[i].rec.Trace == id {
+			out = append(out, s[i].rec)
 		}
 	}
+	r.putScratch(sp)
 	return out
 }
 
@@ -88,9 +164,7 @@ func (r *Ring) Total() uint64 {
 	if r == nil {
 		return 0
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.total
+	return r.seq.Load()
 }
 
 // errBadLimit is the shared validation failure for ring-dump limits.

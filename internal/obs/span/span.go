@@ -33,6 +33,7 @@ import (
 	"strconv"
 	"sync/atomic"
 	"time"
+	"unsafe"
 )
 
 // ID is a 64-bit trace or span identifier, rendered as 16 hex digits.
@@ -199,6 +200,15 @@ func (t *Tracer) export(r Record) {
 type Span struct {
 	t   *Tracer
 	rec Record
+	// attrsBuf backs the first attrs in place, so the usual one- or
+	// two-attr span (a call ID, a status) annotates without a heap grow;
+	// spans are never reused after End, so exported Records may alias it.
+	attrsBuf [2]Attr
+	// numBuf backs SetAttrUint's digit string the same way.
+	numBuf [20]byte
+	// ended makes End idempotent, so a hot path can publish the span early
+	// (EndWithDuration) while a deferred End stays as the error-path net.
+	ended bool
 }
 
 // TraceID returns the span's trace ID (0 on nil).
@@ -217,11 +227,35 @@ func (s *Span) SpanID() ID {
 	return s.rec.Span
 }
 
+// StartTime returns when the span started (zero on nil) — instrumented
+// callers reuse it instead of reading the clock a second time.
+func (s *Span) StartTime() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	return s.rec.Start
+}
+
 // SetAttr appends a key/value annotation.
 func (s *Span) SetAttr(key, value string) {
 	if s != nil {
 		s.rec.Attrs = append(s.rec.Attrs, Attr{key, value}) //sblint:allowalloc(span annotation; reached only when tracing is active (nil spans no-op))
 	}
+}
+
+// SetAttrUint appends a key with v's decimal form, encoding the digits into
+// span-owned storage so the hot-path annotation (a call ID) never touches the
+// heap. At most one uint attr per span — a second call would reuse the bytes
+// backing the first one's value.
+func (s *Span) SetAttrUint(key string, v uint64) {
+	if s == nil {
+		return
+	}
+	b := strconv.AppendUint(s.numBuf[:0], v, 10)
+	// The string header aliases numBuf, which is written exactly once and
+	// immutable from here on; the span outlives every Record that aliases it
+	// (sinks hold the Record, the Record's attr strings hold the span).
+	s.rec.Attrs = append(s.rec.Attrs, Attr{key, unsafe.String(&s.numBuf[0], len(b))}) //sblint:allowalloc(appends into the span's inline attr buffer; hot-path spans stay within its capacity)
 }
 
 // SetStatus overwrites the span status ("" means ok).
@@ -242,12 +276,26 @@ func (s *Span) SetError(err error) {
 }
 
 // End stamps the duration and exports the span. End is terminal: the span
-// must not be reused.
+// must not be reused, and a second End is a no-op.
 func (s *Span) End() {
-	if s == nil {
+	if s == nil || s.ended {
 		return
 	}
+	s.ended = true
 	s.rec.Duration = time.Since(s.rec.Start)
+	s.t.export(s.rec)
+}
+
+// EndWithDuration publishes the span with an externally measured duration,
+// for hot paths that already read the clock for a latency histogram and
+// shouldn't pay for a second read. Like End it is terminal and idempotent,
+// so a deferred End after it is a no-op.
+func (s *Span) EndWithDuration(d time.Duration) {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	s.rec.Duration = d
 	s.t.export(s.rec)
 }
 
@@ -258,13 +306,19 @@ func (s *Span) NewChild(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	return &Span{t: s.t, rec: Record{ //sblint:allowalloc(one span per traced attempt; nil parents return above without allocating)
+	c := &Span{t: s.t, rec: Record{ //sblint:allowalloc(one span per traced attempt; nil parents return above without allocating)
 		Trace:  s.rec.Trace,
 		Span:   s.t.nextID(),
 		Parent: s.rec.Span,
 		Name:   name,
-		Start:  time.Now(),
+		// Derive the start from the parent's reading plus the monotonic
+		// delta: Add carries the monotonic component forward, and the
+		// time.Since fast path is about half the cost of a full time.Now
+		// wall read on hosts with slow clocks.
+		Start: s.rec.Start.Add(time.Since(s.rec.Start)),
 	}}
+	c.rec.Attrs = c.attrsBuf[:0]
+	return c
 }
 
 // ctxKey is the context key for the active span (zero-size, so the
@@ -283,7 +337,18 @@ func (t *Tracer) Start(ctx context.Context, name string) (context.Context, *Span
 		Name:  name,
 		Start: time.Now(),
 	}}
+	s.rec.Attrs = s.attrsBuf[:0]
 	return context.WithValue(ctx, ctxKey{}, s), s
+}
+
+// ContextWith returns ctx carrying s as the active span (ctx unchanged when
+// s is nil). It is Child's context half, for callers that create the span
+// first and only need the context on some branches.
+func ContextWith(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, s) //sblint:allowalloc(context wrapper exists only when a span is active)
 }
 
 // FromContext returns the active span, or nil when the context carries none.

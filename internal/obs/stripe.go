@@ -1,0 +1,33 @@
+package obs
+
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+// numStripes is the write-side fan-out of every striped cell. Power of two so
+// stripe selection is a mask. Eight stripes cover the container fleet's core
+// counts; beyond that the stripes stay correct, just slightly more contended.
+const numStripes = 8
+
+// stripedCell is one cache-line-padded counter lane. The padding keeps two
+// stripes from sharing a 64-byte line, so concurrent writers on different
+// CPUs never false-share: each Inc dirties only its own line.
+type stripedCell struct {
+	n atomic.Uint64
+	_ [56]byte
+}
+
+// stripeIdx picks the calling goroutine's write lane. Go offers no portable
+// per-CPU or goroutine-ID primitive, so the lane is derived from the address
+// of a stack local: goroutine stacks live in distinct allocations, so
+// concurrent goroutines spread across lanes, while a single goroutine maps
+// stably to one lane between stack growths. Any lane is correct — readers sum
+// all of them — so the hash only affects contention, never totals.
+func stripeIdx() int {
+	var marker byte
+	a := uintptr(unsafe.Pointer(&marker))
+	// Stacks are aligned; fold the distinguishing middle bits down.
+	a ^= a >> 17
+	return int(a>>10) & (numStripes - 1)
+}

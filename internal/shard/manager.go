@@ -257,6 +257,17 @@ func (m *Manager) ControllerFor(conf uint64) (ctrl *controller.Controller, shard
 	return m.cfg.Controllers[shard], shard, m.Owns(shard)
 }
 
+// Epoch returns the fencing epoch of shard's lease as last observed by this
+// node's elector (0 before any election lands). Monotonic per shard: every
+// leadership change bumps it, so dashboards can tell a stable leader from one
+// that is churning.
+func (m *Manager) Epoch(shard int) int64 {
+	if shard < 0 || shard >= len(m.electors) {
+		return 0
+	}
+	return m.electors[shard].Epoch()
+}
+
 // OwnerHint returns the last observed leader of a shard this process does not
 // lead ("" when unknown or led locally) — the redirect target for the HTTP
 // router.
