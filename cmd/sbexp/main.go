@@ -58,6 +58,7 @@ var experiments = []struct {
 	{"chaos", "fault-injection drill: degraded mode vs clean run", true, chaos},
 	{"partition", "HA failover drill: silent primary partition, standby promotes", true, partitionExp},
 	{"shard", "sharded-fleet drill: kill a shard leader, survivor takes over", true, shardExp},
+	{"reshard", "live shard-split drill: grow the ring online under load", true, reshardExp},
 	{"dessweep", "million-call DES fleet sweep across placement policies", false, dessweep},
 }
 
@@ -450,6 +451,23 @@ func shardExp(env *eval.Env) error {
 	fmt.Printf("%-28s %12s\n", "max stall, failed-over shards", res.MaxStall.Round(time.Millisecond))
 	fmt.Printf("%-28s %12s\n", "max stall, untouched shard", res.UntouchedMaxStall.Round(time.Millisecond))
 	fmt.Printf("lost transitions after takeover: %d (want 0)\n", res.LostTransitions)
+	return nil
+}
+
+func reshardExp(env *eval.Env) error {
+	res, err := eval.ReshardDrill(env, 1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replayed %d calls (%d events) while splitting the ring %d → %d shards online (seed %d)\n",
+		res.Calls, res.Events, res.FromShards, res.ToShards, res.Seed)
+	fmt.Printf("%-28s %12.0f\n", "events/s (incl. split)", res.EventsPerSec)
+	fmt.Printf("%-28s %12s\n", "split duration", res.SplitDuration.Round(time.Millisecond))
+	fmt.Printf("%-28s %12d\n", "writes held at handoff", res.HeldWrites)
+	fmt.Printf("%-28s %12s\n", "max held-write stall", res.MaxHeldStall.Round(time.Millisecond))
+	fmt.Printf("%-28s %12s\n", "max stall otherwise", res.MaxStall.Round(time.Millisecond))
+	fmt.Printf("final ring epoch: %d; lost transitions after split: %d (want 0)\n",
+		res.FinalEpoch, res.LostTransitions)
 	return nil
 }
 

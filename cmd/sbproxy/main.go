@@ -9,6 +9,10 @@
 //	curl -X POST localhost:7321/heal        # bytes flow again
 //	curl -X POST localhost:7321/cut         # sever conns, refuse new ones
 //	curl -X POST localhost:7321/restore     # accept again
+//
+// -latency 20ms -latency-prob 0.3 arms seeded per-operation latency
+// injection from startup, for drills that want jitter rather than outage
+// (the CI reshard smoke runs its split under this).
 package main
 
 import (
@@ -26,13 +30,22 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:7320", "proxy listen address clients dial instead of the upstream")
 	upstream := flag.String("upstream", "", "upstream address traffic is forwarded to (required)")
 	ctl := flag.String("ctl", "127.0.0.1:7321", "HTTP control listen address")
+	latency := flag.Duration("latency", 0, "inject this delay on proxied I/O (0 disables); jitter chaos for reshard/failover drills")
+	latencyProb := flag.Float64("latency-prob", 1, "per-operation probability of the injected latency, in (0,1]")
+	seed := flag.Int64("seed", 1, "fault-injector seed; same seed + same traffic = same injected faults")
 	flag.Parse()
 	if *upstream == "" {
 		slog.Error("missing -upstream")
 		os.Exit(1)
 	}
 
-	proxy, err := faults.NewProxyAt(*listen, *upstream, nil)
+	var inj *faults.Injector
+	if *latency > 0 {
+		inj = faults.NewInjector(*seed,
+			faults.Rule{Kind: faults.Latency, Delay: *latency, Prob: *latencyProb})
+		slog.Info("latency injection armed", "delay", *latency, "prob", *latencyProb, "seed", *seed)
+	}
+	proxy, err := faults.NewProxyAt(*listen, *upstream, inj)
 	if err != nil {
 		slog.Error("starting proxy", "err", err)
 		os.Exit(1)

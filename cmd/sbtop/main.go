@@ -74,14 +74,27 @@ func main() {
 
 // shardsView is the subset of /v1/shards sbtop renders.
 type shardsView struct {
-	Shards int    `json:"shards"`
-	Self   string `json:"self"`
-	Map    []struct {
+	Shards    int        `json:"shards"`
+	Self      string     `json:"self"`
+	RingEpoch int64      `json:"ring_epoch"`
+	Phase     string     `json:"phase"`
+	Migration *migration `json:"migration"`
+	Map       []struct {
 		Shard  int    `json:"shard"`
 		Owned  bool   `json:"owned"`
 		Leader string `json:"leader"`
 		Epoch  int64  `json:"epoch"`
 	} `json:"map"`
+}
+
+// migration mirrors /v1/shards' "migration" object: the reshard
+// coordinator's live checkpoint, present only while a split is in flight.
+type migration struct {
+	From   int    `json:"from"`
+	To     int    `json:"to"`
+	Phase  string `json:"phase"`
+	Copied int64  `json:"copied"`
+	Total  int64  `json:"total"`
 }
 
 // sample is one poll of the fleet: the merged metric families plus the
@@ -149,6 +162,19 @@ func renderFrame(prev, cur *sample) string {
 func renderShards(b *strings.Builder, cur *sample) {
 	if cur.shards == nil {
 		return
+	}
+	sv := cur.shards
+	if sv.Phase != "" && sv.Phase != "stable" {
+		fmt.Fprintf(b, "ring epoch %d — RESHARDING (%s)", sv.RingEpoch, sv.Phase)
+		if mig := sv.Migration; mig != nil {
+			fmt.Fprintf(b, "  %d → %d shards", mig.From, mig.To)
+			if mig.Total > 0 {
+				fmt.Fprintf(b, ", %d/%d keys copied (%d%%)", mig.Copied, mig.Total, 100*mig.Copied/mig.Total)
+			}
+		}
+		b.WriteString("\n")
+	} else {
+		fmt.Fprintf(b, "ring epoch %d — stable\n", sv.RingEpoch)
 	}
 	fmt.Fprintf(b, "%-6s %-24s %-8s %s\n", "SHARD", "LEADER", "EPOCH", "")
 	for _, m := range cur.shards.Map {

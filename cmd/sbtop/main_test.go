@@ -40,8 +40,11 @@ func testSample(at time.Time, started uint64) *sample {
 			},
 		},
 		shards: &shardsView{
-			Shards: 2,
-			Self:   "10.0.0.1:8077",
+			Shards:    2,
+			Self:      "10.0.0.1:8077",
+			RingEpoch: 2,
+			Phase:     "journal-handoff",
+			Migration: &migration{From: 2, To: 3, Phase: "journal-handoff", Copied: 8, Total: 16},
 			Map: []struct {
 				Shard  int    `json:"shard"`
 				Owned  bool   `json:"owned"`
@@ -78,6 +81,8 @@ func TestRenderFrame(t *testing.T) {
 		"latency[5m]=0.25",
 		"trace 00000000deadbeef",
 		"slowest placement 42.0ms",
+		"ring epoch 2 — RESHARDING (journal-handoff)",
+		"2 → 3 shards, 8/16 keys copied (50%)",
 	} {
 		if !strings.Contains(frame, want) {
 			t.Errorf("frame missing %q\n%s", want, frame)
@@ -92,6 +97,18 @@ func TestRenderFrame(t *testing.T) {
 	first := renderFrame(nil, cur)
 	if !strings.Contains(first, "placements -") {
 		t.Errorf("first frame should render rate as '-':\n%s", first)
+	}
+
+	// A stable fleet renders the epoch line without reshard noise.
+	stable := testSample(t0, 100)
+	stable.shards.Phase = "stable"
+	stable.shards.Migration = nil
+	calm := renderFrame(nil, stable)
+	if !strings.Contains(calm, "ring epoch 2 — stable") {
+		t.Errorf("stable frame missing epoch line:\n%s", calm)
+	}
+	if strings.Contains(calm, "RESHARDING") {
+		t.Errorf("stable frame claims a reshard:\n%s", calm)
 	}
 }
 

@@ -16,6 +16,10 @@
 //	POST /v1/dc/recover  {"dc": 3}
 //	GET  /v1/stats
 //	GET  /v1/world
+//	GET  /v1/shards      (sharded: ownership map, ring epoch, migration)
+//	POST /v1/reshard     {"target_shards": 4}  (online split; 202 accepted)
+//	GET  /v1/reshard     (ring epoch, phase, copy progress)
+//	POST /v1/reshard/abort  (pre-cutover rollback)
 //	GET  /healthz        (liveness: process is serving)
 //	GET  /readyz         (readiness: 503 while the store path is degraded;
 //	                      includes SLO burn rates)
@@ -104,6 +108,7 @@ func main() {
 	shardForward := flag.Bool("shard-forward", true, "proxy call-control requests to the owning shard's leader (false answers 307 + X-Switchboard-Shard-Leader hints instead)")
 	shardTakeover := flag.Duration("shard-takeover", 0, "how long this node leaves a non-preferred shard's lease to its preferred owner before racing for it (0 = one lease TTL); size it to cover the fleet's boot stagger or the first node up grabs every shard")
 	shardVnodes := flag.Int("shard-vnodes", 0, "virtual nodes per shard on the consistent-hash ring (0 = default)")
+	shardEpochPoll := flag.Duration("shard-epoch-poll", shard.DefaultEpochPoll, "how often a sharded node re-reads the stored ring epoch (bounds how fast the fleet observes a live reshard's phase flips)")
 	leaseOn := flag.Bool("lease", false, "run lease-based controller leadership against the store (this node serves mutations only while holding the lease)")
 	leaseKey := flag.String("lease-key", controller.DefaultLeaseKey, "leadership lease key")
 	leaseID := flag.String("lease-id", "", "this controller's lease owner ID (default: -addr)")
@@ -337,6 +342,16 @@ func main() {
 		}
 		return c
 	}
+	// shardCtrl builds one shard's controller with its own store client:
+	// fencing epochs are per-client state and differ per shard. Used for the
+	// boot ring and again by the manager when a live reshard widens it.
+	shardCtrl := func(i int) (*switchboard.Controller, error) {
+		skv, err := switchboard.DialKVFailover(kvAddrs, kvOpts(int64(2+i)))
+		if err != nil {
+			return nil, err
+		}
+		return newCtrl(skv, shard.KeyPrefix(i), i), nil
+	}
 
 	// Sharded control plane: one controller + lease race per shard, all
 	// sharing the placer and the world. Per-shard leases replace the
@@ -358,13 +373,9 @@ func main() {
 		}
 		ctrls := make([]*switchboard.Controller, *shards)
 		for i := range ctrls {
-			// Each shard controller gets its own store client: fencing
-			// epochs are per-client state and differ per shard.
-			skv, err := switchboard.DialKVFailover(kvAddrs, kvOpts(int64(2+i)))
-			if err != nil {
+			if ctrls[i], err = shardCtrl(i); err != nil {
 				fatal("dialing kvstore for shard", err)
 			}
-			ctrls[i] = newCtrl(skv, shard.KeyPrefix(i), i)
 		}
 		var prefer []int
 		if *shardID >= 0 {
@@ -377,6 +388,14 @@ func main() {
 			ElectorStore: func(i int) (*kvstore.Client, error) {
 				return switchboard.DialKVFailover(kvAddrs, kvOpts(int64(100+i)))
 			},
+			// The epoch watcher and live-growth factory make this node a
+			// reshard participant: it observes phase flips from the store and
+			// can host shards the boot ring did not name.
+			WatchStore: func() (*kvstore.Client, error) {
+				return switchboard.DialKVFailover(kvAddrs, kvOpts(200))
+			},
+			NewController: shardCtrl,
+			EpochPoll:     *shardEpochPoll,
 			Prefer:        prefer,
 			TTL:           *leaseTTL,
 			TakeoverDelay: *shardTakeover,
@@ -416,6 +435,29 @@ func main() {
 			peerList = strings.Split(*peers, ",")
 		}
 		api.Shards = &httpapi.ShardRouter{Manager: mgr, Forward: *shardForward, Peers: peerList}
+		// Reshard admin: any node of the fleet can accept POST /v1/reshard;
+		// the coordinator lease (not the node) decides who actually drives.
+		mgrID := mgr.ID()
+		api.Reshard = &httpapi.ReshardAdmin{
+			Manager: mgr,
+			NewCoordinator: func() (*shard.Coordinator, error) {
+				ckv, err := switchboard.DialKVFailover(kvAddrs, kvOpts(300))
+				if err != nil {
+					return nil, err
+				}
+				return shard.NewCoordinator(shard.CoordinatorConfig{
+					Store:      ckv,
+					ID:         mgrID,
+					BootShards: *shards,
+					BootVNodes: *shardVnodes,
+					TTL:        *leaseTTL,
+					Metrics:    mgr.Metrics(),
+					Logger:     slog.Default(),
+					Tracer:     tracer,
+				})
+			},
+			Logger: slog.Default(),
+		}
 	}
 
 	// Leadership: the elector gets its own client so election probes still

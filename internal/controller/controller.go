@@ -16,7 +16,6 @@ import (
 	"log/slog"
 	"sort"
 	"strconv"
-	"strings"
 	"sync"
 	"time"
 
@@ -228,10 +227,11 @@ type Controller struct {
 	// placement does not strconv.Itoa on the hot path (immutable after New).
 	dcNames []string
 
-	mu     sync.Mutex
-	calls  map[uint64]*callState // guarded by mu
-	stats  Stats                 // guarded by mu
-	failed map[int]bool          // guarded by mu; DCs declared down via FailDC
+	mu        sync.Mutex
+	calls     map[uint64]*callState // guarded by mu
+	stats     Stats                 // guarded by mu
+	failed    map[int]bool          // guarded by mu; DCs declared down via FailDC
+	recoverOK func(id uint64) bool  // guarded by mu; nil admits all (see SetRecoverFilter)
 
 	// storeMu guards the store client and the write-behind journal. It is
 	// strictly ordered after mu: persist() never holds mu, and FailDC/
@@ -865,19 +865,22 @@ func (c *Controller) RecoverCalls(ctx context.Context) (n int, err error) {
 		cfg    model.CallConfig
 	}
 	var recs []rec
+	c.mu.Lock()
+	admit := c.recoverOK
+	c.mu.Unlock()
 	c.storeMu.Lock()
-	keys, err := c.store.KeysContext(ctx)
+	keys, err := c.store.KeysPrefixContext(ctx, prefix)
 	if err != nil {
 		c.storeMu.Unlock()
 		return 0, err
 	}
 	for _, k := range keys {
-		if !strings.HasPrefix(k, prefix) {
-			continue
-		}
 		id, perr := strconv.ParseUint(k[len(prefix):], 10, 64)
 		if perr != nil {
 			continue // not a call-state key (e.g. a lease living under the prefix)
+		}
+		if admit != nil && !admit(id) {
+			continue // ownership moved away during a reshard; retired key
 		}
 		h, herr := c.store.HGetAllContext(ctx, k)
 		if herr != nil {

@@ -516,3 +516,30 @@ func TestShardDrill(t *testing.T) {
 		t.Errorf("the untouched shard stalled %v", res.UntouchedMaxStall)
 	}
 }
+
+func TestReshardDrill(t *testing.T) {
+	env := quickEnv(t)
+	res, err := ReshardDrill(env, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Calls == 0 || res.Events == 0 {
+		t.Fatalf("empty drill: %+v", res)
+	}
+	if res.FinalEpoch < 1 {
+		t.Errorf("final ring epoch = %d, want the split to bump it", res.FinalEpoch)
+	}
+	if res.SplitDuration <= 0 || res.SplitDuration > 30*time.Second {
+		t.Errorf("split duration = %v", res.SplitDuration)
+	}
+	if res.LostTransitions != 0 {
+		t.Errorf("lost %d transitions across the split", res.LostTransitions)
+	}
+	// The handoff barrier, not the copy, bounds every held write.
+	if res.MaxHeldStall > 5*time.Second {
+		t.Errorf("a held write stalled %v", res.MaxHeldStall)
+	}
+	if res.MaxStall > 5*time.Second {
+		t.Errorf("an op stalled %v during the split", res.MaxStall)
+	}
+}

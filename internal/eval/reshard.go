@@ -1,0 +1,299 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"strconv"
+	"time"
+
+	"switchboard/internal/controller"
+	"switchboard/internal/kvstore"
+	"switchboard/internal/model"
+	"switchboard/internal/shard"
+)
+
+// ReshardResult reports the live shard-split drill: the evaluation window's
+// events replayed against a 3-shard fleet that is split to 4 shards online,
+// a third of the way through the stream, with the stream still flowing.
+type ReshardResult struct {
+	// Calls and Events describe the replayed stream; the ring grows from
+	// FromShards to ToShards mid-stream.
+	Calls, Events        int
+	FromShards, ToShards int
+	// EventsPerSec is the sustained rate across the whole run, split
+	// included.
+	EventsPerSec float64
+	// SplitDuration is the coordinator's wall-clock time from start to the
+	// fleet landing stable on the target ring.
+	SplitDuration time.Duration
+	// HeldWrites counts operations that hit the journal-handoff write hold
+	// on a migrating key and had to wait; MaxHeldStall is the longest such
+	// wait. Bounded by the handoff barrier, not the copy.
+	HeldWrites   int
+	MaxHeldStall time.Duration
+	// MaxStall is the longest any single non-held operation took during the
+	// split.
+	MaxStall time.Duration
+	// LostTransitions counts calls whose terminal state never reached the
+	// store under their POST-SPLIT owner's key prefix (must be 0).
+	LostTransitions int
+	// FinalEpoch is the ring epoch after the split (boot epoch + 1).
+	FinalEpoch int64
+	// Seed reproduces the drill's client jitter.
+	Seed int64
+}
+
+// reshardDrillTo is the target ring width; the drill grows drillShards →
+// reshardDrillTo so exactly one shard's worth of keys (~1/4) migrates.
+const reshardDrillTo = 4
+
+// ReshardDrill replays the evaluation window's events against a single-node
+// 3-shard fleet and splits the ring to 4 shards online, a third of the way
+// into the stream. Unlike ShardDrill — which kills a leader and measures
+// failover — this drill keeps every node healthy and measures the cost of
+// growth itself: the stream routes every op through BeginWrite, so it feels
+// the journal-handoff write holds on migrating keys and the cutover
+// double-read window exactly as the HTTP data plane does. The audit then
+// requires every call's terminal state under its post-split owner's prefix:
+// the split may slow writes (boundedly), but may not lose one.
+func ReshardDrill(env *Env, seed int64) (*ReshardResult, error) {
+	if env.EvalRecords == nil {
+		return nil, fmt.Errorf("eval: ReshardDrill needs KeepEvalRecords")
+	}
+	recs := env.EvalRecords
+	if len(recs) > chaosMaxCalls {
+		recs = recs[:chaosMaxCalls]
+	}
+	events := controller.BuildEvents(recs, controller.DefaultFreeze)
+	res := &ReshardResult{
+		Calls: len(recs), Events: len(events),
+		FromShards: drillShards, ToShards: reshardDrillTo, Seed: seed,
+	}
+
+	srv := kvstore.NewServer()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go func() { _ = srv.Serve(l) }()
+	defer func() { _ = srv.Close() }()
+	addr := l.Addr().String()
+
+	ring, err := shard.NewRing(drillShards, 64)
+	if err != nil {
+		return nil, err
+	}
+	opts := kvstore.Options{
+		DialTimeout: 200 * time.Millisecond,
+		IOTimeout:   200 * time.Millisecond,
+		MaxRetries:  1,
+		BackoffMin:  10 * time.Millisecond,
+		BackoffMax:  50 * time.Millisecond,
+	}
+	var clients []*kvstore.Client
+	defer func() {
+		for _, c := range clients {
+			_ = c.Close()
+		}
+	}()
+	newCtrl := func(i int) (*controller.Controller, error) {
+		o := opts
+		o.Seed = seed + int64(i)
+		store, err := kvstore.DialOptions(addr, o)
+		if err != nil {
+			return nil, err
+		}
+		clients = append(clients, store)
+		return controller.New(controller.Config{
+			World: env.World,
+			Placer: &controller.MinACLPlacer{
+				ACLOf: func(cfg model.CallConfig, dc int) float64 { return cfg.ACL(env.World, dc) },
+				NDCs:  len(env.World.DCs()),
+			},
+			Store:         store,
+			KeyPrefix:     shard.KeyPrefix(i),
+			Shard:         i,
+			ProbeInterval: 20 * time.Millisecond,
+		})
+	}
+	ctrls := make([]*controller.Controller, drillShards)
+	for i := range ctrls {
+		if ctrls[i], err = newCtrl(i); err != nil {
+			return nil, err
+		}
+	}
+	m, err := shard.NewManager(shard.Config{
+		Ring:        ring,
+		ID:          "reshard-drill",
+		Controllers: ctrls,
+		ElectorStore: func(i int) (*kvstore.Client, error) {
+			o := opts
+			o.Seed = seed + 100 + int64(i)
+			return kvstore.DialOptions(addr, o)
+		},
+		NewController: newCtrl,
+		WatchStore: func() (*kvstore.Client, error) {
+			o := opts
+			o.Seed = seed + 200
+			return kvstore.DialOptions(addr, o)
+		},
+		EpochPoll: 50 * time.Millisecond,
+		Prefer:    []int{0, 1, 2},
+		TTL:       300 * time.Millisecond,
+		Renew:     75 * time.Millisecond,
+		Recover:   true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m.Start()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		m.Stop(ctx)
+	}()
+
+	settle := time.Now().Add(10 * time.Second) //sblint:allow nondeterminism -- real-time settle deadline
+	for !(m.Owns(0) && m.Owns(1) && m.Owns(2)) {
+		if time.Now().After(settle) { //sblint:allow nondeterminism -- real-time settle deadline
+			return nil, fmt.Errorf("eval: reshard fleet never settled")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	coStore, err := kvstore.DialOptions(addr, func() kvstore.Options { o := opts; o.Seed = seed + 300; return o }())
+	if err != nil {
+		return nil, err
+	}
+	co, err := shard.NewCoordinator(shard.CoordinatorConfig{
+		Store:       coStore, // Close()d by the coordinator
+		ID:          "reshard-drill-co",
+		BootShards:  drillShards,
+		BootVNodes:  64,
+		TTL:         300 * time.Millisecond,
+		Renew:       75 * time.Millisecond,
+		Poll:        25 * time.Millisecond,
+		CutoverHold: 600 * time.Millisecond,
+		BackoffBase: 10 * time.Millisecond,
+		BackoffMax:  100 * time.Millisecond,
+	})
+	if err != nil {
+		_ = coStore.Close()
+		return nil, err
+	}
+	defer func() { _ = co.Close() }()
+
+	// The split launches a third of the way into the stream and runs
+	// concurrently with it; splitDone carries the coordinator's verdict.
+	cutAt := len(events) / 3
+	splitDone := make(chan error, 1)
+	var splitStart time.Time
+	coCtx, coCancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer coCancel()
+
+	start := time.Now() //sblint:allow nondeterminism -- measuring real elapsed time
+	for i, e := range events {
+		if i == cutAt {
+			splitStart = time.Now() //sblint:allow nondeterminism -- split duration reference point
+			go func() {
+				_, err := co.Run(coCtx, reshardDrillTo)
+				splitDone <- err
+			}()
+		}
+		opStart := time.Now() //sblint:allow nondeterminism -- measuring real per-op stall
+		held := false
+		// Route exactly as the HTTP data plane does: BeginWrite, honor the
+		// handoff hold by waiting it out, recover through the double-read
+		// window at cutover.
+		var d shard.RouteDecision
+		var release func()
+		holdDeadline := time.Now().Add(10 * time.Second) //sblint:allow nondeterminism -- real-time hold deadline
+		for {
+			d, release = m.BeginWrite(e.CallID)
+			if !d.Held {
+				break
+			}
+			held = true
+			if time.Now().After(holdDeadline) { //sblint:allow nondeterminism -- real-time hold deadline
+				return nil, fmt.Errorf("eval: write hold on conf %d never lifted", e.CallID)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		ctrl := m.Controller(d.Shard)
+		if ctrl == nil {
+			return nil, fmt.Errorf("eval: no controller for shard %d", d.Shard)
+		}
+		if d.DoubleRead && !ctrl.Knows(e.CallID) {
+			_, _ = ctrl.RecoverCall(context.Background(), e.CallID, shard.KeyPrefix(d.OldShard))
+		}
+		switch e.Kind {
+		case controller.EventStart:
+			_, err = ctrl.CallStartedWithSeries(context.Background(), e.CallID, e.Country, e.SeriesID, e.Time)
+		case controller.EventJoin:
+			ctrl.ParticipantJoined(context.Background(), e.CallID, e.Country, e.Media)
+			err = nil
+		case controller.EventFreeze:
+			_, _, err = ctrl.ConfigKnown(context.Background(), e.CallID, e.Config, e.Time)
+		case controller.EventEnd:
+			err = ctrl.CallEnded(context.Background(), e.CallID)
+		}
+		if release != nil {
+			release()
+		}
+		if err != nil {
+			return nil, fmt.Errorf("eval: reshard replay %v(%d): %w", e.Kind, e.CallID, err)
+		}
+		stall := time.Since(opStart) //sblint:allow nondeterminism -- measuring real per-op stall
+		if held {
+			res.HeldWrites++
+			if stall > res.MaxHeldStall {
+				res.MaxHeldStall = stall
+			}
+		} else if stall > res.MaxStall {
+			res.MaxStall = stall
+		}
+	}
+	elapsed := time.Since(start) //sblint:allow nondeterminism -- measuring real elapsed time
+	res.EventsPerSec = float64(len(events)) / elapsed.Seconds()
+
+	if err := <-splitDone; err != nil {
+		return nil, fmt.Errorf("eval: split failed: %w", err)
+	}
+	converge := time.Now().Add(10 * time.Second) //sblint:allow nondeterminism -- real-time convergence deadline
+	for !(m.Phase() == shard.PhaseStable && m.Ring().Shards() == reshardDrillTo) {
+		if time.Now().After(converge) { //sblint:allow nondeterminism -- real-time convergence deadline
+			return nil, fmt.Errorf("eval: fleet never converged on the target ring")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	res.SplitDuration = time.Since(splitStart) //sblint:allow nondeterminism -- split duration measurement
+	res.FinalEpoch = m.RingEpoch()
+
+	// Audit against the post-split ring: every call's terminal state under
+	// its NEW owner's prefix. A lost moved key — copied but retired before
+	// the copy landed, or stranded under the source prefix — shows up here.
+	ringTo, err := shard.NewRing(reshardDrillTo, 64)
+	if err != nil {
+		return nil, err
+	}
+	reader, err := kvstore.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = reader.Close() }()
+	for _, r := range recs {
+		sh := ringTo.Lookup(r.ID)
+		v, err := reader.HGet(shard.KeyPrefix(sh)+"call:"+strconv.FormatUint(r.ID, 10), "state")
+		if err != nil || v != "ended" {
+			res.LostTransitions++
+		}
+	}
+
+	env.countRun("reshard")
+	if env.Obs != nil {
+		env.Obs.Counter("sb_eval_reshard_lost_total",
+			"Call transitions lost across reshard drills (must stay 0).").Add(uint64(res.LostTransitions))
+	}
+	return res, nil
+}

@@ -19,6 +19,7 @@ import (
 	"switchboard/internal/model"
 	"switchboard/internal/obs"
 	"switchboard/internal/obs/span"
+	"switchboard/internal/shard"
 )
 
 // maxRequestBody caps request bodies; call-control messages are tiny, so
@@ -64,6 +65,10 @@ type Server struct {
 	// hints (see ShardRouter). Mutually exclusive with Elector — per-shard
 	// leases replace the fleet-wide one. Set before calling Mux.
 	Shards *ShardRouter
+	// Reshard, when non-nil, registers the reshard admin endpoints
+	// (POST/GET /v1/reshard, POST /v1/reshard/abort). Requires Shards. Set
+	// before calling Mux.
+	Reshard *ReshardAdmin
 
 	fleet fleetCache // last-good peer snapshots for /metrics/fleet
 }
@@ -108,6 +113,11 @@ func (s *Server) Mux() *http.ServeMux {
 	handle("GET /v1/world", s.handleWorld)
 	if s.Shards != nil {
 		handle("GET /v1/shards", s.handleShards)
+	}
+	if s.Reshard != nil {
+		handle("POST /v1/reshard", s.handleReshardStart)
+		handle("GET /v1/reshard", s.handleReshardStatus)
+		handle("POST /v1/reshard/abort", s.handleReshardAbort)
 	}
 	if s.Registry != nil {
 		handle("GET /metrics/instance", s.handleMetricsInstance)
@@ -163,13 +173,32 @@ func (s *Server) callRoute(h callHandler) http.HandlerFunc {
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
-		ctrl, sh, owned := s.Shards.Manager.ControllerFor(probe.ID)
-		w.Header().Set(ShardHeader, strconv.Itoa(sh))
-		if owned {
+		m := s.Shards.Manager
+		// BeginWrite pins the request to the current ring epoch: while a
+		// reshard is copying, writes to moving keys are registered so the
+		// journal-handoff barrier can wait them out; during the barrier
+		// itself they are Held (503, nothing admitted, nothing to lose).
+		d, release := m.BeginWrite(probe.ID)
+		if release != nil {
+			defer release()
+		}
+		w.Header().Set(ShardHeader, strconv.Itoa(d.Shard))
+		if d.Held {
+			s.Shards.heldResponse(d, w)
+			return
+		}
+		if m.Owns(d.Shard) {
+			ctrl := m.Controller(d.Shard)
+			if d.DoubleRead && !ctrl.Knows(probe.ID) {
+				// Cutover double-read: the call may still live under its
+				// pre-cutover owner's prefix; pull it forward before serving.
+				// Best effort — an unknown call stays a clean 404.
+				_, _ = ctrl.RecoverCall(r.Context(), probe.ID, shard.KeyPrefix(d.OldShard))
+			}
 			h(ctrl, body, w, r)
 			return
 		}
-		s.Shards.relay(sh, body, w, r)
+		s.Shards.relay(d, body, w, r)
 	}
 }
 
@@ -396,12 +425,21 @@ func (s *Server) handleShards(w http.ResponseWriter, _ *http.Request) {
 		}
 		shardMap[i] = d
 	}
-	s.reply(w, map[string]any{
-		"shards": m.Ring().Shards(),
-		"self":   m.ID(),
-		"owned":  m.Owned(),
-		"map":    shardMap,
-	})
+	out := map[string]any{
+		"shards":     m.Ring().Shards(),
+		"self":       m.ID(),
+		"owned":      m.Owned(),
+		"map":        shardMap,
+		"ring_epoch": m.RingEpoch(),
+		"phase":      m.Phase(),
+	}
+	if st, ok := m.Reshard(); ok {
+		out["migration"] = map[string]any{
+			"from": st.From, "to": st.To, "phase": st.Phase,
+			"copied": st.Copied, "total": st.Total,
+		}
+	}
+	s.reply(w, out)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {

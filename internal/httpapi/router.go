@@ -25,6 +25,10 @@ const (
 	ShardLeaderHeader = "X-Switchboard-Shard-Leader"
 	// ShardHeader carries the shard the request's conference ID maps to.
 	ShardHeader = "X-Switchboard-Shard"
+	// PrevShardLeaderHeader carries the pre-cutover owner's leader during a
+	// reshard's double-read window: a client chasing a 307 can fall back to
+	// the old owner if the new one has not finished recovering the call.
+	PrevShardLeaderHeader = "X-Switchboard-Shard-Leader-Prev"
 )
 
 // Forwarding defaults, sized like the kvstore MOVED-following client: a few
@@ -159,22 +163,74 @@ func retryAfterSecs(d time.Duration) string {
 }
 
 // relay handles a call-control request whose shard this node does not lead.
-func (rt *ShardRouter) relay(sh int, body []byte, w http.ResponseWriter, r *http.Request) {
+// A request that already burned its hop budget gets a typed 503 instead of
+// another bounce: when ownership hints are stale fleet-wide (mid-failover,
+// mid-reshard), forward chains would otherwise walk in circles.
+func (rt *ShardRouter) relay(d shard.RouteDecision, body []byte, w http.ResponseWriter, r *http.Request) {
 	hops, _ := strconv.Atoi(r.Header.Get(HopsHeader))
-	if rt.Forward && hops < rt.maxHops() && rt.forward(sh, hops, body, w, r) {
+	if hops >= rt.maxHops() {
+		rt.hopsExhausted(d.Shard, w)
 		return
 	}
-	rt.hintResponse(sh, w, r)
+	if rt.Forward && rt.forward(d.Shard, hops, body, w, r) {
+		return
+	}
+	rt.hintResponse(d, w, r)
+}
+
+// hopsExhausted answers the typed proxy-hop-budget 503: Retry-After from the
+// lease TTL (ownership settles within one), StandbyHeader so a routing
+// refusal does not burn the availability SLO, and a machine-readable reason
+// so clients and drills can tell it from a standby or degraded 503.
+func (rt *ShardRouter) hopsExhausted(sh int, w http.ResponseWriter) {
+	if m := rt.Manager.Metrics(); m != nil {
+		m.ProxyHopsExhausted.Inc()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(obs.StandbyHeader, "1")
+	w.Header().Set("Retry-After", retryAfterSecs(rt.Manager.TTL()))
+	w.WriteHeader(http.StatusServiceUnavailable)
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"shard": sh, "reason": "proxy hop budget exhausted",
+	})
+}
+
+// heldResponse answers a write paused by the journal-handoff barrier: the
+// key is mid-move and its source shard is draining. The pause lasts well
+// under a second on a healthy fleet, so Retry-After is the minimum; the
+// write was never admitted, so the client retry loses nothing.
+func (rt *ShardRouter) heldResponse(d shard.RouteDecision, w http.ResponseWriter) {
+	if m := rt.Manager.Metrics(); m != nil {
+		m.HandoffHeld.Inc()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(obs.StandbyHeader, "1")
+	w.Header().Set("Retry-After", "1")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"shard": d.Shard, "reason": "write held: key migrating (journal handoff)",
+	})
 }
 
 // hintResponse degrades to routing information: 307 + leader hint when the
 // owner is known, else a Retry-After 503 bounded by the lease TTL (ownership
 // settles within one). Both carry obs.StandbyHeader — correct routing by a
 // non-owner is not an outage, so it must not burn the availability SLO.
-func (rt *ShardRouter) hintResponse(sh int, w http.ResponseWriter, r *http.Request) {
+// During a cutover's double-read window the 307 also names the pre-cutover
+// owner's leader, so a client that strikes out on the new owner has the
+// fallback in hand.
+func (rt *ShardRouter) hintResponse(d shard.RouteDecision, w http.ResponseWriter, r *http.Request) {
+	sh := d.Shard
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set(obs.StandbyHeader, "1")
 	w.Header().Set("Retry-After", retryAfterSecs(rt.Manager.TTL()))
+	if d.DoubleRead && d.OldShard >= 0 {
+		if prev := rt.Manager.OwnerHint(d.OldShard); prev != "" {
+			w.Header().Set(PrevShardLeaderHeader, prev)
+		} else if rt.Manager.Owns(d.OldShard) {
+			w.Header().Set(PrevShardLeaderHeader, rt.Manager.ID())
+		}
+	}
 	if hint := rt.ownerHint(sh); hint != "" {
 		w.Header().Set(ShardLeaderHeader, hint)
 		w.Header().Set("Location", "http://"+hint+r.URL.RequestURI())
@@ -243,7 +299,7 @@ func (rt *ShardRouter) forwardOnce(hint string, hops int, body []byte, w http.Re
 	if resp.StatusCode == http.StatusServiceUnavailable && resp.Header.Get(obs.StandbyHeader) != "" && retriable {
 		return false, false
 	}
-	for _, h := range []string{"Content-Type", "Retry-After", "Location", ShardLeaderHeader, ShardHeader, obs.StandbyHeader} {
+	for _, h := range []string{"Content-Type", "Retry-After", "Location", ShardLeaderHeader, PrevShardLeaderHeader, ShardHeader, obs.StandbyHeader} {
 		if v := resp.Header.Get(h); v != "" {
 			w.Header().Set(h, v)
 		}

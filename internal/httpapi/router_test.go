@@ -71,9 +71,10 @@ func startShardNode(t *testing.T, storeAddr string, ring *shard.Ring, prefer []i
 		ElectorStore: func(i int) (*kvstore.Client, error) {
 			return kvstore.Dial(storeAddr)
 		},
-		Prefer: prefer,
-		TTL:    300 * time.Millisecond,
-		Renew:  75 * time.Millisecond,
+		Prefer:  prefer,
+		TTL:     300 * time.Millisecond,
+		Renew:   75 * time.Millisecond,
+		Metrics: shard.NewMetrics(obs.NewRegistry()),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -216,8 +217,9 @@ func TestShardForwarding(t *testing.T) {
 }
 
 // TestShardForwardHopBound: a request arriving with the hop budget spent is
-// not forwarded again — it degrades to a routing hint, so stale hints
-// fleet-wide cannot loop a request forever.
+// not forwarded or redirected again — it answers the typed hop-exhaustion
+// 503 (SLO-exempt, Retry-After from the lease TTL) and bumps the counter, so
+// stale hints fleet-wide cannot loop a request forever.
 func TestShardForwardHopBound(t *testing.T) {
 	store := startShardStore(t)
 	ring, _ := shard.NewRing(2, 16)
@@ -231,8 +233,26 @@ func TestShardForwardHopBound(t *testing.T) {
 	resp := postStart(t, a.addr, other, map[string]string{
 		HopsHeader: strconv.Itoa(DefaultMaxHops),
 	})
-	if resp.StatusCode != http.StatusTemporaryRedirect {
-		t.Fatalf("hop-capped request: %d, want 307 hint", resp.StatusCode)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("hop-capped request: %d, want typed 503", resp.StatusCode)
+	}
+	if resp.Header.Get(obs.StandbyHeader) == "" {
+		t.Fatal("hop-exhaustion 503 must be SLO-exempt")
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("hop-exhaustion 503 must carry Retry-After")
+	}
+	var out struct {
+		Reason string `json:"reason"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Reason != "proxy hop budget exhausted" {
+		t.Fatalf("reason = %q", out.Reason)
+	}
+	if got := a.mgr.Metrics().ProxyHopsExhausted.Value(); got != 1 {
+		t.Fatalf("sb_shard_proxy_hops_exhausted_total = %v, want 1", got)
 	}
 }
 

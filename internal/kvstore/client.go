@@ -657,7 +657,12 @@ func (c *Client) PingContext(ctx context.Context) error {
 
 // Set stores a string value.
 func (c *Client) Set(key, value string) error {
-	r, err := c.Do("SET", key, value)
+	return c.SetContext(context.Background(), key, value)
+}
+
+// SetContext is Set under a context (see DoContext).
+func (c *Client) SetContext(ctx context.Context, key, value string) error {
+	r, err := c.DoContext(ctx, "SET", key, value)
 	if err != nil {
 		return err
 	}
@@ -669,7 +674,12 @@ func (c *Client) Set(key, value string) error {
 
 // Get fetches a string value; ErrNil when absent.
 func (c *Client) Get(key string) (string, error) {
-	r, err := c.Do("GET", key)
+	return c.GetContext(context.Background(), key)
+}
+
+// GetContext is Get under a context (see DoContext).
+func (c *Client) GetContext(ctx context.Context, key string) (string, error) {
+	r, err := c.DoContext(ctx, "GET", key)
 	if err != nil {
 		return "", err
 	}
@@ -758,15 +768,26 @@ func (c *Client) HGetAllContext(ctx context.Context, key string) (map[string]str
 	return out, nil
 }
 
-// Keys lists all live keys (debugging aid; the server only supports the full
-// wildcard).
+// Keys lists all live keys (debugging aid; see KeysPrefixContext for the
+// scoped scan resharding uses).
 func (c *Client) Keys() ([]string, error) {
 	return c.KeysContext(context.Background())
 }
 
 // KeysContext is Keys under a context (see DoContext).
 func (c *Client) KeysContext(ctx context.Context) ([]string, error) {
-	r, err := c.DoContext(ctx, "KEYS", "*")
+	return c.keysPattern(ctx, "*")
+}
+
+// KeysPrefixContext lists live keys under a literal prefix (server-side
+// trailing-star KEYS), sorted. Prefer it over KeysContext on fleets of any
+// size: the reply carries one shard's namespace, not the whole store.
+func (c *Client) KeysPrefixContext(ctx context.Context, prefix string) ([]string, error) {
+	return c.keysPattern(ctx, prefix+"*") //sblint:allowalloc(scan path, not a data-path command; one concat per scan)
+}
+
+func (c *Client) keysPattern(ctx context.Context, pattern string) ([]string, error) {
+	r, err := c.DoContext(ctx, "KEYS", pattern)
 	if err != nil {
 		return nil, err
 	}
@@ -783,6 +804,22 @@ func (c *Client) KeysContext(ctx context.Context) ([]string, error) {
 		out = append(out, s)
 	}
 	return out, nil
+}
+
+// HCopyContext snapshots the src hash into dst in one server-side round trip,
+// returning the field count copied (0 when src is absent). It is the typed
+// wrapper for the mutating HCOPY verb, so it inherits the client's armed
+// fence: a deposed migration coordinator's copies are rejected, not landed.
+func (c *Client) HCopyContext(ctx context.Context, src, dst string) (int64, error) {
+	r, err := c.DoContext(ctx, "HCOPY", src, dst)
+	if err != nil {
+		return 0, err
+	}
+	n, ok := r.(int64)
+	if !ok {
+		return 0, fmt.Errorf("kvstore: unexpected HCOPY reply %v", r)
+	}
+	return n, nil
 }
 
 // writeCommand frames args as a RESP array. A non-empty tid prepends the

@@ -1,6 +1,7 @@
 package kvstore
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -260,9 +261,20 @@ func TestHGetAllAndKeys(t *testing.T) {
 	if len(keys) != 2 || keys[0] != "call:1" || keys[1] != "plain" {
 		t.Fatalf("Keys = %v", keys)
 	}
-	// Pattern matching beyond * is refused.
-	if _, err := c.Do("KEYS", "call:*"); err == nil {
-		t.Error("KEYS with pattern should error")
+	// Trailing-star prefix patterns narrow the scan.
+	pref, err := c.KeysPrefixContext(context.Background(), "call:")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pref) != 1 || pref[0] != "call:1" {
+		t.Fatalf("KeysPrefix = %v", pref)
+	}
+	// Pattern matching beyond a trailing * is refused.
+	if _, err := c.Do("KEYS", "call:?*"); err == nil {
+		t.Error("KEYS with non-prefix pattern should error")
+	}
+	if _, err := c.Do("KEYS", "c*ll:*"); err == nil {
+		t.Error("KEYS with inner star should error")
 	}
 }
 
@@ -402,5 +414,54 @@ func BenchmarkPipeline100(b *testing.B) {
 		if _, _, err := c.Pipeline(cmds); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestHCopy: HCOPY snapshots the source hash into the destination (the
+// reshard bulk-copy primitive) — replacing any prior destination state,
+// reporting 0 for a missing source without touching the destination, and
+// surviving src==dst (the snapshot-then-write order must not self-deadlock).
+func TestHCopy(t *testing.T) {
+	_, addr := startServer(t)
+	c := dialT(t, addr)
+	ctx := context.Background()
+	for _, kv := range [][3]string{
+		{"src", "dc", "8"}, {"src", "state", "live"},
+		{"dst", "dc", "1"}, {"dst", "old", "x"},
+	} {
+		if err := c.HSet(kv[0], kv[1], kv[2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := c.HCopyContext(ctx, "src", "dst")
+	if err != nil || n != 2 {
+		t.Fatalf("HCOPY = %d, %v", n, err)
+	}
+	m, err := c.HGetAll("dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The copy replaces, not merges: stale fields must not survive.
+	if len(m) != 2 || m["dc"] != "8" || m["state"] != "live" {
+		t.Fatalf("dst after HCOPY = %v", m)
+	}
+	// Missing source: 0 copied, destination untouched.
+	if n, err := c.HCopyContext(ctx, "nope", "dst"); err != nil || n != 0 {
+		t.Fatalf("HCOPY missing src = %d, %v", n, err)
+	}
+	if m, _ := c.HGetAll("dst"); len(m) != 2 {
+		t.Fatalf("missing-source HCOPY touched dst: %v", m)
+	}
+	// src == dst must not deadlock on the store's internal shard lock.
+	if n, err := c.HCopyContext(ctx, "src", "src"); err != nil || n != 2 {
+		t.Fatalf("self HCOPY = %d, %v", n, err)
+	}
+	// Copying over a plain string key replaces it with the hash.
+	c.Set("plain", "v")
+	if _, err := c.HCopyContext(ctx, "src", "plain"); err != nil {
+		t.Fatal(err)
+	}
+	if m, _ := c.HGetAll("plain"); m["dc"] != "8" {
+		t.Fatalf("HCOPY over string key = %v", m)
 	}
 }

@@ -84,7 +84,7 @@ func Mutates(cmd string) bool {
 // mutatingCmds lists every verb the store treats as a mutation (fenced,
 // replicated, journaled).
 var mutatingCmds = [...]string{
-	"SET", "DEL", "INCR", "INCRBY", "HSET", "EXPIRE", "PERSIST",
+	"SET", "DEL", "INCR", "INCRBY", "HSET", "HCOPY", "EXPIRE", "PERSIST",
 	"PEXPIREAT", "FLUSHALL", "SETLEASE", "DELLEASE", "LEASEGRANT", "LEASEDEL",
 }
 

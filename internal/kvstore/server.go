@@ -539,22 +539,26 @@ func (s *Server) dispatch(cmd string, args []string, w *bufio.Writer) (logArgs [
 			writeBulk(w, f)
 		}
 	case "KEYS":
-		// Only the full wildcard is supported (enough for debugging;
-		// production Redis discourages KEYS anyway).
+		// "*" and a trailing-star prefix ("shard/2/*") are supported — the
+		// full wildcard for debugging, the prefix form for resharding scans.
+		// Anything fancier is rejected (production Redis discourages KEYS
+		// anyway).
 		if !arity(w, args, 2) {
 			return
 		}
-		if args[1] != "*" {
-			writeError(w, "only KEYS * is supported")
+		pat := args[1]
+		if !strings.HasSuffix(pat, "*") || strings.ContainsAny(pat[:len(pat)-1], "*?[") {
+			writeError(w, "only KEYS * or a trailing-star prefix is supported")
 			return
 		}
+		prefix := pat[:len(pat)-1]
 		var keys []string
 		now := time.Now()
 		for i := range s.shards {
 			sh := &s.shards[i]
 			sh.mu.RLock()
 			for key := range sh.m {
-				if sh.lookupRead(key, now) != nil {
+				if strings.HasPrefix(key, prefix) && sh.lookupRead(key, now) != nil {
 					keys = append(keys, key)
 				}
 			}
@@ -565,6 +569,38 @@ func (s *Server) dispatch(cmd string, args []string, w *bufio.Writer) (logArgs [
 		for _, k := range keys {
 			writeBulk(w, k)
 		}
+	case "HCOPY":
+		// HCOPY src dst: replace dst with a snapshot of the src hash and
+		// return the field count (0 deletes nothing and copies nothing — a
+		// missing src is not an error, so migration scans can race expiry).
+		// The resharding coordinator's bulk copy rides on this so a key moves
+		// in one fenced round trip instead of HGETALL+N×HSET.
+		if !arity(w, args, 3) {
+			return
+		}
+		now := time.Now()
+		src := s.shardOf(args[1])
+		src.mu.RLock()
+		e := src.lookupRead(args[1], now)
+		var snap map[string]string
+		if e != nil && e.kind == "hash" {
+			snap = make(map[string]string, len(e.hash))
+			for f, v := range e.hash {
+				snap[f] = v
+			}
+		}
+		src.mu.RUnlock()
+		if len(snap) == 0 {
+			writeInt(w, 0)
+			return
+		}
+		// Snapshot under the source lock, write under the destination lock:
+		// the two may be the same internal shard, so nesting would deadlock.
+		dst := s.shardOf(args[2])
+		dst.mu.Lock()
+		dst.m[args[2]] = &entry{kind: "hash", hash: snap}
+		dst.mu.Unlock()
+		writeInt(w, int64(len(snap)))
 	case "HLEN":
 		if !arity(w, args, 2) {
 			return

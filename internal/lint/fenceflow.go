@@ -41,8 +41,9 @@ func FenceFlowAnalyzer() *Analyzer {
 // fencing layer gates. Keep in sync with internal/kvstore/replication.go.
 var mutatingVerbs = map[string]bool{
 	"SET": true, "DEL": true, "INCR": true, "INCRBY": true, "HSET": true,
-	"EXPIRE": true, "PERSIST": true, "PEXPIREAT": true, "FLUSHALL": true,
-	"SETLEASE": true, "DELLEASE": true, "LEASEGRANT": true, "LEASEDEL": true,
+	"HCOPY": true, "EXPIRE": true, "PERSIST": true, "PEXPIREAT": true,
+	"FLUSHALL": true, "SETLEASE": true, "DELLEASE": true, "LEASEGRANT": true,
+	"LEASEDEL": true,
 }
 
 // rawCommandMethods are the command-level escape hatches on the client.
@@ -197,6 +198,8 @@ func wrapperHint(verb string) string {
 		return "Incr"
 	case "HSET":
 		return "HSet/HSetContext"
+	case "HCOPY":
+		return "HCopyContext"
 	default:
 		return "typed"
 	}

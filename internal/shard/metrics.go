@@ -24,6 +24,24 @@ type Metrics struct {
 	Takeovers *obs.Counter
 	// Handoffs counts orderly shard handoffs (drain + resign) on Stop.
 	Handoffs *obs.Counter
+	// RingEpoch is the serving ring's epoch as last observed by this node
+	// (1 for the boot ring; bumps once per completed reshard).
+	RingEpoch *obs.Gauge
+	// ReshardPhase is the observed reshard phase: 0 stable, 1 prepare,
+	// 2 copy, 3 journal-handoff, 4 cutover.
+	ReshardPhase *obs.Gauge
+	// ReshardCopied / ReshardTotal mirror the coordinator's moved-key
+	// progress (both 0 when no reshard is in flight).
+	ReshardCopied *obs.Gauge
+	ReshardTotal  *obs.Gauge
+	// ReshardRetries counts coordinator step retries (capped jittered
+	// backoff on store trouble).
+	ReshardRetries *obs.Counter
+	// HandoffHeld counts writes 503'd by the journal-handoff write pause.
+	HandoffHeld *obs.Counter
+	// ProxyHopsExhausted counts requests bounced between nodes until the
+	// proxy hop budget ran out (typed 503 instead of serving).
+	ProxyHopsExhausted *obs.Counter
 }
 
 // NewMetrics registers the shard metric families on r (nil r yields a usable
@@ -44,7 +62,45 @@ func NewMetrics(r *obs.Registry) *Metrics {
 			"Shard leaderships acquired over a lapsed lease, all shards."),
 		Handoffs: r.Counter("sb_shard_handoffs_total",
 			"Orderly shard handoffs (journal drained, lease resigned)."),
+		RingEpoch: r.Gauge("sb_shard_ring_epoch",
+			"Serving ring epoch as last observed (1 = boot ring)."),
+		ReshardPhase: r.Gauge("sb_shard_reshard_phase",
+			"Observed reshard phase: 0 stable, 1 prepare, 2 copy, 3 journal-handoff, 4 cutover."),
+		ReshardCopied: r.Gauge("sb_reshard_keys_copied",
+			"Moved call-state keys copied so far by the running reshard."),
+		ReshardTotal: r.Gauge("sb_reshard_keys_total",
+			"Moved call-state keys discovered so far by the running reshard."),
+		ReshardRetries: r.Counter("sb_reshard_retries_total",
+			"Reshard coordinator step retries (capped jittered backoff)."),
+		HandoffHeld: r.Counter("sb_shard_handoff_held_total",
+			"Writes held (503) by the journal-handoff pause on moving keys."),
+		ProxyHopsExhausted: r.Counter("sb_shard_proxy_hops_exhausted_total",
+			"Requests that exhausted the shard proxy hop budget."),
 	}
+}
+
+// ringEpochGauge, phaseGauge, and reshardGauges dodge nil-Metrics checks at
+// the watcher's update sites.
+func (m *Metrics) ringEpochGauge() *obs.Gauge {
+	if m == nil {
+		return nil
+	}
+	return m.RingEpoch
+}
+
+func (m *Metrics) phaseGauge() *obs.Gauge {
+	if m == nil {
+		return nil
+	}
+	return m.ReshardPhase
+}
+
+func (m *Metrics) reshardGauges(copied, total float64) {
+	if m == nil {
+		return
+	}
+	m.ReshardCopied.Set(copied)
+	m.ReshardTotal.Set(total)
 }
 
 // ownedGauge dodges nil-Metrics checks at the Manager's lead/lose sites.

@@ -93,3 +93,74 @@ func TestLeaseAndPrefixKeys(t *testing.T) {
 		t.Fatal("lease key collides with call-state namespace")
 	}
 }
+
+// TestRingEpochTransition pins the property the whole online-reshard design
+// leans on: growing an N-shard ring to N+1 moves roughly 1/(N+1) of the key
+// space, every moved key lands on the ADDED shard, and every unmoved key
+// keeps byte-identical ownership. If a ring change could move keys between
+// surviving shards, the copy/cutover protocol would need all-pairs
+// migration; this test is the proof it does not.
+func TestRingEpochTransition(t *testing.T) {
+	const ids = 40000
+	for _, vnodes := range []int{16, 64, 128} {
+		for _, n := range []int{3, 4, 7} {
+			oldRing, err := NewRing(n, vnodes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			newRing, err := NewRing(n+1, vnodes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			moved := 0
+			for id := uint64(0); id < ids; id++ {
+				was, is := oldRing.Lookup(id), newRing.Lookup(id)
+				if was == is {
+					continue
+				}
+				moved++
+				if is != n {
+					t.Fatalf("vnodes=%d %d->%d: id %d moved %d->%d, not onto the added shard %d",
+						vnodes, n, n+1, id, was, is, n)
+				}
+			}
+			frac := float64(moved) / ids
+			ideal := 1 / float64(n+1)
+			if frac < ideal/2 || frac > ideal*2 {
+				t.Fatalf("vnodes=%d %d->%d: moved fraction %.4f outside [%.4f, %.4f]",
+					vnodes, n, n+1, frac, ideal/2, ideal*2)
+			}
+		}
+	}
+}
+
+// TestRingTransitionDeterministic: the moved-range diff between two epochs is
+// a pure function of (shards, vnodes) — two independently built ring pairs
+// compute the identical diff, so a coordinator and a watcher on different
+// nodes always agree on which keys move.
+func TestRingTransitionDeterministic(t *testing.T) {
+	build := func() map[uint64][2]int {
+		oldRing, _ := NewRing(3, 64)
+		newRing, _ := NewRing(4, 64)
+		diff := make(map[uint64][2]int)
+		for id := uint64(0); id < 5000; id++ {
+			was, is := oldRing.Lookup(id), newRing.Lookup(id)
+			if was != is {
+				diff[id] = [2]int{was, is}
+			}
+		}
+		return diff
+	}
+	first, second := build(), build()
+	if len(first) == 0 {
+		t.Fatal("no keys moved in a 3->4 grow")
+	}
+	if len(first) != len(second) {
+		t.Fatalf("diff sizes differ: %d vs %d", len(first), len(second))
+	}
+	for id, d := range first {
+		if second[id] != d {
+			t.Fatalf("id %d: diff %v vs %v across two computations", id, d, second[id])
+		}
+	}
+}

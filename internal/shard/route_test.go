@@ -1,0 +1,83 @@
+package shard
+
+import "testing"
+
+// pickConf returns a conference ID owned by shard `from` on `old` that
+// lands on a shard != from under `new` (moved=true), or stays (moved=false).
+func pickConf(t *testing.T, oldR, newR *Ring, from int, moved bool) uint64 {
+	t.Helper()
+	for id := uint64(1); id < 100000; id++ {
+		if oldR.Lookup(id) != from {
+			continue
+		}
+		if (newR.Lookup(id) != from) == moved {
+			return id
+		}
+	}
+	t.Fatalf("no conf on shard %d with moved=%v", from, moved)
+	return 0
+}
+
+// TestRouteDecide pins the dual-ring routing table: which phases hold
+// writes, which double-read, and which pass untouched.
+func TestRouteDecide(t *testing.T) {
+	r3, err := NewRing(3, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := NewRing(4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := pickConf(t, r3, r4, 1, true)
+	unmoved := pickConf(t, r3, r4, 1, false)
+
+	// Stable: one ring, no reshard behavior ever.
+	stable := &routeState{epoch: 1, phase: PhaseStable, ring: r3}
+	for _, id := range []uint64{moved, unmoved} {
+		d := stable.decide(id)
+		if d.Held || d.DoubleRead || d.OldShard != -1 {
+			t.Fatalf("stable decide(%d) = %+v", id, d)
+		}
+		if stable.tracked(id, d) {
+			t.Fatalf("stable tracked(%d)", id)
+		}
+	}
+
+	// Copy: source ring routes, moved writes are admitted but tracked so
+	// the handoff barrier can wait for them to drain.
+	cp := &routeState{epoch: 1, phase: PhaseCopy, ring: r3, next: r4}
+	if d := cp.decide(moved); d.Held || d.DoubleRead || d.Shard != 1 {
+		t.Fatalf("copy decide(moved) = %+v", d)
+	} else if !cp.tracked(moved, d) {
+		t.Fatal("copy-phase write to a moving key must be tracked in-flight")
+	}
+	if d := cp.decide(unmoved); cp.tracked(unmoved, d) {
+		t.Fatal("copy-phase write to an unmoved key must not be tracked")
+	}
+
+	// Journal-handoff: moved writes are held (503 upstream), unmoved flow.
+	ho := &routeState{epoch: 1, phase: PhaseHandoff, ring: r3, next: r4}
+	if d := ho.decide(moved); !d.Held {
+		t.Fatalf("handoff decide(moved) = %+v, want held", d)
+	} else if ho.tracked(moved, d) {
+		t.Fatal("a held write must not be tracked: it was never admitted")
+	}
+	if d := ho.decide(unmoved); d.Held {
+		t.Fatalf("handoff decide(unmoved) = %+v, want pass", d)
+	}
+
+	// Cutover: target ring authoritative; moved keys double-read through
+	// their pre-split owner, unmoved keys don't.
+	cut := &routeState{epoch: 2, phase: PhaseCutover, ring: r4, prev: r3}
+	d := cut.decide(moved)
+	if !d.DoubleRead || d.Shard != r4.Lookup(moved) || d.OldShard != 1 {
+		t.Fatalf("cutover decide(moved) = %+v, want double-read shard %d old 1", d, r4.Lookup(moved))
+	}
+	if d.Held {
+		t.Fatal("cutover must not hold writes")
+	}
+	if d := cut.decide(unmoved); d.DoubleRead || d.OldShard != -1 {
+		t.Fatalf("cutover decide(unmoved) = %+v", d)
+	}
+}
